@@ -1,0 +1,56 @@
+//! Engine throughput benches: simulated sessions per second for each
+//! strategy, plus workload generation and trace scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cablevod_bench::bench_trace;
+use cablevod_cache::StrategySpec;
+use cablevod_hfc::units::DataSize;
+use cablevod_sim::{run, SimConfig};
+use cablevod_trace::scale;
+use cablevod_trace::synth::{generate, SynthConfig};
+
+fn engine_throughput(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let base = SimConfig::paper_default()
+        .with_neighborhood_size(500)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3);
+    for (name, spec) in [
+        ("no_cache", StrategySpec::NoCache),
+        ("lru", StrategySpec::Lru),
+        ("lfu", StrategySpec::default_lfu()),
+        ("oracle", StrategySpec::default_oracle()),
+    ] {
+        let config = base.clone().with_strategy(spec);
+        group.bench_function(name, |b| b.iter(|| run(trace, &config).expect("runs")));
+    }
+    group.finish();
+}
+
+fn workload_generation(c: &mut Criterion) {
+    let config = SynthConfig {
+        users: 1_500,
+        programs: 400,
+        days: 6,
+        ..SynthConfig::powerinfo()
+    };
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(config.expected_sessions() as u64));
+    group.bench_function("synthesize_trace", |b| b.iter(|| generate(&config)));
+    let trace = bench_trace();
+    group.bench_function("scale_users_x3", |b| {
+        b.iter(|| scale::scale_users(trace, 3, 1).expect("valid factor"))
+    });
+    group.bench_function("scale_catalog_x3", |b| {
+        b.iter(|| scale::scale_catalog(trace, 3, 1).expect("valid factor"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput, workload_generation);
+criterion_main!(benches);

@@ -1,0 +1,171 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! reproduce [--scale quick|default|full] [--exp id1,id2,...] [--out FILE]
+//! ```
+//!
+//! * `--scale quick`   — 8,000 users, 10 days (minutes; structural sanity
+//!   check — caches are nearly catalog-sized at this scale, so absolute
+//!   savings exceed the paper's)
+//! * `--scale default` — full 41,698-user population, 21-day window (the
+//!   source of `EXPERIMENTS.md`; tens of minutes)
+//! * `--scale full`    — the complete 7-month PowerInfo-scale trace (hours)
+//! * `--exp`           — comma-separated experiment ids (default: all).
+//!   Known ids: f2 f3 f6 f7 f8 f9 f10 f11 f12 f13 f14 f15 t16a f16b f16c
+//!   multicast headend a1 a2 a3 a4 a5
+//! * `--out FILE`      — additionally write the markdown report to FILE.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cablevod::experiments as exp;
+use cablevod::Figure;
+use cablevod_hfc::units::BitRate;
+use cablevod_sim::SimError;
+use cablevod_trace::record::Trace;
+use cablevod_trace::synth::{generate, SynthConfig};
+
+struct Args {
+    scale: String,
+    exps: Option<Vec<String>>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { scale: "default".into(), exps: None, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--scale" => args.scale = it.next().expect("--scale needs a value"),
+            "--exp" => {
+                args.exps = Some(
+                    it.next()
+                        .expect("--exp needs a value")
+                        .split(',')
+                        .map(|s| s.trim().to_lowercase())
+                        .collect(),
+                )
+            }
+            "--out" => args.out = Some(it.next().expect("--out needs a value")),
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn workload(scale: &str) -> SynthConfig {
+    match scale {
+        "quick" => SynthConfig {
+            users: 8_000,
+            programs: 3_000,
+            days: 10,
+            ..SynthConfig::powerinfo()
+        },
+        "default" => SynthConfig { days: 21, ..SynthConfig::experiment_default() },
+        "full" => SynthConfig::powerinfo(),
+        other => {
+            eprintln!("unknown scale {other} (quick|default|full)");
+            std::process::exit(2);
+        }
+    }
+}
+
+type ExpFn = fn(&Trace) -> Result<Figure, SimError>;
+
+fn registry() -> Vec<(&'static str, ExpFn)> {
+    vec![
+        ("f2", |t| Ok(exp::fig02(t))),
+        ("f3", |t| Ok(exp::fig03(t))),
+        ("f6", |t| Ok(exp::fig06(t))),
+        ("f7", |t| Ok(exp::fig07(t, BitRate::STREAM_MPEG2_SD))),
+        ("f12", |t| Ok(exp::fig12(t))),
+        ("f8", exp::fig08),
+        ("f14", exp::fig14),
+        ("multicast", exp::multicast_comparison),
+        ("headend", exp::headend_comparison),
+        ("f9", exp::fig09),
+        ("f10", exp::fig10),
+        ("f11", exp::fig11),
+        ("a1", exp::ablation_fill_mode),
+        ("a2", exp::ablation_stream_slots),
+        ("a3", exp::ablation_segment_length),
+        ("a4", exp::ablation_placement),
+        ("a5", exp::ablation_replication),
+        ("f16b", exp::fig16b),
+        ("f16c", exp::fig16c),
+        ("f13", exp::fig13),
+        // f15 and t16a share one grid; handled specially below (runs last).
+    ]
+}
+
+fn main() {
+    let args = parse_args();
+    let config = workload(&args.scale);
+
+    let t0 = Instant::now();
+    let trace = generate(&config);
+    let mut doc = String::new();
+    let _ = writeln!(doc, "# Reproduced experiments (scale: {})\n", args.scale);
+    let _ = writeln!(
+        doc,
+        "Workload: {} sessions, {} users, {} programs, {} days (generated in {:.1}s).\n",
+        trace.len(),
+        trace.user_count(),
+        trace.catalog().len(),
+        trace.days(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!("{doc}");
+
+    let wants = |id: &str| args.exps.as_ref().is_none_or(|v| v.iter().any(|e| e == id));
+
+    for (id, f) in registry() {
+        if !wants(id) {
+            continue;
+        }
+        let t = Instant::now();
+        match f(&trace) {
+            Ok(fig) => {
+                let md = fig.to_markdown();
+                println!("{md}");
+                println!("({id} took {:.1}s)\n", t.elapsed().as_secs_f64());
+                let _ = writeln!(doc, "{md}");
+            }
+            Err(e) => {
+                eprintln!("experiment {id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Fig 15 + Table 16(a) from one shared grid.
+    if wants("f15") || wants("t16a") {
+        let t = Instant::now();
+        match exp::fig15_with_table(&trace) {
+            Ok((fig15, t16a)) => {
+                for fig in [&fig15, &t16a] {
+                    let md = fig.to_markdown();
+                    println!("{md}");
+                    let _ = writeln!(doc, "{md}");
+                }
+                println!("(f15 + t16a took {:.1}s)\n", t.elapsed().as_secs_f64());
+            }
+            Err(e) => {
+                eprintln!("experiment f15/t16a failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let _ = writeln!(doc, "\nTotal wall time: {:.0}s.", t0.elapsed().as_secs_f64());
+    if let Some(path) = args.out {
+        std::fs::write(&path, &doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("wrote {path}");
+    }
+}

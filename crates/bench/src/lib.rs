@@ -1,0 +1,37 @@
+//! Shared helpers for the Criterion benches.
+//!
+//! Benches regenerate every figure on a deliberately small workload so the
+//! whole suite finishes in minutes; the `reproduce` binary runs the same
+//! harnesses at paper scale.
+
+use std::sync::OnceLock;
+
+use cablevod_trace::record::Trace;
+use cablevod_trace::synth::{generate, SynthConfig};
+
+/// The shared bench workload: ~1,500 users over 6 days — large enough for
+/// caches and quantiles to be meaningful, small enough for Criterion.
+pub fn bench_trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        generate(&SynthConfig {
+            users: 1_500,
+            programs: 400,
+            days: 6,
+            ..SynthConfig::powerinfo()
+        })
+    })
+}
+
+/// A second, smaller workload for the scaling benches (they multiply it).
+pub fn small_trace() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| {
+        generate(&SynthConfig {
+            users: 600,
+            programs: 200,
+            days: 6,
+            ..SynthConfig::powerinfo()
+        })
+    })
+}

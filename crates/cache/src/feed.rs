@@ -1,0 +1,264 @@
+//! Global popularity feeds (Fig 13).
+//!
+//! §VI-A: "One final way to increase the data available to the LFU
+//! algorithm is to use access data from peers outside the neighborhood."
+//! The paper evaluates an LFU whose counts are fed with *system-wide*
+//! accesses — instantaneously, in 30-minute batches, in 2-hour batches —
+//! against the purely local LFU.
+//!
+//! [`GlobalFeed`] is the system-wide event stream (the simulation engine
+//! publishes every access); [`GlobalLfu`] is a windowed LFU that counts
+//! local accesses immediately and remote accesses once their batch boundary
+//! has passed.
+
+use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::lfu::WindowedLfu;
+use crate::strategy::{CacheOp, CacheStrategy};
+
+/// One access published to the global feed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedEvent {
+    /// When the access happened.
+    pub time: SimTime,
+    /// The neighborhood it happened in.
+    pub neighborhood: NeighborhoodId,
+    /// The accessed program.
+    pub program: ProgramId,
+    /// The program's size in slots.
+    pub cost: u32,
+}
+
+/// The append-only system-wide access stream.
+///
+/// Events must be published in non-decreasing time order (the engine
+/// processes the trace chronologically); consumers hold cursors into the
+/// stream.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalFeed {
+    events: Vec<FeedEvent>,
+}
+
+impl GlobalFeed {
+    /// Creates an empty feed.
+    pub fn new() -> Self {
+        GlobalFeed::default()
+    }
+
+    /// Publishes one access.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `event` is older than the newest published
+    /// event.
+    pub fn publish(&mut self, event: FeedEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.time <= event.time),
+            "feed events must be published in time order"
+        );
+        self.events.push(event);
+    }
+
+    /// All published events, oldest first.
+    pub fn events(&self) -> &[FeedEvent] {
+        &self.events
+    }
+
+    /// Number of published events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Windowed LFU with a global popularity feed.
+///
+/// Remote accesses become visible at batch boundaries: an event at time `t`
+/// with lag `L > 0` is visible once `floor(now / L) > floor(t / L)`; with
+/// `L = 0` it is visible immediately. Local accesses are always counted
+/// immediately (they arrive through [`CacheStrategy::on_access`]).
+#[derive(Debug)]
+pub struct GlobalLfu {
+    core: WindowedLfu,
+    home: NeighborhoodId,
+    lag: SimDuration,
+    cursor: usize,
+}
+
+impl GlobalLfu {
+    /// Creates a global LFU for neighborhood `home`.
+    pub fn new(
+        capacity_slots: u64,
+        window: SimDuration,
+        lag: SimDuration,
+        home: NeighborhoodId,
+    ) -> Self {
+        GlobalLfu { core: WindowedLfu::new(capacity_slots, window), home, lag, cursor: 0 }
+    }
+
+    /// The batching lag.
+    pub fn lag(&self) -> SimDuration {
+        self.lag
+    }
+
+    /// Number of feed events consumed so far.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    fn visible(&self, event_time: SimTime, now: SimTime) -> bool {
+        if self.lag.as_secs() == 0 {
+            event_time <= now
+        } else {
+            event_time.as_secs() / self.lag.as_secs() < now.as_secs() / self.lag.as_secs()
+        }
+    }
+}
+
+impl CacheStrategy for GlobalLfu {
+    fn name(&self) -> &'static str {
+        "Global LFU"
+    }
+
+    fn on_access(&mut self, program: ProgramId, cost: u32, now: SimTime, ops: &mut Vec<CacheOp>) {
+        self.core.record(program, cost, now);
+        self.core.expire(now);
+        self.core.ensure_candidate(program, cost);
+        self.core.rebalance(ops);
+    }
+
+    fn contains(&self, program: ProgramId) -> bool {
+        self.core.contains(program)
+    }
+
+    fn cost_of(&self, program: ProgramId) -> Option<u32> {
+        self.core.cost_of(program)
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.core.used_slots()
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.core.capacity_slots()
+    }
+
+    /// Ingests newly visible remote accesses. Counts only — rebalancing
+    /// happens at the next local access, when admissions can actually be
+    /// placed.
+    fn sync_global(&mut self, feed: &GlobalFeed, now: SimTime) {
+        let events = feed.events();
+        while self.cursor < events.len() {
+            let ev = events[self.cursor];
+            if !self.visible(ev.time, now) {
+                break;
+            }
+            self.cursor += 1;
+            if ev.neighborhood == self.home {
+                continue; // counted locally at access time
+            }
+            self.core.record(ev.program, ev.cost, ev.time);
+        }
+        self.core.expire(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(secs: u64, nbhd: u32, program: u32) -> FeedEvent {
+        FeedEvent {
+            time: SimTime::from_secs(secs),
+            neighborhood: NeighborhoodId::new(nbhd),
+            program: ProgramId::new(program),
+            cost: 1,
+        }
+    }
+
+    fn lfu(lag_secs: u64) -> GlobalLfu {
+        GlobalLfu::new(
+            4,
+            SimDuration::from_days(1),
+            SimDuration::from_secs(lag_secs),
+            NeighborhoodId::new(0),
+        )
+    }
+
+    #[test]
+    fn zero_lag_sees_remote_events_immediately() {
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(100, 1, 7));
+        let mut s = lfu(0);
+        s.sync_global(&feed, SimTime::from_secs(100));
+        assert_eq!(s.cursor(), 1);
+        // Remote count is pending; a local access triggers admission of the
+        // remotely-hot program alongside the local one.
+        let mut ops = Vec::new();
+        s.on_access(ProgramId::new(3), 1, SimTime::from_secs(101), &mut ops);
+        assert!(ops.contains(&CacheOp::Admit(ProgramId::new(3))));
+        assert!(ops.contains(&CacheOp::Admit(ProgramId::new(7))), "ops {ops:?}");
+    }
+
+    #[test]
+    fn lagged_events_wait_for_batch_boundary() {
+        let lag = 1_800; // 30 minutes
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(lag + 10, 1, 7)); // batch 1
+        let mut s = lfu(lag);
+        // Still inside batch 1: not visible.
+        s.sync_global(&feed, SimTime::from_secs(2 * lag - 1));
+        assert_eq!(s.cursor(), 0);
+        // After the boundary: visible.
+        s.sync_global(&feed, SimTime::from_secs(2 * lag));
+        assert_eq!(s.cursor(), 1);
+    }
+
+    #[test]
+    fn own_neighborhood_events_are_skipped() {
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(10, 0, 7)); // home neighborhood
+        feed.publish(ev(11, 2, 8));
+        let mut s = lfu(0);
+        s.sync_global(&feed, SimTime::from_secs(20));
+        assert_eq!(s.cursor(), 2);
+        // Program 7 was home-published: not counted via the feed.
+        let mut ops = Vec::new();
+        s.on_access(ProgramId::new(1), 1, SimTime::from_secs(21), &mut ops);
+        assert!(ops.contains(&CacheOp::Admit(ProgramId::new(8))));
+        assert!(!ops.contains(&CacheOp::Admit(ProgramId::new(7))), "ops {ops:?}");
+    }
+
+    #[test]
+    fn cursor_never_rereads() {
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(10, 1, 7));
+        let mut s = lfu(0);
+        s.sync_global(&feed, SimTime::from_secs(20));
+        s.sync_global(&feed, SimTime::from_secs(30));
+        assert_eq!(s.cursor(), 1, "event consumed exactly once");
+    }
+
+    #[test]
+    fn remote_counts_expire_with_the_window() {
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(10, 1, 7));
+        let mut s = GlobalLfu::new(
+            4,
+            SimDuration::from_hours(1),
+            SimDuration::ZERO,
+            NeighborhoodId::new(0),
+        );
+        s.sync_global(&feed, SimTime::from_secs(20));
+        // Two hours later the remote access is stale; only the fresh local
+        // program gets admitted.
+        let mut ops = Vec::new();
+        s.on_access(ProgramId::new(1), 4, SimTime::from_secs(7_200), &mut ops);
+        assert_eq!(ops, vec![CacheOp::Admit(ProgramId::new(1))]);
+    }
+}

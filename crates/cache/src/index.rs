@@ -1,0 +1,682 @@
+//! The index server (§IV-B).
+//!
+//! One index server runs at each headend. It:
+//!
+//! * monitors every request in its neighborhood and feeds the cache
+//!   strategy ("The index server also monitors all requests in the
+//!   neighborhood to calculate file popularity and populate the cache");
+//! * places admitted programs' segments on peers and tracks every location
+//!   ("placement is not probabilistic \[...\] keeps track of where each
+//!   program is located");
+//! * resolves segment requests into the hit flow of Fig 5 (instruct a peer
+//!   to broadcast) or the miss flow of Fig 4 (fetch from the central
+//!   server, broadcast, and optionally let a placed peer capture the
+//!   broadcast into its cache).
+
+use std::collections::{HashMap, HashSet};
+
+use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId, SegmentId};
+use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::topology::Topology;
+use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::error::CacheError;
+use crate::feed::GlobalFeed;
+use crate::placement::SlotLedger;
+use crate::strategy::{CacheOp, CacheStrategy, FillPolicy};
+
+/// Why a segment request could not be served from the neighborhood cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissReason {
+    /// The program is not in the cache contents at all.
+    Uncached,
+    /// The program is admitted but this segment has not yet been captured
+    /// off a broadcast.
+    NotMaterialized,
+    /// The hosting peer is already serving its maximum concurrent streams
+    /// (§V-C).
+    PeerBusy,
+}
+
+/// Outcome of resolving one segment request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Served by a peer over the coax (cache hit, Fig 5).
+    PeerHit(PeerId),
+    /// Served by the central server over fiber + headend broadcast
+    /// (cache miss, Fig 4).
+    Miss(MissReason),
+}
+
+impl Resolution {
+    /// Whether this is a cache hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Resolution::PeerHit(_))
+    }
+}
+
+/// Counters kept by the index server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexStats {
+    /// Segment requests served by peers.
+    pub hits: u64,
+    /// Misses on programs outside the cache contents.
+    pub miss_uncached: u64,
+    /// Misses on admitted-but-not-yet-captured segments.
+    pub miss_not_materialized: u64,
+    /// Misses because the hosting peer was slot-saturated.
+    pub miss_peer_busy: u64,
+    /// Programs admitted.
+    pub admissions: u64,
+    /// Programs evicted.
+    pub evictions: u64,
+    /// Segments captured off miss broadcasts.
+    pub capture_fills: u64,
+}
+
+impl std::ops::AddAssign for IndexStats {
+    fn add_assign(&mut self, rhs: IndexStats) {
+        self.hits += rhs.hits;
+        self.miss_uncached += rhs.miss_uncached;
+        self.miss_not_materialized += rhs.miss_not_materialized;
+        self.miss_peer_busy += rhs.miss_peer_busy;
+        self.admissions += rhs.admissions;
+        self.evictions += rhs.evictions;
+        self.capture_fills += rhs.capture_fills;
+    }
+}
+
+impl IndexStats {
+    /// Total segment requests resolved.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses()
+    }
+
+    /// Total misses of any kind.
+    pub fn misses(&self) -> u64 {
+        self.miss_uncached + self.miss_not_materialized + self.miss_peer_busy
+    }
+
+    /// Fraction of requests served by peers (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        if self.requests() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests() as f64
+        }
+    }
+}
+
+/// The per-neighborhood cache orchestrator.
+#[derive(Debug)]
+pub struct IndexServer {
+    home: NeighborhoodId,
+    strategy: Box<dyn CacheStrategy>,
+    segmenter: Segmenter,
+    nominal_segment: DataSize,
+    ledger: SlotLedger,
+    fill: FillPolicy,
+    /// Replicas of segment `i` of a `count`-segment program are stored
+    /// under synthetic segment indices `i + j * count` for replica `j` —
+    /// ids stay unique per (peer, segment) with zero extra structure.
+    replication: u8,
+    locations: HashMap<SegmentId, PeerId>,
+    materialized: HashSet<SegmentId>,
+    admitted: HashMap<ProgramId, (SimDuration, SimTime)>,
+    stats: IndexStats,
+    ops: Vec<CacheOp>,
+}
+
+impl IndexServer {
+    /// Creates the index server for `home` with a single copy of each
+    /// cached segment (the paper's configuration).
+    ///
+    /// The strategy's capacity must not exceed `ledger.total_slots()` —
+    /// the invariant that makes placement infallible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities disagree.
+    pub fn new(
+        home: NeighborhoodId,
+        strategy: Box<dyn CacheStrategy>,
+        segmenter: Segmenter,
+        ledger: SlotLedger,
+    ) -> Self {
+        IndexServer::with_replication(home, strategy, segmenter, ledger, 1)
+    }
+
+    /// Creates an index server storing `replication` copies of every
+    /// cached segment (ablation A5). Extra copies multiply slot cost but
+    /// give busy-peer misses alternative sources.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities disagree or `replication` is zero.
+    pub fn with_replication(
+        home: NeighborhoodId,
+        strategy: Box<dyn CacheStrategy>,
+        segmenter: Segmenter,
+        ledger: SlotLedger,
+        replication: u8,
+    ) -> Self {
+        assert!(replication >= 1, "replication factor must be at least 1");
+        assert!(
+            strategy.capacity_slots() <= ledger.total_slots(),
+            "strategy capacity ({}) must not exceed ledger slots ({})",
+            strategy.capacity_slots(),
+            ledger.total_slots()
+        );
+        let nominal_segment = segmenter.stream_rate() * segmenter.segment_len();
+        let fill = strategy.fill_policy();
+        IndexServer {
+            home,
+            strategy,
+            segmenter,
+            nominal_segment,
+            ledger,
+            fill,
+            replication,
+            locations: HashMap::new(),
+            materialized: HashSet::new(),
+            admitted: HashMap::new(),
+            stats: IndexStats::default(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// This server's neighborhood.
+    pub fn home(&self) -> NeighborhoodId {
+        self.home
+    }
+
+    /// Overrides the fill policy the strategy chose (ablation A1 —
+    /// e.g. LFU with proactive push instead of capture-on-broadcast).
+    pub fn set_fill_policy(&mut self, fill: FillPolicy) {
+        self.fill = fill;
+    }
+
+    /// The fill policy in effect.
+    pub fn fill_policy(&self) -> FillPolicy {
+        self.fill
+    }
+
+    /// The active strategy.
+    pub fn strategy(&self) -> &dyn CacheStrategy {
+        self.strategy.as_ref()
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &IndexStats {
+        &self.stats
+    }
+
+    /// Number of programs currently admitted.
+    pub fn cached_programs(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// When `program` was admitted, if it is currently cached.
+    pub fn admitted_at(&self, program: ProgramId) -> Option<SimTime> {
+        self.admitted.get(&program).map(|&(_, at)| at)
+    }
+
+    /// Where `segment` is placed, if admitted.
+    pub fn location_of(&self, segment: SegmentId) -> Option<PeerId> {
+        self.locations.get(&segment).copied()
+    }
+
+    /// Whether `segment`'s content is actually present on its peer.
+    pub fn is_materialized(&self, segment: SegmentId) -> bool {
+        self.materialized.contains(&segment)
+    }
+
+    /// Ingests newly visible global-feed events (no-op for local
+    /// strategies).
+    pub fn sync_feed(&mut self, feed: &GlobalFeed, now: SimTime) {
+        self.strategy.sync_global(feed, now);
+    }
+
+    /// Observes a program access (session start): updates the strategy and
+    /// executes any admissions/evictions it decides on, mutating peer
+    /// storage through `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement/storage failures; these indicate broken
+    /// invariants, not recoverable conditions.
+    pub fn on_program_access(
+        &mut self,
+        program: ProgramId,
+        length: SimDuration,
+        now: SimTime,
+        topo: &mut Topology,
+    ) -> Result<(), CacheError> {
+        let cost =
+            u32::from(self.segmenter.segment_count(length)) * u32::from(self.replication);
+        let mut ops = std::mem::take(&mut self.ops);
+        ops.clear();
+        self.strategy.on_access(program, cost, now, &mut ops);
+        for op in &ops {
+            match *op {
+                CacheOp::Evict(p) => self.execute_evict(p, topo)?,
+                CacheOp::Admit(p) => {
+                    // The strategy may admit programs other than the one
+                    // being accessed (global feeds, Oracle prefetch); their
+                    // length comes through the access that taught the
+                    // strategy their cost, which for non-accessed programs
+                    // is reconstructed from the cost it used.
+                    let len = if p == program {
+                        length
+                    } else {
+                        self.length_from_cost(p)?
+                    };
+                    self.execute_admit(p, len, now, topo)?;
+                }
+            }
+        }
+        self.ops = ops;
+        Ok(())
+    }
+
+    /// Resolves one segment request at `now` streaming until `end`
+    /// (Figs 4–5), for a session that began at `session_start`. On a miss
+    /// of an admitted-but-cold segment the placed peer captures the
+    /// broadcast (fill-on-broadcast, §IV-B.1).
+    ///
+    /// Under push fill, content admitted at or after `session_start`
+    /// cannot serve this session: the admission was triggered *by* this
+    /// session, and the push is physically the very stream being watched.
+    /// Sessions starting after the admission hit normally. This reproduces
+    /// the paper's per-session accounting (the first access to a newly
+    /// cached program is a miss; subsequent accesses hit).
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-peer failures from the topology (broken
+    /// invariants).
+    pub fn resolve_segment(
+        &mut self,
+        segment: SegmentId,
+        session_start: SimTime,
+        now: SimTime,
+        end: SimTime,
+        topo: &mut Topology,
+    ) -> Result<Resolution, CacheError> {
+        let program = segment.program();
+        let Some(&(length, admitted_at)) = self.admitted.get(&program) else {
+            self.stats.miss_uncached += 1;
+            return Ok(Resolution::Miss(MissReason::Uncached));
+        };
+        // Causality: content pushed by an admission triggered during this
+        // session cannot serve it — the push *is* the server stream this
+        // session is watching (see the method docs).
+        if self.fill == FillPolicy::Prefetch && admitted_at >= session_start {
+            self.stats.miss_not_materialized += 1;
+            return Ok(Resolution::Miss(MissReason::NotMaterialized));
+        }
+        if !self.materialized.contains(&segment) {
+            // Fig 4, step 4: the assigned peer(s) read the miss broadcast.
+            if self.fill == FillPolicy::OnBroadcast {
+                self.materialized.insert(segment);
+                self.stats.capture_fills += 1;
+            }
+            self.stats.miss_not_materialized += 1;
+            return Ok(Resolution::Miss(MissReason::NotMaterialized));
+        }
+        // Try each replica in placement order until one has a free slot.
+        let count = self.segmenter.segment_count(length);
+        for replica in 0..self.replication {
+            let sid = SegmentId::new(program, segment.index() + u16::from(replica) * count);
+            let peer = self.locations.get(&sid).copied().ok_or_else(|| {
+                CacheError::InconsistentState {
+                    reason: format!("admitted segment {sid} has no location"),
+                }
+            })?;
+            if topo.stb_mut(peer)?.try_start_stream(now, end) {
+                self.stats.hits += 1;
+                return Ok(Resolution::PeerHit(peer));
+            }
+        }
+        self.stats.miss_peer_busy += 1;
+        Ok(Resolution::Miss(MissReason::PeerBusy))
+    }
+
+    fn execute_admit(
+        &mut self,
+        program: ProgramId,
+        length: SimDuration,
+        now: SimTime,
+        topo: &mut Topology,
+    ) -> Result<(), CacheError> {
+        if self.admitted.contains_key(&program) {
+            return Err(CacheError::InconsistentState {
+                reason: format!("admit of already-admitted {program}"),
+            });
+        }
+        let count = self.segmenter.segment_count(length);
+        let total = count * u16::from(self.replication);
+        let peers = self.ledger.place(program, total)?;
+        let prefetch = self.fill == FillPolicy::Prefetch;
+        for (i, &peer) in peers.iter().enumerate() {
+            let segment = SegmentId::new(program, i as u16);
+            if self.locations.insert(segment, peer).is_some() {
+                return Err(CacheError::DuplicatePlacement { segment });
+            }
+            topo.stb_mut(peer)?.store(segment, self.nominal_segment)?;
+            if prefetch {
+                self.materialized.insert(segment);
+            }
+        }
+        self.admitted.insert(program, (length, now));
+        self.stats.admissions += 1;
+        Ok(())
+    }
+
+    fn execute_evict(&mut self, program: ProgramId, topo: &mut Topology) -> Result<(), CacheError> {
+        let Some((length, _)) = self.admitted.remove(&program) else {
+            return Err(CacheError::InconsistentState {
+                reason: format!("evict of unadmitted {program}"),
+            });
+        };
+        let total = self.segmenter.segment_count(length) * u16::from(self.replication);
+        for i in 0..total {
+            let segment = SegmentId::new(program, i);
+            let peer = self.locations.remove(&segment).ok_or_else(|| {
+                CacheError::InconsistentState {
+                    reason: format!("admitted segment {segment} has no location"),
+                }
+            })?;
+            topo.stb_mut(peer)?.delete(segment, self.nominal_segment)?;
+            self.ledger.release(peer)?;
+            self.materialized.remove(&segment);
+        }
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Reconstructs a program length from the slot cost the strategy
+    /// knows. Costs charge runt segments as full slots, so
+    /// `cost × segment_len` yields a segment count identical to the true
+    /// length's — storage accounting stays exact.
+    fn length_from_cost(&self, program: ProgramId) -> Result<SimDuration, CacheError> {
+        let cost = self.strategy.cost_of(program).ok_or_else(|| {
+            CacheError::InconsistentState {
+                reason: format!("strategy admitted {program} without a known cost"),
+            }
+        })?;
+        Ok(self.segmenter.segment_len() * u64::from(cost / u32::from(self.replication)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use crate::strategy::StrategySpec;
+    use cablevod_hfc::topology::TopologyConfig;
+    use cablevod_hfc::units::BitRate;
+
+    const PEERS: u32 = 6;
+
+    /// Per-peer storage of exactly 3 nominal segments.
+    fn three_segment_storage() -> DataSize {
+        let nominal = BitRate::STREAM_MPEG2_SD * SimDuration::from_minutes(5);
+        nominal * 3
+    }
+
+    fn build(spec: StrategySpec) -> (IndexServer, Topology) {
+        let topo = Topology::build(
+            TopologyConfig::new(PEERS, PEERS).with_per_peer_storage(three_segment_storage()),
+        )
+        .expect("valid topology");
+        let segmenter = Segmenter::paper_default();
+        let nominal = segmenter.stream_rate() * segmenter.segment_len();
+        let home = NeighborhoodId::new(0);
+        let members = topo
+            .neighborhood(home)
+            .expect("exists")
+            .members()
+            .iter()
+            .map(|&p| {
+                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
+                    / nominal.as_bits()) as u32;
+                (p, slots)
+            })
+            .collect::<Vec<_>>();
+        let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
+        let strategy = spec.build(ledger.total_slots(), home, None).expect("buildable");
+        (IndexServer::new(home, strategy, segmenter, ledger), topo)
+    }
+
+    fn ten_minutes() -> SimDuration {
+        SimDuration::from_minutes(10) // 2 segments
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn seg(p: u32, i: u16) -> SegmentId {
+        SegmentId::new(ProgramId::new(p), i)
+    }
+
+    #[test]
+    fn admission_places_all_segments() {
+        let (mut index, mut topo) = build(StrategySpec::Lru);
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        assert_eq!(index.cached_programs(), 1);
+        assert!(index.location_of(seg(0, 0)).is_some());
+        assert!(index.location_of(seg(0, 1)).is_some());
+        assert!(!index.is_materialized(seg(0, 0)), "fill-on-broadcast starts cold");
+        // Peer storage reflects the placement.
+        let stored: usize = (0..PEERS)
+            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .sum();
+        assert_eq!(stored, 2);
+    }
+
+    #[test]
+    fn cold_miss_captures_then_hits() {
+        let (mut index, mut topo) = build(StrategySpec::Lru);
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        let end = t(300);
+        let r = index.resolve_segment(seg(0, 0), t(0), t(0), end, &mut topo).expect("resolve");
+        assert_eq!(r, Resolution::Miss(MissReason::NotMaterialized));
+        assert!(index.is_materialized(seg(0, 0)), "broadcast captured");
+        // Second request: now a peer hit.
+        let r = index.resolve_segment(seg(0, 0), t(400), t(400), t(700), &mut topo).expect("resolve");
+        assert!(r.is_hit(), "{r:?}");
+        assert_eq!(index.stats().hits, 1);
+        assert_eq!(index.stats().miss_not_materialized, 1);
+        assert_eq!(index.stats().capture_fills, 1);
+    }
+
+    #[test]
+    fn unknown_program_misses_uncached() {
+        let (mut index, mut topo) = build(StrategySpec::Lru);
+        let r = index.resolve_segment(seg(9, 0), t(0), t(0), t(300), &mut topo).expect("resolve");
+        assert_eq!(r, Resolution::Miss(MissReason::Uncached));
+        assert_eq!(index.stats().miss_uncached, 1);
+    }
+
+    #[test]
+    fn busy_peer_triggers_miss() {
+        let (mut index, mut topo) = build(StrategySpec::Lru);
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        // Materialize.
+        index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("capture");
+        // Two concurrent hits saturate the peer's two slots.
+        let end = t(1_000);
+        assert!(index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("hit").is_hit());
+        assert!(index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("hit").is_hit());
+        let r = index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("resolve");
+        assert_eq!(r, Resolution::Miss(MissReason::PeerBusy));
+        assert_eq!(index.stats().miss_peer_busy, 1);
+        // After the streams end the peer serves again.
+        assert!(index
+            .resolve_segment(seg(0, 0), t(1_001), t(1_001), t(1_300), &mut topo)
+            .expect("hit")
+            .is_hit());
+    }
+
+    #[test]
+    fn eviction_frees_peer_storage() {
+        let (mut index, mut topo) = build(StrategySpec::Lru);
+        // Capacity: 6 peers x 3 slots = 18 slots; a 10-minute program costs
+        // 2. Ten programs (20 slots) forces evictions.
+        for p in 0..10u32 {
+            index
+                .on_program_access(ProgramId::new(p), ten_minutes(), t(u64::from(p) * 100), &mut topo)
+                .expect("access");
+        }
+        assert!(index.stats().evictions >= 1);
+        let stored: usize = (0..PEERS)
+            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .sum();
+        assert_eq!(stored, index.cached_programs() * 2, "stb storage mirrors admissions");
+        assert!(stored <= 18);
+        // Program 0 (least recent) must be gone; its segments no longer
+        // resolve to peers.
+        assert_eq!(
+            index.resolve_segment(seg(0, 0), t(5_000), t(5_000), t(5_300), &mut topo).expect("resolve"),
+            Resolution::Miss(MissReason::Uncached)
+        );
+    }
+
+    #[test]
+    fn oracle_prefetch_materializes_instantly() {
+        use crate::oracle::AccessSchedule;
+        use std::sync::Arc;
+
+        let topo = Topology::build(
+            TopologyConfig::new(PEERS, PEERS).with_per_peer_storage(three_segment_storage()),
+        )
+        .expect("valid topology");
+        let mut topo = topo;
+        let segmenter = Segmenter::paper_default();
+        let nominal = segmenter.stream_rate() * segmenter.segment_len();
+        let home = NeighborhoodId::new(0);
+        let members: Vec<_> = topo
+            .neighborhood(home)
+            .expect("exists")
+            .members()
+            .iter()
+            .map(|&p| {
+                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
+                    / nominal.as_bits()) as u32;
+                (p, slots)
+            })
+            .collect();
+        let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
+        let schedule = Arc::new(AccessSchedule::from_events(
+            vec![(t(0), ProgramId::new(0)), (t(10), ProgramId::new(0))],
+            vec![2],
+        ));
+        let strategy = StrategySpec::default_oracle()
+            .build(ledger.total_slots(), home, Some(schedule))
+            .expect("oracle");
+        let mut index = IndexServer::new(home, strategy, segmenter, ledger);
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        assert!(index.is_materialized(seg(0, 0)), "oracle prefetches");
+        // Causality: the access that triggered the admission cannot be
+        // served by the just-pushed content...
+        assert_eq!(
+            index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("resolve"),
+            Resolution::Miss(MissReason::NotMaterialized)
+        );
+        // ...but any later access hits without a capture step.
+        assert!(index
+            .resolve_segment(seg(0, 0), t(10), t(10), t(310), &mut topo)
+            .expect("hit")
+            .is_hit());
+        assert_eq!(index.stats().capture_fills, 0, "prefetch needs no capture");
+    }
+
+    #[test]
+    fn replication_places_copies_and_survives_busy_peers() {
+        let topo = Topology::build(
+            TopologyConfig::new(PEERS, PEERS).with_per_peer_storage(three_segment_storage()),
+        )
+        .expect("valid topology");
+        let mut topo = topo;
+        let segmenter = Segmenter::paper_default();
+        let nominal = segmenter.stream_rate() * segmenter.segment_len();
+        let home = NeighborhoodId::new(0);
+        let members: Vec<_> = topo
+            .neighborhood(home)
+            .expect("exists")
+            .members()
+            .iter()
+            .map(|&p| {
+                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
+                    / nominal.as_bits()) as u32;
+                (p, slots)
+            })
+            .collect();
+        let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
+        let strategy = StrategySpec::Lru.build(ledger.total_slots(), home, None).expect("lru");
+        let mut index = IndexServer::with_replication(home, strategy, segmenter, ledger, 2);
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        // 2 segments x 2 replicas = 4 slots placed.
+        let stored: usize = (0..PEERS)
+            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .sum();
+        assert_eq!(stored, 4);
+        // Materialize segment 0, then saturate the first replica's peer:
+        // the second replica still serves.
+        index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("capture");
+        let mut hits = 0;
+        for _ in 0..4 {
+            if index
+                .resolve_segment(seg(0, 0), t(500), t(500), t(900), &mut topo)
+                .expect("resolve")
+                .is_hit()
+            {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 4, "two replicas x two slots serve four concurrent streams");
+        assert_eq!(
+            index.resolve_segment(seg(0, 0), t(500), t(500), t(900), &mut topo).expect("resolve"),
+            Resolution::Miss(MissReason::PeerBusy)
+        );
+        // Eviction releases every replica.
+        for p in 1..10u32 {
+            index
+                .on_program_access(ProgramId::new(p), ten_minutes(), t(1_000 + u64::from(p)), &mut topo)
+                .expect("access");
+        }
+        let stored: usize = (0..PEERS)
+            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .sum();
+        assert_eq!(stored, index.cached_programs() * 4);
+    }
+
+    #[test]
+    fn capacity_mismatch_panics() {
+        let (_, topo) = build(StrategySpec::Lru);
+        let segmenter = Segmenter::paper_default();
+        let ledger = SlotLedger::new(
+            vec![(PeerId::new(0), 3)],
+            PlacementPolicy::Balanced,
+        );
+        let strategy = StrategySpec::Lru.build(999, NeighborhoodId::new(0), None).expect("ok");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            IndexServer::new(NeighborhoodId::new(0), strategy, segmenter, ledger)
+        }));
+        assert!(result.is_err(), "mismatched capacities must panic");
+        drop(topo);
+    }
+}

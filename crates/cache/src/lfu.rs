@@ -1,0 +1,465 @@
+//! Windowed least-frequently-used strategy (§IV-B.2).
+//!
+//! > "To compute the cache contents, the index server keeps a history of
+//! > all events that occur within the last N hours (where N is a parameter
+//! > to the algorithm). It calculates the number of accesses for each
+//! > program in this history. Items that are accessed the most frequently
+//! > are stored in the cache, with ties being resolved using an LRU
+//! > strategy."
+//!
+//! Implementation: a sliding event window maintains per-program counts; a
+//! pair of ordered score sets (cached / candidates) keeps the *waterline*
+//! invariant — no uncached program strictly out-*counts* a cached one —
+//! via transactional swaps on every access.
+//!
+//! Tie handling matters enormously here. Swapping on recency among
+//! equal-count programs (the literal reading of "ties resolved using LRU")
+//! thrashes: in a 10 TB cache the capacity boundary falls among count-1
+//! programs, every tail access would displace an already-materialized
+//! program with a cold one, and the fill-on-broadcast cost of re-admission
+//! wipes out the cache's benefit (measured: ~26 % of requests became cold
+//! misses). We therefore require **strict count dominance** for a swap;
+//! the LRU rule decides *which* of several equal-count victims leaves
+//! first, not whether an equal-count newcomer displaces an incumbent.
+//! The paper's own "history 0 is simply an LRU strategy" is realized by
+//! substituting the real LRU strategy at history 0 (see
+//! `cablevod::experiments::fig11`), matching §VI-A.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::strategy::{CacheOp, CacheStrategy};
+
+/// Score of a program: windowed access count, then recency, then id.
+/// Ordered ascending, so `BTreeSet::first` is the best eviction victim and
+/// `BTreeSet::last` the best admission candidate.
+type Score = (u32, u64, ProgramId);
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    count: u32,
+    last_seq: u64,
+    cost: u32,
+    cached: bool,
+}
+
+/// The windowed-LFU cache strategy.
+#[derive(Debug)]
+pub struct WindowedLfu {
+    capacity: u64,
+    used: u64,
+    window: SimDuration,
+    /// A candidate must out-count a victim by at least this much to swap
+    /// it out (free-space admissions are unaffected). Margin 1 is pure
+    /// strict dominance; the default of 2 damps the 1↔2 boundary
+    /// oscillation that otherwise wipes materialized segments weekly (the
+    /// paper leaves admission damping unspecified; see module docs).
+    swap_margin: u32,
+    seq: u64,
+    /// Events in the window, keyed by (event time, insertion seq) so expiry
+    /// is exact even when remote events arrive late (global variants).
+    history: BTreeMap<(SimTime, u64), ProgramId>,
+    entries: HashMap<ProgramId, Entry>,
+    cached: BTreeSet<Score>,
+    candidates: BTreeSet<Score>,
+}
+
+impl WindowedLfu {
+    /// Bound on admission/eviction work per access; keeps per-event cost
+    /// O(1) amortized while the waterline self-corrects across accesses.
+    const MAX_REBALANCE_ROUNDS: u32 = 16;
+
+    /// Default swap margin (see the `swap_margin` field docs).
+    pub const DEFAULT_SWAP_MARGIN: u32 = 2;
+
+    /// Creates an LFU with `capacity_slots` capacity and history window
+    /// `window`.
+    pub fn new(capacity_slots: u64, window: SimDuration) -> Self {
+        WindowedLfu {
+            capacity: capacity_slots,
+            used: 0,
+            window,
+            swap_margin: Self::DEFAULT_SWAP_MARGIN,
+            seq: 0,
+            history: BTreeMap::new(),
+            entries: HashMap::new(),
+            cached: BTreeSet::new(),
+            candidates: BTreeSet::new(),
+        }
+    }
+
+    /// Overrides the swap margin (1 = pure strict dominance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin` is zero (a zero margin re-enables equal-count
+    /// thrash).
+    pub fn set_swap_margin(&mut self, margin: u32) {
+        assert!(margin >= 1, "swap margin must be at least 1");
+        self.swap_margin = margin;
+    }
+
+    /// The configured history window.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Records an access without rebalancing — used both for local accesses
+    /// and for remote events ingested by the global variants (which may
+    /// carry timestamps older than already-recorded local events; the
+    /// time-keyed history keeps expiry exact regardless).
+    pub(crate) fn record(&mut self, program: ProgramId, cost: u32, at: SimTime) {
+        self.seq += 1;
+        let seq = self.seq;
+        let entry = self.entries.entry(program).or_insert(Entry {
+            count: 0,
+            last_seq: 0,
+            cost,
+            cached: false,
+        });
+        let old = (entry.count, entry.last_seq, program);
+        entry.count += 1;
+        entry.last_seq = seq;
+        entry.cost = cost;
+        let new = (entry.count, entry.last_seq, program);
+        if entry.cached {
+            self.cached.remove(&old);
+            self.cached.insert(new);
+        } else {
+            self.candidates.remove(&old); // no-op for brand-new entries
+            self.candidates.insert(new);
+        }
+        self.history.insert((at, seq), program);
+    }
+
+    /// Drops events older than the window and decrements their counts.
+    pub(crate) fn expire(&mut self, now: SimTime) {
+        let Some(cutoff) = now.as_secs().checked_sub(self.window.as_secs()) else {
+            return;
+        };
+        // Everything with event time <= cutoff leaves the window.
+        let keep = self.history.split_off(&(SimTime::from_secs(cutoff + 1), 0));
+        let expired = std::mem::replace(&mut self.history, keep);
+        for (_, program) in expired {
+            let entry = self.entries.get_mut(&program).expect("history refers to live entry");
+            let old = (entry.count, entry.last_seq, program);
+            entry.count -= 1;
+            let new = (entry.count, entry.last_seq, program);
+            if entry.cached {
+                self.cached.remove(&old);
+                self.cached.insert(new);
+            } else if entry.count == 0 {
+                self.candidates.remove(&old);
+                self.entries.remove(&program);
+            } else {
+                self.candidates.remove(&old);
+                self.candidates.insert(new);
+            }
+        }
+    }
+
+    fn admit(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
+        let program = score.2;
+        let entry = self.entries.get_mut(&program).expect("admitting known program");
+        debug_assert!(!entry.cached);
+        entry.cached = true;
+        self.used += u64::from(entry.cost);
+        self.candidates.remove(&score);
+        self.cached.insert(score);
+        ops.push(CacheOp::Admit(program));
+    }
+
+    fn evict(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
+        let program = score.2;
+        let entry = self.entries.get_mut(&program).expect("evicting known program");
+        debug_assert!(entry.cached);
+        entry.cached = false;
+        self.used -= u64::from(entry.cost);
+        self.cached.remove(&score);
+        if entry.count > 0 {
+            self.candidates.insert(score);
+        } else {
+            self.entries.remove(&program);
+        }
+        ops.push(CacheOp::Evict(program));
+    }
+
+    /// Restores the waterline: admit the best candidates, evicting
+    /// lower-counted cached programs when that frees enough room. Swaps are
+    /// transactional — either the whole victim set is evicted and the
+    /// candidate admitted, or nothing changes. When the best candidate
+    /// cannot swap (e.g. it is large and its dominated victims are small),
+    /// the next-best candidate is tried, so a small dominating candidate is
+    /// never starved behind a big one.
+    pub(crate) fn rebalance(&mut self, ops: &mut Vec<CacheOp>) {
+        // Exclusive upper bound on candidates after a failed swap attempt.
+        let mut bound: Option<Score> = None;
+        for _ in 0..Self::MAX_REBALANCE_ROUNDS {
+            let candidate = match bound {
+                None => self.candidates.iter().next_back().copied(),
+                Some(b) => self.candidates.range(..b).next_back().copied(),
+            };
+            let Some(candidate) = candidate else { break };
+            let cost = u64::from(self.entries[&candidate.2].cost);
+            if cost > self.capacity {
+                // Can never fit at any occupancy; skip it but keep its
+                // counts tracked (it may fit a larger cache after a
+                // reconfiguration, and count reporting must stay exact).
+                bound = Some(candidate);
+                continue;
+            }
+            if self.used + cost <= self.capacity {
+                self.admit(candidate, ops);
+                bound = None;
+                continue;
+            }
+            // Gather victims out-counted by at least the swap margin
+            // (equal-count incumbents are never displaced — see module
+            // docs), oldest first, until the candidate fits.
+            let mut freed = 0u64;
+            let mut victims = Vec::new();
+            for &victim in self.cached.iter() {
+                if victim.0 + self.swap_margin > candidate.0 {
+                    break;
+                }
+                freed += u64::from(self.entries[&victim.2].cost);
+                victims.push(victim);
+                if self.used + cost - freed <= self.capacity {
+                    break;
+                }
+            }
+            if !victims.is_empty() && self.used + cost - freed <= self.capacity {
+                for victim in victims {
+                    self.evict(victim, ops);
+                }
+                self.admit(candidate, ops);
+                bound = None;
+            } else {
+                bound = Some(candidate); // try the next-best candidate
+            }
+        }
+    }
+
+    /// Windowed access count of `program` (0 when unknown).
+    pub fn count_of(&self, program: ProgramId) -> u32 {
+        self.entries.get(&program).map_or(0, |e| e.count)
+    }
+
+    /// Guarantees the just-accessed program is an admission candidate even
+    /// if its own event already expired (window 0): it then carries a
+    /// count-0, freshest-recency score — exactly the LRU degeneration.
+    pub(crate) fn ensure_candidate(&mut self, program: ProgramId, cost: u32) {
+        if !self.entries.contains_key(&program) {
+            self.seq += 1;
+            self.entries.insert(
+                program,
+                Entry { count: 0, last_seq: self.seq, cost, cached: false },
+            );
+            self.candidates.insert((0, self.seq, program));
+        }
+    }
+}
+
+impl CacheStrategy for WindowedLfu {
+    fn name(&self) -> &'static str {
+        "LFU"
+    }
+
+    fn on_access(&mut self, program: ProgramId, cost: u32, now: SimTime, ops: &mut Vec<CacheOp>) {
+        self.record(program, cost, now);
+        self.expire(now);
+        self.ensure_candidate(program, cost);
+        self.rebalance(ops);
+    }
+
+    fn contains(&self, program: ProgramId) -> bool {
+        self.entries.get(&program).is_some_and(|e| e.cached)
+    }
+
+    fn cost_of(&self, program: ProgramId) -> Option<u32> {
+        self.entries.get(&program).map(|e| e.cost)
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProgramId {
+        ProgramId::new(i)
+    }
+
+    fn access(lfu: &mut WindowedLfu, program: u32, cost: u32, secs: u64) -> Vec<CacheOp> {
+        let mut ops = Vec::new();
+        lfu.on_access(p(program), cost, SimTime::from_secs(secs), &mut ops);
+        ops
+    }
+
+    fn day(n: u64) -> SimDuration {
+        SimDuration::from_days(n)
+    }
+
+    #[test]
+    fn admits_while_space_is_free() {
+        let mut lfu = WindowedLfu::new(10, day(1));
+        assert_eq!(access(&mut lfu, 0, 4, 0), vec![CacheOp::Admit(p(0))]);
+        assert_eq!(access(&mut lfu, 1, 4, 10), vec![CacheOp::Admit(p(1))]);
+        assert_eq!(lfu.used_slots(), 8);
+    }
+
+    #[test]
+    fn frequent_program_displaces_infrequent() {
+        let mut lfu = WindowedLfu::new(8, day(1));
+        access(&mut lfu, 0, 4, 0); // count 1, cached
+        access(&mut lfu, 1, 4, 1); // count 1, cached; cache full
+        // Program 2 accessed three times: must displace one of the singles.
+        access(&mut lfu, 2, 4, 2);
+        access(&mut lfu, 2, 4, 3);
+        let ops = access(&mut lfu, 2, 4, 4);
+        assert!(lfu.contains(p(2)), "hot program cached, ops {ops:?}");
+        assert_eq!(lfu.used_slots(), 8);
+        // The victim was program 0 (older recency among equal counts).
+        assert!(!lfu.contains(p(0)));
+        assert!(lfu.contains(p(1)));
+    }
+
+    #[test]
+    fn equal_counts_never_thrash() {
+        let mut lfu = WindowedLfu::new(4, day(1));
+        access(&mut lfu, 0, 4, 0);
+        // Program 1 also count-1: equal counts keep the incumbent; the
+        // recency rule orders evictions, it does not trigger swaps (see
+        // module docs — literal recency swaps destroy materialized cache
+        // state on every tail access).
+        let ops = access(&mut lfu, 1, 4, 1);
+        assert!(ops.is_empty(), "tie must not displace: {ops:?}");
+        assert!(lfu.contains(p(0)));
+        // A second access (count 2 vs 1) is still inside the swap margin.
+        let ops = access(&mut lfu, 1, 4, 2);
+        assert!(ops.is_empty(), "margin damps count-2 vs count-1: {ops:?}");
+        // The third access clears the margin: swap.
+        let ops = access(&mut lfu, 1, 4, 3);
+        assert_eq!(ops, vec![CacheOp::Evict(p(0)), CacheOp::Admit(p(1))]);
+    }
+
+    #[test]
+    fn higher_count_resists_recency() {
+        let mut lfu = WindowedLfu::new(4, day(1));
+        access(&mut lfu, 0, 4, 0);
+        access(&mut lfu, 0, 4, 1); // count 2
+        let ops = access(&mut lfu, 1, 4, 2); // count 1, more recent
+        assert!(ops.is_empty(), "count 1 must not displace count 2: {ops:?}");
+        assert!(lfu.contains(p(0)));
+    }
+
+    #[test]
+    fn window_expiry_restores_lru_behavior() {
+        let mut lfu = WindowedLfu::new(4, SimDuration::from_hours(1));
+        for i in 0..5 {
+            access(&mut lfu, 0, 4, i); // count 5 within the hour
+        }
+        assert_eq!(lfu.count_of(p(0)), 5);
+        // Two hours later all history expired (program 0 sits at count 0);
+        // program 1 clears the swap margin at count 2.
+        access(&mut lfu, 1, 4, 2 * 3_600 + 10);
+        let ops = access(&mut lfu, 1, 4, 2 * 3_600 + 20);
+        assert_eq!(ops, vec![CacheOp::Evict(p(0)), CacheOp::Admit(p(1))]);
+        assert_eq!(lfu.count_of(p(0)), 0);
+    }
+
+    #[test]
+    fn zero_window_fills_free_space_then_freezes() {
+        // With no history every count is zero: admissions happen while
+        // space is free, but no zero-count candidate can strictly dominate
+        // a zero-count incumbent, so the contents freeze. The paper's
+        // "history 0 is simply an LRU strategy" is realized by substituting
+        // the real LRU strategy at history 0 (see fig11).
+        let mut lfu = WindowedLfu::new(8, SimDuration::ZERO);
+        assert_eq!(access(&mut lfu, 0, 4, 0), vec![CacheOp::Admit(p(0))]);
+        assert_eq!(access(&mut lfu, 1, 4, 1), vec![CacheOp::Admit(p(1))]);
+        assert!(access(&mut lfu, 2, 4, 2).is_empty());
+        assert!(lfu.contains(p(0)) && lfu.contains(p(1)));
+    }
+
+    #[test]
+    fn transactional_swap_evicts_multiple_small_victims() {
+        let mut lfu = WindowedLfu::new(6, day(1));
+        access(&mut lfu, 0, 2, 0);
+        access(&mut lfu, 1, 2, 1);
+        access(&mut lfu, 2, 2, 2);
+        // Program 3 (cost 6) accessed three times: clears the swap margin
+        // over all three count-1 programs.
+        access(&mut lfu, 3, 6, 3);
+        access(&mut lfu, 3, 6, 4);
+        let ops = access(&mut lfu, 3, 6, 5);
+        assert!(lfu.contains(p(3)), "ops {ops:?}");
+        assert!(!lfu.contains(p(0)) && !lfu.contains(p(1)) && !lfu.contains(p(2)));
+        assert_eq!(lfu.used_slots(), 6);
+    }
+
+    #[test]
+    fn dominated_candidate_cannot_force_partial_eviction() {
+        let mut lfu = WindowedLfu::new(4, day(1));
+        access(&mut lfu, 0, 4, 0);
+        access(&mut lfu, 0, 4, 1); // count 2, fills cache
+        // Candidate with count 1 and cost 4 cannot displace count 2.
+        let before = lfu.used_slots();
+        access(&mut lfu, 1, 4, 2);
+        assert_eq!(lfu.used_slots(), before);
+        assert!(lfu.contains(p(0)));
+    }
+
+    #[test]
+    fn oversized_programs_never_evict() {
+        let mut lfu = WindowedLfu::new(4, day(1));
+        access(&mut lfu, 0, 4, 0);
+        for t in 1..5 {
+            let ops = access(&mut lfu, 1, 9, t); // cost exceeds capacity
+            assert!(!ops.iter().any(|o| matches!(o, CacheOp::Evict(_))), "{ops:?}");
+        }
+        assert!(lfu.contains(p(0)));
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_churn() {
+        let mut lfu = WindowedLfu::new(20, SimDuration::from_hours(6));
+        for i in 0..2_000u64 {
+            let program = (i * 7919 % 53) as u32;
+            let cost = 1 + (program % 6);
+            access(&mut lfu, program, cost, i * 97);
+            assert!(lfu.used_slots() <= lfu.capacity_slots(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn ops_mirror_contains_state() {
+        // Replaying the emitted ops against a shadow set must equal the
+        // strategy's own view.
+        let mut lfu = WindowedLfu::new(12, day(2));
+        let mut shadow = std::collections::HashSet::new();
+        for i in 0..3_000u64 {
+            let program = (i * 31 % 41) as u32;
+            let mut ops = Vec::new();
+            lfu.on_access(p(program), 1 + program % 5, SimTime::from_secs(i * 211), &mut ops);
+            for op in ops {
+                match op {
+                    CacheOp::Admit(q) => assert!(shadow.insert(q), "double admit {q}"),
+                    CacheOp::Evict(q) => assert!(shadow.remove(&q), "evict of uncached {q}"),
+                }
+            }
+        }
+        for q in &shadow {
+            assert!(lfu.contains(*q));
+        }
+    }
+}

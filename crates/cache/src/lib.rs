@@ -1,0 +1,50 @@
+//! # cablevod-cache — the cooperative proxy cache
+//!
+//! Implements §IV of *"Deploying Video-on-Demand Services on Cable
+//! Networks"*: set-top boxes in each coaxial neighborhood organized into a
+//! cooperative cache by an **index server** at the headend.
+//!
+//! * [`index`] — the index server: request resolution (hit/miss flows of
+//!   Figs 4–5), placement bookkeeping, capture-on-broadcast fill;
+//! * [`placement`] — load-balanced (or random / first-fit) slot placement;
+//! * [`strategy`] — the [`strategy::CacheStrategy`] abstraction and
+//!   [`strategy::StrategySpec`] selection;
+//! * [`lru`], [`lfu`], [`oracle`], [`feed`] — the paper's LRU, windowed
+//!   LFU, Oracle, and global-popularity LFU variants.
+//!
+//! # Examples
+//!
+//! ```
+//! use cablevod_cache::strategy::{CacheStrategy, StrategySpec};
+//! use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
+//! use cablevod_hfc::units::SimTime;
+//!
+//! # fn main() -> Result<(), cablevod_cache::error::CacheError> {
+//! let mut lfu = StrategySpec::default_lfu().build(30, NeighborhoodId::new(0), None)?;
+//! let mut ops = Vec::new();
+//! lfu.on_access(ProgramId::new(7), 12, SimTime::EPOCH, &mut ops);
+//! assert!(lfu.contains(ProgramId::new(7)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod feed;
+pub mod index;
+pub mod lfu;
+pub mod lru;
+pub mod oracle;
+pub mod placement;
+pub mod strategy;
+
+pub use error::CacheError;
+pub use feed::{FeedEvent, GlobalFeed, GlobalLfu};
+pub use index::{IndexServer, IndexStats, MissReason, Resolution};
+pub use lfu::WindowedLfu;
+pub use lru::Lru;
+pub use oracle::{AccessSchedule, Oracle};
+pub use placement::{PlacementPolicy, SlotLedger};
+pub use strategy::{CacheOp, CacheStrategy, FillPolicy, StrategySpec};

@@ -1,0 +1,172 @@
+//! Least-recently-used strategy (§IV-B.2).
+//!
+//! > "This strategy maintains a queue of each file sorted by when it was
+//! > last accessed. When a file is accessed, it is located in the queue,
+//! > updated, and moved to the front. If it is not in the cache already, it
+//! > is added immediately. When the cache is full the program at the end of
+//! > the queue is discarded."
+
+use std::collections::{BTreeSet, HashMap};
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::units::SimTime;
+
+use crate::strategy::{CacheOp, CacheStrategy};
+
+/// LRU over programs, capacity-accounted in slots.
+#[derive(Debug)]
+pub struct Lru {
+    capacity: u64,
+    used: u64,
+    seq: u64,
+    /// program -> (recency sequence, cost in slots)
+    entries: HashMap<ProgramId, (u64, u32)>,
+    /// (recency sequence, program), oldest first
+    queue: BTreeSet<(u64, ProgramId)>,
+}
+
+impl Lru {
+    /// Creates an LRU cache with the given slot capacity.
+    pub fn new(capacity_slots: u64) -> Self {
+        Lru { capacity: capacity_slots, used: 0, seq: 0, entries: HashMap::new(), queue: BTreeSet::new() }
+    }
+
+    fn touch(&mut self, program: ProgramId) {
+        self.seq += 1;
+        let entry = self.entries.get_mut(&program).expect("touch of cached program");
+        let removed = self.queue.remove(&(entry.0, program));
+        debug_assert!(removed, "queue and entries must agree");
+        entry.0 = self.seq;
+        self.queue.insert((self.seq, program));
+    }
+
+    fn evict_oldest(&mut self, ops: &mut Vec<CacheOp>) {
+        let &(seq, victim) = self.queue.iter().next().expect("evict from non-empty queue");
+        self.queue.remove(&(seq, victim));
+        let (_, cost) = self.entries.remove(&victim).expect("queued program has entry");
+        self.used -= u64::from(cost);
+        ops.push(CacheOp::Evict(victim));
+    }
+}
+
+impl CacheStrategy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn on_access(&mut self, program: ProgramId, cost: u32, _now: SimTime, ops: &mut Vec<CacheOp>) {
+        if self.entries.contains_key(&program) {
+            self.touch(program);
+            return;
+        }
+        if u64::from(cost) > self.capacity {
+            return; // can never fit
+        }
+        while self.used + u64::from(cost) > self.capacity {
+            self.evict_oldest(ops);
+        }
+        self.seq += 1;
+        self.entries.insert(program, (self.seq, cost));
+        self.queue.insert((self.seq, program));
+        self.used += u64::from(cost);
+        ops.push(CacheOp::Admit(program));
+    }
+
+    fn contains(&self, program: ProgramId) -> bool {
+        self.entries.contains_key(&program)
+    }
+
+    fn cost_of(&self, program: ProgramId) -> Option<u32> {
+        self.entries.get(&program).map(|&(_, cost)| cost)
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProgramId {
+        ProgramId::new(i)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn access(lru: &mut Lru, program: u32, cost: u32, secs: u64) -> Vec<CacheOp> {
+        let mut ops = Vec::new();
+        lru.on_access(p(program), cost, t(secs), &mut ops);
+        ops
+    }
+
+    #[test]
+    fn admits_immediately_until_full() {
+        let mut lru = Lru::new(10);
+        assert_eq!(access(&mut lru, 0, 4, 0), vec![CacheOp::Admit(p(0))]);
+        assert_eq!(access(&mut lru, 1, 4, 1), vec![CacheOp::Admit(p(1))]);
+        assert_eq!(lru.used_slots(), 8);
+        assert!(lru.contains(p(0)) && lru.contains(p(1)));
+    }
+
+    #[test]
+    fn evicts_least_recent_on_overflow() {
+        let mut lru = Lru::new(10);
+        access(&mut lru, 0, 4, 0);
+        access(&mut lru, 1, 4, 1);
+        // Touch 0 so 1 is the LRU victim.
+        access(&mut lru, 0, 4, 2);
+        let ops = access(&mut lru, 2, 4, 3);
+        assert_eq!(ops, vec![CacheOp::Evict(p(1)), CacheOp::Admit(p(2))]);
+        assert!(lru.contains(p(0)));
+        assert!(!lru.contains(p(1)));
+    }
+
+    #[test]
+    fn large_program_evicts_multiple_victims() {
+        let mut lru = Lru::new(11);
+        access(&mut lru, 0, 3, 0);
+        access(&mut lru, 1, 3, 1);
+        access(&mut lru, 2, 3, 2);
+        let ops = access(&mut lru, 3, 8, 3);
+        assert_eq!(
+            ops,
+            vec![CacheOp::Evict(p(0)), CacheOp::Evict(p(1)), CacheOp::Admit(p(3))]
+        );
+        assert_eq!(lru.used_slots(), 3 + 8);
+    }
+
+    #[test]
+    fn oversized_program_is_skipped_without_eviction() {
+        let mut lru = Lru::new(5);
+        access(&mut lru, 0, 3, 0);
+        let ops = access(&mut lru, 1, 9, 1);
+        assert!(ops.is_empty(), "no eviction for an unfittable program");
+        assert!(lru.contains(p(0)));
+    }
+
+    #[test]
+    fn repeated_access_does_not_duplicate() {
+        let mut lru = Lru::new(10);
+        access(&mut lru, 0, 4, 0);
+        let ops = access(&mut lru, 0, 4, 1);
+        assert!(ops.is_empty());
+        assert_eq!(lru.used_slots(), 4);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_churn() {
+        let mut lru = Lru::new(20);
+        for i in 0..500u32 {
+            access(&mut lru, i % 37, 1 + (i % 7), u64::from(i));
+            assert!(lru.used_slots() <= lru.capacity_slots());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The Oracle strategy (§VI-A).
+//!
+//! > "We benchmark both methods against an Oracle method, which caches the
+//! > files that will be used the most frequently in the next three days.
+//! > This final algorithm is impossible to implement, and is presented as
+//! > an example of ideal cache performance."
+//!
+//! The Oracle slides a look-ahead window over the neighborhood's future
+//! access schedule with two pointers, keeping per-program future counts,
+//! and maintains the same waterline invariant as the LFU. Content appears
+//! on peers the moment it is admitted
+//! ([`FillPolicy::Prefetch`](crate::strategy::FillPolicy::Prefetch)) — it
+//! is an upper bound, not an implementable policy.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::strategy::{CacheOp, CacheStrategy, FillPolicy};
+
+/// The future accesses of one neighborhood, sorted by time, plus the slot
+/// cost of every catalog program (the Oracle admits programs it has never
+/// seen accessed, so it needs costs for the whole catalog).
+#[derive(Debug, Clone, Default)]
+pub struct AccessSchedule {
+    events: Vec<(SimTime, ProgramId)>,
+    costs: Vec<u32>,
+}
+
+impl AccessSchedule {
+    /// Builds a schedule. `costs[p]` is program `p`'s size in slots.
+    pub fn from_events(mut events: Vec<(SimTime, ProgramId)>, costs: Vec<u32>) -> Self {
+        events.sort_unstable();
+        AccessSchedule { events, costs }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Slot cost of `program` (0 for ids beyond the catalog).
+    pub fn cost(&self, program: ProgramId) -> u32 {
+        self.costs.get(program.index()).copied().unwrap_or(0)
+    }
+
+    /// The sorted events.
+    pub fn events(&self) -> &[(SimTime, ProgramId)] {
+        &self.events
+    }
+}
+
+/// Score of a program: future access count then id (total order).
+type Score = (u32, ProgramId);
+
+/// The clairvoyant cache strategy.
+#[derive(Debug)]
+pub struct Oracle {
+    capacity: u64,
+    used: u64,
+    lookahead: SimDuration,
+    schedule: Arc<AccessSchedule>,
+    left: usize,
+    right: usize,
+    /// future count per program with count > 0 or cached
+    future: HashMap<ProgramId, u32>,
+    cached_set: HashMap<ProgramId, ()>,
+    cached: BTreeSet<Score>,
+    candidates: BTreeSet<Score>,
+}
+
+impl Oracle {
+    /// Bound on admission/eviction work per access (see
+    /// `WindowedLfu::MAX_REBALANCE_ROUNDS` for rationale).
+    const MAX_REBALANCE_ROUNDS: u32 = 16;
+
+    /// Creates an Oracle with `capacity_slots` capacity looking
+    /// `lookahead` into `schedule`.
+    pub fn new(capacity_slots: u64, lookahead: SimDuration, schedule: Arc<AccessSchedule>) -> Self {
+        Oracle {
+            capacity: capacity_slots,
+            used: 0,
+            lookahead,
+            schedule,
+            left: 0,
+            right: 0,
+            future: HashMap::new(),
+            cached_set: HashMap::new(),
+            cached: BTreeSet::new(),
+            candidates: BTreeSet::new(),
+        }
+    }
+
+    /// The look-ahead window length.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    fn score_of(&self, program: ProgramId) -> Score {
+        (self.future.get(&program).copied().unwrap_or(0), program)
+    }
+
+    fn bump(&mut self, program: ProgramId, delta: i64) {
+        let old = self.score_of(program);
+        let count = (i64::from(old.0) + delta).max(0) as u32;
+        let is_cached = self.cached_set.contains_key(&program);
+        if count == 0 {
+            self.future.remove(&program);
+        } else {
+            self.future.insert(program, count);
+        }
+        let new = (count, program);
+        if is_cached {
+            self.cached.remove(&old);
+            self.cached.insert(new);
+        } else {
+            self.candidates.remove(&old);
+            if count > 0 {
+                self.candidates.insert(new);
+            }
+        }
+    }
+
+    /// Slides the window to `[now, now + lookahead)`.
+    fn advance(&mut self, now: SimTime) {
+        let horizon = now + self.lookahead;
+        let events_len = self.schedule.events().len();
+        while self.right < events_len {
+            let (t, p) = self.schedule.events()[self.right];
+            if t >= horizon {
+                break;
+            }
+            self.bump(p, 1);
+            self.right += 1;
+        }
+        while self.left < self.right {
+            let (t, p) = self.schedule.events()[self.left];
+            if t >= now {
+                break;
+            }
+            self.bump(p, -1);
+            self.left += 1;
+        }
+    }
+
+    fn admit(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
+        let program = score.1;
+        self.candidates.remove(&score);
+        self.cached.insert(score);
+        self.cached_set.insert(program, ());
+        self.used += u64::from(self.schedule.cost(program));
+        ops.push(CacheOp::Admit(program));
+    }
+
+    fn evict(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
+        let program = score.1;
+        self.cached.remove(&score);
+        self.cached_set.remove(&program);
+        self.used -= u64::from(self.schedule.cost(program));
+        if score.0 > 0 {
+            self.candidates.insert(score);
+        }
+        ops.push(CacheOp::Evict(program));
+    }
+
+    fn rebalance(&mut self, ops: &mut Vec<CacheOp>) {
+        // Exclusive upper bound on candidates after a failed swap attempt
+        // (see `WindowedLfu::rebalance` for rationale).
+        let mut bound: Option<Score> = None;
+        for _ in 0..Self::MAX_REBALANCE_ROUNDS {
+            let candidate = match bound {
+                None => self.candidates.iter().next_back().copied(),
+                Some(b) => self.candidates.range(..b).next_back().copied(),
+            };
+            let Some(candidate) = candidate else { break };
+            let cost = u64::from(self.schedule.cost(candidate.1));
+            if cost > self.capacity || cost == 0 {
+                // Unplaceable (oversized or zero-length): skip but keep the
+                // future counts tracked.
+                bound = Some(candidate);
+                continue;
+            }
+            if self.used + cost <= self.capacity {
+                self.admit(candidate, ops);
+                bound = None;
+                continue;
+            }
+            let mut freed = 0u64;
+            let mut victims = Vec::new();
+            for &victim in self.cached.iter() {
+                if victim >= candidate {
+                    break;
+                }
+                freed += u64::from(self.schedule.cost(victim.1));
+                victims.push(victim);
+                if self.used + cost - freed <= self.capacity {
+                    break;
+                }
+            }
+            if !victims.is_empty() && self.used + cost - freed <= self.capacity {
+                for victim in victims {
+                    self.evict(victim, ops);
+                }
+                self.admit(candidate, ops);
+                bound = None;
+            } else {
+                bound = Some(candidate);
+            }
+        }
+    }
+
+    /// Future access count of `program` within the current window.
+    pub fn future_count(&self, program: ProgramId) -> u32 {
+        self.future.get(&program).copied().unwrap_or(0)
+    }
+}
+
+impl CacheStrategy for Oracle {
+    fn name(&self) -> &'static str {
+        "Oracle"
+    }
+
+    fn on_access(&mut self, _program: ProgramId, _cost: u32, now: SimTime, ops: &mut Vec<CacheOp>) {
+        // The access itself is part of the schedule; sliding the window is
+        // all the Oracle needs.
+        self.advance(now);
+        self.rebalance(ops);
+    }
+
+    fn contains(&self, program: ProgramId) -> bool {
+        self.cached_set.contains_key(&program)
+    }
+
+    fn cost_of(&self, program: ProgramId) -> Option<u32> {
+        (program.index() < self.schedule.costs.len())
+            .then(|| self.schedule.cost(program))
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.capacity
+    }
+
+    fn fill_policy(&self) -> FillPolicy {
+        FillPolicy::Prefetch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProgramId {
+        ProgramId::new(i)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn schedule(events: &[(u64, u32)], costs: Vec<u32>) -> Arc<AccessSchedule> {
+        Arc::new(AccessSchedule::from_events(
+            events.iter().map(|&(s, q)| (t(s), p(q))).collect(),
+            costs,
+        ))
+    }
+
+    fn day() -> u64 {
+        86_400
+    }
+
+    #[test]
+    fn caches_the_future_favorite() {
+        // Program 1 will be hit 3 times in the next 3 days; program 0 once.
+        let sched = schedule(
+            &[(0, 0), (100, 1), (200, 1), (300, 1)],
+            vec![1, 1],
+        );
+        let mut oracle = Oracle::new(1, SimDuration::from_days(3), sched);
+        let mut ops = Vec::new();
+        oracle.on_access(p(0), 1, t(0), &mut ops);
+        assert!(oracle.contains(p(1)), "oracle must hold the future favorite: {ops:?}");
+        assert!(!oracle.contains(p(0)));
+        assert_eq!(oracle.future_count(p(1)), 3);
+    }
+
+    #[test]
+    fn window_slides_and_preferences_change() {
+        // Program 0 is hot today; program 1 is hot in four days.
+        let mut events = vec![(0, 0), (10, 0), (20, 0)];
+        let late = 4 * day();
+        events.extend([(late, 1), (late + 1, 1), (late + 2, 1), (late + 3, 1)]);
+        let sched = schedule(&events, vec![1, 1]);
+        let mut oracle = Oracle::new(1, SimDuration::from_days(3), sched);
+        let mut ops = Vec::new();
+        oracle.on_access(p(0), 1, t(0), &mut ops);
+        assert!(oracle.contains(p(0)));
+        // Two days later program 0 has no future; 1's burst is inside the
+        // look-ahead.
+        ops.clear();
+        oracle.on_access(p(0), 1, t(2 * day()), &mut ops);
+        assert!(oracle.contains(p(1)), "ops {ops:?}");
+        assert!(!oracle.contains(p(0)));
+    }
+
+    #[test]
+    fn respects_capacity_with_costs() {
+        // Three future-popular programs with cost 2 in a 4-slot cache: only
+        // the two most popular fit.
+        let sched = schedule(
+            &[
+                (10, 0),
+                (11, 0),
+                (12, 0), // p0: 3 accesses
+                (20, 1),
+                (21, 1), // p1: 2
+                (30, 2), // p2: 1
+            ],
+            vec![2, 2, 2],
+        );
+        let mut oracle = Oracle::new(4, SimDuration::from_days(3), sched);
+        let mut ops = Vec::new();
+        oracle.on_access(p(0), 2, t(0), &mut ops);
+        assert!(oracle.contains(p(0)) && oracle.contains(p(1)));
+        assert!(!oracle.contains(p(2)));
+        assert_eq!(oracle.used_slots(), 4);
+    }
+
+    #[test]
+    fn prefetch_fill_policy() {
+        let sched = schedule(&[], vec![]);
+        let oracle = Oracle::new(4, SimDuration::from_days(3), sched);
+        assert_eq!(oracle.fill_policy(), FillPolicy::Prefetch);
+    }
+
+    #[test]
+    fn empty_schedule_caches_nothing() {
+        let sched = schedule(&[], vec![]);
+        let mut oracle = Oracle::new(4, SimDuration::from_days(3), sched);
+        let mut ops = Vec::new();
+        oracle.on_access(p(0), 1, t(0), &mut ops);
+        assert!(ops.is_empty());
+        assert_eq!(oracle.used_slots(), 0);
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_sweep() {
+        // Random-ish schedule; walk the window across it.
+        let events: Vec<(u64, u32)> =
+            (0..2_000u64).map(|i| (i * 500, (i * 7919 % 37) as u32)).collect();
+        let costs = (0..37).map(|c| 1 + c % 5).collect();
+        let sched = schedule(&events, costs);
+        let mut oracle = Oracle::new(30, SimDuration::from_days(3), sched);
+        let mut ops = Vec::new();
+        for i in 0..200 {
+            oracle.on_access(p(0), 1, t(i * 5_000), &mut ops);
+            assert!(oracle.used_slots() <= oracle.capacity_slots(), "step {i}");
+        }
+    }
+}

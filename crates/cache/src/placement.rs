@@ -1,0 +1,324 @@
+//! Segment placement across neighborhood peers.
+//!
+//! §IV-B.1: "Unlike many structured peer-to-peer systems, placement is not
+//! probabilistic. Instead, the index server places data to balance load,
+//! and keeps track of where each program is located."
+//!
+//! Storage is managed in fixed-size **slots** (one nominal segment per
+//! slot), so the ledger's arithmetic matches the strategies' capacity
+//! accounting exactly. The paper's balanced policy is the default; random
+//! and first-fit exist for the placement ablation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use cablevod_hfc::ids::{PeerId, ProgramId};
+
+use crate::error::CacheError;
+
+/// How the index server chooses peers for new segments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Most-free-slots-first — the paper's load-balancing placement.
+    #[default]
+    Balanced,
+    /// Uniformly random among peers with free slots (ablation A4).
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Lowest-indexed peer with a free slot (ablation A4) — deliberately
+    /// concentrates load to show why balancing matters under the 2-stream
+    /// limit.
+    FirstFit,
+}
+
+/// Tracks free storage slots for every peer of one neighborhood and picks
+/// peers for new segments.
+#[derive(Debug)]
+pub struct SlotLedger {
+    peers: Vec<PeerId>,
+    free: Vec<u32>,
+    /// Original slot count per peer (the release upper bound).
+    initial: Vec<u32>,
+    index_of: HashMap<PeerId, usize>,
+    total_free: u64,
+    total_slots: u64,
+    policy: PlacementPolicy,
+    /// Lazy max-heap of (free, idx) for the balanced policy; entries are
+    /// validated against `free` when popped.
+    heap: BinaryHeap<(u32, Reverse<usize>)>,
+    rng: StdRng,
+}
+
+impl SlotLedger {
+    /// Creates a ledger from `(peer, slots)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer appears twice.
+    pub fn new(members: impl IntoIterator<Item = (PeerId, u32)>, policy: PlacementPolicy) -> Self {
+        let mut peers = Vec::new();
+        let mut free = Vec::new();
+        let mut index_of = HashMap::new();
+        for (peer, slots) in members {
+            assert!(
+                index_of.insert(peer, peers.len()).is_none(),
+                "peer {peer} listed twice in ledger"
+            );
+            peers.push(peer);
+            free.push(slots);
+        }
+        let total_free: u64 = free.iter().map(|&f| u64::from(f)).sum();
+        let mut heap = BinaryHeap::with_capacity(peers.len());
+        for (i, &f) in free.iter().enumerate() {
+            if f > 0 {
+                heap.push((f, Reverse(i)));
+            }
+        }
+        let seed = match policy {
+            PlacementPolicy::Random { seed } => seed,
+            _ => 0,
+        };
+        SlotLedger {
+            peers,
+            initial: free.clone(),
+            free,
+            index_of,
+            total_free,
+            total_slots: total_free,
+            policy,
+            heap,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Total slots across all peers.
+    pub fn total_slots(&self) -> u64 {
+        self.total_slots
+    }
+
+    /// Slots currently free.
+    pub fn total_free(&self) -> u64 {
+        self.total_free
+    }
+
+    /// Free slots on `peer`, if known.
+    pub fn free_of(&self, peer: PeerId) -> Option<u32> {
+        self.index_of.get(&peer).map(|&i| self.free[i])
+    }
+
+    /// Number of member peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Picks `count` slots for the segments of `program` (a peer may host
+    /// several segments of one program). Returns one peer per segment, in
+    /// segment order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::PlacementOverflow`] if fewer than `count`
+    /// slots are free — callers uphold the strategy capacity invariant, so
+    /// this indicates a bug.
+    pub fn place(&mut self, program: ProgramId, count: u16) -> Result<Vec<PeerId>, CacheError> {
+        if u64::from(count) > self.total_free {
+            return Err(CacheError::PlacementOverflow {
+                program,
+                requested: u32::from(count),
+                free: self.total_free,
+            });
+        }
+        let mut out = Vec::with_capacity(usize::from(count));
+        for _ in 0..count {
+            let idx = match self.policy {
+                PlacementPolicy::Balanced => self.pop_most_free(),
+                PlacementPolicy::Random { .. } => self.pick_random(),
+                PlacementPolicy::FirstFit => self.pick_first_fit(),
+            };
+            self.free[idx] -= 1;
+            self.total_free -= 1;
+            if matches!(self.policy, PlacementPolicy::Balanced) && self.free[idx] > 0 {
+                self.heap.push((self.free[idx], Reverse(idx)));
+            }
+            out.push(self.peers[idx]);
+        }
+        Ok(out)
+    }
+
+    /// Returns one slot on `peer` to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownPeer`] for peers outside the
+    /// neighborhood and [`CacheError::InconsistentState`] if the peer has
+    /// no outstanding slot.
+    pub fn release(&mut self, peer: PeerId) -> Result<(), CacheError> {
+        let &idx = self.index_of.get(&peer).ok_or(CacheError::UnknownPeer { peer })?;
+        let limit = self.slot_limit(idx);
+        if self.free[idx] >= limit {
+            return Err(CacheError::InconsistentState {
+                reason: format!("release of unplaced slot on {peer}"),
+            });
+        }
+        self.free[idx] += 1;
+        self.total_free += 1;
+        if matches!(self.policy, PlacementPolicy::Balanced) {
+            self.heap.push((self.free[idx], Reverse(idx)));
+        }
+        Ok(())
+    }
+
+    fn slot_limit(&self, idx: usize) -> u32 {
+        self.initial[idx]
+    }
+
+    fn pop_most_free(&mut self) -> usize {
+        loop {
+            let (f, Reverse(idx)) =
+                self.heap.pop().expect("total_free > 0 guarantees a heap entry");
+            if self.free[idx] == f && f > 0 {
+                return idx;
+            }
+            // Stale entry; if the peer still has capacity re-push its
+            // current truth so it is not lost.
+            if self.free[idx] > 0 && self.free[idx] != f {
+                self.heap.push((self.free[idx], Reverse(idx)));
+            }
+        }
+    }
+
+    fn pick_random(&mut self) -> usize {
+        // A few random probes, then a linear scan from a random origin so
+        // nearly-full neighborhoods stay O(n) worst-case.
+        for _ in 0..16 {
+            let idx = self.rng.random_range(0..self.peers.len());
+            if self.free[idx] > 0 {
+                return idx;
+            }
+        }
+        let start = self.rng.random_range(0..self.peers.len());
+        for off in 0..self.peers.len() {
+            let idx = (start + off) % self.peers.len();
+            if self.free[idx] > 0 {
+                return idx;
+            }
+        }
+        unreachable!("place() checked total_free > 0")
+    }
+
+    fn pick_first_fit(&self) -> usize {
+        self.free
+            .iter()
+            .position(|&f| f > 0)
+            .expect("place() checked total_free > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers(n: u32, slots: u32) -> Vec<(PeerId, u32)> {
+        (0..n).map(|i| (PeerId::new(i), slots)).collect()
+    }
+
+    fn prog() -> ProgramId {
+        ProgramId::new(0)
+    }
+
+    #[test]
+    fn balanced_spreads_across_peers() {
+        let mut ledger = SlotLedger::new(peers(10, 4), PlacementPolicy::Balanced);
+        let placed = ledger.place(prog(), 10).expect("fits");
+        // Ten segments over ten equally-free peers: every peer gets one.
+        let mut unique: Vec<_> = placed.iter().map(|p| p.value()).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 10, "balanced placement must spread: {placed:?}");
+        assert_eq!(ledger.total_free(), 30);
+    }
+
+    #[test]
+    fn balanced_prefers_emptier_peers() {
+        let mut ledger = SlotLedger::new(
+            vec![(PeerId::new(0), 1), (PeerId::new(1), 5)],
+            PlacementPolicy::Balanced,
+        );
+        let placed = ledger.place(prog(), 3).expect("fits");
+        assert_eq!(
+            placed.iter().filter(|p| p.value() == 1).count(),
+            3,
+            "peer 1 has far more free slots: {placed:?}"
+        );
+    }
+
+    #[test]
+    fn first_fit_concentrates() {
+        let mut ledger = SlotLedger::new(peers(5, 4), PlacementPolicy::FirstFit);
+        let placed = ledger.place(prog(), 6).expect("fits");
+        assert_eq!(placed.iter().filter(|p| p.value() == 0).count(), 4);
+        assert_eq!(placed.iter().filter(|p| p.value() == 1).count(), 2);
+    }
+
+    #[test]
+    fn random_uses_only_free_peers() {
+        let mut ledger =
+            SlotLedger::new(peers(4, 2), PlacementPolicy::Random { seed: 42 });
+        let placed = ledger.place(prog(), 8).expect("fits exactly");
+        assert_eq!(ledger.total_free(), 0);
+        let mut counts = [0u32; 4];
+        for p in placed {
+            counts[p.index()] += 1;
+        }
+        assert_eq!(counts, [2, 2, 2, 2], "exact fill visits every slot");
+    }
+
+    #[test]
+    fn overflow_is_reported_not_partial() {
+        let mut ledger = SlotLedger::new(peers(2, 2), PlacementPolicy::Balanced);
+        let err = ledger.place(prog(), 5).unwrap_err();
+        assert!(matches!(err, CacheError::PlacementOverflow { requested: 5, free: 4, .. }));
+        // Nothing was consumed.
+        assert_eq!(ledger.total_free(), 4);
+    }
+
+    #[test]
+    fn release_round_trips() {
+        let mut ledger = SlotLedger::new(peers(2, 2), PlacementPolicy::Balanced);
+        let placed = ledger.place(prog(), 4).expect("fits");
+        for p in placed {
+            ledger.release(p).expect("placed slot releases");
+        }
+        assert_eq!(ledger.total_free(), 4);
+        // Over-release is caught.
+        assert!(matches!(
+            ledger.release(PeerId::new(0)),
+            Err(CacheError::InconsistentState { .. })
+        ));
+    }
+
+    #[test]
+    fn release_of_unknown_peer_errors() {
+        let mut ledger = SlotLedger::new(peers(2, 2), PlacementPolicy::Balanced);
+        assert!(matches!(
+            ledger.release(PeerId::new(99)),
+            Err(CacheError::UnknownPeer { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_after_release_reuses_slots() {
+        let mut ledger = SlotLedger::new(peers(3, 1), PlacementPolicy::Balanced);
+        let placed = ledger.place(prog(), 3).expect("fits");
+        ledger.release(placed[1]).expect("release");
+        let again = ledger.place(prog(), 1).expect("fits after release");
+        assert_eq!(again[0], placed[1]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Ablations of the design choices `DESIGN.md §4` calls out (A1–A5).
+//!
+//! These go beyond the paper: each isolates one mechanism of the system
+//! and quantifies its contribution on the default workload.
+
+use cablevod_cache::{FillPolicy, PlacementPolicy};
+use cablevod_hfc::units::SimDuration;
+use cablevod_sim::{run_sweep, SimConfig, SimError};
+use cablevod_trace::record::Trace;
+
+use crate::experiments::default_warmup;
+use crate::figure::{Figure, FigureRow};
+
+fn base(trace: &Trace) -> SimConfig {
+    SimConfig::paper_default().with_warmup_days(default_warmup(trace))
+}
+
+fn push_row(fig: &mut Figure, series: &str, x: String, report: &cablevod_sim::SimReport) {
+    fig.push(FigureRow::with_bars(
+        series,
+        x,
+        report.server_peak.mean.as_gbps(),
+        report.server_peak.q05.as_gbps(),
+        report.server_peak.q95.as_gbps(),
+    ));
+}
+
+/// A1 — fill policy: capture-on-broadcast (the deployable mechanism of
+/// Fig 4) vs proactive push (the paper's accounting, where recomputed
+/// cache contents are simply present). The gap is the true cost of
+/// admitted-but-cold content.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablation_fill_mode(trace: &Trace) -> Result<Figure, SimError> {
+    let mut fig = Figure::new(
+        "ablation_fill",
+        "A1 — cache fill: capture-on-broadcast vs proactive push (LFU)",
+        "Per-peer storage",
+        "Average server rate, peak hours (Gb/s)",
+    );
+    let mut jobs = Vec::new();
+    for gb in [1u64, 10] {
+        let storage = cablevod_hfc::units::DataSize::from_gigabytes(gb);
+        jobs.push((
+            ("capture-on-broadcast", gb),
+            base(trace)
+                .with_per_peer_storage(storage)
+                .with_fill_override(FillPolicy::OnBroadcast),
+        ));
+        jobs.push((
+            ("proactive push", gb),
+            base(trace)
+                .with_per_peer_storage(storage)
+                .with_fill_override(FillPolicy::Prefetch),
+        ));
+    }
+    for ((series, gb), result) in run_sweep(trace, &jobs) {
+        push_row(&mut fig, series, format!("{gb} GB"), &result?);
+    }
+    fig.note(
+        "capture-on-broadcast charges the server for the first post-admission broadcast of \
+         every segment; push materializes contents at recomputation time without server cost \
+         (the paper's implicit model — compare Fig 8)",
+    );
+    Ok(fig)
+}
+
+/// A2 — the two-stream STB limit (§V-C): 1, 2 (paper), 4 and effectively
+/// unlimited slots.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablation_stream_slots(trace: &Trace) -> Result<Figure, SimError> {
+    let mut fig = Figure::new(
+        "ablation_slots",
+        "A2 — per-STB concurrent stream limit",
+        "Stream slots per STB",
+        "Average server rate, peak hours (Gb/s)",
+    );
+    let mut jobs = Vec::new();
+    for slots in [1u8, 2, 4, u8::MAX] {
+        jobs.push((
+            slots,
+            base(trace).with_stream_slots(slots).with_fill_override(FillPolicy::Prefetch),
+        ));
+    }
+    for (slots, result) in run_sweep(trace, &jobs) {
+        let report = result?;
+        let label = if slots == u8::MAX { "unlimited".to_string() } else { slots.to_string() };
+        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
+        push_row(&mut fig, "server load", label.clone(), &report);
+        fig.push(FigureRow::point("busy-miss %", label, busy * 100.0));
+    }
+    fig.note("paper fixes 2 slots; the delta to 'unlimited' is the entire slot-contention cost");
+    Ok(fig)
+}
+
+/// A3 — segment length (§IV-B.1 fixes 5 minutes): 1, 5 and 10 minutes.
+/// Shorter segments spread serving load over more peers (fewer busy
+/// misses) at the price of more placement state.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablation_segment_length(trace: &Trace) -> Result<Figure, SimError> {
+    let mut fig = Figure::new(
+        "ablation_segment",
+        "A3 — segment length",
+        "Segment length",
+        "Average server rate, peak hours (Gb/s)",
+    );
+    let mut jobs = Vec::new();
+    for minutes in [1u64, 5, 10] {
+        jobs.push((
+            minutes,
+            base(trace)
+                .with_segment_len(SimDuration::from_minutes(minutes))
+                .with_fill_override(FillPolicy::Prefetch),
+        ));
+    }
+    for (minutes, result) in run_sweep(trace, &jobs) {
+        let report = result?;
+        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
+        push_row(&mut fig, "server load", format!("{minutes} min"), &report);
+        fig.push(FigureRow::point("busy-miss %", format!("{minutes} min"), busy * 100.0));
+    }
+    fig.note("paper uses 5-minute segments");
+    Ok(fig)
+}
+
+/// A4 — placement policy (§IV-B.1's load balancing vs random vs
+/// first-fit). First-fit concentrates segments on few peers, colliding
+/// with the 2-slot limit.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablation_placement(trace: &Trace) -> Result<Figure, SimError> {
+    let mut fig = Figure::new(
+        "ablation_placement",
+        "A4 — segment placement policy",
+        "Placement",
+        "Average server rate, peak hours (Gb/s)",
+    );
+    let mut jobs = Vec::new();
+    for (name, policy) in [
+        ("balanced (paper)", PlacementPolicy::Balanced),
+        ("random", PlacementPolicy::Random { seed: 7 }),
+        ("first-fit", PlacementPolicy::FirstFit),
+    ] {
+        jobs.push((
+            name,
+            base(trace).with_placement(policy).with_fill_override(FillPolicy::Prefetch),
+        ));
+    }
+    for (name, result) in run_sweep(trace, &jobs) {
+        let report = result?;
+        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
+        push_row(&mut fig, "server load", name.to_string(), &report);
+        fig.push(FigureRow::point("busy-miss %", name.to_string(), busy * 100.0));
+    }
+    fig.note("paper: 'the index server places data to balance load'");
+    Ok(fig)
+}
+
+/// A5 — replication factor: one copy (paper) vs two. Extra copies halve
+/// effective capacity but give slot-saturated segments a second source.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn ablation_replication(trace: &Trace) -> Result<Figure, SimError> {
+    let mut fig = Figure::new(
+        "ablation_replication",
+        "A5 — segment replication factor",
+        "Copies",
+        "Average server rate, peak hours (Gb/s)",
+    );
+    let mut jobs = Vec::new();
+    for replication in [1u8, 2] {
+        jobs.push((
+            replication,
+            base(trace).with_replication(replication).with_fill_override(FillPolicy::Prefetch),
+        ));
+    }
+    for (replication, result) in run_sweep(trace, &jobs) {
+        let report = result?;
+        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
+        push_row(&mut fig, "server load", format!("{replication}"), &report);
+        fig.push(FigureRow::point("busy-miss %", format!("{replication}"), busy * 100.0));
+    }
+    fig.note("paper stores a single copy; busy misses are rare enough that replication mostly costs capacity");
+    Ok(fig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cablevod_trace::synth::{generate, SynthConfig};
+
+    fn smoke() -> Trace {
+        generate(&SynthConfig { users: 800, programs: 200, days: 6, ..SynthConfig::smoke_test() })
+    }
+
+    #[test]
+    fn fill_mode_push_never_loses() {
+        let fig = ablation_fill_mode(&smoke()).expect("runs");
+        for gb in ["1 GB", "10 GB"] {
+            let capture = fig.value_of("capture-on-broadcast", gb).expect("row");
+            let push = fig.value_of("proactive push", gb).expect("row");
+            assert!(push <= capture + 1e-9, "{gb}: push {push} vs capture {capture}");
+        }
+    }
+
+    #[test]
+    fn more_slots_cannot_hurt() {
+        let fig = ablation_stream_slots(&smoke()).expect("runs");
+        let one = fig.value_of("server load", "1").expect("row");
+        let unlimited = fig.value_of("server load", "unlimited").expect("row");
+        assert!(unlimited <= one + 1e-9, "1 slot {one} vs unlimited {unlimited}");
+        let busy_unlimited = fig.value_of("busy-miss %", "unlimited").expect("row");
+        assert_eq!(busy_unlimited, 0.0);
+    }
+
+    #[test]
+    fn first_fit_has_more_busy_misses_than_balanced() {
+        let fig = ablation_placement(&smoke()).expect("runs");
+        let balanced = fig.value_of("busy-miss %", "balanced (paper)").expect("row");
+        let first_fit = fig.value_of("busy-miss %", "first-fit").expect("row");
+        assert!(
+            first_fit >= balanced,
+            "balanced {balanced}% vs first-fit {first_fit}%"
+        );
+    }
+}

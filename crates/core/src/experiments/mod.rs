@@ -1,0 +1,45 @@
+//! One harness per paper figure/table (see `DESIGN.md §4` for the index).
+//!
+//! Each function takes the workload (and whatever parameters the paper
+//! sweeps), runs the necessary simulations, and returns a rendered
+//! [`Figure`](crate::figure::Figure) whose notes record the paper's
+//! published expectations next to the measured outcome.
+
+pub mod ablations;
+pub mod baselines;
+pub mod caching;
+pub mod feasibility;
+pub mod scaling;
+pub mod workload;
+
+pub use ablations::{
+    ablation_fill_mode, ablation_placement, ablation_replication, ablation_segment_length,
+    ablation_stream_slots,
+};
+pub use baselines::{headend_comparison, multicast_comparison};
+pub use caching::{fig08, fig09, fig10, fig11, fig13};
+pub use feasibility::fig14;
+pub use scaling::{fig15, fig15_with_table, fig16b, fig16c, scaling_grid, table16a};
+pub use workload::{fig02, fig03, fig06, fig07, fig12};
+
+use cablevod_trace::record::Trace;
+
+/// Default warm-up for a trace: half its length, at most the engine's
+/// 14-day default. Experiments measure only after the warm-up.
+pub fn default_warmup(trace: &Trace) -> u64 {
+    (trace.days() / 2).min(14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cablevod_trace::synth::{generate, SynthConfig};
+
+    #[test]
+    fn warmup_is_half_trace_capped() {
+        let trace = generate(&SynthConfig { users: 50, programs: 20, days: 6, ..SynthConfig::smoke_test() });
+        assert_eq!(default_warmup(&trace), 3);
+        let long = generate(&SynthConfig { users: 50, programs: 20, days: 60, ..SynthConfig::smoke_test() });
+        assert_eq!(default_warmup(&long), 14);
+    }
+}

@@ -1,0 +1,156 @@
+//! Logical channel planning on the coaxial downstream (§II, §V-C).
+//!
+//! A cable plant divides its RF spectrum into 6 MHz channels; with QAM-256
+//! modulation each carries ≈ 38.8 Mb/s. The paper's capacity figures
+//! (4.9–6.6 Gb/s downstream, 3.3 Gb/s of TV) correspond to ~126–170
+//! channels with ~85 reserved for broadcast television, and its two-stream
+//! STB limit comes from "typical set top boxes cannot receive data on more
+//! than two logical channels of the coaxial line".
+//!
+//! [`ChannelPlan`] converts between data rates and channel counts, so
+//! feasibility statements like Fig 14's "450 Mb/s of VoD traffic" can be
+//! expressed in the operator's own unit: *how many QAM channels does the
+//! VoD service occupy?*
+
+use serde::{Deserialize, Serialize};
+
+use crate::coax::CoaxSpec;
+use crate::units::BitRate;
+
+/// Payload rate of one 6 MHz QAM-256 channel (ITU-T J.83 Annex B).
+pub const QAM256_CHANNEL_RATE: BitRate = BitRate::from_bps(38_800_000);
+
+/// A channel plan for one coax segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelPlan {
+    channel_rate: BitRate,
+    total_channels: u32,
+    tv_channels: u32,
+}
+
+impl ChannelPlan {
+    /// Derives a plan from a capacity envelope: the spec's rates are
+    /// quantized into whole channels (TV rounded up — broadcast always
+    /// claims whole channels).
+    pub fn from_spec(spec: &CoaxSpec) -> Self {
+        let rate = QAM256_CHANNEL_RATE.as_bps();
+        ChannelPlan {
+            channel_rate: QAM256_CHANNEL_RATE,
+            total_channels: (spec.downstream.as_bps() / rate) as u32,
+            tv_channels: spec.tv_allocation.as_bps().div_ceil(rate) as u32,
+        }
+    }
+
+    /// The paper's conservative plant (4.9 Gb/s ≈ 126 channels, 3.3 Gb/s
+    /// of TV ≈ 86 channels).
+    pub fn paper_default() -> Self {
+        ChannelPlan::from_spec(&CoaxSpec::paper_default())
+    }
+
+    /// Payload rate per channel.
+    pub fn channel_rate(&self) -> BitRate {
+        self.channel_rate
+    }
+
+    /// Total downstream channels.
+    pub fn total_channels(&self) -> u32 {
+        self.total_channels
+    }
+
+    /// Channels reserved for broadcast TV.
+    pub fn tv_channels(&self) -> u32 {
+        self.tv_channels
+    }
+
+    /// Channels available to VoD and other services.
+    pub fn free_channels(&self) -> u32 {
+        self.total_channels.saturating_sub(self.tv_channels)
+    }
+
+    /// VoD streams of `stream_rate` that fit in one channel (streams do
+    /// not straddle channel boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stream_rate` is zero.
+    pub fn streams_per_channel(&self, stream_rate: BitRate) -> u32 {
+        assert!(stream_rate.as_bps() > 0, "stream rate must be positive");
+        (self.channel_rate.as_bps() / stream_rate.as_bps()) as u32
+    }
+
+    /// Channels needed to carry `concurrent` streams of `stream_rate`.
+    pub fn channels_for_streams(&self, concurrent: u64, stream_rate: BitRate) -> u32 {
+        let per = u64::from(self.streams_per_channel(stream_rate).max(1));
+        concurrent.div_ceil(per) as u32
+    }
+
+    /// Channels needed to carry an aggregate `rate` of stream traffic
+    /// (conservative: quantized via whole streams per channel).
+    pub fn channels_for_rate(&self, rate: BitRate, stream_rate: BitRate) -> u32 {
+        let concurrent = rate.as_bps().div_ceil(stream_rate.as_bps().max(1));
+        self.channels_for_streams(concurrent, stream_rate)
+    }
+
+    /// Whether `rate` of VoD traffic fits in the non-TV spectrum.
+    pub fn fits(&self, rate: BitRate, stream_rate: BitRate) -> bool {
+        self.channels_for_rate(rate, stream_rate) <= self.free_channels()
+    }
+}
+
+impl Default for ChannelPlan {
+    fn default() -> Self {
+        ChannelPlan::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plant_has_about_126_channels() {
+        let plan = ChannelPlan::paper_default();
+        assert_eq!(plan.total_channels(), 126);
+        assert_eq!(plan.tv_channels(), 86);
+        assert_eq!(plan.free_channels(), 40);
+    }
+
+    #[test]
+    fn four_sd_streams_share_a_channel() {
+        let plan = ChannelPlan::paper_default();
+        assert_eq!(plan.streams_per_channel(BitRate::STREAM_MPEG2_SD), 4);
+    }
+
+    #[test]
+    fn fig14_load_fits_comfortably() {
+        // 450 Mb/s mean / 650 Mb/s poor-case VoD traffic at 1,000 peers.
+        let plan = ChannelPlan::paper_default();
+        let mean = plan.channels_for_rate(BitRate::from_mbps(450), BitRate::STREAM_MPEG2_SD);
+        let poor = plan.channels_for_rate(BitRate::from_mbps(650), BitRate::STREAM_MPEG2_SD);
+        assert_eq!(mean, 14);
+        assert_eq!(poor, 21);
+        assert!(plan.fits(BitRate::from_mbps(650), BitRate::STREAM_MPEG2_SD));
+    }
+
+    #[test]
+    fn saturating_the_free_spectrum_is_detected() {
+        let plan = ChannelPlan::paper_default();
+        // 40 free channels x 4 streams x 8.06 Mb/s ≈ 1.29 Gb/s of streams.
+        assert!(plan.fits(BitRate::from_mbps(1_280), BitRate::STREAM_MPEG2_SD));
+        assert!(!plan.fits(BitRate::from_mbps(1_300), BitRate::STREAM_MPEG2_SD));
+    }
+
+    #[test]
+    fn high_capacity_plant_has_more_headroom() {
+        let high = ChannelPlan::from_spec(&CoaxSpec::high_capacity());
+        assert!(high.free_channels() > ChannelPlan::paper_default().free_channels());
+    }
+
+    #[test]
+    fn channel_counts_round_sensibly() {
+        let plan = ChannelPlan::paper_default();
+        assert_eq!(plan.channels_for_streams(0, BitRate::STREAM_MPEG2_SD), 0);
+        assert_eq!(plan.channels_for_streams(1, BitRate::STREAM_MPEG2_SD), 1);
+        assert_eq!(plan.channels_for_streams(5, BitRate::STREAM_MPEG2_SD), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the cable-plant substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::{NeighborhoodId, PeerId, SegmentId, UserId};
+use crate::units::DataSize;
+
+/// Errors raised by cable-plant operations.
+///
+/// All variants carry enough context to identify the entity involved, so a
+/// failed placement or delete can be traced back to a specific peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HfcError {
+    /// A segment did not fit in a peer's remaining contribution.
+    StorageFull {
+        /// The peer that refused the store.
+        peer: PeerId,
+        /// Size of the segment that was being stored.
+        requested: DataSize,
+        /// Free space remaining on the peer.
+        free: DataSize,
+    },
+    /// A segment was stored twice on the same peer.
+    DuplicateSegment {
+        /// The peer involved.
+        peer: PeerId,
+        /// The duplicate segment.
+        segment: SegmentId,
+    },
+    /// A delete named a segment the peer does not hold.
+    SegmentNotStored {
+        /// The peer involved.
+        peer: PeerId,
+        /// The missing segment.
+        segment: SegmentId,
+    },
+    /// A lookup used an unknown user id.
+    UnknownUser {
+        /// The offending id.
+        user: UserId,
+    },
+    /// A lookup used an unknown peer id.
+    UnknownPeer {
+        /// The offending id.
+        peer: PeerId,
+    },
+    /// A lookup used an unknown neighborhood id.
+    UnknownNeighborhood {
+        /// The offending id.
+        neighborhood: NeighborhoodId,
+    },
+    /// A topology was configured with zero subscribers or zero-sized
+    /// neighborhoods.
+    InvalidTopology {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for HfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HfcError::StorageFull { peer, requested, free } => {
+                write!(f, "storage full on {peer}: requested {requested}, free {free}")
+            }
+            HfcError::DuplicateSegment { peer, segment } => {
+                write!(f, "segment {segment} already stored on {peer}")
+            }
+            HfcError::SegmentNotStored { peer, segment } => {
+                write!(f, "segment {segment} not stored on {peer}")
+            }
+            HfcError::UnknownUser { user } => write!(f, "unknown user id {user}"),
+            HfcError::UnknownPeer { peer } => write!(f, "unknown peer id {peer}"),
+            HfcError::UnknownNeighborhood { neighborhood } => {
+                write!(f, "unknown neighborhood id {neighborhood}")
+            }
+            HfcError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+        }
+    }
+}
+
+impl Error for HfcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProgramId;
+
+    #[test]
+    fn messages_are_lowercase_and_contextual() {
+        let err = HfcError::StorageFull {
+            peer: PeerId::new(3),
+            requested: DataSize::from_bytes(100),
+            free: DataSize::from_bytes(10),
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("storage full on peer3"));
+
+        let err = HfcError::SegmentNotStored {
+            peer: PeerId::new(1),
+            segment: SegmentId::new(ProgramId::new(2), 4),
+        };
+        assert_eq!(err.to_string(), "segment prog2[4] not stored on peer1");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HfcError>();
+    }
+}

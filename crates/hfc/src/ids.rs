@@ -1,0 +1,144 @@
+//! Identifier newtypes for the entities of the cable plant and workload.
+//!
+//! Using distinct types (rather than bare `u32`s) prevents, e.g., indexing a
+//! peer table with a program id. All ids are dense indices assigned at
+//! construction time, so they double as `Vec` indices via `index()`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from a dense index.
+            pub const fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The dense index backing this id, for table lookups.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// The raw numeric value.
+            pub const fn value(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A program (file) in the VoD catalog.
+    ProgramId,
+    "prog"
+);
+id_type!(
+    /// A subscriber of the VoD service. In the PowerInfo schema every
+    /// session record names the user that initiated it.
+    UserId,
+    "user"
+);
+id_type!(
+    /// A set-top box acting as a peer. Every subscriber owns exactly one
+    /// STB, so peer ids and user ids are assigned from the same dense range,
+    /// but the types are kept distinct: users *request*, peers *store and
+    /// serve*.
+    PeerId,
+    "peer"
+);
+id_type!(
+    /// A coaxial neighborhood together with the headend that serves it.
+    /// The paper's hierarchy has one index server per headend and one
+    /// headend per neighborhood, so a single id covers both.
+    NeighborhoodId,
+    "nbhd"
+);
+
+/// One 5-minute segment of a program (§IV-B.1: "Programs are divided into 5
+/// minute segments and distributed among a collection of peers").
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_hfc::ids::{ProgramId, SegmentId};
+/// let seg = SegmentId::new(ProgramId::new(7), 3);
+/// assert_eq!(seg.program(), ProgramId::new(7));
+/// assert_eq!(seg.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SegmentId {
+    program: ProgramId,
+    index: u16,
+}
+
+impl SegmentId {
+    /// Creates the `index`-th segment id of `program`.
+    pub const fn new(program: ProgramId, index: u16) -> Self {
+        SegmentId { program, index }
+    }
+
+    /// The program this segment belongs to.
+    pub const fn program(self) -> ProgramId {
+        self.program
+    }
+
+    /// Position of this segment within its program, 0-based.
+    pub const fn index(self) -> u16 {
+        self.index
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.program, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_dense_indices() {
+        let p = ProgramId::new(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.value(), 3);
+        assert_eq!(usize::from(p), 3);
+        assert_eq!(p.to_string(), "prog3");
+    }
+
+    #[test]
+    fn segment_ordering_groups_by_program() {
+        let a = SegmentId::new(ProgramId::new(1), 9);
+        let b = SegmentId::new(ProgramId::new(2), 0);
+        assert!(a < b, "segments sort primarily by program id");
+        assert_eq!(a.to_string(), "prog1[9]");
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(UserId::new(0).to_string(), "user0");
+        assert_eq!(PeerId::new(1).to_string(), "peer1");
+        assert_eq!(NeighborhoodId::new(2).to_string(), "nbhd2");
+    }
+}

@@ -1,0 +1,313 @@
+//! The set-top box peer (§IV-B.3, §V-C).
+//!
+//! Every cable subscriber owns one always-on set-top box. For the
+//! cooperative cache an STB contributes:
+//!
+//! * a fixed slice of its disk (the paper assumes 10 GB of a ~40 GB drive);
+//! * at most **two concurrent streams** in either direction — the paper's
+//!   model of the two logical coax channels an inexpensive tuner can drive.
+//!
+//! [`SetTopBox`] tracks both resources. Stream slots are modelled as a small
+//! heap of end-times: acquiring a slot at time `t` first releases any stream
+//! that has already finished by `t`.
+
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::HfcError;
+use crate::ids::{PeerId, SegmentId};
+use crate::units::{DataSize, SimTime};
+use std::collections::HashSet;
+
+/// Default storage contribution per peer (§V-C): 10 GB.
+pub const DEFAULT_CONTRIBUTION: DataSize = DataSize::from_gigabytes(10);
+/// Typical full disk of a period set-top box (§V-C): about 40 GB.
+pub const TYPICAL_DISK: DataSize = DataSize::from_gigabytes(40);
+/// Default number of concurrent streams an STB can sustain (§V-C): 2.
+pub const DEFAULT_STREAM_SLOTS: u8 = 2;
+
+/// A subscriber's set-top box acting as a cache peer.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_hfc::stb::SetTopBox;
+/// use cablevod_hfc::ids::{PeerId, ProgramId, SegmentId};
+/// use cablevod_hfc::units::{DataSize, SimTime, SimDuration};
+///
+/// let mut stb = SetTopBox::new(PeerId::new(0), DataSize::from_gigabytes(10), 2);
+/// let seg = SegmentId::new(ProgramId::new(1), 0);
+/// stb.store(seg, DataSize::from_bytes(302_250_000))?;
+/// assert!(stb.holds(seg));
+///
+/// // Two streams fit; a third is refused until one ends.
+/// let t0 = SimTime::EPOCH;
+/// let end = t0 + SimDuration::from_minutes(5);
+/// assert!(stb.try_start_stream(t0, end));
+/// assert!(stb.try_start_stream(t0, end));
+/// assert!(!stb.try_start_stream(t0, end));
+/// assert!(stb.try_start_stream(end, end + SimDuration::from_minutes(5)));
+/// # Ok::<(), cablevod_hfc::error::HfcError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SetTopBox {
+    id: PeerId,
+    capacity: DataSize,
+    used: DataSize,
+    stored: HashSet<SegmentId>,
+    slot_limit: u8,
+    /// End times of in-flight streams (min-heap), lazily pruned.
+    #[serde(skip)]
+    active: BinaryHeap<Reverse<SimTime>>,
+    streams_refused: u64,
+}
+
+impl SetTopBox {
+    /// Creates an STB contributing `capacity` bytes of cache storage and up
+    /// to `slot_limit` concurrent streams (0 means the peer can never
+    /// serve or receive — useful for modelling opted-out subscribers).
+    pub fn new(id: PeerId, capacity: DataSize, slot_limit: u8) -> Self {
+        SetTopBox {
+            id,
+            capacity,
+            used: DataSize::ZERO,
+            stored: HashSet::new(),
+            slot_limit,
+            active: BinaryHeap::new(),
+            streams_refused: 0,
+        }
+    }
+
+    /// Creates an STB with the paper's defaults (10 GB, 2 slots).
+    pub fn with_paper_defaults(id: PeerId) -> Self {
+        SetTopBox::new(id, DEFAULT_CONTRIBUTION, DEFAULT_STREAM_SLOTS)
+    }
+
+    /// This peer's id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Total contributed storage.
+    pub fn capacity(&self) -> DataSize {
+        self.capacity
+    }
+
+    /// Bytes currently occupied by cached segments.
+    pub fn used(&self) -> DataSize {
+        self.used
+    }
+
+    /// Remaining free cache space.
+    pub fn free(&self) -> DataSize {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of cached segments.
+    pub fn stored_segment_count(&self) -> usize {
+        self.stored.len()
+    }
+
+    /// Whether this peer currently stores `segment`.
+    pub fn holds(&self, segment: SegmentId) -> bool {
+        self.stored.contains(&segment)
+    }
+
+    /// Iterates over the segments stored on this peer (arbitrary order).
+    pub fn stored_segments(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        self.stored.iter().copied()
+    }
+
+    /// Stores `segment` occupying `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfcError::StorageFull`] if the segment does not fit and
+    /// [`HfcError::DuplicateSegment`] if it is already stored.
+    pub fn store(&mut self, segment: SegmentId, size: DataSize) -> Result<(), HfcError> {
+        if self.stored.contains(&segment) {
+            return Err(HfcError::DuplicateSegment { peer: self.id, segment });
+        }
+        if size > self.free() {
+            return Err(HfcError::StorageFull {
+                peer: self.id,
+                requested: size,
+                free: self.free(),
+            });
+        }
+        self.used += size;
+        self.stored.insert(segment);
+        Ok(())
+    }
+
+    /// Deletes `segment`, releasing `size` bytes (the caller tracks sizes —
+    /// the index server knows every placement it made).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfcError::SegmentNotStored`] if the peer does not hold the
+    /// segment.
+    pub fn delete(&mut self, segment: SegmentId, size: DataSize) -> Result<(), HfcError> {
+        if !self.stored.remove(&segment) {
+            return Err(HfcError::SegmentNotStored { peer: self.id, segment });
+        }
+        self.used = self.used.saturating_sub(size);
+        Ok(())
+    }
+
+    /// Number of streams still active at `now` (prunes finished ones).
+    pub fn active_streams(&mut self, now: SimTime) -> usize {
+        self.release_finished(now);
+        self.active.len()
+    }
+
+    /// Attempts to occupy one stream slot from `now` until `end`.
+    ///
+    /// Returns `false` — and counts a refusal — when all slots are busy;
+    /// §V-C: "The cache will trigger a miss if a segment is requested from a
+    /// peer that has more than two active streams in either direction."
+    pub fn try_start_stream(&mut self, now: SimTime, end: SimTime) -> bool {
+        self.release_finished(now);
+        if self.active.len() >= usize::from(self.slot_limit) {
+            self.streams_refused += 1;
+            return false;
+        }
+        self.active.push(Reverse(end.max(now)));
+        true
+    }
+
+    /// Unconditionally occupies a slot (used for the viewer's own playback,
+    /// which is never blocked — overcommit is surfaced via
+    /// [`SetTopBox::is_overcommitted`]).
+    pub fn start_stream_unchecked(&mut self, now: SimTime, end: SimTime) {
+        self.release_finished(now);
+        self.active.push(Reverse(end.max(now)));
+    }
+
+    /// Whether the peer currently exceeds its slot limit (possible only via
+    /// [`SetTopBox::start_stream_unchecked`]).
+    pub fn is_overcommitted(&mut self, now: SimTime) -> bool {
+        self.active_streams(now) > usize::from(self.slot_limit)
+    }
+
+    /// How many stream requests this peer has refused so far.
+    pub fn streams_refused(&self) -> u64 {
+        self.streams_refused
+    }
+
+    /// Clears cached content and stream state, keeping configuration.
+    pub fn reset(&mut self) {
+        self.used = DataSize::ZERO;
+        self.stored.clear();
+        self.active.clear();
+        self.streams_refused = 0;
+    }
+
+    fn release_finished(&mut self, now: SimTime) {
+        while let Some(Reverse(end)) = self.active.peek() {
+            if *end <= now {
+                self.active.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProgramId;
+    use crate::units::SimDuration;
+
+    fn seg(p: u32, i: u16) -> SegmentId {
+        SegmentId::new(ProgramId::new(p), i)
+    }
+
+    #[test]
+    fn storage_accounting_round_trips() {
+        let mut stb = SetTopBox::new(PeerId::new(1), DataSize::from_bytes(1000), 2);
+        stb.store(seg(0, 0), DataSize::from_bytes(400)).unwrap();
+        stb.store(seg(0, 1), DataSize::from_bytes(600)).unwrap();
+        assert_eq!(stb.free(), DataSize::ZERO);
+        assert_eq!(stb.stored_segment_count(), 2);
+        stb.delete(seg(0, 0), DataSize::from_bytes(400)).unwrap();
+        assert_eq!(stb.free(), DataSize::from_bytes(400));
+        assert!(!stb.holds(seg(0, 0)));
+        assert!(stb.holds(seg(0, 1)));
+    }
+
+    #[test]
+    fn store_rejects_overflow_and_duplicates() {
+        let mut stb = SetTopBox::new(PeerId::new(1), DataSize::from_bytes(100), 2);
+        stb.store(seg(0, 0), DataSize::from_bytes(60)).unwrap();
+        let err = stb.store(seg(0, 1), DataSize::from_bytes(60)).unwrap_err();
+        assert!(matches!(err, HfcError::StorageFull { .. }));
+        let err = stb.store(seg(0, 0), DataSize::from_bytes(10)).unwrap_err();
+        assert!(matches!(err, HfcError::DuplicateSegment { .. }));
+    }
+
+    #[test]
+    fn delete_of_missing_segment_errors() {
+        let mut stb = SetTopBox::new(PeerId::new(1), DataSize::from_bytes(100), 2);
+        let err = stb.delete(seg(9, 9), DataSize::from_bytes(1)).unwrap_err();
+        assert!(matches!(err, HfcError::SegmentNotStored { .. }));
+    }
+
+    #[test]
+    fn slots_enforce_paper_limit_of_two() {
+        let mut stb = SetTopBox::with_paper_defaults(PeerId::new(0));
+        let t = SimTime::from_secs(0);
+        let end = t + SimDuration::from_minutes(5);
+        assert!(stb.try_start_stream(t, end));
+        assert!(stb.try_start_stream(t, end));
+        assert!(!stb.try_start_stream(t, end), "third concurrent stream refused");
+        assert_eq!(stb.streams_refused(), 1);
+        // After both streams end the slots free up.
+        let later = end + SimDuration::from_secs(1);
+        assert_eq!(stb.active_streams(later), 0);
+        assert!(stb.try_start_stream(later, later + SimDuration::from_minutes(5)));
+    }
+
+    #[test]
+    fn slot_release_is_exact_at_end_time() {
+        let mut stb = SetTopBox::new(PeerId::new(0), DataSize::ZERO, 1);
+        let t = SimTime::from_secs(100);
+        let end = SimTime::from_secs(400);
+        assert!(stb.try_start_stream(t, end));
+        assert!(!stb.try_start_stream(SimTime::from_secs(399), end));
+        assert!(stb.try_start_stream(SimTime::from_secs(400), SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn unchecked_streams_report_overcommit() {
+        let mut stb = SetTopBox::with_paper_defaults(PeerId::new(0));
+        let t = SimTime::EPOCH;
+        let end = t + SimDuration::from_minutes(5);
+        for _ in 0..3 {
+            stb.start_stream_unchecked(t, end);
+        }
+        assert!(stb.is_overcommitted(t));
+        assert!(!stb.is_overcommitted(end));
+    }
+
+    #[test]
+    fn zero_slot_peer_never_serves() {
+        let mut stb = SetTopBox::new(PeerId::new(0), DataSize::from_gigabytes(1), 0);
+        assert!(!stb.try_start_stream(SimTime::EPOCH, SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn reset_clears_state_keeps_config() {
+        let mut stb = SetTopBox::new(PeerId::new(7), DataSize::from_bytes(100), 2);
+        stb.store(seg(1, 1), DataSize::from_bytes(50)).unwrap();
+        stb.start_stream_unchecked(SimTime::EPOCH, SimTime::from_secs(10));
+        stb.reset();
+        assert_eq!(stb.used(), DataSize::ZERO);
+        assert_eq!(stb.stored_segment_count(), 0);
+        assert_eq!(stb.active_streams(SimTime::EPOCH), 0);
+        assert_eq!(stb.capacity(), DataSize::from_bytes(100));
+    }
+}

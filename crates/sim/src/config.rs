@@ -1,0 +1,269 @@
+//! Simulation configuration (§V-B, §V-C).
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_cache::{FillPolicy, PlacementPolicy, StrategySpec};
+use cablevod_hfc::coax::CoaxSpec;
+use cablevod_hfc::stb::{DEFAULT_CONTRIBUTION, DEFAULT_STREAM_SLOTS};
+use cablevod_hfc::units::{BitRate, DataSize, SimDuration};
+
+use crate::error::SimError;
+
+/// All knobs of one simulation run. Defaults are the paper's baseline
+/// configuration: 1,000-subscriber neighborhoods, 10 GB per peer, two
+/// stream slots, LFU with 3-day history, balanced placement, 5-minute
+/// segments at 8.06 Mb/s, and a measurement window that skips a warm-up
+/// prefix of the trace.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::SimConfig;
+/// use cablevod_cache::StrategySpec;
+///
+/// let config = SimConfig::paper_default()
+///     .with_neighborhood_size(500)
+///     .with_strategy(StrategySpec::Lru);
+/// assert_eq!(config.neighborhood_size(), 500);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    neighborhood_size: u32,
+    per_peer_storage: DataSize,
+    stream_slots: u8,
+    strategy: StrategySpec,
+    placement: PlacementPolicy,
+    segment_len: SimDuration,
+    stream_rate: BitRate,
+    warmup_days: u64,
+    coax_spec: CoaxSpec,
+    replication: u8,
+    fill_override: Option<FillPolicy>,
+}
+
+impl SimConfig {
+    /// The paper's baseline configuration.
+    pub fn paper_default() -> Self {
+        SimConfig {
+            neighborhood_size: 1_000,
+            per_peer_storage: DEFAULT_CONTRIBUTION,
+            stream_slots: DEFAULT_STREAM_SLOTS,
+            strategy: StrategySpec::default_lfu(),
+            placement: PlacementPolicy::Balanced,
+            segment_len: SimDuration::from_minutes(5),
+            stream_rate: BitRate::STREAM_MPEG2_SD,
+            warmup_days: 14,
+            coax_spec: CoaxSpec::paper_default(),
+            replication: 1,
+            fill_override: None,
+        }
+    }
+
+    /// Sets the neighborhood size (the paper sweeps 100–1,000).
+    #[must_use]
+    pub fn with_neighborhood_size(mut self, size: u32) -> Self {
+        self.neighborhood_size = size;
+        self
+    }
+
+    /// Sets per-peer cache contribution (the paper sweeps 1–10 GB).
+    #[must_use]
+    pub fn with_per_peer_storage(mut self, storage: DataSize) -> Self {
+        self.per_peer_storage = storage;
+        self
+    }
+
+    /// Sets the per-STB concurrent stream limit (ablation A2).
+    #[must_use]
+    pub fn with_stream_slots(mut self, slots: u8) -> Self {
+        self.stream_slots = slots;
+        self
+    }
+
+    /// Sets the cache strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: StrategySpec) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the placement policy (ablation A4).
+    #[must_use]
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the segment length (ablation A3).
+    #[must_use]
+    pub fn with_segment_len(mut self, len: SimDuration) -> Self {
+        self.segment_len = len;
+        self
+    }
+
+    /// Sets the stream encoding rate.
+    #[must_use]
+    pub fn with_stream_rate(mut self, rate: BitRate) -> Self {
+        self.stream_rate = rate;
+        self
+    }
+
+    /// Sets how many leading trace days are excluded from measurement
+    /// (cache warm-up). Clamped to the trace length at run time.
+    #[must_use]
+    pub fn with_warmup_days(mut self, days: u64) -> Self {
+        self.warmup_days = days;
+        self
+    }
+
+    /// Sets the coax capacity envelope.
+    #[must_use]
+    pub fn with_coax_spec(mut self, spec: CoaxSpec) -> Self {
+        self.coax_spec = spec;
+        self
+    }
+
+    /// Sets the per-segment replication factor (ablation A5).
+    #[must_use]
+    pub fn with_replication(mut self, replication: u8) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Overrides how admitted content is materialized (ablation A1):
+    /// `FillPolicy::Prefetch` models proactive push, replacing the paper's
+    /// capture-on-broadcast.
+    #[must_use]
+    pub fn with_fill_override(mut self, fill: FillPolicy) -> Self {
+        self.fill_override = Some(fill);
+        self
+    }
+
+    /// Neighborhood size.
+    pub fn neighborhood_size(&self) -> u32 {
+        self.neighborhood_size
+    }
+
+    /// Per-peer storage contribution.
+    pub fn per_peer_storage(&self) -> DataSize {
+        self.per_peer_storage
+    }
+
+    /// Per-STB stream limit.
+    pub fn stream_slots(&self) -> u8 {
+        self.stream_slots
+    }
+
+    /// Cache strategy.
+    pub fn strategy(&self) -> StrategySpec {
+        self.strategy
+    }
+
+    /// Placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.placement
+    }
+
+    /// Segment length.
+    pub fn segment_len(&self) -> SimDuration {
+        self.segment_len
+    }
+
+    /// Stream rate.
+    pub fn stream_rate(&self) -> BitRate {
+        self.stream_rate
+    }
+
+    /// Warm-up days excluded from measurement.
+    pub fn warmup_days(&self) -> u64 {
+        self.warmup_days
+    }
+
+    /// Coax capacity envelope.
+    pub fn coax_spec(&self) -> &CoaxSpec {
+        &self.coax_spec
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> u8 {
+        self.replication
+    }
+
+    /// Fill-policy override, if any.
+    pub fn fill_override(&self) -> Option<FillPolicy> {
+        self.fill_override
+    }
+
+    /// Total cache capacity of a full-size neighborhood under this config.
+    pub fn neighborhood_cache_capacity(&self) -> DataSize {
+        self.per_peer_storage * u64::from(self.neighborhood_size)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Config`] for zero sizes/rates.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.neighborhood_size == 0 {
+            return Err(SimError::Config { reason: "neighborhood size must be positive".into() });
+        }
+        if self.segment_len.as_secs() == 0 {
+            return Err(SimError::Config { reason: "segment length must be positive".into() });
+        }
+        if self.stream_rate.as_bps() == 0 {
+            return Err(SimError::Config { reason: "stream rate must be positive".into() });
+        }
+        if self.replication == 0 {
+            return Err(SimError::Config { reason: "replication must be at least 1".into() });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_paper_constants() {
+        let c = SimConfig::paper_default();
+        assert_eq!(c.neighborhood_size(), 1_000);
+        assert_eq!(c.per_peer_storage(), DataSize::from_gigabytes(10));
+        assert_eq!(c.stream_slots(), 2);
+        assert_eq!(c.segment_len(), SimDuration::from_minutes(5));
+        assert_eq!(c.stream_rate(), BitRate::STREAM_MPEG2_SD);
+        assert_eq!(c.neighborhood_cache_capacity(), DataSize::from_terabytes(10));
+        c.validate().expect("default config is valid");
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = SimConfig::paper_default()
+            .with_neighborhood_size(100)
+            .with_per_peer_storage(DataSize::from_gigabytes(1))
+            .with_replication(2);
+        assert_eq!(c.neighborhood_cache_capacity(), DataSize::from_gigabytes(100));
+        assert_eq!(c.replication(), 2);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimConfig::paper_default().with_neighborhood_size(0).validate().is_err());
+        assert!(SimConfig::paper_default()
+            .with_segment_len(SimDuration::ZERO)
+            .validate()
+            .is_err());
+        assert!(SimConfig::paper_default().with_replication(0).validate().is_err());
+        assert!(SimConfig::paper_default()
+            .with_stream_rate(BitRate::ZERO)
+            .validate()
+            .is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for simulation runs.
+
+use std::error::Error;
+use std::fmt;
+
+use cablevod_cache::CacheError;
+use cablevod_hfc::HfcError;
+
+/// Errors raised while configuring or running a simulation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A configuration field was out of range.
+    Config {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A cache-layer invariant broke mid-run.
+    Cache(CacheError),
+    /// A cable-plant invariant broke mid-run.
+    Hfc(HfcError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config { reason } => write!(f, "invalid simulation config: {reason}"),
+            SimError::Cache(e) => write!(f, "cache failure: {e}"),
+            SimError::Hfc(e) => write!(f, "cable plant failure: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Cache(e) => Some(e),
+            SimError::Hfc(e) => Some(e),
+            SimError::Config { .. } => None,
+        }
+    }
+}
+
+impl From<CacheError> for SimError {
+    fn from(e: CacheError) -> Self {
+        SimError::Cache(e)
+    }
+}
+
+impl From<HfcError> for SimError {
+    fn from(e: HfcError) -> Self {
+        SimError::Hfc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let err = SimError::Config { reason: "zero days".into() };
+        assert_eq!(err.to_string(), "invalid simulation config: zero days");
+        let err = SimError::from(CacheError::MissingSchedule);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,50 @@
+//! # cablevod-sim — the trace-driven discrete-event simulator
+//!
+//! Reimplements the evaluation machinery of §V of *"Deploying
+//! Video-on-Demand Services on Cable Networks"*:
+//!
+//! * [`engine`] — the discrete-event simulation: session records drive
+//!   segment-granularity requests against per-neighborhood cooperative
+//!   caches, with exact byte accounting on the server, fiber and coax;
+//! * [`config`] — the swept parameters (neighborhood size, per-peer
+//!   storage, strategy, slots, segment length, placement, replication);
+//! * [`report`] — measured results (peak server rate with 5 %/95 %
+//!   quantiles, coax statistics, hit/miss breakdown);
+//! * [`baseline`] — the no-cache centralized service and the
+//!   headend-cache equivalence transform;
+//! * [`multicast`] — the §IV-A "why not multicast" bounds;
+//! * [`runner`] — parallel parameter sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use cablevod_sim::{run, SimConfig};
+//! use cablevod_trace::synth::{generate, SynthConfig};
+//!
+//! let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+//!     ..SynthConfig::smoke_test() });
+//! let config = SimConfig::paper_default()
+//!     .with_neighborhood_size(100)
+//!     .with_warmup_days(1);
+//! let report = run(&trace, &config)?;
+//! println!("peak server load: {}", report.server_peak.mean);
+//! # Ok::<(), cablevod_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod multicast;
+pub mod report;
+pub mod runner;
+
+pub use config::SimConfig;
+pub use engine::run;
+pub use error::SimError;
+pub use multicast::MulticastStats;
+pub use report::SimReport;
+pub use runner::{run_sweep, run_sweep_traces};

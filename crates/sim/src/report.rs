@@ -1,0 +1,132 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_cache::IndexStats;
+use cablevod_hfc::meter::RateStats;
+use cablevod_hfc::units::{BitRate, DataSize};
+
+/// Everything a simulation run measured.
+///
+/// The headline number is [`SimReport::server_peak`] — "the average server
+/// rate during peak hours" that every evaluation figure reports — with
+/// 5 %/95 % quantiles over peak-hour samples as error bars.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Central-server rate statistics over the peak window (7–11 PM),
+    /// measured days only.
+    pub server_peak: RateStats,
+    /// Total bytes served by the central server over the whole run
+    /// (including warm-up).
+    pub server_total: DataSize,
+    /// Mean server rate per hour of the day, whole run (Fig 7 shape).
+    pub server_hourly: [BitRate; 24],
+    /// Peak-window coax statistics pooled over all neighborhoods — the
+    /// Fig 14 metric (mean = "average traffic rate", q95 = "poor cases").
+    pub coax_peak: RateStats,
+    /// Per-neighborhood mean peak coax rate.
+    pub coax_per_neighborhood: Vec<BitRate>,
+    /// Aggregated index-server counters.
+    pub cache: IndexStats,
+    /// Sessions simulated.
+    pub sessions: u64,
+    /// Segment requests resolved.
+    pub segment_requests: u64,
+    /// Session starts that pushed the viewer's own STB beyond its slot
+    /// limit (counted, not blocked — see DESIGN.md §5).
+    pub viewer_overcommits: u64,
+    /// First measured day (after warm-up).
+    pub measured_from_day: u64,
+    /// One past the last measured day.
+    pub measured_to_day: u64,
+}
+
+impl SimReport {
+    /// Fraction of central-server peak load saved relative to `baseline`
+    /// (e.g. the 17 Gb/s no-cache load). Zero for a zero baseline.
+    pub fn savings_vs(&self, baseline: BitRate) -> f64 {
+        if baseline.as_bps() == 0 {
+            return 0.0;
+        }
+        1.0 - self.server_peak.mean.as_bps() as f64 / baseline.as_bps() as f64
+    }
+
+    /// Segment-level cache hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Mean peak coax rate across neighborhoods.
+    pub fn coax_mean(&self) -> BitRate {
+        if self.coax_per_neighborhood.is_empty() {
+            return BitRate::ZERO;
+        }
+        let sum: u64 = self.coax_per_neighborhood.iter().map(|r| r.as_bps()).sum();
+        BitRate::from_bps(sum / self.coax_per_neighborhood.len() as u64)
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "server peak: {}", self.server_peak)?;
+        writeln!(
+            f,
+            "cache: {:.1}% hits ({} hits, {} uncached, {} cold, {} busy)",
+            self.hit_rate() * 100.0,
+            self.cache.hits,
+            self.cache.miss_uncached,
+            self.cache.miss_not_materialized,
+            self.cache.miss_peer_busy
+        )?;
+        write!(
+            f,
+            "coax peak: {} (95%: {}), {} sessions, days {}..{}",
+            self.coax_peak.mean,
+            self.coax_peak.q95,
+            self.sessions,
+            self.measured_from_day,
+            self.measured_to_day
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimReport {
+        SimReport {
+            server_peak: RateStats::from_samples(&[BitRate::from_gbps(2.0)]),
+            server_total: DataSize::from_terabytes(1),
+            server_hourly: [BitRate::ZERO; 24],
+            coax_peak: RateStats::from_samples(&[BitRate::from_mbps(400)]),
+            coax_per_neighborhood: vec![BitRate::from_mbps(350), BitRate::from_mbps(450)],
+            cache: IndexStats { hits: 80, miss_uncached: 20, ..IndexStats::default() },
+            sessions: 100,
+            segment_requests: 100,
+            viewer_overcommits: 0,
+            measured_from_day: 14,
+            measured_to_day: 28,
+        }
+    }
+
+    #[test]
+    fn savings_relative_to_baseline() {
+        let r = report();
+        let savings = r.savings_vs(BitRate::from_gbps(17.0));
+        assert!((savings - (1.0 - 2.0 / 17.0)).abs() < 1e-9);
+        assert_eq!(r.savings_vs(BitRate::ZERO), 0.0);
+    }
+
+    #[test]
+    fn coax_mean_averages_neighborhoods() {
+        assert_eq!(report().coax_mean(), BitRate::from_mbps(400));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = report().to_string();
+        assert!(text.contains("server peak"));
+        assert!(text.contains("80.0% hits"));
+    }
+}

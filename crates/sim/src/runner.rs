@@ -1,0 +1,144 @@
+//! Parallel parameter sweeps.
+//!
+//! Every evaluation figure sweeps a parameter (cache size, neighborhood
+//! size, history length, scale factors). [`run_sweep`] executes independent
+//! simulation runs on all available cores with deterministic result
+//! ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use cablevod_trace::record::Trace;
+
+use crate::config::SimConfig;
+use crate::engine::run;
+use crate::error::SimError;
+use crate::report::SimReport;
+
+/// Runs one simulation per `(label, config)` pair, in parallel, returning
+/// results in input order.
+pub fn run_sweep<L: Clone + Send + Sync>(
+    trace: &Trace,
+    jobs: &[(L, SimConfig)],
+) -> Vec<(L, Result<SimReport, SimError>)> {
+    let n_threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let result = run(trace, &jobs[i].1);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    jobs.iter()
+        .zip(results)
+        .map(|((label, _), slot)| {
+            let result = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was visited");
+            (label.clone(), result)
+        })
+        .collect()
+}
+
+/// Like [`run_sweep`] but each job carries its own trace (the scaling
+/// experiments of Figs 15–16 simulate differently-scaled traces).
+pub fn run_sweep_traces<L: Clone + Send + Sync>(
+    jobs: &[(L, Trace, SimConfig)],
+) -> Vec<(L, Result<SimReport, SimError>)> {
+    let n_threads = std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+        .min(jobs.len().max(1));
+
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
+        jobs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let (_, trace, config) = &jobs[i];
+                let result = run(trace, config);
+                *results[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    jobs.iter()
+        .zip(results)
+        .map(|((label, _, _), slot)| {
+            let result = slot
+                .into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was visited");
+            (label.clone(), result)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cablevod_hfc::units::DataSize;
+    use cablevod_trace::synth::{generate, SynthConfig};
+
+    #[test]
+    fn sweep_matches_individual_runs_in_order() {
+        let trace = generate(&SynthConfig {
+            users: 300,
+            programs: 80,
+            days: 4,
+            ..SynthConfig::smoke_test()
+        });
+        let jobs: Vec<(u64, SimConfig)> = [1u64, 2, 4]
+            .into_iter()
+            .map(|gb| {
+                (
+                    gb,
+                    SimConfig::paper_default()
+                        .with_neighborhood_size(150)
+                        .with_per_peer_storage(DataSize::from_gigabytes(gb))
+                        .with_warmup_days(1),
+                )
+            })
+            .collect();
+        let swept = run_sweep(&trace, &jobs);
+        assert_eq!(swept.len(), 3);
+        for ((label, result), (expected_label, config)) in swept.iter().zip(&jobs) {
+            assert_eq!(label, expected_label);
+            let direct = run(&trace, config).expect("runs");
+            assert_eq!(result.as_ref().expect("runs"), &direct, "label {label}");
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let trace = generate(&SynthConfig {
+            users: 50,
+            programs: 10,
+            days: 2,
+            ..SynthConfig::smoke_test()
+        });
+        let jobs: Vec<((), SimConfig)> = Vec::new();
+        assert!(run_sweep(&trace, &jobs).is_empty());
+    }
+}

@@ -1,0 +1,304 @@
+//! Trace analytics behind the paper's workload figures.
+//!
+//! * [`popularity_skew`] — Fig 2: sessions initiated in the trailing 15
+//!   minutes for the maximum / 99 % / 95 % quantile programs;
+//! * [`session_length_ecdf`] — Figs 3 and 6: session-length ECDFs;
+//! * [`deduce_program_length`] — §V-A: recover a program's length from the
+//!   jump its ECDF shows at the full-length atom;
+//! * [`hourly_demand`] — Fig 7: average offered load per hour of day;
+//! * [`popularity_by_age`] — Fig 12: how popularity decays after a
+//!   program's introduction.
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::meter::RateMeter;
+use cablevod_hfc::units::{BitRate, SimDuration};
+
+use crate::ecdf::Ecdf;
+use crate::record::Trace;
+
+/// Per-program session counts over the whole trace, indexed by program.
+pub fn program_access_counts(trace: &Trace) -> Vec<u64> {
+    let mut counts = vec![0u64; trace.catalog().len()];
+    for r in trace.iter() {
+        counts[r.program.index()] += 1;
+    }
+    counts
+}
+
+/// The most-accessed program, or `None` for an empty trace.
+pub fn most_popular_program(trace: &Trace) -> Option<ProgramId> {
+    let counts = program_access_counts(trace);
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .filter(|&(_, c)| *c > 0)
+        .map(|(i, _)| ProgramId::new(i as u32))
+}
+
+/// The program at popularity quantile `q` (e.g. 0.99 picks the program
+/// outranked by exactly 1 % of the catalog), or `None` for an empty trace.
+pub fn quantile_program(trace: &Trace, q: f64) -> Option<ProgramId> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let counts = program_access_counts(trace);
+    if counts.iter().all(|&c| c == 0) {
+        return None;
+    }
+    let mut by_count: Vec<(u64, usize)> =
+        counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    by_count.sort_unstable_by(|a, b| b.cmp(a)); // descending popularity
+    let rank = (((1.0 - q) * by_count.len() as f64).floor() as usize)
+        .min(by_count.len() - 1);
+    Some(ProgramId::new(by_count[rank].1 as u32))
+}
+
+/// The Fig 2 series: session-start counts per 15-minute bucket over
+/// `[from_day, to_day)` for the maximum, 99 %-quantile and 95 %-quantile
+/// programs (quantiles computed over the same window).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkewSeries {
+    /// Program with the most sessions in the window.
+    pub max_program: ProgramId,
+    /// The 99 %-quantile program.
+    pub q99_program: ProgramId,
+    /// The 95 %-quantile program.
+    pub q95_program: ProgramId,
+    /// Sessions initiated per 15-minute bucket, most popular program.
+    pub max_series: Vec<u32>,
+    /// Same for the 99 %-quantile program.
+    pub q99_series: Vec<u32>,
+    /// Same for the 95 %-quantile program.
+    pub q95_series: Vec<u32>,
+}
+
+impl SkewSeries {
+    /// Peak of the three series: `(max, q99, q95)` — the numbers the paper
+    /// quotes ("for the 99 % quantile program the number of accesses is
+    /// down to around 13, and for the 95 % quantile down to 5").
+    pub fn peaks(&self) -> (u32, u32, u32) {
+        let peak = |v: &[u32]| v.iter().copied().max().unwrap_or(0);
+        (peak(&self.max_series), peak(&self.q99_series), peak(&self.q95_series))
+    }
+}
+
+/// Computes the Fig 2 popularity-skew series over `[from_day, to_day)`.
+///
+/// Returns `None` if the window holds no sessions.
+///
+/// # Panics
+///
+/// Panics if the day window is reversed.
+pub fn popularity_skew(trace: &Trace, from_day: u64, to_day: u64) -> Option<SkewSeries> {
+    assert!(from_day <= to_day, "day window must not be reversed");
+    let window = trace.slice_days(from_day, to_day);
+    if window.is_empty() {
+        return None;
+    }
+    let max_program = most_popular_program(&window)?;
+    let q99_program = quantile_program(&window, 0.99)?;
+    let q95_program = quantile_program(&window, 0.95)?;
+
+    let buckets = ((to_day - from_day) * 96) as usize; // 96 quarter-hours/day
+    let mut series = [vec![0u32; buckets], vec![0u32; buckets], vec![0u32; buckets]];
+    let targets = [max_program, q99_program, q95_program];
+    for r in window.iter() {
+        let bucket = ((r.start.as_secs() - from_day * 86_400) / 900) as usize;
+        for (t, series) in targets.iter().zip(series.iter_mut()) {
+            if r.program == *t {
+                series[bucket] += 1;
+            }
+        }
+    }
+    let [max_series, q99_series, q95_series] = series;
+    Some(SkewSeries { max_program, q99_program, q95_program, max_series, q99_series, q95_series })
+}
+
+/// ECDF of session lengths (in seconds) for `program` — Fig 3 when applied
+/// to the most popular program, Fig 6's jump pattern for any program with
+/// enough complete views.
+pub fn session_length_ecdf(trace: &Trace, program: ProgramId) -> Ecdf {
+    // Seek sessions (offset > 0) watch a remainder, not a prefix — they
+    // would smear the full-length atom the Fig 6 deduction relies on, so
+    // the ECDF figures use position-zero sessions only (all of PowerInfo).
+    Ecdf::from_samples(
+        trace
+            .iter()
+            .filter(|r| r.program == program && r.offset.as_secs() == 0)
+            .map(|r| r.duration.as_secs() as f64),
+    )
+}
+
+/// Deduces a program's length from its session ECDF (§V-A): the full
+/// program length is the right-most heavy atom ("a significant jump occurs
+/// at approximately 1 hour \[...\] the fraction of users that watched the
+/// entire program").
+///
+/// Durations within 60 s are pooled; an atom must carry at least
+/// `min_jump` of the probability mass (the paper's visual inspection
+/// corresponds to a few percent). Returns `None` when the program has no
+/// sessions or no atom is heavy enough.
+pub fn deduce_program_length(trace: &Trace, program: ProgramId, min_jump: f64) -> Option<SimDuration> {
+    let ecdf = session_length_ecdf(trace, program);
+    if ecdf.is_empty() {
+        return None;
+    }
+    // Ignore the pile-up of abandoned sessions near zero: only look above
+    // the median.
+    let min_x = ecdf.quantile(0.5);
+    let (x, mass) = ecdf.largest_atom(min_x, 60.0)?;
+    (mass >= min_jump).then(|| SimDuration::from_secs(x.round() as u64))
+}
+
+/// Average offered load per hour of the day (Fig 7): every session streamed
+/// at `rate` for its duration, averaged across the days of the trace.
+pub fn hourly_demand(trace: &Trace, rate: BitRate) -> [BitRate; 24] {
+    let mut meter = RateMeter::hourly();
+    for r in trace.iter() {
+        meter.record(r.start, r.end(), rate * r.duration);
+    }
+    meter.hourly_profile()
+}
+
+/// Mean sessions per day as a function of days-since-introduction (Fig 12),
+/// averaged over the `top_n` most popular programs that were introduced
+/// inside the trace window early enough to observe `max_age_days` of life.
+///
+/// Returns `ages[Δ] = mean sessions on day (introduction + Δ)`; empty when
+/// no program qualifies.
+pub fn popularity_by_age(trace: &Trace, max_age_days: u64, top_n: usize) -> Vec<f64> {
+    let counts = program_access_counts(trace);
+    let mut candidates: Vec<(u64, ProgramId, i64)> = trace
+        .catalog()
+        .iter()
+        .filter_map(|(id, info)| {
+            let intro = info.introduced_day;
+            // Introduced in-window with a full observation horizon.
+            (intro >= 0 && (intro as u64 + max_age_days) <= trace.days())
+                .then(|| (counts[id.index()], id, intro))
+        })
+        .collect();
+    candidates.sort_unstable_by(|a, b| b.cmp(a));
+    candidates.truncate(top_n);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+
+    let mut by_age = vec![0u64; max_age_days as usize];
+    for r in trace.iter() {
+        for &(_, id, intro) in &candidates {
+            if r.program == id {
+                let age = r.start.day() as i64 - intro;
+                if (0..max_age_days as i64).contains(&age) {
+                    by_age[age as usize] += 1;
+                }
+            }
+        }
+    }
+    by_age.iter().map(|&c| c as f64 / candidates.len() as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use cablevod_hfc::units::SimTime;
+
+    fn smoke() -> Trace {
+        generate(&SynthConfig::smoke_test())
+    }
+
+    #[test]
+    fn skew_quantiles_are_ordered() {
+        let t = smoke();
+        let skew = popularity_skew(&t, 2, 9).expect("busy window");
+        let (max, q99, q95) = skew.peaks();
+        assert!(max >= q99, "max {max} < q99 {q99}");
+        assert!(q99 >= q95, "q99 {q99} < q95 {q95}");
+        assert!(max >= 3, "most popular program should see real traffic, got {max}");
+        assert_eq!(skew.max_series.len(), 7 * 96);
+    }
+
+    #[test]
+    fn quantile_program_bounds() {
+        let t = smoke();
+        let top = quantile_program(&t, 1.0).expect("non-empty");
+        assert_eq!(Some(top), most_popular_program(&t));
+        let bottom = quantile_program(&t, 0.0).expect("non-empty");
+        let counts = program_access_counts(&t);
+        assert!(counts[bottom.index()] <= counts[top.index()]);
+    }
+
+    #[test]
+    fn ecdf_median_is_short_relative_to_program() {
+        let t = smoke();
+        let popular = most_popular_program(&t).expect("non-empty");
+        let len = t.catalog().length(popular).expect("valid program").as_secs() as f64;
+        let ecdf = session_length_ecdf(&t, popular);
+        assert!(ecdf.len() > 50, "popular program should have many sessions");
+        let median = ecdf.quantile(0.5);
+        assert!(median < 0.2 * len, "median {median}s of {len}s program");
+    }
+
+    #[test]
+    fn program_length_deduction_recovers_truth() {
+        let t = smoke();
+        // Check the most popular handful of programs — they have enough
+        // sessions for the atom to be crisp.
+        let counts = program_access_counts(&t);
+        let mut by_count: Vec<(u64, usize)> =
+            counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        by_count.sort_unstable_by(|a, b| b.cmp(a));
+        let mut correct = 0;
+        let tested = 10;
+        for &(_, idx) in by_count.iter().take(tested) {
+            let id = ProgramId::new(idx as u32);
+            let truth = t.catalog().length(id).expect("valid program");
+            if let Some(deduced) = deduce_program_length(&t, id, 0.02) {
+                if deduced == truth {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(correct >= 8, "deduction correct for only {correct}/{tested} programs");
+    }
+
+    #[test]
+    fn hourly_demand_peaks_in_the_evening() {
+        let t = smoke();
+        let profile = hourly_demand(&t, BitRate::STREAM_MPEG2_SD);
+        let peak_hour =
+            (0..24).max_by_key(|&h| profile[h as usize].as_bps()).expect("24 hours");
+        assert!((19..=22).contains(&peak_hour), "peak at hour {peak_hour}");
+        assert!(profile[4].as_bps() < profile[peak_hour as usize].as_bps() / 4);
+    }
+
+    #[test]
+    fn popularity_decays_with_age() {
+        let t = generate(&SynthConfig {
+            days: 16,
+            users: 4_000,
+            ..SynthConfig::smoke_test()
+        });
+        let curve = popularity_by_age(&t, 8, 10);
+        assert_eq!(curve.len(), 8);
+        let day0 = curve[0];
+        let day7 = curve[7];
+        assert!(day0 > 0.0);
+        // The paper: ~80% drop after a week. Allow slack for small samples.
+        assert!(
+            day7 < 0.55 * day0,
+            "expected decay, day0 {day0:.1} day7 {day7:.1}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_yields_none() {
+        let t = Trace::new(Vec::new(), crate::catalog::ProgramCatalog::new(), 1, 1)
+            .expect("empty is fine");
+        assert!(most_popular_program(&t).is_none());
+        assert!(popularity_skew(&t, 0, 1).is_none());
+        let _ = SimTime::EPOCH;
+    }
+}

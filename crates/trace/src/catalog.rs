@@ -1,0 +1,187 @@
+//! The program catalog: lengths and introduction dates.
+//!
+//! The PowerInfo trace names 8,278 unique programs but does not record their
+//! lengths; the paper deduces lengths from session-length ECDF jumps (§V-A).
+//! Our synthetic catalog carries ground-truth lengths (so that deduction can
+//! be validated) plus each program's introduction day, which drives the
+//! popularity-decay dynamics of Fig 12.
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
+
+/// Static metadata for one program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProgramInfo {
+    /// Full play length.
+    pub length: SimDuration,
+    /// Trace day the program entered the catalog. Negative days mean the
+    /// program predates the trace window (its popularity has already
+    /// decayed by trace start).
+    pub introduced_day: i64,
+}
+
+impl ProgramInfo {
+    /// Age of the program, in fractional days, at instant `t`.
+    /// Not-yet-introduced programs report a negative age.
+    pub fn age_days(&self, t: SimTime) -> f64 {
+        t.as_secs() as f64 / 86_400.0 - self.introduced_day as f64
+    }
+}
+
+/// The full catalog, indexed by [`ProgramId`].
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_trace::catalog::{ProgramCatalog, ProgramInfo};
+/// use cablevod_hfc::units::SimDuration;
+/// use cablevod_hfc::ids::ProgramId;
+///
+/// let mut catalog = ProgramCatalog::new();
+/// let id = catalog.push(ProgramInfo { length: SimDuration::from_minutes(100), introduced_day: 0 });
+/// assert_eq!(catalog.length(id), Some(SimDuration::from_minutes(100)));
+/// assert_eq!(id, ProgramId::new(0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgramCatalog {
+    programs: Vec<ProgramInfo>,
+}
+
+impl ProgramCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        ProgramCatalog { programs: Vec::new() }
+    }
+
+    /// Adds a program, returning its id (dense, in insertion order).
+    pub fn push(&mut self, info: ProgramInfo) -> ProgramId {
+        let id = ProgramId::new(self.programs.len() as u32);
+        self.programs.push(info);
+        id
+    }
+
+    /// Number of programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Metadata for `id`, if present.
+    pub fn get(&self, id: ProgramId) -> Option<&ProgramInfo> {
+        self.programs.get(id.index())
+    }
+
+    /// Play length of `id`, if present.
+    pub fn length(&self, id: ProgramId) -> Option<SimDuration> {
+        self.get(id).map(|p| p.length)
+    }
+
+    /// Introduction day of `id`, if present.
+    pub fn introduced_day(&self, id: ProgramId) -> Option<i64> {
+        self.get(id).map(|p| p.introduced_day)
+    }
+
+    /// Iterates `(id, info)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProgramId, &ProgramInfo)> {
+        self.programs.iter().enumerate().map(|(i, p)| (ProgramId::new(i as u32), p))
+    }
+
+    /// Total storage footprint of the catalog at `segmenter`'s stream rate —
+    /// the denominator for "what fraction of the catalog fits in the cache".
+    pub fn total_size(&self, segmenter: &Segmenter) -> DataSize {
+        self.programs.iter().map(|p| segmenter.program_size(p.length)).sum()
+    }
+
+    /// Mean program length (zero for an empty catalog).
+    pub fn mean_length(&self) -> SimDuration {
+        if self.programs.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.programs.iter().map(|p| p.length.as_secs()).sum();
+        SimDuration::from_secs(total / self.programs.len() as u64)
+    }
+
+    /// Replicates the catalog `factor` times for the paper's catalog-scaling
+    /// experiments (§V-A): copy `j` of program `p` gets id
+    /// `p + j * original_len`. Lengths and introduction days are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    #[must_use]
+    pub fn replicate(&self, factor: u32) -> ProgramCatalog {
+        assert!(factor > 0, "replication factor must be at least 1");
+        let mut programs = Vec::with_capacity(self.programs.len() * factor as usize);
+        for _ in 0..factor {
+            programs.extend(self.programs.iter().copied());
+        }
+        ProgramCatalog { programs }
+    }
+}
+
+impl FromIterator<ProgramInfo> for ProgramCatalog {
+    fn from_iter<I: IntoIterator<Item = ProgramInfo>>(iter: I) -> Self {
+        ProgramCatalog { programs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn info(minutes: u64, day: i64) -> ProgramInfo {
+        ProgramInfo { length: SimDuration::from_minutes(minutes), introduced_day: day }
+    }
+
+    #[test]
+    fn push_assigns_dense_ids() {
+        let mut c = ProgramCatalog::new();
+        assert_eq!(c.push(info(10, 0)), ProgramId::new(0));
+        assert_eq!(c.push(info(20, 1)), ProgramId::new(1));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.length(ProgramId::new(1)), Some(SimDuration::from_minutes(20)));
+        assert_eq!(c.length(ProgramId::new(5)), None);
+    }
+
+    #[test]
+    fn age_handles_preexisting_and_future_programs() {
+        let old = info(10, -30);
+        let future = info(10, 5);
+        let t = SimTime::from_days_hours(2, 12);
+        assert!((old.age_days(t) - 32.5).abs() < 1e-9);
+        assert!(future.age_days(t) < 0.0);
+    }
+
+    #[test]
+    fn total_size_matches_sum_of_lengths() {
+        let c: ProgramCatalog = [info(5, 0), info(10, 0)].into_iter().collect();
+        let seg = Segmenter::paper_default();
+        assert_eq!(
+            c.total_size(&seg),
+            seg.program_size(SimDuration::from_minutes(15))
+        );
+        assert_eq!(c.mean_length(), SimDuration::from_secs(450));
+    }
+
+    #[test]
+    fn replicate_preserves_metadata_with_offset_ids() {
+        let c: ProgramCatalog = [info(5, 0), info(10, 3)].into_iter().collect();
+        let doubled = c.replicate(2);
+        assert_eq!(doubled.len(), 4);
+        // Copy of program 1 lives at id 1 + 2 = 3.
+        assert_eq!(doubled.length(ProgramId::new(3)), Some(SimDuration::from_minutes(10)));
+        assert_eq!(doubled.introduced_day(ProgramId::new(3)), Some(3));
+    }
+
+    #[test]
+    fn empty_catalog_mean_is_zero() {
+        assert_eq!(ProgramCatalog::new().mean_length(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,276 @@
+//! Random-variate sampling used by the synthetic workload model.
+//!
+//! Only the `rand` core crate is a dependency, so the handful of
+//! distributions the generator needs — normal, log-normal, gamma, beta,
+//! Poisson and Zipf weights — are implemented here with standard algorithms
+//! (Box-Muller, Marsaglia-Tsang, gamma-ratio beta, inversion/normal-approx
+//! Poisson).
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from the half-open (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `LogNormal(mu, sigma)` (parameters of the underlying normal).
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative");
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Samples `Gamma(shape, 1)` using Marsaglia-Tsang, with the standard
+/// `U^(1/shape)` boost for `shape < 1`.
+///
+/// # Panics
+///
+/// Panics if `shape` is not strictly positive and finite.
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // G(a) = G(a + 1) * U^(1/a)
+        let u: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Samples `Beta(alpha, beta)` as `Ga / (Ga + Gb)`.
+///
+/// # Panics
+///
+/// Panics if either parameter is not strictly positive and finite.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
+    let x = gamma(rng, alpha);
+    let y = gamma(rng, b);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// Samples `Poisson(lambda)`; inversion for small `lambda`, rounded normal
+/// approximation for large.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or not finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and non-negative");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        // Knuth inversion.
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+    // Normal approximation with continuity correction.
+    let x = lambda + lambda.sqrt() * standard_normal(rng) + 0.5;
+    if x < 0.0 {
+        0
+    } else {
+        x as u64
+    }
+}
+
+/// Unnormalized Zipf weights `1 / rank^s` for ranks `1..=n`.
+///
+/// # Panics
+///
+/// Panics if `s` is negative or not finite.
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and non-negative");
+    (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect()
+}
+
+/// A cumulative-weight table for O(log n) weighted sampling of indices.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_trace::dist::WeightedIndex;
+/// use rand::SeedableRng;
+///
+/// let table = WeightedIndex::new([1.0, 0.0, 3.0]).expect("valid weights");
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let idx = table.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2, "zero-weight index never drawn");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds a table from non-negative weights. Returns `None` when the
+    /// weights sum to zero (nothing can be sampled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative or not finite.
+    pub fn new<I: IntoIterator<Item = f64>>(weights: I) -> Option<Self> {
+        let mut cumulative = Vec::new();
+        let mut sum = 0.0;
+        for w in weights {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            sum += w;
+            cumulative.push(sum);
+        }
+        if sum <= 0.0 || cumulative.is_empty() {
+            None
+        } else {
+            Some(WeightedIndex { cumulative })
+        }
+    }
+
+    /// Number of weights in the table.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        *self.cumulative.last().expect("table is non-empty")
+    }
+
+    /// Samples an index proportionally to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x = rng.random::<f64>() * self.total();
+        // partition_point: first index with cumulative > x. Using `<= x`
+        // keeps zero-weight indices unreachable.
+        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for shape in [0.45, 1.0, 2.5, 9.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn beta_mean_and_median() {
+        let mut r = rng();
+        let n = 40_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| beta(&mut r, 0.45, 2.5)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.45 / 2.95).abs() < 0.01, "mean {mean}");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[n / 2];
+        // The paper's "50% of sessions last less than 8 minutes" for a
+        // 100-minute program needs a median viewing fraction near 0.08.
+        assert!((0.05..0.11).contains(&median), "median {median}");
+        assert!(samples.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn poisson_small_and_large_lambda() {
+        let mut r = rng();
+        for lambda in [0.5, 4.0, 200.0] {
+            let n = 20_000;
+            let mean = (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(2.0),
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_weights_decay() {
+        let w = zipf_weights(100, 0.8);
+        assert_eq!(w.len(), 100);
+        assert_eq!(w[0], 1.0);
+        assert!(w.windows(2).all(|p| p[0] > p[1]));
+        assert!((w[9] - 1.0 / 10f64.powf(0.8)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let table = WeightedIndex::new([1.0, 2.0, 7.0]).expect("valid");
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[table.sample(&mut r)] += 1;
+        }
+        let f0 = counts[0] as f64 / 30_000.0;
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f0 - 0.1).abs() < 0.01, "{counts:?}");
+        assert!((f2 - 0.7).abs() < 0.01, "{counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_rejects_zero_total() {
+        assert!(WeightedIndex::new([0.0, 0.0]).is_none());
+        assert!(WeightedIndex::new(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn zero_weight_head_is_never_sampled() {
+        let table = WeightedIndex::new([0.0, 1.0]).expect("valid");
+        let mut r = rng();
+        for _ in 0..1_000 {
+            assert_eq!(table.sample(&mut r), 1);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Empirical cumulative distribution functions.
+//!
+//! The paper leans on ECDFs repeatedly: session-length distributions
+//! (Figs 3 and 6) and the program-length deduction of §V-A, which exploits
+//! the "significant jump" an ECDF shows at the full program length (the
+//! fraction of users who watched the whole program).
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over `f64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_trace::ecdf::Ecdf;
+///
+/// let ecdf = Ecdf::from_samples([1.0, 2.0, 2.0, 10.0]);
+/// assert_eq!(ecdf.cdf(2.0), 0.75);
+/// assert_eq!(ecdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from samples; non-finite samples are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN or infinite.
+    pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
+        let mut sorted: Vec<f64> = samples.into_iter().collect();
+        assert!(sorted.iter().all(|x| x.is_finite()), "ECDF samples must be finite");
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
+        Ecdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)`; 0 for an empty ECDF.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&s| s <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `x` with `cdf(x) >= q` (clamped to the extremes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ECDF is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty ECDF");
+        assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluates the ECDF at evenly spaced points — convenient for plotting
+    /// a figure like the paper's Fig 3. Returns `(x, cdf(x))` pairs.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.min().expect("non-empty");
+        let hi = self.max().expect("non-empty");
+        let span = (hi - lo).max(f64::EPSILON);
+        (0..points)
+            .map(|i| {
+                let x = lo + span * i as f64 / (points - 1).max(1) as f64;
+                (x, self.cdf(x))
+            })
+            .collect()
+    }
+
+    /// Finds the largest *atom* (point mass) at or above `min_x`, returning
+    /// `(x, mass)`. This is the "jump" detector of §V-A: the full program
+    /// length carries the probability mass of viewers who watched the whole
+    /// program, while partial-viewing durations are spread continuously.
+    ///
+    /// Samples are grouped with tolerance `bin` (e.g. 60 s when durations
+    /// are in seconds).
+    pub fn largest_atom(&self, min_x: f64, bin: f64) -> Option<(f64, f64)> {
+        assert!(bin > 0.0, "bin width must be positive");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len() as f64;
+        let mut best: Option<(f64, f64)> = None;
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] - x <= bin {
+                j += 1;
+            }
+            if x >= min_x {
+                let mass = (j - i) as f64 / n;
+                // Prefer the *latest* atom on ties: the full-length jump is
+                // the right-most heavy atom.
+                if best.map_or(true, |(_, m)| mass >= m) {
+                    best = Some((self.sorted[j - 1], mass));
+                }
+            }
+            i = j;
+        }
+        best
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Ecdf::from_samples(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_steps_at_samples() {
+        let e = Ecdf::from_samples([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf(0.5), 0.0);
+        assert_eq!(e.cdf(1.0), 0.25);
+        assert_eq!(e.cdf(2.5), 0.5);
+        assert_eq!(e.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_hit_order_statistics() {
+        let e = Ecdf::from_samples([10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.2), 10.0);
+        assert_eq!(e.quantile(0.5), 30.0);
+        assert_eq!(e.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let e = Ecdf::from_samples((1..=100).map(|i| i as f64));
+        let curve = e.curve(20);
+        assert_eq!(curve.len(), 20);
+        for pair in curve.windows(2) {
+            assert!(pair[0].1 <= pair[1].1);
+        }
+        assert_eq!(curve.last().expect("non-empty").1, 1.0);
+    }
+
+    #[test]
+    fn largest_atom_finds_full_length_jump() {
+        // 80% of sessions spread over [0, 50), 20% exactly at 100 — the
+        // §V-A pattern for a 100-minute program.
+        let mut samples: Vec<f64> = (0..80).map(|i| i as f64 * 50.0 / 80.0).collect();
+        samples.extend(std::iter::repeat(100.0).take(20));
+        let e = Ecdf::from_samples(samples);
+        let (x, mass) = e.largest_atom(10.0, 1.0).expect("non-empty");
+        assert_eq!(x, 100.0);
+        assert!((mass - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn largest_atom_respects_min_x() {
+        let e = Ecdf::from_samples([1.0, 1.0, 1.0, 5.0, 5.0]);
+        let (x, _) = e.largest_atom(2.0, 0.5).expect("atom above 2");
+        assert_eq!(x, 5.0);
+    }
+
+    #[test]
+    fn empty_ecdf_behaves() {
+        let e = Ecdf::from_samples(std::iter::empty());
+        assert!(e.is_empty());
+        assert_eq!(e.cdf(1.0), 0.0);
+        assert!(e.largest_atom(0.0, 1.0).is_none());
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_samples_panic() {
+        let _ = Ecdf::from_samples([1.0, f64::NAN]);
+    }
+}

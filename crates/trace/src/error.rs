@@ -1,0 +1,91 @@
+//! Error types for trace construction, scaling and I/O.
+
+use std::error::Error;
+use std::fmt;
+
+use cablevod_hfc::ids::{ProgramId, UserId};
+
+/// Errors raised by trace operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A record referenced a program missing from the catalog.
+    DanglingProgram {
+        /// The offending program id.
+        program: ProgramId,
+    },
+    /// A record referenced a user id at or above the trace's user count.
+    DanglingUser {
+        /// The offending user id.
+        user: UserId,
+    },
+    /// A scaling factor of zero was requested.
+    ZeroScaleFactor,
+    /// A malformed line was encountered while parsing a trace file.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::DanglingProgram { program } => {
+                write!(f, "record references {program} not present in the catalog")
+            }
+            TraceError::DanglingUser { user } => {
+                write!(f, "record references {user} beyond the trace user count")
+            }
+            TraceError::ZeroScaleFactor => write!(f, "scale factor must be at least 1"),
+            TraceError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = TraceError::DanglingProgram { program: ProgramId::new(3) };
+        assert!(err.to_string().contains("prog3"));
+        let err = TraceError::Parse { line: 7, reason: "bad field count".into() };
+        assert_eq!(err.to_string(), "parse error on line 7: bad field count");
+    }
+
+    #[test]
+    fn io_errors_chain_source() {
+        let err = TraceError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

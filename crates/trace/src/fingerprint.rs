@@ -1,0 +1,252 @@
+//! Workload fingerprinting: does a trace look like PowerInfo?
+//!
+//! The paper's conclusions lean on specific statistical properties of its
+//! workload. [`WorkloadFingerprint::measure`] extracts them from *any*
+//! trace — including a real PowerInfo-schema import via [`crate::io`] —
+//! and [`WorkloadFingerprint::powerinfo_reference`] carries the published
+//! targets, so substituting a different workload makes the deviation
+//! visible instead of silently changing every downstream number.
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_hfc::meter::{PEAK_END_HOUR, PEAK_START_HOUR};
+use cablevod_hfc::units::BitRate;
+
+use crate::analyze;
+use crate::record::Trace;
+
+/// The statistical fingerprint the paper's evaluation depends on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadFingerprint {
+    /// Sessions per user per day.
+    pub sessions_per_user_day: f64,
+    /// Peak-hour offered load divided by the all-day mean (diurnal
+    /// peakiness; Fig 7).
+    pub peak_to_mean: f64,
+    /// Peak concurrent streams as a fraction of the user population
+    /// (17 Gb/s at 8.06 Mb/s over 41,698 users ⇒ ≈ 5 %).
+    pub peak_concurrency_fraction: f64,
+    /// Median session length as a fraction of program length, for the most
+    /// popular program (Fig 3: ≈ 0.08).
+    pub median_session_fraction: f64,
+    /// Fraction of the most popular program's sessions passing its halfway
+    /// mark (Fig 3: ≈ 0.13).
+    pub past_halfway_fraction: f64,
+    /// Share of all sessions going to the top 5 % of programs (Fig 2 skew).
+    pub top5_share: f64,
+    /// Day-7 popularity relative to day-0 for newly introduced programs
+    /// (Fig 12: ≈ 0.2); `None` when the trace window cannot observe a week
+    /// of life. Short windows (≲ 3 weeks) bias this estimate low — only
+    /// programs introduced in the first trace days qualify, and their
+    /// cohort mean decays steeper than the underlying popularity model.
+    pub day7_decay: Option<f64>,
+}
+
+impl WorkloadFingerprint {
+    /// The published PowerInfo values the synthetic generator is calibrated
+    /// to.
+    pub fn powerinfo_reference() -> Self {
+        WorkloadFingerprint {
+            sessions_per_user_day: 2.39,
+            peak_to_mean: 2.3,
+            peak_concurrency_fraction: 0.05,
+            median_session_fraction: 0.08,
+            past_halfway_fraction: 0.13,
+            top5_share: 0.45,
+            day7_decay: Some(0.2),
+        }
+    }
+
+    /// Measures the fingerprint of `trace` at `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn measure(trace: &Trace, rate: BitRate) -> Self {
+        assert!(!trace.is_empty(), "cannot fingerprint an empty trace");
+
+        let sessions_per_user_day =
+            trace.len() as f64 / (trace.user_count() as f64 * trace.days().max(1) as f64);
+
+        // Diurnal shape and implied concurrency.
+        let profile = analyze::hourly_demand(trace, rate);
+        let mean_bps =
+            profile.iter().map(|r| r.as_bps()).sum::<u64>() as f64 / 24.0;
+        let peak_bps = (PEAK_START_HOUR..PEAK_END_HOUR)
+            .map(|h| profile[h as usize].as_bps())
+            .sum::<u64>() as f64
+            / (PEAK_END_HOUR - PEAK_START_HOUR) as f64;
+        let peak_to_mean = if mean_bps > 0.0 { peak_bps / mean_bps } else { 0.0 };
+        let peak_concurrency_fraction =
+            peak_bps / rate.as_bps() as f64 / trace.user_count().max(1) as f64;
+
+        // Session-length shape of the most popular program.
+        let (median_session_fraction, past_halfway_fraction) =
+            match analyze::most_popular_program(trace) {
+                Some(p) => {
+                    let ecdf = analyze::session_length_ecdf(trace, p);
+                    let len =
+                        trace.catalog().length(p).map(|l| l.as_secs() as f64).unwrap_or(0.0);
+                    if ecdf.is_empty() || len <= 0.0 {
+                        (0.0, 0.0)
+                    } else {
+                        (
+                            ecdf.quantile(0.5) / len,
+                            1.0 - ecdf.cdf(len / 2.0 - 1.0),
+                        )
+                    }
+                }
+                None => (0.0, 0.0),
+            };
+
+        // Popularity skew.
+        let mut counts = analyze::program_access_counts(trace);
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().sum();
+        let head: u64 = counts.iter().take((counts.len() / 20).max(1)).sum();
+        let top5_share = if total > 0 { head as f64 / total as f64 } else { 0.0 };
+
+        // Decay, when observable.
+        let day7_decay = if trace.days() >= 9 {
+            let curve = analyze::popularity_by_age(trace, 8, 20);
+            (curve.len() > 7 && curve[0] > 0.0).then(|| curve[7] / curve[0])
+        } else {
+            None
+        };
+
+        WorkloadFingerprint {
+            sessions_per_user_day,
+            peak_to_mean,
+            peak_concurrency_fraction,
+            median_session_fraction,
+            past_halfway_fraction,
+            top5_share,
+            day7_decay,
+        }
+    }
+
+    /// Compares against a reference, returning one line per property whose
+    /// relative deviation exceeds `tolerance` (e.g. 0.5 = ±50 %). An empty
+    /// result means the workload is PowerInfo-like within tolerance.
+    pub fn deviations_from(&self, reference: &WorkloadFingerprint, tolerance: f64) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut check = |name: &str, measured: f64, expected: f64| {
+            if expected.abs() < f64::EPSILON {
+                return;
+            }
+            let rel = (measured - expected).abs() / expected.abs();
+            if rel > tolerance {
+                out.push(format!(
+                    "{name}: measured {measured:.3}, reference {expected:.3} ({:+.0}%)",
+                    100.0 * (measured / expected - 1.0)
+                ));
+            }
+        };
+        check(
+            "sessions/user/day",
+            self.sessions_per_user_day,
+            reference.sessions_per_user_day,
+        );
+        check("peak-to-mean", self.peak_to_mean, reference.peak_to_mean);
+        check(
+            "peak concurrency fraction",
+            self.peak_concurrency_fraction,
+            reference.peak_concurrency_fraction,
+        );
+        check(
+            "median session fraction",
+            self.median_session_fraction,
+            reference.median_session_fraction,
+        );
+        check(
+            "past-halfway fraction",
+            self.past_halfway_fraction,
+            reference.past_halfway_fraction,
+        );
+        check("top-5% share", self.top5_share, reference.top5_share);
+        if let (Some(measured), Some(expected)) = (self.day7_decay, reference.day7_decay) {
+            check("day-7 decay", measured, expected);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for WorkloadFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "sessions/user/day:         {:.2}", self.sessions_per_user_day)?;
+        writeln!(f, "peak-to-mean demand:       {:.2}", self.peak_to_mean)?;
+        writeln!(f, "peak concurrency:          {:.1}% of users", 100.0 * self.peak_concurrency_fraction)?;
+        writeln!(f, "median session fraction:   {:.1}% of program", 100.0 * self.median_session_fraction)?;
+        writeln!(f, "past-halfway sessions:     {:.1}%", 100.0 * self.past_halfway_fraction)?;
+        writeln!(f, "top-5% program share:      {:.1}%", 100.0 * self.top5_share)?;
+        match self.day7_decay {
+            Some(d) => write!(f, "day-7 popularity:          {:.0}% of day-0", 100.0 * d),
+            None => write!(f, "day-7 popularity:          (window too short)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn synthetic_trace_matches_the_powerinfo_reference() {
+        let trace = generate(&SynthConfig {
+            users: 10_000,
+            programs: 900,
+            days: 16,
+            ..SynthConfig::powerinfo()
+        });
+        let fp = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
+        let deviations =
+            fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
+        assert!(
+            deviations.is_empty(),
+            "synthetic workload drifted from PowerInfo:\n{}",
+            deviations.join("\n")
+        );
+    }
+
+    #[test]
+    fn deviations_flag_a_flat_workload() {
+        // A deliberately non-PowerInfo workload: flat diurnal profile and
+        // long sessions.
+        let trace = generate(&SynthConfig {
+            users: 1_500,
+            programs: 300,
+            days: 10,
+            complete_view_prob: 0.9,
+            diurnal: crate::synth::DiurnalProfile::flat(),
+            ..SynthConfig::powerinfo()
+        });
+        let fp = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
+        let deviations =
+            fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
+        assert!(
+            deviations.iter().any(|d| d.starts_with("peak-to-mean")),
+            "flat profile must be flagged: {deviations:?}"
+        );
+        assert!(
+            deviations.iter().any(|d| d.starts_with("median session")),
+            "binge sessions must be flagged: {deviations:?}"
+        );
+    }
+
+    #[test]
+    fn display_renders_every_line() {
+        let fp = WorkloadFingerprint::powerinfo_reference();
+        let text = fp.to_string();
+        assert!(text.contains("sessions/user/day"));
+        assert!(text.contains("day-7"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        let trace = Trace::new(Vec::new(), crate::catalog::ProgramCatalog::new(), 1, 1)
+            .expect("empty ok");
+        let _ = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
+    }
+}

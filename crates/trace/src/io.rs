@@ -1,0 +1,204 @@
+//! Trace persistence in a simple CSV dialect.
+//!
+//! Format: a header line `user,program,start_secs,duration_secs,offset_secs`
+//! (the trailing offset column is optional on input) followed by
+//! one record per line. Program catalogs are stored alongside as
+//! `program,length_secs,introduced_day`. The format exists so traces can be
+//! inspected with standard tools and so a real PowerInfo-schema trace can be
+//! imported if available.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+use cablevod_hfc::ids::{ProgramId, UserId};
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::catalog::{ProgramCatalog, ProgramInfo};
+use crate::error::TraceError;
+use crate::record::{SessionRecord, Trace};
+
+/// Writes the session records of `trace` as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_records<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "user,program,start_secs,duration_secs,offset_secs")?;
+    for r in trace.iter() {
+        writeln!(
+            w,
+            "{},{},{},{},{}",
+            r.user.value(),
+            r.program.value(),
+            r.start.as_secs(),
+            r.duration.as_secs(),
+            r.offset.as_secs()
+        )?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the catalog of `trace` as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_catalog<W: Write>(catalog: &ProgramCatalog, writer: W) -> Result<(), TraceError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "program,length_secs,introduced_day")?;
+    for (id, info) in catalog.iter() {
+        writeln!(w, "{},{},{}", id.value(), info.length.as_secs(), info.introduced_day)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a catalog written by [`write_catalog`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on malformed lines and propagates I/O
+/// errors.
+pub fn read_catalog<R: Read>(reader: R) -> Result<ProgramCatalog, TraceError> {
+    let mut catalog = ProgramCatalog::new();
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 3 {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("expected 3 fields, got {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| {
+            s.trim().parse::<u64>().map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad {what}: {e}"),
+            })
+        };
+        let id = parse_u64(fields[0], "program id")?;
+        if id as usize != catalog.len() {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("program ids must be dense; expected {}, got {id}", catalog.len()),
+            });
+        }
+        let length = parse_u64(fields[1], "length")?;
+        let introduced_day =
+            fields[2].trim().parse::<i64>().map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad introduced_day: {e}"),
+            })?;
+        catalog.push(ProgramInfo { length: SimDuration::from_secs(length), introduced_day });
+    }
+    Ok(catalog)
+}
+
+/// Reads session records written by [`write_records`] and assembles a trace
+/// against `catalog`. The user count is inferred as `max user id + 1` and
+/// the day count from the last session end.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Parse`] on malformed lines, the `Dangling*`
+/// variants for references outside the catalog, and propagates I/O errors.
+pub fn read_records<R: Read>(reader: R, catalog: ProgramCatalog) -> Result<Trace, TraceError> {
+    let mut records = Vec::new();
+    let mut max_user = 0u32;
+    let mut max_end = 0u64;
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        if lineno == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        // Four columns is the PowerInfo schema; a fifth optional column
+        // carries the seek offset.
+        if fields.len() != 4 && fields.len() != 5 {
+            return Err(TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("expected 4 or 5 fields, got {}", fields.len()),
+            });
+        }
+        let mut nums = [0u64; 5];
+        for (i, f) in fields.iter().enumerate() {
+            nums[i] = f.trim().parse::<u64>().map_err(|e| TraceError::Parse {
+                line: lineno + 1,
+                reason: format!("bad field {}: {e}", i + 1),
+            })?;
+        }
+        let record = SessionRecord {
+            user: UserId::new(nums[0] as u32),
+            program: ProgramId::new(nums[1] as u32),
+            start: SimTime::from_secs(nums[2]),
+            duration: SimDuration::from_secs(nums[3]),
+            offset: SimDuration::from_secs(nums[4]),
+        };
+        max_user = max_user.max(record.user.value());
+        max_end = max_end.max(record.end().as_secs());
+        records.push(record);
+    }
+    let days = max_end.div_ceil(86_400).max(1);
+    Trace::new(records, catalog, max_user + 1, days)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let original = generate(&SynthConfig {
+            users: 200,
+            programs: 50,
+            days: 3,
+            ..SynthConfig::smoke_test()
+        });
+        let mut rec_buf = Vec::new();
+        let mut cat_buf = Vec::new();
+        write_records(&original, &mut rec_buf).expect("write records");
+        write_catalog(original.catalog(), &mut cat_buf).expect("write catalog");
+
+        let catalog = read_catalog(cat_buf.as_slice()).expect("read catalog");
+        assert_eq!(&catalog, original.catalog());
+        let restored = read_records(rec_buf.as_slice(), catalog).expect("read records");
+        assert_eq!(restored.records(), original.records());
+    }
+
+    #[test]
+    fn malformed_lines_report_line_numbers() {
+        let catalog = read_catalog("program,length_secs,introduced_day\n0,600,0\n".as_bytes())
+            .expect("valid catalog");
+        let bad = "user,program,start_secs,duration_secs\n0,0,10\n";
+        let err = read_records(bad.as_bytes(), catalog).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_dense_catalog_ids_rejected() {
+        let bad = "program,length_secs,introduced_day\n5,600,0\n";
+        assert!(matches!(
+            read_catalog(bad.as_bytes()),
+            Err(TraceError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn dangling_record_rejected_at_assembly() {
+        let catalog = read_catalog("program,length_secs,introduced_day\n0,600,0\n".as_bytes())
+            .expect("valid catalog");
+        let recs = "user,program,start_secs,duration_secs\n0,7,0,60\n";
+        assert!(matches!(
+            read_records(recs.as_bytes(), catalog),
+            Err(TraceError::DanglingProgram { .. })
+        ));
+    }
+}

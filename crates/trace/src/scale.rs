@@ -1,0 +1,246 @@
+//! Trace scaling for the population/catalog experiments (§V-A, Figs 15–16).
+//!
+//! The paper scales the trace rather than re-generating it, "to minimize
+//! the extent of the changes":
+//!
+//! * **Users ×n** — "We create n copies of each user, and for each event in
+//!   the trace, we execute n events — one for each copy — to the same
+//!   program. In this case, we randomly change the start time between 1 and
+//!   60 seconds to eliminate problems caused by synchronous accesses."
+//! * **Catalog ×n** — "we first create n copies of every program in the
+//!   trace. For each event in the trace, we substitute one of the n copies
+//!   of the original program at random."
+//!
+//! Both transforms are reimplemented here verbatim.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use cablevod_hfc::ids::{ProgramId, UserId};
+use cablevod_hfc::units::SimDuration;
+
+use crate::error::TraceError;
+use crate::record::{SessionRecord, Trace};
+
+/// Multiplies the user population by `factor`.
+///
+/// Copy `j` of user `u` gets id `u + j * original_users`. The original
+/// event keeps its start time; copies are jittered forward by 1–60 s.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ZeroScaleFactor`] if `factor` is zero.
+pub fn scale_users(trace: &Trace, factor: u32, seed: u64) -> Result<Trace, TraceError> {
+    if factor == 0 {
+        return Err(TraceError::ZeroScaleFactor);
+    }
+    if factor == 1 {
+        return Ok(trace.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5CA1E0);
+    let base_users = trace.user_count();
+    let mut records = Vec::with_capacity(trace.len() * factor as usize);
+    for r in trace.iter() {
+        records.push(*r);
+        for j in 1..factor {
+            let jitter = SimDuration::from_secs(rng.random_range(1..=60));
+            records.push(SessionRecord {
+                user: UserId::new(r.user.value() + j * base_users),
+                start: r.start + jitter,
+                ..*r
+            });
+        }
+    }
+    Trace::new(records, trace.catalog().clone(), base_users * factor, trace.days())
+}
+
+/// Multiplies the catalog by `factor`.
+///
+/// The catalog is replicated (copy `j` of program `p` has id
+/// `p + j * original_programs`); each event is remapped to a uniformly
+/// random copy of its original program. The event count is unchanged.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ZeroScaleFactor`] if `factor` is zero.
+pub fn scale_catalog(trace: &Trace, factor: u32, seed: u64) -> Result<Trace, TraceError> {
+    if factor == 0 {
+        return Err(TraceError::ZeroScaleFactor);
+    }
+    if factor == 1 {
+        return Ok(trace.clone());
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCA7A106);
+    let base_programs = trace.catalog().len() as u32;
+    let catalog = trace.catalog().replicate(factor);
+    let records: Vec<SessionRecord> = trace
+        .iter()
+        .map(|r| {
+            let copy = rng.random_range(0..factor);
+            SessionRecord {
+                program: ProgramId::new(r.program.value() + copy * base_programs),
+                ..*r
+            }
+        })
+        .collect();
+    Trace::new(records, catalog, trace.user_count(), trace.days())
+}
+
+/// Applies both scalings (users then catalog), the composition used by the
+/// Fig 15 / Table 16(a) grid.
+///
+/// # Errors
+///
+/// Returns [`TraceError::ZeroScaleFactor`] if either factor is zero.
+pub fn scale(
+    trace: &Trace,
+    user_factor: u32,
+    catalog_factor: u32,
+    seed: u64,
+) -> Result<Trace, TraceError> {
+    let scaled = scale_users(trace, user_factor, seed)?;
+    scale_catalog(&scaled, catalog_factor, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ProgramCatalog, ProgramInfo};
+    use cablevod_hfc::units::SimTime;
+
+    fn tiny_trace() -> Trace {
+        let catalog: ProgramCatalog = (0..3)
+            .map(|i| ProgramInfo {
+                length: SimDuration::from_minutes(30 + 10 * i),
+                introduced_day: 0,
+            })
+            .collect();
+        let records = vec![
+            SessionRecord::new(
+                UserId::new(0),
+                ProgramId::new(1),
+                SimTime::from_secs(100),
+                SimDuration::from_secs(600),
+            ),
+            SessionRecord::new(
+                UserId::new(1),
+                ProgramId::new(2),
+                SimTime::from_secs(5_000),
+                SimDuration::from_secs(120),
+            ),
+        ];
+        Trace::new(records, catalog, 2, 1).expect("valid")
+    }
+
+    #[test]
+    fn user_scaling_multiplies_events_with_jitter() {
+        let t = tiny_trace();
+        let scaled = scale_users(&t, 3, 7).expect("valid factor");
+        assert_eq!(scaled.len(), 6);
+        assert_eq!(scaled.user_count(), 6);
+        // Each original event appears once untouched and twice jittered by
+        // 1-60 s toward the same program.
+        let originals: Vec<_> =
+            scaled.iter().filter(|r| r.start == SimTime::from_secs(100)).collect();
+        assert_eq!(originals.len(), 1);
+        let copies: Vec<_> = scaled
+            .iter()
+            .filter(|r| {
+                r.program == ProgramId::new(1) && r.start > SimTime::from_secs(100)
+            })
+            .collect();
+        assert_eq!(copies.len(), 2);
+        for c in copies {
+            let delta = c.start.since(SimTime::from_secs(100)).as_secs();
+            assert!((1..=60).contains(&delta), "jitter {delta}");
+            assert_eq!(c.duration, SimDuration::from_secs(600));
+        }
+    }
+
+    #[test]
+    fn user_copy_ids_are_offset_by_population() {
+        let t = tiny_trace();
+        let scaled = scale_users(&t, 2, 7).expect("valid factor");
+        let mut users: Vec<u32> = scaled.iter().map(|r| r.user.value()).collect();
+        users.sort_unstable();
+        users.dedup();
+        assert_eq!(users, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn catalog_scaling_keeps_event_count_and_remaps() {
+        let t = tiny_trace();
+        let scaled = scale_catalog(&t, 4, 7).expect("valid factor");
+        assert_eq!(scaled.len(), t.len());
+        assert_eq!(scaled.catalog().len(), 12);
+        for (orig, new) in t.iter().zip(scaled.iter()) {
+            assert_eq!(new.program.value() % 3, orig.program.value());
+            assert_eq!(new.duration, orig.duration);
+            assert_eq!(new.start, orig.start);
+            // Copies preserve program length.
+            assert_eq!(
+                scaled.catalog().length(new.program),
+                t.catalog().length(orig.program)
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_scaling_spreads_over_copies() {
+        // With many events, all copies of a popular program should receive
+        // some traffic.
+        let catalog: ProgramCatalog = std::iter::once(ProgramInfo {
+            length: SimDuration::from_minutes(60),
+            introduced_day: 0,
+        })
+        .collect();
+        let records: Vec<SessionRecord> = (0..1_000)
+            .map(|i| {
+                SessionRecord::new(
+                    UserId::new(0),
+                    ProgramId::new(0),
+                    SimTime::from_secs(i),
+                    SimDuration::from_secs(60),
+                )
+            })
+            .collect();
+        let t = Trace::new(records, catalog, 1, 1).expect("valid");
+        let scaled = scale_catalog(&t, 5, 3).expect("valid factor");
+        let mut seen = [false; 5];
+        for r in scaled.iter() {
+            seen[(r.program.value() / 1) as usize % 5] = true;
+        }
+        let copies_hit = scaled
+            .iter()
+            .map(|r| r.program.value())
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        assert_eq!(copies_hit, 5, "all five copies should be exercised");
+        let _ = seen;
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let t = tiny_trace();
+        assert_eq!(scale_users(&t, 1, 0).expect("ok"), t);
+        assert_eq!(scale_catalog(&t, 1, 0).expect("ok"), t);
+    }
+
+    #[test]
+    fn zero_factor_errors() {
+        let t = tiny_trace();
+        assert!(matches!(scale_users(&t, 0, 0), Err(TraceError::ZeroScaleFactor)));
+        assert!(matches!(scale_catalog(&t, 0, 0), Err(TraceError::ZeroScaleFactor)));
+    }
+
+    #[test]
+    fn combined_scale_multiplies_both_axes() {
+        let t = tiny_trace();
+        let scaled = scale(&t, 2, 3, 11).expect("valid factors");
+        assert_eq!(scaled.len(), 4);
+        assert_eq!(scaled.user_count(), 4);
+        assert_eq!(scaled.catalog().len(), 9);
+        assert!(scaled.is_sorted());
+    }
+}

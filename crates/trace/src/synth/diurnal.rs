@@ -1,0 +1,149 @@
+//! Hour-of-day activity shape (Fig 7).
+//!
+//! The paper observes that "user activity reaches its climax between 7PM
+//! and 11PM in the evening" and evaluates everything over that window. The
+//! default profile reproduces the shape of Fig 7: a quiet early morning, a
+//! steady climb through the afternoon, a sharp evening peak and a fall-off
+//! after 11 PM.
+
+use serde::{Deserialize, Serialize};
+
+use cablevod_hfc::meter::{PEAK_END_HOUR, PEAK_START_HOUR};
+
+/// Relative activity weight for each hour of the day.
+///
+/// Weights are relative; the generator normalizes by their sum. All weights
+/// must be non-negative and at least one positive.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_trace::synth::DiurnalProfile;
+///
+/// let profile = DiurnalProfile::paper_default();
+/// // The evening peak dominates any morning hour.
+/// assert!(profile.share(21) > 4.0 * profile.share(6));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiurnalProfile {
+    weights: [f64; 24],
+    total: f64,
+}
+
+impl DiurnalProfile {
+    /// Eyeballed from Fig 7 of the paper (average Gb/s per hour of day for
+    /// the full PowerInfo trace).
+    const PAPER_WEIGHTS: [f64; 24] = [
+        2.5, 1.5, 1.0, 0.8, 0.7, 0.8, // 00-05: night trough
+        1.0, 1.5, 2.5, 4.0, 5.5, 6.5, // 06-11: morning ramp
+        8.0, 9.0, 10.0, 11.0, 12.0, 13.0, // 12-17: afternoon climb
+        15.0, 17.0, 19.0, 19.5, 18.0, 10.0, // 18-23: evening peak and drop
+    ];
+
+    /// Builds a profile from 24 hourly weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight is negative/non-finite or all are zero.
+    pub fn new(weights: [f64; 24]) -> Self {
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "diurnal weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one diurnal weight must be positive");
+        DiurnalProfile { weights, total }
+    }
+
+    /// The Fig 7 shape.
+    pub fn paper_default() -> Self {
+        DiurnalProfile::new(Self::PAPER_WEIGHTS)
+    }
+
+    /// A flat profile (useful to isolate diurnal effects in tests).
+    pub fn flat() -> Self {
+        DiurnalProfile::new([1.0; 24])
+    }
+
+    /// Fraction of a day's sessions starting within hour `hour`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn share(&self, hour: u64) -> f64 {
+        assert!(hour < 24, "hour of day must be < 24");
+        self.weights[hour as usize] / self.total
+    }
+
+    /// Mean per-hour share inside the paper's 7–11 PM peak window.
+    pub fn peak_hour_share(&self) -> f64 {
+        (PEAK_START_HOUR..PEAK_END_HOUR).map(|h| self.share(h)).sum::<f64>()
+            / (PEAK_END_HOUR - PEAK_START_HOUR) as f64
+    }
+
+    /// Ratio of the peak-window mean to the all-day mean — how "peaky" the
+    /// profile is.
+    pub fn peak_to_mean(&self) -> f64 {
+        self.peak_hour_share() * 24.0
+    }
+
+    /// The raw weights.
+    pub fn weights(&self) -> &[f64; 24] {
+        &self.weights
+    }
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let p = DiurnalProfile::paper_default();
+        let sum: f64 = (0..24).map(|h| p.share(h)).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_window_is_the_maximum() {
+        let p = DiurnalProfile::paper_default();
+        let peak = p.peak_hour_share();
+        for h in 0..19 {
+            assert!(p.share(h) <= peak * 1.01, "hour {h} exceeds peak mean");
+        }
+    }
+
+    #[test]
+    fn paper_profile_is_sufficiently_peaky() {
+        // Fig 7 peaks near 19-20 Gb/s against an all-day mean around 8.
+        let ratio = DiurnalProfile::paper_default().peak_to_mean();
+        assert!((2.0..2.7).contains(&ratio), "peak-to-mean {ratio}");
+    }
+
+    #[test]
+    fn flat_profile_is_uniform() {
+        let p = DiurnalProfile::flat();
+        assert!((p.share(3) - 1.0 / 24.0).abs() < 1e-12);
+        assert!((p.peak_to_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weight_panics() {
+        let mut w = [1.0; 24];
+        w[5] = -1.0;
+        let _ = DiurnalProfile::new(w);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn all_zero_weights_panic() {
+        let _ = DiurnalProfile::new([0.0; 24]);
+    }
+}

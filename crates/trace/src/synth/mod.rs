@@ -1,0 +1,18 @@
+//! Synthetic PowerInfo-like workload generation.
+//!
+//! The PowerInfo trace itself is proprietary; this module generates traces
+//! with the same schema and the same statistical fingerprint (see
+//! `DESIGN.md §3` for the substitution argument and the calibration
+//! targets). Entry point: [`generate`] with a [`SynthConfig`].
+
+mod config;
+mod diurnal;
+mod generator;
+mod popularity;
+mod sessions;
+
+pub use config::SynthConfig;
+pub use diurnal::DiurnalProfile;
+pub use generator::{build_catalog, generate};
+pub use popularity::PopularityModel;
+pub use sessions::SessionLengthModel;

@@ -1,0 +1,195 @@
+//! Time-varying program popularity.
+//!
+//! A program's instantaneous request weight is
+//!
+//! ```text
+//! w_i(t) = zipf(rank_i) * age_factor(t - introduced_i)
+//! ```
+//!
+//! * `zipf(rank)` — a static Zipf law over a random permutation of the
+//!   catalog (the "small number of extremely popular programs" of Fig 2);
+//! * `age_factor(Δ)` — 0 before introduction, 1 at introduction, decaying
+//!   exponentially to a small floor so that day-7 popularity is 20 % of
+//!   day-0 (Fig 12: "A week after introduction, programs are accessed 80 %
+//!   less often than the first day").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use cablevod_hfc::ids::ProgramId;
+
+use crate::catalog::ProgramCatalog;
+use crate::dist::{zipf_weights, WeightedIndex};
+
+/// The popularity model: per-program base weights plus the age decay curve.
+#[derive(Debug, Clone)]
+pub struct PopularityModel {
+    base: Vec<f64>,
+    introduced_day: Vec<i64>,
+    floor: f64,
+    lambda_per_day: f64,
+}
+
+impl PopularityModel {
+    /// Builds the model for `catalog`.
+    ///
+    /// Zipf ranks are assigned by a permutation drawn from `seed` —
+    /// popularity is independent of catalog order. `floor` and
+    /// `day7_fraction` shape the decay as described in the module docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog is empty or `day7_fraction` is not in
+    /// `(floor, 1]`.
+    pub fn new(catalog: &ProgramCatalog, zipf_s: f64, floor: f64, day7_fraction: f64, seed: u64) -> Self {
+        assert!(!catalog.is_empty(), "popularity model needs a non-empty catalog");
+        assert!(
+            day7_fraction > floor && day7_fraction <= 1.0,
+            "day7 fraction must lie in (floor, 1]"
+        );
+        let n = catalog.len();
+        let mut ranks: Vec<usize> = (0..n).collect();
+        ranks.shuffle(&mut StdRng::seed_from_u64(seed ^ 0x504F50));
+        let zipf = zipf_weights(n, zipf_s);
+        let mut base = vec![0.0; n];
+        for (i, &rank) in ranks.iter().enumerate() {
+            base[i] = zipf[rank];
+        }
+        let introduced_day = catalog.iter().map(|(_, p)| p.introduced_day).collect();
+        // Solve floor + (1-floor) e^(-λ·7) = day7_fraction for λ.
+        let lambda_per_day = ((1.0 - floor) / (day7_fraction - floor)).ln() / 7.0;
+        PopularityModel { base, introduced_day, floor, lambda_per_day }
+    }
+
+    /// Number of programs covered.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Whether the model covers no programs (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// The age-decay multiplier for a program `age_days` after its
+    /// introduction. Zero for negative ages (not yet introduced).
+    pub fn age_factor(&self, age_days: f64) -> f64 {
+        if age_days < 0.0 {
+            0.0
+        } else {
+            self.floor + (1.0 - self.floor) * (-self.lambda_per_day * age_days).exp()
+        }
+    }
+
+    /// Instantaneous weight of `program` at fractional trace day `day`.
+    pub fn weight_on_day(&self, program: ProgramId, day: f64) -> f64 {
+        let age = day - self.introduced_day[program.index()] as f64;
+        self.base[program.index()] * self.age_factor(age)
+    }
+
+    /// Sampling table for trace day `day`, evaluated at midday. Returns
+    /// `None` when no program has been introduced yet.
+    pub fn day_table(&self, day: u64) -> Option<WeightedIndex> {
+        let midday = day as f64 + 0.5;
+        WeightedIndex::new(
+            (0..self.base.len()).map(|i| self.weight_on_day(ProgramId::new(i as u32), midday)),
+        )
+    }
+
+    /// Base (age-independent) weight of `program`.
+    pub fn base_weight(&self, program: ProgramId) -> f64 {
+        self.base[program.index()]
+    }
+
+    /// Share of total *base* weight held by the `top_fraction` most popular
+    /// programs — a quick skew diagnostic used in calibration tests.
+    pub fn head_share(&self, top_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&top_fraction), "fraction in [0,1]");
+        let mut sorted = self.base.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+        let k = ((sorted.len() as f64 * top_fraction).round() as usize).min(sorted.len());
+        let head: f64 = sorted[..k].iter().sum();
+        let total: f64 = sorted.iter().sum();
+        head / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ProgramInfo;
+    use cablevod_hfc::units::SimDuration;
+
+    fn catalog(n: u32, intro: impl Fn(u32) -> i64) -> ProgramCatalog {
+        (0..n)
+            .map(|i| ProgramInfo {
+                length: SimDuration::from_minutes(60),
+                introduced_day: intro(i),
+            })
+            .collect()
+    }
+
+    fn model(catalog: &ProgramCatalog) -> PopularityModel {
+        PopularityModel::new(catalog, 0.8, 0.04, 0.2, 42)
+    }
+
+    #[test]
+    fn day7_decay_is_eighty_percent() {
+        let c = catalog(10, |_| 0);
+        let m = model(&c);
+        assert!((m.age_factor(0.0) - 1.0).abs() < 1e-12);
+        assert!((m.age_factor(7.0) - 0.2).abs() < 1e-9);
+        assert!(m.age_factor(100.0) >= 0.04);
+        assert_eq!(m.age_factor(-1.0), 0.0);
+    }
+
+    #[test]
+    fn unintroduced_programs_have_zero_weight() {
+        let c = catalog(4, |i| if i == 0 { 0 } else { 100 });
+        let m = model(&c);
+        let table = m.day_table(2).expect("program 0 is live");
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert_eq!(table.sample(&mut rng), 0, "only the introduced program is drawn");
+        }
+    }
+
+    #[test]
+    fn no_live_programs_yields_no_table() {
+        let c = catalog(3, |_| 50);
+        let m = model(&c);
+        assert!(m.day_table(10).is_none());
+        assert!(m.day_table(60).is_some());
+    }
+
+    #[test]
+    fn fresh_programs_outweigh_stale_equals() {
+        let c = catalog(2, |i| if i == 0 { 0 } else { -100 });
+        let m = model(&c);
+        let w_fresh = m.weight_on_day(ProgramId::new(0), 0.5) / m.base_weight(ProgramId::new(0));
+        let w_stale = m.weight_on_day(ProgramId::new(1), 0.5) / m.base_weight(ProgramId::new(1));
+        assert!(w_fresh > 10.0 * w_stale, "fresh {w_fresh} vs stale {w_stale}");
+    }
+
+    #[test]
+    fn head_share_reflects_zipf_skew() {
+        let c = catalog(1_000, |_| 0);
+        let m = model(&c);
+        let head = m.head_share(0.1);
+        // Zipf(0.8) over 1000 items: top 10% should hold a large minority.
+        assert!((0.3..0.7).contains(&head), "head share {head}");
+        assert!(m.head_share(1.0) > 0.999);
+    }
+
+    #[test]
+    fn rank_permutation_depends_on_seed_not_order() {
+        let c = catalog(50, |_| 0);
+        let a = PopularityModel::new(&c, 0.8, 0.04, 0.2, 1);
+        let b = PopularityModel::new(&c, 0.8, 0.04, 0.2, 2);
+        let same = (0..50)
+            .filter(|&i| a.base_weight(ProgramId::new(i)) == b.base_weight(ProgramId::new(i)))
+            .count();
+        assert!(same < 25, "different seeds should permute ranks differently");
+    }
+}

@@ -1,0 +1,27 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use cablevod_trace::record::Trace;
+use cablevod_trace::synth::{generate, SynthConfig};
+
+/// A mid-sized deterministic workload shared by the integration tests:
+/// big enough that caches, quantiles and placement all engage, small
+/// enough to keep the suite fast.
+pub fn medium_trace() -> Trace {
+    generate(&SynthConfig {
+        users: 2_000,
+        programs: 500,
+        days: 8,
+        ..SynthConfig::powerinfo()
+    })
+}
+
+/// A deliberately tiny workload for property tests that run many cases.
+pub fn tiny_config(users: u32, programs: u32, days: u64, seed: u64) -> SynthConfig {
+    SynthConfig {
+        users,
+        programs,
+        days,
+        seed,
+        ..SynthConfig::powerinfo()
+    }
+}
