@@ -21,7 +21,12 @@ fn lfu_access(c: &mut Criterion) {
             for i in 0..N {
                 ops.clear();
                 let program = ProgramId::new(((i * 7919) % 701) as u32);
-                lfu.on_access(program, 1 + (program.value() % 12), SimTime::from_secs(i * 37), &mut ops);
+                lfu.on_access(
+                    program,
+                    1 + (program.value() % 12),
+                    SimTime::from_secs(i * 37),
+                    &mut ops,
+                );
             }
             black_box(lfu.used_slots())
         })
@@ -60,7 +65,9 @@ fn lfu_access(c: &mut Criterion) {
     });
 
     group.bench_function("ecdf_build_and_query", |b| {
-        let samples: Vec<f64> = (0..50_000).map(|i| ((i * 48_271) % 100_000) as f64).collect();
+        let samples: Vec<f64> = (0..50_000)
+            .map(|i| ((i * 48_271) % 100_000) as f64)
+            .collect();
         b.iter(|| {
             let ecdf = Ecdf::from_samples(samples.iter().copied());
             black_box((ecdf.quantile(0.5), ecdf.largest_atom(1_000.0, 60.0)))

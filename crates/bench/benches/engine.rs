@@ -1,12 +1,17 @@
 //! Engine throughput benches: simulated sessions per second for each
-//! strategy, plus workload generation and trace scaling.
+//! strategy (serial and sharded-parallel), plus workload generation and
+//! trace scaling.
+//!
+//! Set `BENCH_JSON=BENCH_engine.json` to append one JSON line per
+//! measurement — CI uses this to track the serial-vs-parallel throughput
+//! trajectory.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use cablevod_bench::bench_trace;
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
-use cablevod_sim::{run, SimConfig};
+use cablevod_sim::{run, run_parallel, SimConfig};
 use cablevod_trace::scale;
 use cablevod_trace::synth::{generate, SynthConfig};
 
@@ -27,6 +32,26 @@ fn engine_throughput(c: &mut Criterion) {
     ] {
         let config = base.clone().with_strategy(spec);
         group.bench_function(name, |b| b.iter(|| run(trace, &config).expect("runs")));
+    }
+    group.finish();
+}
+
+/// The sharded engine over worker-pool sizes, on the same workload and
+/// config as the serial `engine` group so `engine/lfu` vs
+/// `engine_parallel/threads/N` is a direct serial-vs-parallel comparison.
+fn engine_parallel_throughput(c: &mut Criterion) {
+    let trace = bench_trace();
+    let mut group = c.benchmark_group("engine_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    let config = SimConfig::paper_default()
+        .with_neighborhood_size(500)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("threads", threads), |b| {
+            b.iter(|| run_parallel(trace, &config, threads).expect("runs"))
+        });
     }
     group.finish();
 }
@@ -52,5 +77,10 @@ fn workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engine_throughput, workload_generation);
+criterion_group!(
+    benches,
+    engine_throughput,
+    engine_parallel_throughput,
+    workload_generation
+);
 criterion_main!(benches);

@@ -18,14 +18,14 @@ fn knapsack_bound(trace: &Trace, from_day: u64, fraction: f64) -> f64 {
         bytes[r.program.index()] += w;
         total_watched += w;
     }
-    let sizes: Vec<u64> =
-        catalog.iter().map(|(_, info)| info.length.as_secs()).collect();
+    let sizes: Vec<u64> = catalog
+        .iter()
+        .map(|(_, info)| info.length.as_secs())
+        .collect();
     let budget = (sizes.iter().sum::<u64>() as f64 * fraction) as u64;
     let mut order: Vec<usize> = (0..bytes.len()).collect();
     // Density order: watched seconds per stored second.
-    order.sort_unstable_by(|&a, &b| {
-        (bytes[b] * sizes[a]).cmp(&(bytes[a] * sizes[b]))
-    });
+    order.sort_unstable_by(|&a, &b| (bytes[b] * sizes[a]).cmp(&(bytes[a] * sizes[b])));
     let mut used = 0u64;
     let mut captured = 0u64;
     for i in order {
@@ -48,21 +48,25 @@ fn main() {
             ..SynthConfig::experiment_default()
         };
         let trace = generate(&cfg);
-        let nocache =
-            baseline::no_cache_peak(&trace, BitRate::STREAM_MPEG2_SD, 14, trace.days());
+        let nocache = baseline::no_cache_peak(&trace, BitRate::STREAM_MPEG2_SD, 14, trace.days());
         println!(
             "floor={floor}: nocache {:.1} | knapsack bound @3.6% {:.1}% @36% {:.1}%",
             nocache.mean.as_gbps(),
             100.0 * knapsack_bound(&trace, 14, 0.036),
             100.0 * knapsack_bound(&trace, 14, 0.36),
         );
-        for (gb, lru, prefetch) in
-            [(1u64, false, true), (10, false, true), (1, true, true), (10, true, true)]
-        {
+        for (gb, lru, prefetch) in [
+            (1u64, false, true),
+            (10, false, true),
+            (1, true, true),
+            (10, true, true),
+        ] {
             let strategy = if lru {
                 StrategySpec::Lru
             } else {
-                StrategySpec::Lfu { history: SimDuration::from_days(7) }
+                StrategySpec::Lfu {
+                    history: SimDuration::from_days(7),
+                }
             };
             let mut config = SimConfig::paper_default()
                 .with_per_peer_storage(DataSize::from_gigabytes(gb))

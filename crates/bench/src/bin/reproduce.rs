@@ -32,7 +32,11 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: "default".into(), exps: None, out: None };
+    let mut args = Args {
+        scale: "default".into(),
+        exps: None,
+        out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -64,7 +68,10 @@ fn workload(scale: &str) -> SynthConfig {
             days: 10,
             ..SynthConfig::powerinfo()
         },
-        "default" => SynthConfig { days: 21, ..SynthConfig::experiment_default() },
+        "default" => SynthConfig {
+            days: 21,
+            ..SynthConfig::experiment_default()
+        },
         "full" => SynthConfig::powerinfo(),
         other => {
             eprintln!("unknown scale {other} (quick|default|full)");
@@ -160,7 +167,11 @@ fn main() {
         }
     }
 
-    let _ = writeln!(doc, "\nTotal wall time: {:.0}s.", t0.elapsed().as_secs_f64());
+    let _ = writeln!(
+        doc,
+        "\nTotal wall time: {:.0}s.",
+        t0.elapsed().as_secs_f64()
+    );
     if let Some(path) = args.out {
         std::fs::write(&path, &doc).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");

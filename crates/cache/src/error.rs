@@ -46,7 +46,11 @@ pub enum CacheError {
 impl fmt::Display for CacheError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CacheError::PlacementOverflow { program, requested, free } => write!(
+            CacheError::PlacementOverflow {
+                program,
+                requested,
+                free,
+            } => write!(
                 f,
                 "no free slots placing {program}: requested {requested}, free {free}"
             ),
@@ -97,7 +101,9 @@ mod tests {
 
     #[test]
     fn stb_errors_chain() {
-        let inner = HfcError::UnknownPeer { peer: PeerId::new(1) };
+        let inner = HfcError::UnknownPeer {
+            peer: PeerId::new(1),
+        };
         let err = CacheError::from(inner);
         assert!(err.source().is_some());
     }

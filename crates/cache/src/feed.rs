@@ -54,7 +54,9 @@ impl GlobalFeed {
     /// event.
     pub fn publish(&mut self, event: FeedEvent) {
         debug_assert!(
-            self.events.last().is_none_or(|last| last.time <= event.time),
+            self.events
+                .last()
+                .is_none_or(|last| last.time <= event.time),
             "feed events must be published in time order"
         );
         self.events.push(event);
@@ -98,7 +100,12 @@ impl GlobalLfu {
         lag: SimDuration,
         home: NeighborhoodId,
     ) -> Self {
-        GlobalLfu { core: WindowedLfu::new(capacity_slots, window), home, lag, cursor: 0 }
+        GlobalLfu {
+            core: WindowedLfu::new(capacity_slots, window),
+            home,
+            lag,
+            cursor: 0,
+        }
     }
 
     /// The batching lag.
@@ -151,9 +158,10 @@ impl CacheStrategy for GlobalLfu {
     /// Ingests newly visible remote accesses. Counts only — rebalancing
     /// happens at the next local access, when admissions can actually be
     /// placed.
-    fn sync_global(&mut self, feed: &GlobalFeed, now: SimTime) {
+    fn sync_global(&mut self, feed: &GlobalFeed, now: SimTime, limit: usize) {
         let events = feed.events();
-        while self.cursor < events.len() {
+        let limit = limit.min(events.len());
+        while self.cursor < limit {
             let ev = events[self.cursor];
             if !self.visible(ev.time, now) {
                 break;
@@ -195,14 +203,17 @@ mod tests {
         let mut feed = GlobalFeed::new();
         feed.publish(ev(100, 1, 7));
         let mut s = lfu(0);
-        s.sync_global(&feed, SimTime::from_secs(100));
+        s.sync_global(&feed, SimTime::from_secs(100), feed.len());
         assert_eq!(s.cursor(), 1);
         // Remote count is pending; a local access triggers admission of the
         // remotely-hot program alongside the local one.
         let mut ops = Vec::new();
         s.on_access(ProgramId::new(3), 1, SimTime::from_secs(101), &mut ops);
         assert!(ops.contains(&CacheOp::Admit(ProgramId::new(3))));
-        assert!(ops.contains(&CacheOp::Admit(ProgramId::new(7))), "ops {ops:?}");
+        assert!(
+            ops.contains(&CacheOp::Admit(ProgramId::new(7))),
+            "ops {ops:?}"
+        );
     }
 
     #[test]
@@ -212,10 +223,10 @@ mod tests {
         feed.publish(ev(lag + 10, 1, 7)); // batch 1
         let mut s = lfu(lag);
         // Still inside batch 1: not visible.
-        s.sync_global(&feed, SimTime::from_secs(2 * lag - 1));
+        s.sync_global(&feed, SimTime::from_secs(2 * lag - 1), feed.len());
         assert_eq!(s.cursor(), 0);
         // After the boundary: visible.
-        s.sync_global(&feed, SimTime::from_secs(2 * lag));
+        s.sync_global(&feed, SimTime::from_secs(2 * lag), feed.len());
         assert_eq!(s.cursor(), 1);
     }
 
@@ -225,13 +236,34 @@ mod tests {
         feed.publish(ev(10, 0, 7)); // home neighborhood
         feed.publish(ev(11, 2, 8));
         let mut s = lfu(0);
-        s.sync_global(&feed, SimTime::from_secs(20));
+        s.sync_global(&feed, SimTime::from_secs(20), feed.len());
         assert_eq!(s.cursor(), 2);
         // Program 7 was home-published: not counted via the feed.
         let mut ops = Vec::new();
         s.on_access(ProgramId::new(1), 1, SimTime::from_secs(21), &mut ops);
         assert!(ops.contains(&CacheOp::Admit(ProgramId::new(8))));
-        assert!(!ops.contains(&CacheOp::Admit(ProgramId::new(7))), "ops {ops:?}");
+        assert!(
+            !ops.contains(&CacheOp::Admit(ProgramId::new(7))),
+            "ops {ops:?}"
+        );
+    }
+
+    #[test]
+    fn limit_bounds_consumption_like_serial_publication() {
+        // A shard holding the full precomputed feed must not look past the
+        // publication bound, even when later events are time-visible.
+        let mut feed = GlobalFeed::new();
+        feed.publish(ev(10, 1, 7));
+        feed.publish(ev(10, 2, 8)); // same time, "published later"
+        let mut s = lfu(0);
+        s.sync_global(&feed, SimTime::from_secs(10), 1);
+        assert_eq!(s.cursor(), 1, "second event is beyond the bound");
+        // The next sync (bound advanced) picks it up.
+        s.sync_global(&feed, SimTime::from_secs(10), feed.len());
+        assert_eq!(s.cursor(), 2);
+        // A bound beyond the feed is clamped.
+        s.sync_global(&feed, SimTime::from_secs(11), 99);
+        assert_eq!(s.cursor(), 2);
     }
 
     #[test]
@@ -239,8 +271,8 @@ mod tests {
         let mut feed = GlobalFeed::new();
         feed.publish(ev(10, 1, 7));
         let mut s = lfu(0);
-        s.sync_global(&feed, SimTime::from_secs(20));
-        s.sync_global(&feed, SimTime::from_secs(30));
+        s.sync_global(&feed, SimTime::from_secs(20), feed.len());
+        s.sync_global(&feed, SimTime::from_secs(30), feed.len());
         assert_eq!(s.cursor(), 1, "event consumed exactly once");
     }
 
@@ -254,7 +286,7 @@ mod tests {
             SimDuration::ZERO,
             NeighborhoodId::new(0),
         );
-        s.sync_global(&feed, SimTime::from_secs(20));
+        s.sync_global(&feed, SimTime::from_secs(20), feed.len());
         // Two hours later the remote access is stale; only the fresh local
         // program gets admitted.
         let mut ops = Vec::new();

@@ -13,11 +13,9 @@
 //!   server, broadcast, and optionally let a placed peer capture the
 //!   broadcast into its cache).
 
-use std::collections::{HashMap, HashSet};
-
 use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId, SegmentId};
 use cablevod_hfc::segment::Segmenter;
-use cablevod_hfc::topology::Topology;
+use cablevod_hfc::stb::StbStore;
 use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
@@ -108,7 +106,27 @@ impl IndexStats {
     }
 }
 
+/// Placement and fill state of one admitted program.
+///
+/// `peers[k]` hosts synthetic segment index `k` (replica `j` of real
+/// segment `i` lives at `k = i + j * count`); `materialized[k]` tracks
+/// whether that copy's bytes are actually present. Both vectors have
+/// length `count * replication`.
+#[derive(Debug, Clone)]
+struct CachedProgram {
+    length: SimDuration,
+    admitted_at: SimTime,
+    peers: Vec<PeerId>,
+    materialized: Vec<bool>,
+}
+
 /// The per-neighborhood cache orchestrator.
+///
+/// Program ids are dense catalog indices (see `cablevod_hfc::ids`), so all
+/// per-program bookkeeping lives in a `Vec` indexed by
+/// `ProgramId::index()` — the hot path does no hashing. Peer mutation goes
+/// through [`StbStore`], so the same index server drives both the serial
+/// whole-plant engine and the sharded per-neighborhood engine.
 #[derive(Debug)]
 pub struct IndexServer {
     home: NeighborhoodId,
@@ -121,9 +139,9 @@ pub struct IndexServer {
     /// under synthetic segment indices `i + j * count` for replica `j` —
     /// ids stay unique per (peer, segment) with zero extra structure.
     replication: u8,
-    locations: HashMap<SegmentId, PeerId>,
-    materialized: HashSet<SegmentId>,
-    admitted: HashMap<ProgramId, (SimDuration, SimTime)>,
+    /// Dense per-program table, lazily grown; `None` = not admitted.
+    programs: Vec<Option<CachedProgram>>,
+    cached_count: usize,
     stats: IndexStats,
     ops: Vec<CacheOp>,
 }
@@ -178,9 +196,8 @@ impl IndexServer {
             ledger,
             fill,
             replication,
-            locations: HashMap::new(),
-            materialized: HashSet::new(),
-            admitted: HashMap::new(),
+            programs: Vec::new(),
+            cached_count: 0,
             stats: IndexStats::default(),
             ops: Vec::new(),
         }
@@ -214,28 +231,44 @@ impl IndexServer {
 
     /// Number of programs currently admitted.
     pub fn cached_programs(&self) -> usize {
-        self.admitted.len()
+        self.cached_count
     }
 
     /// When `program` was admitted, if it is currently cached.
     pub fn admitted_at(&self, program: ProgramId) -> Option<SimTime> {
-        self.admitted.get(&program).map(|&(_, at)| at)
+        self.entry(program).map(|e| e.admitted_at)
     }
 
     /// Where `segment` is placed, if admitted.
     pub fn location_of(&self, segment: SegmentId) -> Option<PeerId> {
-        self.locations.get(&segment).copied()
+        self.entry(segment.program())
+            .and_then(|e| e.peers.get(usize::from(segment.index())))
+            .copied()
     }
 
     /// Whether `segment`'s content is actually present on its peer.
     pub fn is_materialized(&self, segment: SegmentId) -> bool {
-        self.materialized.contains(&segment)
+        self.entry(segment.program())
+            .and_then(|e| e.materialized.get(usize::from(segment.index())))
+            .copied()
+            .unwrap_or(false)
     }
 
-    /// Ingests newly visible global-feed events (no-op for local
-    /// strategies).
-    pub fn sync_feed(&mut self, feed: &GlobalFeed, now: SimTime) {
-        self.strategy.sync_global(feed, now);
+    fn entry(&self, program: ProgramId) -> Option<&CachedProgram> {
+        self.programs.get(program.index()).and_then(Option::as_ref)
+    }
+
+    /// Ingests global-feed events that are newly visible at `now` **and**
+    /// published at or before global record index `limit` (exclusive).
+    /// No-op for local strategies.
+    ///
+    /// The explicit bound is what lets the sharded engine hand every shard
+    /// the full precomputed feed while reproducing the serial engine's
+    /// prefix-visibility semantics exactly (the serial engine grows the
+    /// feed one record at a time, so at record `r` only events `0..=r`
+    /// exist).
+    pub fn sync_feed(&mut self, feed: &GlobalFeed, now: SimTime, limit: usize) {
+        self.strategy.sync_global(feed, now, limit);
     }
 
     /// Observes a program access (session start): updates the strategy and
@@ -246,21 +279,20 @@ impl IndexServer {
     ///
     /// Propagates placement/storage failures; these indicate broken
     /// invariants, not recoverable conditions.
-    pub fn on_program_access(
+    pub fn on_program_access<S: StbStore + ?Sized>(
         &mut self,
         program: ProgramId,
         length: SimDuration,
         now: SimTime,
-        topo: &mut Topology,
+        stbs: &mut S,
     ) -> Result<(), CacheError> {
-        let cost =
-            u32::from(self.segmenter.segment_count(length)) * u32::from(self.replication);
+        let cost = u32::from(self.segmenter.segment_count(length)) * u32::from(self.replication);
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
         self.strategy.on_access(program, cost, now, &mut ops);
         for op in &ops {
             match *op {
-                CacheOp::Evict(p) => self.execute_evict(p, topo)?,
+                CacheOp::Evict(p) => self.execute_evict(p, stbs)?,
                 CacheOp::Admit(p) => {
                     // The strategy may admit programs other than the one
                     // being accessed (global feeds, Oracle prefetch); their
@@ -272,7 +304,7 @@ impl IndexServer {
                     } else {
                         self.length_from_cost(p)?
                     };
-                    self.execute_admit(p, len, now, topo)?;
+                    self.execute_admit(p, len, now, stbs)?;
                 }
             }
         }
@@ -296,45 +328,53 @@ impl IndexServer {
     ///
     /// Propagates unknown-peer failures from the topology (broken
     /// invariants).
-    pub fn resolve_segment(
+    pub fn resolve_segment<S: StbStore + ?Sized>(
         &mut self,
         segment: SegmentId,
         session_start: SimTime,
         now: SimTime,
         end: SimTime,
-        topo: &mut Topology,
+        stbs: &mut S,
     ) -> Result<Resolution, CacheError> {
         let program = segment.program();
-        let Some(&(length, admitted_at)) = self.admitted.get(&program) else {
+        let Some(entry) = self
+            .programs
+            .get_mut(program.index())
+            .and_then(Option::as_mut)
+        else {
             self.stats.miss_uncached += 1;
             return Ok(Resolution::Miss(MissReason::Uncached));
         };
         // Causality: content pushed by an admission triggered during this
         // session cannot serve it — the push *is* the server stream this
         // session is watching (see the method docs).
-        if self.fill == FillPolicy::Prefetch && admitted_at >= session_start {
+        if self.fill == FillPolicy::Prefetch && entry.admitted_at >= session_start {
             self.stats.miss_not_materialized += 1;
             return Ok(Resolution::Miss(MissReason::NotMaterialized));
         }
-        if !self.materialized.contains(&segment) {
+        let seg_pos = usize::from(segment.index());
+        if !entry.materialized.get(seg_pos).copied().unwrap_or(false) {
             // Fig 4, step 4: the assigned peer(s) read the miss broadcast.
             if self.fill == FillPolicy::OnBroadcast {
-                self.materialized.insert(segment);
-                self.stats.capture_fills += 1;
+                if let Some(slot) = entry.materialized.get_mut(seg_pos) {
+                    *slot = true;
+                    self.stats.capture_fills += 1;
+                }
             }
             self.stats.miss_not_materialized += 1;
             return Ok(Resolution::Miss(MissReason::NotMaterialized));
         }
         // Try each replica in placement order until one has a free slot.
-        let count = self.segmenter.segment_count(length);
+        let count = self.segmenter.segment_count(entry.length);
         for replica in 0..self.replication {
-            let sid = SegmentId::new(program, segment.index() + u16::from(replica) * count);
-            let peer = self.locations.get(&sid).copied().ok_or_else(|| {
+            let pos = seg_pos + usize::from(replica) * usize::from(count);
+            let peer = entry.peers.get(pos).copied().ok_or_else(|| {
+                let sid = SegmentId::new(program, segment.index() + u16::from(replica) * count);
                 CacheError::InconsistentState {
                     reason: format!("admitted segment {sid} has no location"),
                 }
             })?;
-            if topo.stb_mut(peer)?.try_start_stream(now, end) {
+            if stbs.stb_mut(peer)?.try_start_stream(now, end) {
                 self.stats.hits += 1;
                 return Ok(Resolution::PeerHit(peer));
             }
@@ -343,14 +383,18 @@ impl IndexServer {
         Ok(Resolution::Miss(MissReason::PeerBusy))
     }
 
-    fn execute_admit(
+    fn execute_admit<S: StbStore + ?Sized>(
         &mut self,
         program: ProgramId,
         length: SimDuration,
         now: SimTime,
-        topo: &mut Topology,
+        stbs: &mut S,
     ) -> Result<(), CacheError> {
-        if self.admitted.contains_key(&program) {
+        let idx = program.index();
+        if idx >= self.programs.len() {
+            self.programs.resize_with(idx + 1, || None);
+        }
+        if self.programs[idx].is_some() {
             return Err(CacheError::InconsistentState {
                 reason: format!("admit of already-admitted {program}"),
             });
@@ -361,37 +405,39 @@ impl IndexServer {
         let prefetch = self.fill == FillPolicy::Prefetch;
         for (i, &peer) in peers.iter().enumerate() {
             let segment = SegmentId::new(program, i as u16);
-            if self.locations.insert(segment, peer).is_some() {
-                return Err(CacheError::DuplicatePlacement { segment });
-            }
-            topo.stb_mut(peer)?.store(segment, self.nominal_segment)?;
-            if prefetch {
-                self.materialized.insert(segment);
-            }
+            stbs.stb_mut(peer)?.store(segment, self.nominal_segment)?;
         }
-        self.admitted.insert(program, (length, now));
+        self.programs[idx] = Some(CachedProgram {
+            length,
+            admitted_at: now,
+            peers,
+            materialized: vec![prefetch; usize::from(total)],
+        });
+        self.cached_count += 1;
         self.stats.admissions += 1;
         Ok(())
     }
 
-    fn execute_evict(&mut self, program: ProgramId, topo: &mut Topology) -> Result<(), CacheError> {
-        let Some((length, _)) = self.admitted.remove(&program) else {
+    fn execute_evict<S: StbStore + ?Sized>(
+        &mut self,
+        program: ProgramId,
+        stbs: &mut S,
+    ) -> Result<(), CacheError> {
+        let Some(entry) = self
+            .programs
+            .get_mut(program.index())
+            .and_then(Option::take)
+        else {
             return Err(CacheError::InconsistentState {
                 reason: format!("evict of unadmitted {program}"),
             });
         };
-        let total = self.segmenter.segment_count(length) * u16::from(self.replication);
-        for i in 0..total {
-            let segment = SegmentId::new(program, i);
-            let peer = self.locations.remove(&segment).ok_or_else(|| {
-                CacheError::InconsistentState {
-                    reason: format!("admitted segment {segment} has no location"),
-                }
-            })?;
-            topo.stb_mut(peer)?.delete(segment, self.nominal_segment)?;
+        for (i, &peer) in entry.peers.iter().enumerate() {
+            let segment = SegmentId::new(program, i as u16);
+            stbs.stb_mut(peer)?.delete(segment, self.nominal_segment)?;
             self.ledger.release(peer)?;
-            self.materialized.remove(&segment);
         }
+        self.cached_count -= 1;
         self.stats.evictions += 1;
         Ok(())
     }
@@ -401,11 +447,12 @@ impl IndexServer {
     /// `cost × segment_len` yields a segment count identical to the true
     /// length's — storage accounting stays exact.
     fn length_from_cost(&self, program: ProgramId) -> Result<SimDuration, CacheError> {
-        let cost = self.strategy.cost_of(program).ok_or_else(|| {
-            CacheError::InconsistentState {
+        let cost = self
+            .strategy
+            .cost_of(program)
+            .ok_or_else(|| CacheError::InconsistentState {
                 reason: format!("strategy admitted {program} without a known cost"),
-            }
-        })?;
+            })?;
         Ok(self.segmenter.segment_len() * u64::from(cost / u32::from(self.replication)))
     }
 }
@@ -415,7 +462,7 @@ mod tests {
     use super::*;
     use crate::placement::PlacementPolicy;
     use crate::strategy::StrategySpec;
-    use cablevod_hfc::topology::TopologyConfig;
+    use cablevod_hfc::topology::{Topology, TopologyConfig};
     use cablevod_hfc::units::BitRate;
 
     const PEERS: u32 = 6;
@@ -440,13 +487,15 @@ mod tests {
             .members()
             .iter()
             .map(|&p| {
-                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
-                    / nominal.as_bits()) as u32;
+                let slots =
+                    (topo.stb(p).expect("exists").capacity().as_bits() / nominal.as_bits()) as u32;
                 (p, slots)
             })
             .collect::<Vec<_>>();
         let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
-        let strategy = spec.build(ledger.total_slots(), home, None).expect("buildable");
+        let strategy = spec
+            .build(ledger.total_slots(), home, None)
+            .expect("buildable");
         (IndexServer::new(home, strategy, segmenter, ledger), topo)
     }
 
@@ -471,10 +520,17 @@ mod tests {
         assert_eq!(index.cached_programs(), 1);
         assert!(index.location_of(seg(0, 0)).is_some());
         assert!(index.location_of(seg(0, 1)).is_some());
-        assert!(!index.is_materialized(seg(0, 0)), "fill-on-broadcast starts cold");
+        assert!(
+            !index.is_materialized(seg(0, 0)),
+            "fill-on-broadcast starts cold"
+        );
         // Peer storage reflects the placement.
         let stored: usize = (0..PEERS)
-            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .map(|i| {
+                topo.stb(PeerId::new(i))
+                    .expect("exists")
+                    .stored_segment_count()
+            })
             .sum();
         assert_eq!(stored, 2);
     }
@@ -486,11 +542,15 @@ mod tests {
             .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
             .expect("admit");
         let end = t(300);
-        let r = index.resolve_segment(seg(0, 0), t(0), t(0), end, &mut topo).expect("resolve");
+        let r = index
+            .resolve_segment(seg(0, 0), t(0), t(0), end, &mut topo)
+            .expect("resolve");
         assert_eq!(r, Resolution::Miss(MissReason::NotMaterialized));
         assert!(index.is_materialized(seg(0, 0)), "broadcast captured");
         // Second request: now a peer hit.
-        let r = index.resolve_segment(seg(0, 0), t(400), t(400), t(700), &mut topo).expect("resolve");
+        let r = index
+            .resolve_segment(seg(0, 0), t(400), t(400), t(700), &mut topo)
+            .expect("resolve");
         assert!(r.is_hit(), "{r:?}");
         assert_eq!(index.stats().hits, 1);
         assert_eq!(index.stats().miss_not_materialized, 1);
@@ -500,7 +560,9 @@ mod tests {
     #[test]
     fn unknown_program_misses_uncached() {
         let (mut index, mut topo) = build(StrategySpec::Lru);
-        let r = index.resolve_segment(seg(9, 0), t(0), t(0), t(300), &mut topo).expect("resolve");
+        let r = index
+            .resolve_segment(seg(9, 0), t(0), t(0), t(300), &mut topo)
+            .expect("resolve");
         assert_eq!(r, Resolution::Miss(MissReason::Uncached));
         assert_eq!(index.stats().miss_uncached, 1);
     }
@@ -512,12 +574,22 @@ mod tests {
             .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
             .expect("admit");
         // Materialize.
-        index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("capture");
+        index
+            .resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo)
+            .expect("capture");
         // Two concurrent hits saturate the peer's two slots.
         let end = t(1_000);
-        assert!(index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("hit").is_hit());
-        assert!(index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("hit").is_hit());
-        let r = index.resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo).expect("resolve");
+        assert!(index
+            .resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo)
+            .expect("hit")
+            .is_hit());
+        assert!(index
+            .resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo)
+            .expect("hit")
+            .is_hit());
+        let r = index
+            .resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo)
+            .expect("resolve");
         assert_eq!(r, Resolution::Miss(MissReason::PeerBusy));
         assert_eq!(index.stats().miss_peer_busy, 1);
         // After the streams end the peer serves again.
@@ -534,19 +606,34 @@ mod tests {
         // 2. Ten programs (20 slots) forces evictions.
         for p in 0..10u32 {
             index
-                .on_program_access(ProgramId::new(p), ten_minutes(), t(u64::from(p) * 100), &mut topo)
+                .on_program_access(
+                    ProgramId::new(p),
+                    ten_minutes(),
+                    t(u64::from(p) * 100),
+                    &mut topo,
+                )
                 .expect("access");
         }
         assert!(index.stats().evictions >= 1);
         let stored: usize = (0..PEERS)
-            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .map(|i| {
+                topo.stb(PeerId::new(i))
+                    .expect("exists")
+                    .stored_segment_count()
+            })
             .sum();
-        assert_eq!(stored, index.cached_programs() * 2, "stb storage mirrors admissions");
+        assert_eq!(
+            stored,
+            index.cached_programs() * 2,
+            "stb storage mirrors admissions"
+        );
         assert!(stored <= 18);
         // Program 0 (least recent) must be gone; its segments no longer
         // resolve to peers.
         assert_eq!(
-            index.resolve_segment(seg(0, 0), t(5_000), t(5_000), t(5_300), &mut topo).expect("resolve"),
+            index
+                .resolve_segment(seg(0, 0), t(5_000), t(5_000), t(5_300), &mut topo)
+                .expect("resolve"),
             Resolution::Miss(MissReason::Uncached)
         );
     }
@@ -570,8 +657,8 @@ mod tests {
             .members()
             .iter()
             .map(|&p| {
-                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
-                    / nominal.as_bits()) as u32;
+                let slots =
+                    (topo.stb(p).expect("exists").capacity().as_bits() / nominal.as_bits()) as u32;
                 (p, slots)
             })
             .collect();
@@ -591,7 +678,9 @@ mod tests {
         // Causality: the access that triggered the admission cannot be
         // served by the just-pushed content...
         assert_eq!(
-            index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("resolve"),
+            index
+                .resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo)
+                .expect("resolve"),
             Resolution::Miss(MissReason::NotMaterialized)
         );
         // ...but any later access hits without a capture step.
@@ -618,25 +707,33 @@ mod tests {
             .members()
             .iter()
             .map(|&p| {
-                let slots = (topo.stb(p).expect("exists").capacity().as_bits()
-                    / nominal.as_bits()) as u32;
+                let slots =
+                    (topo.stb(p).expect("exists").capacity().as_bits() / nominal.as_bits()) as u32;
                 (p, slots)
             })
             .collect();
         let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
-        let strategy = StrategySpec::Lru.build(ledger.total_slots(), home, None).expect("lru");
+        let strategy = StrategySpec::Lru
+            .build(ledger.total_slots(), home, None)
+            .expect("lru");
         let mut index = IndexServer::with_replication(home, strategy, segmenter, ledger, 2);
         index
             .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
             .expect("admit");
         // 2 segments x 2 replicas = 4 slots placed.
         let stored: usize = (0..PEERS)
-            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .map(|i| {
+                topo.stb(PeerId::new(i))
+                    .expect("exists")
+                    .stored_segment_count()
+            })
             .sum();
         assert_eq!(stored, 4);
         // Materialize segment 0, then saturate the first replica's peer:
         // the second replica still serves.
-        index.resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo).expect("capture");
+        index
+            .resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo)
+            .expect("capture");
         let mut hits = 0;
         for _ in 0..4 {
             if index
@@ -647,19 +744,33 @@ mod tests {
                 hits += 1;
             }
         }
-        assert_eq!(hits, 4, "two replicas x two slots serve four concurrent streams");
         assert_eq!(
-            index.resolve_segment(seg(0, 0), t(500), t(500), t(900), &mut topo).expect("resolve"),
+            hits, 4,
+            "two replicas x two slots serve four concurrent streams"
+        );
+        assert_eq!(
+            index
+                .resolve_segment(seg(0, 0), t(500), t(500), t(900), &mut topo)
+                .expect("resolve"),
             Resolution::Miss(MissReason::PeerBusy)
         );
         // Eviction releases every replica.
         for p in 1..10u32 {
             index
-                .on_program_access(ProgramId::new(p), ten_minutes(), t(1_000 + u64::from(p)), &mut topo)
+                .on_program_access(
+                    ProgramId::new(p),
+                    ten_minutes(),
+                    t(1_000 + u64::from(p)),
+                    &mut topo,
+                )
                 .expect("access");
         }
         let stored: usize = (0..PEERS)
-            .map(|i| topo.stb(PeerId::new(i)).expect("exists").stored_segment_count())
+            .map(|i| {
+                topo.stb(PeerId::new(i))
+                    .expect("exists")
+                    .stored_segment_count()
+            })
             .sum();
         assert_eq!(stored, index.cached_programs() * 4);
     }
@@ -668,11 +779,10 @@ mod tests {
     fn capacity_mismatch_panics() {
         let (_, topo) = build(StrategySpec::Lru);
         let segmenter = Segmenter::paper_default();
-        let ledger = SlotLedger::new(
-            vec![(PeerId::new(0), 3)],
-            PlacementPolicy::Balanced,
-        );
-        let strategy = StrategySpec::Lru.build(999, NeighborhoodId::new(0), None).expect("ok");
+        let ledger = SlotLedger::new(vec![(PeerId::new(0), 3)], PlacementPolicy::Balanced);
+        let strategy = StrategySpec::Lru
+            .build(999, NeighborhoodId::new(0), None)
+            .expect("ok");
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             IndexServer::new(NeighborhoodId::new(0), strategy, segmenter, ledger)
         }));

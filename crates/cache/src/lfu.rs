@@ -25,7 +25,7 @@
 //! substituting the real LRU strategy at history 0 (see
 //! `cablevod::experiments::fig11`), matching §VI-A.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, VecDeque};
 
 use cablevod_hfc::ids::ProgramId;
 use cablevod_hfc::units::{SimDuration, SimTime};
@@ -43,9 +43,30 @@ struct Entry {
     last_seq: u64,
     cost: u32,
     cached: bool,
+    /// Whether this dense-table slot holds a tracked program. Dead slots
+    /// are skipped by every query; reviving one resets its fields.
+    live: bool,
+}
+
+impl Entry {
+    const DEAD: Entry = Entry {
+        count: 0,
+        last_seq: 0,
+        cost: 0,
+        cached: false,
+        live: false,
+    };
 }
 
 /// The windowed-LFU cache strategy.
+///
+/// Program ids are dense catalog indices, so per-program state lives in a
+/// lazily-grown `Vec` (`entries`) rather than a hash map, and the event
+/// window is a monotonic `VecDeque` ring rather than an ordered map: the
+/// engine feeds each neighborhood's accesses in nondecreasing time order,
+/// so expiry pops from the front. The rare out-of-order insert (global-feed
+/// events whose batch boundary passed after newer local accesses were
+/// recorded) binary-searches its slot near the back, keeping expiry exact.
 #[derive(Debug)]
 pub struct WindowedLfu {
     capacity: u64,
@@ -58,10 +79,11 @@ pub struct WindowedLfu {
     /// paper leaves admission damping unspecified; see module docs).
     swap_margin: u32,
     seq: u64,
-    /// Events in the window, keyed by (event time, insertion seq) so expiry
-    /// is exact even when remote events arrive late (global variants).
-    history: BTreeMap<(SimTime, u64), ProgramId>,
-    entries: HashMap<ProgramId, Entry>,
+    /// Events in the window as `(event time, insertion seq, program)`,
+    /// sorted ascending by `(time, seq)`.
+    history: VecDeque<(SimTime, u64, ProgramId)>,
+    /// Dense per-program table indexed by `ProgramId::index()`.
+    entries: Vec<Entry>,
     cached: BTreeSet<Score>,
     candidates: BTreeSet<Score>,
 }
@@ -83,11 +105,24 @@ impl WindowedLfu {
             window,
             swap_margin: Self::DEFAULT_SWAP_MARGIN,
             seq: 0,
-            history: BTreeMap::new(),
-            entries: HashMap::new(),
+            history: VecDeque::new(),
+            entries: Vec::new(),
             cached: BTreeSet::new(),
             candidates: BTreeSet::new(),
         }
+    }
+
+    /// The dense-table slot for `program`, growing the table on demand.
+    fn entry_mut(&mut self, program: ProgramId) -> &mut Entry {
+        let idx = program.index();
+        if idx >= self.entries.len() {
+            self.entries.resize(idx + 1, Entry::DEAD);
+        }
+        &mut self.entries[idx]
+    }
+
+    fn live_entry(&self, program: ProgramId) -> Option<&Entry> {
+        self.entries.get(program.index()).filter(|e| e.live)
     }
 
     /// Overrides the swap margin (1 = pure strict dominance).
@@ -113,12 +148,16 @@ impl WindowedLfu {
     pub(crate) fn record(&mut self, program: ProgramId, cost: u32, at: SimTime) {
         self.seq += 1;
         let seq = self.seq;
-        let entry = self.entries.entry(program).or_insert(Entry {
-            count: 0,
-            last_seq: 0,
-            cost,
-            cached: false,
-        });
+        let entry = self.entry_mut(program);
+        if !entry.live {
+            *entry = Entry {
+                count: 0,
+                last_seq: 0,
+                cost,
+                cached: false,
+                live: true,
+            };
+        }
         let old = (entry.count, entry.last_seq, program);
         entry.count += 1;
         entry.last_seq = seq;
@@ -131,7 +170,22 @@ impl WindowedLfu {
             self.candidates.remove(&old); // no-op for brand-new entries
             self.candidates.insert(new);
         }
-        self.history.insert((at, seq), program);
+        // Ring insert: local accesses arrive in nondecreasing time, so the
+        // overwhelmingly common case is a push at the back. Remote
+        // global-feed events can carry older timestamps; they settle into
+        // place by binary search so front-to-back expiry stays exact.
+        if self
+            .history
+            .back()
+            .is_none_or(|&(t, s, _)| (t, s) <= (at, seq))
+        {
+            self.history.push_back((at, seq, program));
+        } else {
+            let pos = self
+                .history
+                .partition_point(|&(t, s, _)| (t, s) <= (at, seq));
+            self.history.insert(pos, (at, seq, program));
+        }
     }
 
     /// Drops events older than the window and decrements their counts.
@@ -139,11 +193,15 @@ impl WindowedLfu {
         let Some(cutoff) = now.as_secs().checked_sub(self.window.as_secs()) else {
             return;
         };
-        // Everything with event time <= cutoff leaves the window.
-        let keep = self.history.split_off(&(SimTime::from_secs(cutoff + 1), 0));
-        let expired = std::mem::replace(&mut self.history, keep);
-        for (_, program) in expired {
-            let entry = self.entries.get_mut(&program).expect("history refers to live entry");
+        // Everything with event time <= cutoff leaves the window: pop the
+        // sorted ring from the front.
+        while let Some(&(t, _, program)) = self.history.front() {
+            if t.as_secs() > cutoff {
+                break;
+            }
+            self.history.pop_front();
+            let entry = &mut self.entries[program.index()];
+            debug_assert!(entry.live, "history refers to live entry");
             let old = (entry.count, entry.last_seq, program);
             entry.count -= 1;
             let new = (entry.count, entry.last_seq, program);
@@ -152,7 +210,7 @@ impl WindowedLfu {
                 self.cached.insert(new);
             } else if entry.count == 0 {
                 self.candidates.remove(&old);
-                self.entries.remove(&program);
+                *entry = Entry::DEAD;
             } else {
                 self.candidates.remove(&old);
                 self.candidates.insert(new);
@@ -162,7 +220,8 @@ impl WindowedLfu {
 
     fn admit(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
         let program = score.2;
-        let entry = self.entries.get_mut(&program).expect("admitting known program");
+        let entry = &mut self.entries[program.index()];
+        debug_assert!(entry.live, "admitting known program");
         debug_assert!(!entry.cached);
         entry.cached = true;
         self.used += u64::from(entry.cost);
@@ -173,7 +232,8 @@ impl WindowedLfu {
 
     fn evict(&mut self, score: Score, ops: &mut Vec<CacheOp>) {
         let program = score.2;
-        let entry = self.entries.get_mut(&program).expect("evicting known program");
+        let entry = &mut self.entries[program.index()];
+        debug_assert!(entry.live, "evicting known program");
         debug_assert!(entry.cached);
         entry.cached = false;
         self.used -= u64::from(entry.cost);
@@ -181,7 +241,7 @@ impl WindowedLfu {
         if entry.count > 0 {
             self.candidates.insert(score);
         } else {
-            self.entries.remove(&program);
+            *entry = Entry::DEAD;
         }
         ops.push(CacheOp::Evict(program));
     }
@@ -202,7 +262,7 @@ impl WindowedLfu {
                 Some(b) => self.candidates.range(..b).next_back().copied(),
             };
             let Some(candidate) = candidate else { break };
-            let cost = u64::from(self.entries[&candidate.2].cost);
+            let cost = u64::from(self.entries[candidate.2.index()].cost);
             if cost > self.capacity {
                 // Can never fit at any occupancy; skip it but keep its
                 // counts tracked (it may fit a larger cache after a
@@ -224,7 +284,7 @@ impl WindowedLfu {
                 if victim.0 + self.swap_margin > candidate.0 {
                     break;
                 }
-                freed += u64::from(self.entries[&victim.2].cost);
+                freed += u64::from(self.entries[victim.2.index()].cost);
                 victims.push(victim);
                 if self.used + cost - freed <= self.capacity {
                     break;
@@ -244,20 +304,24 @@ impl WindowedLfu {
 
     /// Windowed access count of `program` (0 when unknown).
     pub fn count_of(&self, program: ProgramId) -> u32 {
-        self.entries.get(&program).map_or(0, |e| e.count)
+        self.live_entry(program).map_or(0, |e| e.count)
     }
 
     /// Guarantees the just-accessed program is an admission candidate even
     /// if its own event already expired (window 0): it then carries a
     /// count-0, freshest-recency score — exactly the LRU degeneration.
     pub(crate) fn ensure_candidate(&mut self, program: ProgramId, cost: u32) {
-        if !self.entries.contains_key(&program) {
+        if self.live_entry(program).is_none() {
             self.seq += 1;
-            self.entries.insert(
-                program,
-                Entry { count: 0, last_seq: self.seq, cost, cached: false },
-            );
-            self.candidates.insert((0, self.seq, program));
+            let seq = self.seq;
+            *self.entry_mut(program) = Entry {
+                count: 0,
+                last_seq: seq,
+                cost,
+                cached: false,
+                live: true,
+            };
+            self.candidates.insert((0, seq, program));
         }
     }
 }
@@ -275,11 +339,11 @@ impl CacheStrategy for WindowedLfu {
     }
 
     fn contains(&self, program: ProgramId) -> bool {
-        self.entries.get(&program).is_some_and(|e| e.cached)
+        self.live_entry(program).is_some_and(|e| e.cached)
     }
 
     fn cost_of(&self, program: ProgramId) -> Option<u32> {
-        self.entries.get(&program).map(|e| e.cost)
+        self.live_entry(program).map(|e| e.cost)
     }
 
     fn used_slots(&self) -> u64 {
@@ -322,7 +386,7 @@ mod tests {
         let mut lfu = WindowedLfu::new(8, day(1));
         access(&mut lfu, 0, 4, 0); // count 1, cached
         access(&mut lfu, 1, 4, 1); // count 1, cached; cache full
-        // Program 2 accessed three times: must displace one of the singles.
+                                   // Program 2 accessed three times: must displace one of the singles.
         access(&mut lfu, 2, 4, 2);
         access(&mut lfu, 2, 4, 3);
         let ops = access(&mut lfu, 2, 4, 4);
@@ -412,7 +476,7 @@ mod tests {
         let mut lfu = WindowedLfu::new(4, day(1));
         access(&mut lfu, 0, 4, 0);
         access(&mut lfu, 0, 4, 1); // count 2, fills cache
-        // Candidate with count 1 and cost 4 cannot displace count 2.
+                                   // Candidate with count 1 and cost 4 cannot displace count 2.
         let before = lfu.used_slots();
         access(&mut lfu, 1, 4, 2);
         assert_eq!(lfu.used_slots(), before);
@@ -425,7 +489,10 @@ mod tests {
         access(&mut lfu, 0, 4, 0);
         for t in 1..5 {
             let ops = access(&mut lfu, 1, 9, t); // cost exceeds capacity
-            assert!(!ops.iter().any(|o| matches!(o, CacheOp::Evict(_))), "{ops:?}");
+            assert!(
+                !ops.iter().any(|o| matches!(o, CacheOp::Evict(_))),
+                "{ops:?}"
+            );
         }
         assert!(lfu.contains(p(0)));
     }
@@ -442,6 +509,76 @@ mod tests {
     }
 
     #[test]
+    fn ring_expiry_at_exact_window_edges() {
+        // The ring must drop events with time <= now - window and keep
+        // events one second inside it — exactly the BTreeMap cutoff the
+        // ring replaced.
+        let window = 3_600u64;
+        let mut lfu = WindowedLfu::new(8, SimDuration::from_secs(window));
+        access(&mut lfu, 0, 4, 0); // event at t=0
+        access(&mut lfu, 1, 4, 1); // event at t=1
+
+        // At now = window exactly: the t=0 event sits on the cutoff
+        // (0 <= now - window) and leaves; t=1 survives.
+        lfu.expire(SimTime::from_secs(window));
+        assert_eq!(lfu.count_of(p(0)), 0, "event at cutoff must expire");
+        assert_eq!(
+            lfu.count_of(p(1)),
+            1,
+            "event one inside the window survives"
+        );
+
+        // One second later the t=1 event hits the cutoff too.
+        lfu.expire(SimTime::from_secs(window + 1));
+        assert_eq!(lfu.count_of(p(1)), 0);
+    }
+
+    #[test]
+    fn ring_handles_same_second_bursts_across_the_edge() {
+        let window = 100u64;
+        let mut lfu = WindowedLfu::new(16, SimDuration::from_secs(window));
+        for _ in 0..3 {
+            access(&mut lfu, 0, 2, 50); // three events in the same second
+        }
+        assert_eq!(lfu.count_of(p(0)), 3);
+        // now - window == 49: all three still inside.
+        lfu.expire(SimTime::from_secs(149));
+        assert_eq!(lfu.count_of(p(0)), 3);
+        // now - window == 50: the whole burst expires atomically.
+        lfu.expire(SimTime::from_secs(150));
+        assert_eq!(lfu.count_of(p(0)), 0);
+    }
+
+    #[test]
+    fn out_of_order_remote_events_keep_expiry_exact() {
+        // Global variants record remote events with timestamps older than
+        // already-recorded local ones; the ring's binary-search insert
+        // must keep front-to-back expiry exact.
+        let mut lfu = WindowedLfu::new(16, SimDuration::from_secs(100));
+        lfu.record(p(0), 2, SimTime::from_secs(80)); // local, newer
+        lfu.record(p(1), 2, SimTime::from_secs(30)); // remote, older
+        lfu.record(p(2), 2, SimTime::from_secs(55)); // remote, middle
+        assert_eq!(
+            (lfu.count_of(p(0)), lfu.count_of(p(1)), lfu.count_of(p(2))),
+            (1, 1, 1)
+        );
+        // now - window == 30: only the t=30 remote event expires, even
+        // though it was inserted after the t=80 local one.
+        lfu.expire(SimTime::from_secs(130));
+        assert_eq!(
+            (lfu.count_of(p(0)), lfu.count_of(p(1)), lfu.count_of(p(2))),
+            (1, 0, 1)
+        );
+        lfu.expire(SimTime::from_secs(155));
+        assert_eq!(
+            (lfu.count_of(p(0)), lfu.count_of(p(1)), lfu.count_of(p(2))),
+            (1, 0, 0)
+        );
+        lfu.expire(SimTime::from_secs(180));
+        assert_eq!(lfu.count_of(p(0)), 0);
+    }
+
+    #[test]
     fn ops_mirror_contains_state() {
         // Replaying the emitted ops against a shadow set must equal the
         // strategy's own view.
@@ -450,7 +587,12 @@ mod tests {
         for i in 0..3_000u64 {
             let program = (i * 31 % 41) as u32;
             let mut ops = Vec::new();
-            lfu.on_access(p(program), 1 + program % 5, SimTime::from_secs(i * 211), &mut ops);
+            lfu.on_access(
+                p(program),
+                1 + program % 5,
+                SimTime::from_secs(i * 211),
+                &mut ops,
+            );
             for op in ops {
                 match op {
                     CacheOp::Admit(q) => assert!(shadow.insert(q), "double admit {q}"),

@@ -28,12 +28,21 @@ pub struct Lru {
 impl Lru {
     /// Creates an LRU cache with the given slot capacity.
     pub fn new(capacity_slots: u64) -> Self {
-        Lru { capacity: capacity_slots, used: 0, seq: 0, entries: HashMap::new(), queue: BTreeSet::new() }
+        Lru {
+            capacity: capacity_slots,
+            used: 0,
+            seq: 0,
+            entries: HashMap::new(),
+            queue: BTreeSet::new(),
+        }
     }
 
     fn touch(&mut self, program: ProgramId) {
         self.seq += 1;
-        let entry = self.entries.get_mut(&program).expect("touch of cached program");
+        let entry = self
+            .entries
+            .get_mut(&program)
+            .expect("touch of cached program");
         let removed = self.queue.remove(&(entry.0, program));
         debug_assert!(removed, "queue and entries must agree");
         entry.0 = self.seq;
@@ -41,9 +50,16 @@ impl Lru {
     }
 
     fn evict_oldest(&mut self, ops: &mut Vec<CacheOp>) {
-        let &(seq, victim) = self.queue.iter().next().expect("evict from non-empty queue");
+        let &(seq, victim) = self
+            .queue
+            .iter()
+            .next()
+            .expect("evict from non-empty queue");
         self.queue.remove(&(seq, victim));
-        let (_, cost) = self.entries.remove(&victim).expect("queued program has entry");
+        let (_, cost) = self
+            .entries
+            .remove(&victim)
+            .expect("queued program has entry");
         self.used -= u64::from(cost);
         ops.push(CacheOp::Evict(victim));
     }
@@ -138,7 +154,11 @@ mod tests {
         let ops = access(&mut lru, 3, 8, 3);
         assert_eq!(
             ops,
-            vec![CacheOp::Evict(p(0)), CacheOp::Evict(p(1)), CacheOp::Admit(p(3))]
+            vec![
+                CacheOp::Evict(p(0)),
+                CacheOp::Evict(p(1)),
+                CacheOp::Admit(p(3))
+            ]
         );
         assert_eq!(lru.used_slots(), 3 + 8);
     }

@@ -239,8 +239,7 @@ impl CacheStrategy for Oracle {
     }
 
     fn cost_of(&self, program: ProgramId) -> Option<u32> {
-        (program.index() < self.schedule.costs.len())
-            .then(|| self.schedule.cost(program))
+        (program.index() < self.schedule.costs.len()).then(|| self.schedule.cost(program))
     }
 
     fn used_slots(&self) -> u64 {
@@ -282,14 +281,14 @@ mod tests {
     #[test]
     fn caches_the_future_favorite() {
         // Program 1 will be hit 3 times in the next 3 days; program 0 once.
-        let sched = schedule(
-            &[(0, 0), (100, 1), (200, 1), (300, 1)],
-            vec![1, 1],
-        );
+        let sched = schedule(&[(0, 0), (100, 1), (200, 1), (300, 1)], vec![1, 1]);
         let mut oracle = Oracle::new(1, SimDuration::from_days(3), sched);
         let mut ops = Vec::new();
         oracle.on_access(p(0), 1, t(0), &mut ops);
-        assert!(oracle.contains(p(1)), "oracle must hold the future favorite: {ops:?}");
+        assert!(
+            oracle.contains(p(1)),
+            "oracle must hold the future favorite: {ops:?}"
+        );
         assert!(!oracle.contains(p(0)));
         assert_eq!(oracle.future_count(p(1)), 3);
     }
@@ -356,8 +355,9 @@ mod tests {
     #[test]
     fn used_never_exceeds_capacity_under_sweep() {
         // Random-ish schedule; walk the window across it.
-        let events: Vec<(u64, u32)> =
-            (0..2_000u64).map(|i| (i * 500, (i * 7919 % 37) as u32)).collect();
+        let events: Vec<(u64, u32)> = (0..2_000u64)
+            .map(|i| (i * 500, (i * 7919 % 37) as u32))
+            .collect();
         let costs = (0..37).map(|c| 1 + c % 5).collect();
         let sched = schedule(&events, costs);
         let mut oracle = Oracle::new(30, SimDuration::from_days(3), sched);

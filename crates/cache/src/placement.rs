@@ -160,7 +160,10 @@ impl SlotLedger {
     /// neighborhood and [`CacheError::InconsistentState`] if the peer has
     /// no outstanding slot.
     pub fn release(&mut self, peer: PeerId) -> Result<(), CacheError> {
-        let &idx = self.index_of.get(&peer).ok_or(CacheError::UnknownPeer { peer })?;
+        let &idx = self
+            .index_of
+            .get(&peer)
+            .ok_or(CacheError::UnknownPeer { peer })?;
         let limit = self.slot_limit(idx);
         if self.free[idx] >= limit {
             return Err(CacheError::InconsistentState {
@@ -181,8 +184,10 @@ impl SlotLedger {
 
     fn pop_most_free(&mut self) -> usize {
         loop {
-            let (f, Reverse(idx)) =
-                self.heap.pop().expect("total_free > 0 guarantees a heap entry");
+            let (f, Reverse(idx)) = self
+                .heap
+                .pop()
+                .expect("total_free > 0 guarantees a heap entry");
             if self.free[idx] == f && f > 0 {
                 return idx;
             }
@@ -241,7 +246,11 @@ mod tests {
         let mut unique: Vec<_> = placed.iter().map(|p| p.value()).collect();
         unique.sort_unstable();
         unique.dedup();
-        assert_eq!(unique.len(), 10, "balanced placement must spread: {placed:?}");
+        assert_eq!(
+            unique.len(),
+            10,
+            "balanced placement must spread: {placed:?}"
+        );
         assert_eq!(ledger.total_free(), 30);
     }
 
@@ -269,8 +278,7 @@ mod tests {
 
     #[test]
     fn random_uses_only_free_peers() {
-        let mut ledger =
-            SlotLedger::new(peers(4, 2), PlacementPolicy::Random { seed: 42 });
+        let mut ledger = SlotLedger::new(peers(4, 2), PlacementPolicy::Random { seed: 42 });
         let placed = ledger.place(prog(), 8).expect("fits exactly");
         assert_eq!(ledger.total_free(), 0);
         let mut counts = [0u32; 4];
@@ -284,7 +292,14 @@ mod tests {
     fn overflow_is_reported_not_partial() {
         let mut ledger = SlotLedger::new(peers(2, 2), PlacementPolicy::Balanced);
         let err = ledger.place(prog(), 5).unwrap_err();
-        assert!(matches!(err, CacheError::PlacementOverflow { requested: 5, free: 4, .. }));
+        assert!(matches!(
+            err,
+            CacheError::PlacementOverflow {
+                requested: 5,
+                free: 4,
+                ..
+            }
+        ));
         // Nothing was consumed.
         assert_eq!(ledger.total_free(), 4);
     }

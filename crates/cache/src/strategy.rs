@@ -86,7 +86,13 @@ pub trait CacheStrategy: fmt::Debug + Send {
 
     /// Ingests remote-neighborhood accesses from the global feed (only the
     /// global-LFU variants use this; the default is a no-op).
-    fn sync_global(&mut self, _feed: &GlobalFeed, _now: SimTime) {}
+    ///
+    /// Only events below index `limit` may be consumed, on top of the
+    /// usual time-visibility rule. The engine sets `limit` to the number
+    /// of events published when the triggering access happened, which lets
+    /// the sharded engine precompute the whole feed up front while
+    /// reproducing the serial engine's grow-as-you-go visibility exactly.
+    fn sync_global(&mut self, _feed: &GlobalFeed, _now: SimTime, _limit: usize) {}
 }
 
 /// A strategy that never caches anything — the paper's no-cache baseline
@@ -160,12 +166,16 @@ impl StrategySpec {
     /// to seven days perform within a few percent of each other (Fig 11),
     /// so the default sits at the long end the paper's Fig 11 favours.
     pub fn default_lfu() -> Self {
-        StrategySpec::Lfu { history: SimDuration::from_days(7) }
+        StrategySpec::Lfu {
+            history: SimDuration::from_days(7),
+        }
     }
 
     /// The paper's Oracle (3-day look-ahead).
     pub fn default_oracle() -> Self {
-        StrategySpec::Oracle { lookahead: SimDuration::from_days(3) }
+        StrategySpec::Oracle {
+            lookahead: SimDuration::from_days(3),
+        }
     }
 
     /// Instantiates the strategy for a neighborhood with
@@ -247,7 +257,9 @@ mod tests {
                 "Global LFU",
             ),
         ] {
-            let s = spec.build(10, home, None).expect("buildable without schedule");
+            let s = spec
+                .build(10, home, None)
+                .expect("buildable without schedule");
             assert_eq!(s.name(), name);
             assert_eq!(spec.label(), name);
         }

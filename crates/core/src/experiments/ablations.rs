@@ -84,12 +84,18 @@ pub fn ablation_stream_slots(trace: &Trace) -> Result<Figure, SimError> {
     for slots in [1u8, 2, 4, u8::MAX] {
         jobs.push((
             slots,
-            base(trace).with_stream_slots(slots).with_fill_override(FillPolicy::Prefetch),
+            base(trace)
+                .with_stream_slots(slots)
+                .with_fill_override(FillPolicy::Prefetch),
         ));
     }
     for (slots, result) in run_sweep(trace, &jobs) {
         let report = result?;
-        let label = if slots == u8::MAX { "unlimited".to_string() } else { slots.to_string() };
+        let label = if slots == u8::MAX {
+            "unlimited".to_string()
+        } else {
+            slots.to_string()
+        };
         let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
         push_row(&mut fig, "server load", label.clone(), &report);
         fig.push(FigureRow::point("busy-miss %", label, busy * 100.0));
@@ -125,7 +131,11 @@ pub fn ablation_segment_length(trace: &Trace) -> Result<Figure, SimError> {
         let report = result?;
         let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
         push_row(&mut fig, "server load", format!("{minutes} min"), &report);
-        fig.push(FigureRow::point("busy-miss %", format!("{minutes} min"), busy * 100.0));
+        fig.push(FigureRow::point(
+            "busy-miss %",
+            format!("{minutes} min"),
+            busy * 100.0,
+        ));
     }
     fig.note("paper uses 5-minute segments");
     Ok(fig)
@@ -153,14 +163,20 @@ pub fn ablation_placement(trace: &Trace) -> Result<Figure, SimError> {
     ] {
         jobs.push((
             name,
-            base(trace).with_placement(policy).with_fill_override(FillPolicy::Prefetch),
+            base(trace)
+                .with_placement(policy)
+                .with_fill_override(FillPolicy::Prefetch),
         ));
     }
     for (name, result) in run_sweep(trace, &jobs) {
         let report = result?;
         let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
         push_row(&mut fig, "server load", name.to_string(), &report);
-        fig.push(FigureRow::point("busy-miss %", name.to_string(), busy * 100.0));
+        fig.push(FigureRow::point(
+            "busy-miss %",
+            name.to_string(),
+            busy * 100.0,
+        ));
     }
     fig.note("paper: 'the index server places data to balance load'");
     Ok(fig)
@@ -183,14 +199,20 @@ pub fn ablation_replication(trace: &Trace) -> Result<Figure, SimError> {
     for replication in [1u8, 2] {
         jobs.push((
             replication,
-            base(trace).with_replication(replication).with_fill_override(FillPolicy::Prefetch),
+            base(trace)
+                .with_replication(replication)
+                .with_fill_override(FillPolicy::Prefetch),
         ));
     }
     for (replication, result) in run_sweep(trace, &jobs) {
         let report = result?;
         let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
         push_row(&mut fig, "server load", format!("{replication}"), &report);
-        fig.push(FigureRow::point("busy-miss %", format!("{replication}"), busy * 100.0));
+        fig.push(FigureRow::point(
+            "busy-miss %",
+            format!("{replication}"),
+            busy * 100.0,
+        ));
     }
     fig.note("paper stores a single copy; busy misses are rare enough that replication mostly costs capacity");
     Ok(fig)
@@ -202,7 +224,12 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn smoke() -> Trace {
-        generate(&SynthConfig { users: 800, programs: 200, days: 6, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 800,
+            programs: 200,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]
@@ -211,7 +238,10 @@ mod tests {
         for gb in ["1 GB", "10 GB"] {
             let capture = fig.value_of("capture-on-broadcast", gb).expect("row");
             let push = fig.value_of("proactive push", gb).expect("row");
-            assert!(push <= capture + 1e-9, "{gb}: push {push} vs capture {capture}");
+            assert!(
+                push <= capture + 1e-9,
+                "{gb}: push {push} vs capture {capture}"
+            );
         }
     }
 
@@ -220,7 +250,10 @@ mod tests {
         let fig = ablation_stream_slots(&smoke()).expect("runs");
         let one = fig.value_of("server load", "1").expect("row");
         let unlimited = fig.value_of("server load", "unlimited").expect("row");
-        assert!(unlimited <= one + 1e-9, "1 slot {one} vs unlimited {unlimited}");
+        assert!(
+            unlimited <= one + 1e-9,
+            "1 slot {one} vs unlimited {unlimited}"
+        );
         let busy_unlimited = fig.value_of("busy-miss %", "unlimited").expect("row");
         assert_eq!(busy_unlimited, 0.0);
     }
@@ -228,7 +261,9 @@ mod tests {
     #[test]
     fn first_fit_has_more_busy_misses_than_balanced() {
         let fig = ablation_placement(&smoke()).expect("runs");
-        let balanced = fig.value_of("busy-miss %", "balanced (paper)").expect("row");
+        let balanced = fig
+            .value_of("busy-miss %", "balanced (paper)")
+            .expect("row");
         let first_fit = fig.value_of("busy-miss %", "first-fit").expect("row");
         assert!(
             first_fit >= balanced,

@@ -42,8 +42,13 @@ pub fn multicast_comparison(trace: &Trace) -> Result<Figure, SimError> {
         unicast.q95.as_gbps(),
     ));
 
-    let batched =
-        multicast::batched_multicast_peak(trace, rate, SimDuration::from_minutes(10), warmup, trace.days());
+    let batched = multicast::batched_multicast_peak(
+        trace,
+        rate,
+        SimDuration::from_minutes(10),
+        warmup,
+        trace.days(),
+    );
     fig.push(FigureRow::with_bars(
         "server load",
         "batching multicast (10 min window)",
@@ -153,25 +158,42 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn smoke() -> Trace {
-        generate(&SynthConfig { users: 800, programs: 200, days: 6, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 800,
+            programs: 200,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]
     fn multicast_ordering_holds() {
         let fig = multicast_comparison(&smoke()).expect("runs");
-        let unicast = fig.value_of("server load", "unicast (no cache)").expect("row");
-        let batched =
-            fig.value_of("server load", "batching multicast (10 min window)").expect("row");
-        let ideal = fig.value_of("server load", "ideal multicast (lower bound)").expect("row");
+        let unicast = fig
+            .value_of("server load", "unicast (no cache)")
+            .expect("row");
+        let batched = fig
+            .value_of("server load", "batching multicast (10 min window)")
+            .expect("row");
+        let ideal = fig
+            .value_of("server load", "ideal multicast (lower bound)")
+            .expect("row");
         assert!(ideal <= batched + 1e-9, "bound must not exceed batching");
-        assert!(batched <= unicast + 1e-9, "batching must not exceed unicast");
+        assert!(
+            batched <= unicast + 1e-9,
+            "batching must not exceed unicast"
+        );
     }
 
     #[test]
     fn headend_never_loses() {
         let fig = headend_comparison(&smoke()).expect("runs");
-        let peer = fig.value_of("server load", "peer-to-peer (2 slots/STB)").expect("row");
-        let headend = fig.value_of("server load", "headend cache (no slot limit)").expect("row");
+        let peer = fig
+            .value_of("server load", "peer-to-peer (2 slots/STB)")
+            .expect("row");
+        let headend = fig
+            .value_of("server load", "headend cache (no slot limit)")
+            .expect("row");
         assert!(headend <= peer + 1e-9, "peer {peer} vs headend {headend}");
     }
 }

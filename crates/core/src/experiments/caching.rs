@@ -21,8 +21,14 @@ fn paper_config(trace: &Trace) -> SimConfig {
         .with_fill_override(FillPolicy::Prefetch)
 }
 
-const STRATEGIES: [(&str, fn() -> StrategySpec); 3] = [
-    ("Oracle", StrategySpec::default_oracle as fn() -> StrategySpec),
+/// A labelled strategy constructor used by the caching experiments.
+type NamedStrategy = (&'static str, fn() -> StrategySpec);
+
+const STRATEGIES: [NamedStrategy; 3] = [
+    (
+        "Oracle",
+        StrategySpec::default_oracle as fn() -> StrategySpec,
+    ),
     ("LFU", StrategySpec::default_lfu),
     ("LRU", || StrategySpec::Lru),
 ];
@@ -84,7 +90,9 @@ pub fn fig09(trace: &Trace) -> Result<Figure, SimError> {
         for (name, spec) in STRATEGIES {
             jobs.push((
                 (name, peers / 100),
-                paper_config(trace).with_neighborhood_size(peers).with_strategy(spec()),
+                paper_config(trace)
+                    .with_neighborhood_size(peers)
+                    .with_strategy(spec()),
             ));
         }
     }
@@ -164,7 +172,9 @@ pub fn fig11(trace: &Trace) -> Result<Figure, SimError> {
         let strategy = if days == 0 {
             StrategySpec::Lru
         } else {
-            StrategySpec::Lfu { history: SimDuration::from_days(days) }
+            StrategySpec::Lfu {
+                history: SimDuration::from_days(days),
+            }
         };
         jobs.push((days, base.clone().with_strategy(strategy)));
     }
@@ -198,14 +208,26 @@ pub fn fig13(trace: &Trace) -> Result<Figure, SimError> {
     );
     let history = SimDuration::from_days(7);
     let feeds: [(&str, StrategySpec); 4] = [
-        ("Global", StrategySpec::GlobalLfu { history, lag: SimDuration::ZERO }),
+        (
+            "Global",
+            StrategySpec::GlobalLfu {
+                history,
+                lag: SimDuration::ZERO,
+            },
+        ),
         (
             "Global, 30 minute lag",
-            StrategySpec::GlobalLfu { history, lag: SimDuration::from_minutes(30) },
+            StrategySpec::GlobalLfu {
+                history,
+                lag: SimDuration::from_minutes(30),
+            },
         ),
         (
             "Global, 2 hour lag",
-            StrategySpec::GlobalLfu { history, lag: SimDuration::from_hours(2) },
+            StrategySpec::GlobalLfu {
+                history,
+                lag: SimDuration::from_hours(2),
+            },
         ),
         ("Local", StrategySpec::Lfu { history }),
     ];
@@ -240,7 +262,12 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn smoke() -> Trace {
-        generate(&SynthConfig { users: 900, programs: 250, days: 6, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 900,
+            programs: 250,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]
@@ -279,6 +306,9 @@ mod tests {
         let global = fig.value_of("Global", "10 GB").expect("row");
         let local = fig.value_of("Local", "10 GB").expect("row");
         // Global data should not hurt much; allow smoke-scale noise.
-        assert!(global <= local * 1.4 + 0.2, "global {global} vs local {local}");
+        assert!(
+            global <= local * 1.4 + 0.2,
+            "global {global} vs local {local}"
+        );
     }
 }

@@ -58,8 +58,7 @@ pub fn fig14(trace: &Trace) -> Result<Figure, SimError> {
                 stats.q95.as_mbps(),
                 100.0 * stats.q95.utilization_of(headroom),
                 headroom.as_gbps(),
-                100.0
-                    * stats.q95.as_mbps()
+                100.0 * stats.q95.as_mbps()
                     / SimConfig::paper_default().coax_spec().downstream.as_mbps(),
             ));
         }
@@ -73,7 +72,9 @@ pub fn fig14(trace: &Trace) -> Result<Figure, SimError> {
             size_ratio
         ));
     }
-    fig.note("paper: ≈ 450 Mb/s average / ≈ 650 Mb/s poor cases at 1,000 peers (< 17% of capacity)");
+    fig.note(
+        "paper: ≈ 450 Mb/s average / ≈ 650 Mb/s poor cases at 1,000 peers (< 17% of capacity)",
+    );
     Ok(fig)
 }
 
@@ -93,6 +94,9 @@ mod tests {
         let fig = fig14(&trace).expect("runs");
         let small = fig.value_of("coax", "200").expect("row");
         let large = fig.value_of("coax", "1000").expect("row");
-        assert!(large > 2.0 * small, "200 peers {small} Mb/s vs 1000 peers {large} Mb/s");
+        assert!(
+            large > 2.0 * small,
+            "200 peers {small} Mb/s vs 1000 peers {large} Mb/s"
+        );
     }
 }

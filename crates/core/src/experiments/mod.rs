@@ -37,9 +37,19 @@ mod tests {
 
     #[test]
     fn warmup_is_half_trace_capped() {
-        let trace = generate(&SynthConfig { users: 50, programs: 20, days: 6, ..SynthConfig::smoke_test() });
+        let trace = generate(&SynthConfig {
+            users: 50,
+            programs: 20,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        });
         assert_eq!(default_warmup(&trace), 3);
-        let long = generate(&SynthConfig { users: 50, programs: 20, days: 60, ..SynthConfig::smoke_test() });
+        let long = generate(&SynthConfig {
+            users: 50,
+            programs: 20,
+            days: 60,
+            ..SynthConfig::smoke_test()
+        });
         assert_eq!(default_warmup(&long), 14);
     }
 }

@@ -57,8 +57,11 @@ pub fn fig03(trace: &Trace) -> Figure {
         fig.note("empty trace");
         return fig;
     };
-    let length_min =
-        trace.catalog().length(program).map(|l| l.as_minutes()).unwrap_or(0.0);
+    let length_min = trace
+        .catalog()
+        .length(program)
+        .map(|l| l.as_minutes())
+        .unwrap_or(0.0);
     let ecdf = analyze::session_length_ecdf(trace, program);
     if ecdf.is_empty() {
         fig.note("no sessions for the most popular program");
@@ -68,7 +71,11 @@ pub fn fig03(trace: &Trace) -> Figure {
     let past_half = 1.0 - ecdf.cdf(length_min * 60.0 / 2.0 - 1.0);
     fig.push(FigureRow::point("measured", "program length", length_min));
     fig.push(FigureRow::point("measured", "median session", median_min));
-    fig.push(FigureRow::point("measured", "fraction past halfway", past_half));
+    fig.push(FigureRow::point(
+        "measured",
+        "fraction past halfway",
+        past_half,
+    ));
     fig.note(format!("program {program}, {} sessions", ecdf.len()));
     fig.note("paper: 50% of sessions < 8 min of a 100-min program; 13% pass halfway");
     fig.note(format!(
@@ -90,23 +97,33 @@ pub fn fig06(trace: &Trace) -> Figure {
         "minutes",
     );
     let counts = analyze::program_access_counts(trace);
-    let mut by_count: Vec<(u64, usize)> =
-        counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut by_count: Vec<(u64, usize)> = counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     by_count.sort_unstable_by(|a, b| b.cmp(a));
 
     let tested = 20.min(by_count.len());
     let mut correct = 0;
     for (rank, &(_, idx)) in by_count.iter().take(tested).enumerate() {
         let program = cablevod_hfc::ids::ProgramId::new(idx as u32);
-        let truth = trace.catalog().length(program).expect("catalog covers trace");
+        let truth = trace
+            .catalog()
+            .length(program)
+            .expect("catalog covers trace");
         let deduced = analyze::deduce_program_length(trace, program, 0.02);
         let deduced_min = deduced.map(|d| d.as_minutes()).unwrap_or(f64::NAN);
         if deduced == Some(truth) {
             correct += 1;
         }
         if rank < 5 {
-            fig.push(FigureRow::point("true", format!("#{}", rank + 1), truth.as_minutes()));
-            fig.push(FigureRow::point("deduced", format!("#{}", rank + 1), deduced_min));
+            fig.push(FigureRow::point(
+                "true",
+                format!("#{}", rank + 1),
+                truth.as_minutes(),
+            ));
+            fig.push(FigureRow::point(
+                "deduced",
+                format!("#{}", rank + 1),
+                deduced_min,
+            ));
         }
     }
     fig.note(format!(
@@ -127,11 +144,19 @@ pub fn fig07(trace: &Trace, rate: BitRate) -> Figure {
     );
     let profile = analyze::hourly_demand(trace, rate);
     for (hour, rate) in profile.iter().enumerate() {
-        fig.push(FigureRow::point("demand", format!("{hour:02}"), rate.as_gbps()));
+        fig.push(FigureRow::point(
+            "demand",
+            format!("{hour:02}"),
+            rate.as_gbps(),
+        ));
     }
-    let peak_hour = (0..24).max_by_key(|&h| profile[h].as_bps()).expect("24 hours");
+    let peak_hour = (0..24)
+        .max_by_key(|&h| profile[h].as_bps())
+        .expect("24 hours");
     fig.note(format!("peak hour: {peak_hour}:00"));
-    fig.note("paper: activity climaxes between 7 PM and 11 PM, peaking near 17-20 Gb/s at full scale");
+    fig.note(
+        "paper: activity climaxes between 7 PM and 11 PM, peaking near 17-20 Gb/s at full scale",
+    );
     fig
 }
 
@@ -165,7 +190,12 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn trace() -> Trace {
-        generate(&SynthConfig { users: 3_000, programs: 700, days: 12, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 3_000,
+            programs: 700,
+            days: 12,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]
@@ -183,7 +213,9 @@ mod tests {
         let median = fig.value_of("measured", "median session").expect("row");
         let length = fig.value_of("measured", "program length").expect("row");
         assert!(median < 0.25 * length, "median {median} of {length}");
-        let past_half = fig.value_of("measured", "fraction past halfway").expect("row");
+        let past_half = fig
+            .value_of("measured", "fraction past halfway")
+            .expect("row");
         assert!((0.05..0.3).contains(&past_half), "{past_half}");
     }
 

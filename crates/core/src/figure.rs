@@ -25,7 +25,13 @@ pub struct FigureRow {
 impl FigureRow {
     /// Creates a row without error bars.
     pub fn point(series: impl Into<String>, x: impl Into<String>, value: f64) -> Self {
-        FigureRow { series: series.into(), x: x.into(), value, lo: value, hi: value }
+        FigureRow {
+            series: series.into(),
+            x: x.into(),
+            value,
+            lo: value,
+            hi: value,
+        }
     }
 
     /// Creates a row with 5 %/95 % error bars.
@@ -36,7 +42,13 @@ impl FigureRow {
         lo: f64,
         hi: f64,
     ) -> Self {
-        FigureRow { series: series.into(), x: x.into(), value, lo, hi }
+        FigureRow {
+            series: series.into(),
+            x: x.into(),
+            value,
+            lo,
+            hi,
+        }
     }
 }
 
@@ -87,7 +99,10 @@ impl Figure {
 
     /// Value of the row matching `(series, x)`, if present.
     pub fn value_of(&self, series: &str, x: &str) -> Option<f64> {
-        self.rows.iter().find(|r| r.series == series && r.x == x).map(|r| r.value)
+        self.rows
+            .iter()
+            .find(|r| r.series == series && r.x == x)
+            .map(|r| r.value)
     }
 
     /// Distinct series names in first-appearance order.

@@ -43,7 +43,9 @@ impl VodSystem {
     /// The paper's baseline deployment (1,000-peer neighborhoods, 10 GB
     /// per peer, 2 stream slots, LFU).
     pub fn paper_default() -> Self {
-        VodSystem { config: SimConfig::paper_default() }
+        VodSystem {
+            config: SimConfig::paper_default(),
+        }
     }
 
     /// Creates a system from an explicit simulation config.
@@ -80,7 +82,11 @@ impl VodSystem {
             report.measured_to_day,
         );
         let savings = report.savings_vs(baseline.mean);
-        Ok(Evaluation { report, baseline_peak: baseline.mean, savings })
+        Ok(Evaluation {
+            report,
+            baseline_peak: baseline.mean,
+            savings,
+        })
     }
 }
 
@@ -139,7 +145,11 @@ mod tests {
             .with_per_peer_storage(DataSize::from_gigabytes(3))
             .with_warmup_days(2);
         let outcome = system.evaluate(&trace).expect("runs");
-        assert!(outcome.savings > 0.0, "cache saves something: {}", outcome.savings);
+        assert!(
+            outcome.savings > 0.0,
+            "cache saves something: {}",
+            outcome.savings
+        );
         assert!(outcome.baseline_peak.as_bps() > 0);
         assert!(outcome.report.server_peak.mean < outcome.baseline_peak);
     }

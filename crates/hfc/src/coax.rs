@@ -47,7 +47,10 @@ impl CoaxSpec {
 
     /// The high-capacity variant (6.6 Gb/s plant).
     pub fn high_capacity() -> Self {
-        CoaxSpec { downstream: BitRate::COAX_DOWNSTREAM_HIGH, ..CoaxSpec::paper_default() }
+        CoaxSpec {
+            downstream: BitRate::COAX_DOWNSTREAM_HIGH,
+            ..CoaxSpec::paper_default()
+        }
     }
 
     /// Downstream capacity left for VoD after the TV allocation.
@@ -77,7 +80,11 @@ pub struct CoaxNetwork {
 impl CoaxNetwork {
     /// Creates a coax network with the given capacity envelope.
     pub fn new(spec: CoaxSpec) -> Self {
-        CoaxNetwork { spec, meter: RateMeter::hourly(), broadcasts: 0 }
+        CoaxNetwork {
+            spec,
+            meter: RateMeter::hourly(),
+            broadcasts: 0,
+        }
     }
 
     /// The capacity envelope.
@@ -115,7 +122,9 @@ impl CoaxNetwork {
     /// reports "less than 17 % of the capacity of the coaxial line in
     /// extreme cases" (§VI-B).
     pub fn peak_utilization(&self, first_day: u64, last_day: u64) -> f64 {
-        self.peak_stats(first_day, last_day).mean.utilization_of(self.spec.vod_headroom())
+        self.peak_stats(first_day, last_day)
+            .mean
+            .utilization_of(self.spec.vod_headroom())
     }
 }
 
@@ -134,7 +143,10 @@ mod tests {
     fn headroom_subtracts_tv() {
         let spec = CoaxSpec::paper_default();
         assert_eq!(spec.vod_headroom(), BitRate::from_mbps(1600));
-        assert_eq!(CoaxSpec::high_capacity().vod_headroom(), BitRate::from_mbps(3300));
+        assert_eq!(
+            CoaxSpec::high_capacity().vod_headroom(),
+            BitRate::from_mbps(3300)
+        );
     }
 
     #[test]

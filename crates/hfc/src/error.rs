@@ -62,8 +62,15 @@ pub enum HfcError {
 impl fmt::Display for HfcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HfcError::StorageFull { peer, requested, free } => {
-                write!(f, "storage full on {peer}: requested {requested}, free {free}")
+            HfcError::StorageFull {
+                peer,
+                requested,
+                free,
+            } => {
+                write!(
+                    f,
+                    "storage full on {peer}: requested {requested}, free {free}"
+                )
             }
             HfcError::DuplicateSegment { peer, segment } => {
                 write!(f, "segment {segment} already stored on {peer}")

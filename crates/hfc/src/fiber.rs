@@ -25,7 +25,10 @@ pub struct CentralServer {
 impl CentralServer {
     /// Creates a server with an hourly meter.
     pub fn new() -> Self {
-        CentralServer { meter: RateMeter::hourly(), requests: 0 }
+        CentralServer {
+            meter: RateMeter::hourly(),
+            requests: 0,
+        }
     }
 
     /// Records the server streaming `size` bytes over `[start, end)` to
@@ -75,7 +78,10 @@ pub struct FiberLink {
 impl FiberLink {
     /// Creates the link feeding `neighborhood`.
     pub fn new(neighborhood: NeighborhoodId) -> Self {
-        FiberLink { neighborhood, meter: RateMeter::hourly() }
+        FiberLink {
+            neighborhood,
+            meter: RateMeter::hourly(),
+        }
     }
 
     /// The neighborhood this link feeds.
@@ -125,7 +131,11 @@ mod tests {
         let mut link = FiberLink::new(NeighborhoodId::new(4));
         assert_eq!(link.neighborhood(), NeighborhoodId::new(4));
         let t = SimTime::EPOCH;
-        link.record(t, t + SimDuration::from_minutes(5), DataSize::from_bytes(100));
+        link.record(
+            t,
+            t + SimDuration::from_minutes(5),
+            DataSize::from_bytes(100),
+        );
         assert_eq!(link.total(), DataSize::from_bytes(100));
     }
 }

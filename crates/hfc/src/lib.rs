@@ -50,6 +50,6 @@ pub use error::HfcError;
 pub use ids::{NeighborhoodId, PeerId, ProgramId, SegmentId, UserId};
 pub use meter::{RateMeter, RateStats};
 pub use segment::Segmenter;
-pub use stb::SetTopBox;
+pub use stb::{SetTopBox, StbStore};
 pub use topology::{Neighborhood, Topology, TopologyConfig};
 pub use units::{BitRate, DataSize, SimDuration, SimTime};

@@ -49,7 +49,12 @@ impl RateMeter {
     /// Panics if `bucket_len` is zero.
     pub fn new(bucket_len: SimDuration) -> Self {
         assert!(bucket_len.as_secs() > 0, "bucket length must be positive");
-        RateMeter { bucket_len, bits: Vec::new(), total: DataSize::ZERO, transfers: 0 }
+        RateMeter {
+            bucket_len,
+            bits: Vec::new(),
+            total: DataSize::ZERO,
+            transfers: 0,
+        }
     }
 
     /// Creates a meter with one-hour buckets (the paper's granularity).
@@ -177,7 +182,10 @@ impl RateMeter {
         start_hour: u64,
         end_hour: u64,
     ) -> Vec<BitRate> {
-        assert!(start_hour < end_hour && end_hour <= 24, "invalid daily window");
+        assert!(
+            start_hour < end_hour && end_hour <= 24,
+            "invalid daily window"
+        );
         assert_eq!(
             3600 % self.bucket_len.as_secs(),
             0,
@@ -187,8 +195,7 @@ impl RateMeter {
         let mut out = Vec::new();
         for day in first_day..last_day {
             for hour in start_hour..end_hour {
-                let base = self
-                    .bucket_of(SimTime::from_secs(day * SECS_PER_DAY + hour * 3600));
+                let base = self.bucket_of(SimTime::from_secs(day * SECS_PER_DAY + hour * 3600));
                 for k in 0..per_hour {
                     out.push(self.bucket_rate(base + k));
                 }
@@ -205,6 +212,31 @@ impl RateMeter {
             PEAK_START_HOUR,
             PEAK_END_HOUR,
         ))
+    }
+
+    /// Folds `other` into `self` bucket by bucket.
+    ///
+    /// Because [`RateMeter::record`] is commutative — each transfer's
+    /// bucket split depends only on that transfer — merging per-shard
+    /// meters reconstructs *exactly* the meter a single serial run would
+    /// have produced, regardless of the order transfers were recorded in.
+    /// This is the primitive the sharded simulation engine uses to rebuild
+    /// the shared central-server meter from per-neighborhood meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket lengths differ.
+    pub fn merge(&mut self, other: &RateMeter) {
+        assert_eq!(
+            self.bucket_len, other.bucket_len,
+            "cannot merge meters with different bucket lengths"
+        );
+        self.grow_to(other.bits.len());
+        for (mine, theirs) in self.bits.iter_mut().zip(&other.bits) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.transfers += other.transfers;
     }
 
     fn grow_to(&mut self, len: usize) {
@@ -325,7 +357,9 @@ mod tests {
             SimTime::from_secs(137 + 3777),
             DataSize::from_bits(999_999_937),
         );
-        let sum: u64 = (0..m.bucket_count()).map(|b| m.bucket_size(b).as_bits()).sum();
+        let sum: u64 = (0..m.bucket_count())
+            .map(|b| m.bucket_size(b).as_bits())
+            .sum();
         assert_eq!(sum, 999_999_937);
         assert_eq!(m.total().as_bits(), 999_999_937);
     }
@@ -343,7 +377,11 @@ mod tests {
         let mut m = RateMeter::hourly();
         for day in 0..4u64 {
             let t = SimTime::from_days_hours(day, 20);
-            m.record(t, t + SimDuration::from_hours(1), DataSize::from_bits(3600 * 1000));
+            m.record(
+                t,
+                t + SimDuration::from_hours(1),
+                DataSize::from_bits(3600 * 1000),
+            );
         }
         let profile = m.hourly_profile();
         // 4 days recorded; bits only at hour 20. Bucket count is 3*24+21 →
@@ -359,7 +397,11 @@ mod tests {
         for day in 0..2u64 {
             for hour in PEAK_START_HOUR..PEAK_END_HOUR {
                 let t = SimTime::from_days_hours(day, hour);
-                m.record(t, t + SimDuration::from_hours(1), DataSize::from_bits(3600 * 1000));
+                m.record(
+                    t,
+                    t + SimDuration::from_hours(1),
+                    DataSize::from_bits(3600 * 1000),
+                );
             }
         }
         let stats = m.peak_stats(0, 2);
@@ -396,5 +438,83 @@ mod tests {
     fn reversed_transfer_panics() {
         let mut m = RateMeter::hourly();
         m.record(SimTime::from_secs(10), SimTime::from_secs(5), mb(1));
+    }
+
+    /// Splitting one transfer stream across two meters and merging must
+    /// reproduce the single-meter result exactly, including transfers that
+    /// straddle bucket boundaries with non-dividing remainders.
+    #[test]
+    fn merge_reconstructs_serial_meter_exactly() {
+        let transfers: Vec<(u64, u64, u64)> = vec![
+            (0, 100, 1_000),
+            (3_599, 3_601, 999_999_937), // boundary straddle, awkward size
+            (137, 137 + 3_777, 123_456_789),
+            (7_200, 7_200, 5_000), // zero-duration
+            (10, 50_000, 42),      // long span, tiny size
+        ];
+        let mut serial = RateMeter::hourly();
+        let mut a = RateMeter::hourly();
+        let mut b = RateMeter::hourly();
+        for (i, &(s, e, bits)) in transfers.iter().enumerate() {
+            let (s, e, size) = (
+                SimTime::from_secs(s),
+                SimTime::from_secs(e),
+                DataSize::from_bits(bits),
+            );
+            serial.record(s, e, size);
+            // Interleave between the two "shards" in a different order
+            // than serial sees them.
+            if i % 2 == 0 { &mut a } else { &mut b }.record(s, e, size);
+        }
+        let mut merged = RateMeter::hourly();
+        merged.merge(&b); // reverse shard order on purpose
+        merged.merge(&a);
+        assert_eq!(merged.total(), serial.total());
+        assert_eq!(merged.transfers(), serial.transfers());
+        assert_eq!(merged.bucket_count(), serial.bucket_count());
+        for bucket in 0..serial.bucket_count() {
+            assert_eq!(
+                merged.bucket_size(bucket),
+                serial.bucket_size(bucket),
+                "bucket {bucket}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_meters_is_identity() {
+        let mut m = RateMeter::hourly();
+        m.record(
+            SimTime::from_days_hours(0, 20),
+            SimTime::from_days_hours(0, 21),
+            mb(7),
+        );
+        let snapshot = (m.total(), m.transfers(), m.bucket_count());
+
+        // Empty into populated: no change.
+        m.merge(&RateMeter::hourly());
+        assert_eq!((m.total(), m.transfers(), m.bucket_count()), snapshot);
+
+        // Populated into empty: exact copy.
+        let mut empty = RateMeter::hourly();
+        empty.merge(&m);
+        assert_eq!(empty.total(), m.total());
+        assert_eq!(empty.transfers(), m.transfers());
+        for bucket in 0..m.bucket_count() {
+            assert_eq!(empty.bucket_size(bucket), m.bucket_size(bucket));
+        }
+
+        // Empty into empty: still empty.
+        let mut both = RateMeter::hourly();
+        both.merge(&RateMeter::hourly());
+        assert_eq!(both.bucket_count(), 0);
+        assert_eq!(both.total(), DataSize::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket lengths")]
+    fn merge_rejects_mismatched_bucket_lengths() {
+        let mut hourly = RateMeter::hourly();
+        hourly.merge(&RateMeter::quarter_hourly());
     }
 }

@@ -40,7 +40,10 @@ impl Segmenter {
     /// Panics if `segment_len` is zero.
     pub fn new(segment_len: SimDuration, stream_rate: BitRate) -> Self {
         assert!(segment_len.as_secs() > 0, "segment length must be positive");
-        Segmenter { segment_len, stream_rate }
+        Segmenter {
+            segment_len,
+            stream_rate,
+        }
     }
 
     /// The paper's configuration: 5-minute segments at 8.06 Mb/s.
@@ -72,7 +75,10 @@ impl Segmenter {
     /// Panics if `index` is out of range for `len`.
     pub fn segment_play_len(&self, len: SimDuration, index: u16) -> SimDuration {
         let count = self.segment_count(len);
-        assert!(index < count, "segment index {index} out of range (program has {count})");
+        assert!(
+            index < count,
+            "segment index {index} out of range (program has {count})"
+        );
         let start = self.segment_len.as_secs() * u64::from(index);
         SimDuration::from_secs((len.as_secs() - start).min(self.segment_len.as_secs()))
     }
@@ -126,7 +132,10 @@ mod tests {
         let len = SimDuration::from_minutes(47); // 9 full + one 2-minute runt
         assert_eq!(s.segment_count(len), 10);
         assert_eq!(s.segment_play_len(len, 9), SimDuration::from_minutes(2));
-        assert_eq!(s.segment_size(len, 9), BitRate::STREAM_MPEG2_SD * SimDuration::from_minutes(2));
+        assert_eq!(
+            s.segment_size(len, 9),
+            BitRate::STREAM_MPEG2_SD * SimDuration::from_minutes(2)
+        );
     }
 
     #[test]
@@ -134,8 +143,9 @@ mod tests {
         let s = Segmenter::paper_default();
         for minutes in [1, 22, 45, 47, 100, 118] {
             let len = SimDuration::from_minutes(minutes);
-            let total: DataSize =
-                (0..s.segment_count(len)).map(|i| s.segment_size(len, i)).sum();
+            let total: DataSize = (0..s.segment_count(len))
+                .map(|i| s.segment_size(len, i))
+                .sum();
             assert_eq!(total, s.program_size(len), "length {minutes} min");
         }
     }
@@ -153,7 +163,9 @@ mod tests {
     #[test]
     fn segments_of_enumerates_ids() {
         let s = Segmenter::paper_default();
-        let ids: Vec<_> = s.segments_of(ProgramId::new(4), SimDuration::from_minutes(12)).collect();
+        let ids: Vec<_> = s
+            .segments_of(ProgramId::new(4), SimDuration::from_minutes(12))
+            .collect();
         assert_eq!(ids.len(), 3);
         assert_eq!(ids[2], SegmentId::new(ProgramId::new(4), 2));
     }

@@ -11,8 +11,8 @@
 //! heap of end-times: acquiring a slot at time `t` first releases any stream
 //! that has already finished by `t`.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +20,22 @@ use crate::error::HfcError;
 use crate::ids::{PeerId, SegmentId};
 use crate::units::{DataSize, SimTime};
 use std::collections::HashSet;
+
+/// Mutable access to a collection of set-top boxes addressed by [`PeerId`].
+///
+/// The cooperative cache mutates peer state (storage, stream slots) through
+/// this trait rather than through a concrete plant type, so the same index
+/// server drives both the serial engine (whole-plant
+/// [`Topology`](crate::topology::Topology)) and the sharded parallel engine
+/// (one neighborhood's boxes per worker).
+pub trait StbStore {
+    /// Mutable access to `peer`'s set-top box.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfcError::UnknownPeer`] for peers outside this store.
+    fn stb_mut(&mut self, peer: PeerId) -> Result<&mut SetTopBox, HfcError>;
+}
 
 /// Default storage contribution per peer (§V-C): 10 GB.
 pub const DEFAULT_CONTRIBUTION: DataSize = DataSize::from_gigabytes(10);
@@ -128,7 +144,10 @@ impl SetTopBox {
     /// [`HfcError::DuplicateSegment`] if it is already stored.
     pub fn store(&mut self, segment: SegmentId, size: DataSize) -> Result<(), HfcError> {
         if self.stored.contains(&segment) {
-            return Err(HfcError::DuplicateSegment { peer: self.id, segment });
+            return Err(HfcError::DuplicateSegment {
+                peer: self.id,
+                segment,
+            });
         }
         if size > self.free() {
             return Err(HfcError::StorageFull {
@@ -151,7 +170,10 @@ impl SetTopBox {
     /// segment.
     pub fn delete(&mut self, segment: SegmentId, size: DataSize) -> Result<(), HfcError> {
         if !self.stored.remove(&segment) {
-            return Err(HfcError::SegmentNotStored { peer: self.id, segment });
+            return Err(HfcError::SegmentNotStored {
+                peer: self.id,
+                segment,
+            });
         }
         self.used = self.used.saturating_sub(size);
         Ok(())
@@ -263,7 +285,10 @@ mod tests {
         let end = t + SimDuration::from_minutes(5);
         assert!(stb.try_start_stream(t, end));
         assert!(stb.try_start_stream(t, end));
-        assert!(!stb.try_start_stream(t, end), "third concurrent stream refused");
+        assert!(
+            !stb.try_start_stream(t, end),
+            "third concurrent stream refused"
+        );
         assert_eq!(stb.streams_refused(), 1);
         // After both streams end the slots free up.
         let later = end + SimDuration::from_secs(1);

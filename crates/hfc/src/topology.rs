@@ -21,7 +21,7 @@ use crate::coax::{CoaxNetwork, CoaxSpec};
 use crate::error::HfcError;
 use crate::fiber::{CentralServer, FiberLink};
 use crate::ids::{NeighborhoodId, PeerId, UserId};
-use crate::stb::{SetTopBox, DEFAULT_CONTRIBUTION, DEFAULT_STREAM_SLOTS};
+use crate::stb::{SetTopBox, StbStore, DEFAULT_CONTRIBUTION, DEFAULT_STREAM_SLOTS};
 use crate::units::DataSize;
 
 /// Parameters defining a cable plant.
@@ -197,10 +197,14 @@ impl Topology {
     /// `neighborhood_size` is zero.
     pub fn build(config: TopologyConfig) -> Result<Self, HfcError> {
         if config.subscribers == 0 {
-            return Err(HfcError::InvalidTopology { reason: "zero subscribers".into() });
+            return Err(HfcError::InvalidTopology {
+                reason: "zero subscribers".into(),
+            });
         }
         if config.neighborhood_size == 0 {
-            return Err(HfcError::InvalidTopology { reason: "zero neighborhood size".into() });
+            return Err(HfcError::InvalidTopology {
+                reason: "zero neighborhood size".into(),
+            });
         }
 
         let n = config.subscribers as usize;
@@ -290,7 +294,8 @@ impl Topology {
     /// Returns [`HfcError::UnknownUser`] for out-of-range ids.
     pub fn neighborhood_of_user(&self, user: UserId) -> Result<NeighborhoodId, HfcError> {
         let peer = self.home_peer(user)?;
-        self.neighborhood_of_peer(peer).map_err(|_| HfcError::UnknownUser { user })
+        self.neighborhood_of_peer(peer)
+            .map_err(|_| HfcError::UnknownUser { user })
     }
 
     /// Shared access to a neighborhood.
@@ -299,7 +304,9 @@ impl Topology {
     ///
     /// Returns [`HfcError::UnknownNeighborhood`] for out-of-range ids.
     pub fn neighborhood(&self, id: NeighborhoodId) -> Result<&Neighborhood, HfcError> {
-        self.neighborhoods.get(id.index()).ok_or(HfcError::UnknownNeighborhood { neighborhood: id })
+        self.neighborhoods
+            .get(id.index())
+            .ok_or(HfcError::UnknownNeighborhood { neighborhood: id })
     }
 
     /// Mutable access to a neighborhood.
@@ -324,7 +331,9 @@ impl Topology {
     ///
     /// Returns [`HfcError::UnknownPeer`] for out-of-range ids.
     pub fn stb(&self, peer: PeerId) -> Result<&SetTopBox, HfcError> {
-        self.stbs.get(peer.index()).ok_or(HfcError::UnknownPeer { peer })
+        self.stbs
+            .get(peer.index())
+            .ok_or(HfcError::UnknownPeer { peer })
     }
 
     /// Mutable access to a set-top box.
@@ -333,7 +342,9 @@ impl Topology {
     ///
     /// Returns [`HfcError::UnknownPeer`] for out-of-range ids.
     pub fn stb_mut(&mut self, peer: PeerId) -> Result<&mut SetTopBox, HfcError> {
-        self.stbs.get_mut(peer.index()).ok_or(HfcError::UnknownPeer { peer })
+        self.stbs
+            .get_mut(peer.index())
+            .ok_or(HfcError::UnknownPeer { peer })
     }
 
     /// Total cooperative-cache capacity contributed by a neighborhood's
@@ -345,7 +356,36 @@ impl Topology {
     /// Returns [`HfcError::UnknownNeighborhood`] for out-of-range ids.
     pub fn neighborhood_cache_capacity(&self, id: NeighborhoodId) -> Result<DataSize, HfcError> {
         let nbhd = self.neighborhood(id)?;
-        Ok(nbhd.members.iter().map(|&p| self.stbs[p.index()].capacity()).sum())
+        Ok(nbhd
+            .members
+            .iter()
+            .map(|&p| self.stbs[p.index()].capacity())
+            .sum())
+    }
+
+    /// The neighborhood of every peer, as a dense table indexed by
+    /// `PeerId::index()` — the borrow-free counterpart of
+    /// [`Topology::neighborhood_of_peer`] for hot paths and for shard
+    /// workers that hold no `Topology`.
+    pub fn peer_neighborhoods(&self) -> &[NeighborhoodId] {
+        &self.peer_neighborhood
+    }
+
+    /// For every peer, its position within its neighborhood's member list.
+    ///
+    /// The sharded engine uses this table to translate global [`PeerId`]s
+    /// into dense per-shard indices: shard workers hold their
+    /// neighborhood's boxes in member order and resolve
+    /// `stbs[local_positions[peer]]` without hashing. Positions are only
+    /// meaningful relative to the peer's own neighborhood.
+    pub fn local_positions(&self) -> Vec<u32> {
+        let mut positions = vec![0u32; self.stbs.len()];
+        for nbhd in &self.neighborhoods {
+            for (pos, &peer) in nbhd.members.iter().enumerate() {
+                positions[peer.index()] = pos as u32;
+            }
+        }
+        positions
     }
 
     /// The central media server farm.
@@ -356,6 +396,12 @@ impl Topology {
     /// Mutable access to the central server.
     pub fn server_mut(&mut self) -> &mut CentralServer {
         &mut self.server
+    }
+}
+
+impl StbStore for Topology {
+    fn stb_mut(&mut self, peer: PeerId) -> Result<&mut SetTopBox, HfcError> {
+        Topology::stb_mut(self, peer)
     }
 }
 
@@ -426,7 +472,10 @@ mod tests {
         let same = (0..1_000)
             .filter(|&i| topo.neighborhood_of_user(UserId::new(i)).unwrap() == first)
             .count();
-        assert!(same < 600, "placement looks contiguous: {same} of first 1000 together");
+        assert!(
+            same < 600,
+            "placement looks contiguous: {same} of first 1000 together"
+        );
     }
 
     #[test]
@@ -435,7 +484,9 @@ mod tests {
             TopologyConfig::new(1_000, 1_000).with_per_peer_storage(DataSize::from_gigabytes(10)),
         )
         .unwrap();
-        let cap = topo.neighborhood_cache_capacity(NeighborhoodId::new(0)).unwrap();
+        let cap = topo
+            .neighborhood_cache_capacity(NeighborhoodId::new(0))
+            .unwrap();
         assert_eq!(cap, DataSize::from_terabytes(10));
     }
 

@@ -37,7 +37,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(BitRate::STREAM_MPEG2_SD.as_bps(), 8_060_000);
 /// assert!(BitRate::COAX_DOWNSTREAM_LOW < BitRate::COAX_DOWNSTREAM_HIGH);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct BitRate(u64);
 
 impl BitRate {
@@ -77,7 +79,10 @@ impl BitRate {
     ///
     /// Panics if `gbps` is negative or not finite.
     pub fn from_gbps(gbps: f64) -> Self {
-        assert!(gbps.is_finite() && gbps >= 0.0, "rate must be finite and non-negative");
+        assert!(
+            gbps.is_finite() && gbps >= 0.0,
+            "rate must be finite and non-negative"
+        );
         BitRate((gbps * 1e9).round() as u64)
     }
 
@@ -170,7 +175,9 @@ impl Sum for BitRate {
 /// let contribution = DataSize::from_gigabytes(10);
 /// assert_eq!(contribution.as_bytes(), 10_000_000_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct DataSize(u64);
 
 impl DataSize {
@@ -236,7 +243,10 @@ impl DataSize {
     ///
     /// Panics if `dur` is zero.
     pub fn over(self, dur: SimDuration) -> BitRate {
-        assert!(dur.as_secs() > 0, "cannot compute a rate over a zero duration");
+        assert!(
+            dur.as_secs() > 0,
+            "cannot compute a rate over a zero duration"
+        );
         BitRate(self.0 / dur.as_secs())
     }
 }
@@ -315,7 +325,9 @@ impl Sum for DataSize {
 /// assert_eq!(t.day(), 2);
 /// assert_eq!(t.hour_of_day(), 20);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// Seconds in one hour.
@@ -410,7 +422,9 @@ impl AddAssign<SimDuration> for SimTime {
 /// assert_eq!(SimDuration::from_minutes(5).as_secs(), 300);
 /// assert_eq!(SimDuration::from_days(3), SimDuration::from_hours(72));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -529,7 +543,10 @@ mod tests {
     #[test]
     fn size_over_duration_round_trips_rate() {
         let size = BitRate::STREAM_MPEG2_SD * SimDuration::from_hours(2);
-        assert_eq!(size.over(SimDuration::from_hours(2)), BitRate::STREAM_MPEG2_SD);
+        assert_eq!(
+            size.over(SimDuration::from_hours(2)),
+            BitRate::STREAM_MPEG2_SD
+        );
     }
 
     #[test]
@@ -569,9 +586,13 @@ mod tests {
 
     #[test]
     fn sums() {
-        let rates: BitRate = [BitRate::from_mbps(1), BitRate::from_mbps(2)].into_iter().sum();
+        let rates: BitRate = [BitRate::from_mbps(1), BitRate::from_mbps(2)]
+            .into_iter()
+            .sum();
         assert_eq!(rates, BitRate::from_mbps(3));
-        let sizes: DataSize = [DataSize::from_bytes(1), DataSize::from_bytes(2)].into_iter().sum();
+        let sizes: DataSize = [DataSize::from_bytes(1), DataSize::from_bytes(2)]
+            .into_iter()
+            .sum();
         assert_eq!(sizes, DataSize::from_bytes(3));
     }
 }

@@ -58,7 +58,12 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn small_trace() -> Trace {
-        generate(&SynthConfig { users: 600, programs: 150, days: 6, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 600,
+            programs: 150,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]
@@ -78,7 +83,9 @@ mod tests {
     fn hourly_demand_peaks_in_evening() {
         let trace = small_trace();
         let profile = no_cache_hourly(&trace, BitRate::STREAM_MPEG2_SD);
-        let peak_hour = (0..24).max_by_key(|&h| profile[h].as_bps()).expect("24 hours");
+        let peak_hour = (0..24)
+            .max_by_key(|&h| profile[h].as_bps())
+            .expect("24 hours");
         assert!((18..=22).contains(&peak_hour), "peak at {peak_hour}");
     }
 

@@ -206,16 +206,24 @@ impl SimConfig {
     /// Returns [`SimError::Config`] for zero sizes/rates.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.neighborhood_size == 0 {
-            return Err(SimError::Config { reason: "neighborhood size must be positive".into() });
+            return Err(SimError::Config {
+                reason: "neighborhood size must be positive".into(),
+            });
         }
         if self.segment_len.as_secs() == 0 {
-            return Err(SimError::Config { reason: "segment length must be positive".into() });
+            return Err(SimError::Config {
+                reason: "segment length must be positive".into(),
+            });
         }
         if self.stream_rate.as_bps() == 0 {
-            return Err(SimError::Config { reason: "stream rate must be positive".into() });
+            return Err(SimError::Config {
+                reason: "stream rate must be positive".into(),
+            });
         }
         if self.replication == 0 {
-            return Err(SimError::Config { reason: "replication must be at least 1".into() });
+            return Err(SimError::Config {
+                reason: "replication must be at least 1".into(),
+            });
         }
         Ok(())
     }
@@ -239,7 +247,10 @@ mod tests {
         assert_eq!(c.stream_slots(), 2);
         assert_eq!(c.segment_len(), SimDuration::from_minutes(5));
         assert_eq!(c.stream_rate(), BitRate::STREAM_MPEG2_SD);
-        assert_eq!(c.neighborhood_cache_capacity(), DataSize::from_terabytes(10));
+        assert_eq!(
+            c.neighborhood_cache_capacity(),
+            DataSize::from_terabytes(10)
+        );
         c.validate().expect("default config is valid");
     }
 
@@ -249,18 +260,27 @@ mod tests {
             .with_neighborhood_size(100)
             .with_per_peer_storage(DataSize::from_gigabytes(1))
             .with_replication(2);
-        assert_eq!(c.neighborhood_cache_capacity(), DataSize::from_gigabytes(100));
+        assert_eq!(
+            c.neighborhood_cache_capacity(),
+            DataSize::from_gigabytes(100)
+        );
         assert_eq!(c.replication(), 2);
     }
 
     #[test]
     fn invalid_configs_are_rejected() {
-        assert!(SimConfig::paper_default().with_neighborhood_size(0).validate().is_err());
+        assert!(SimConfig::paper_default()
+            .with_neighborhood_size(0)
+            .validate()
+            .is_err());
         assert!(SimConfig::paper_default()
             .with_segment_len(SimDuration::ZERO)
             .validate()
             .is_err());
-        assert!(SimConfig::paper_default().with_replication(0).validate().is_err());
+        assert!(SimConfig::paper_default()
+            .with_replication(0)
+            .validate()
+            .is_err());
         assert!(SimConfig::paper_default()
             .with_stream_rate(BitRate::ZERO)
             .validate()

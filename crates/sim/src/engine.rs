@@ -14,6 +14,43 @@
 //! (placement spreads a program's segments over many peers, so consecutive
 //! segments can come from different peers, and a busy peer misses only the
 //! segments it actually hosts).
+//!
+//! # Engine architecture
+//!
+//! The paper's unit of isolation is the **neighborhood**: every segment
+//! request resolves inside one neighborhood's cache and coax, and the only
+//! cross-neighborhood couplings are (a) the shared central-server meter,
+//! whose bucket accounting is commutative, and (b) the global popularity
+//! feed, which is a pure function of the trace. The engine exploits that
+//! in three layers:
+//!
+//! 1. **Precomputation** — one pass over the trace derives, per session,
+//!    everything the hot loop would otherwise re-query: neighborhood, home
+//!    peer, program length, watched span, seek offset and first segment
+//!    ([`SessionCtx`]). Oracle schedules and the global feed are also
+//!    precomputed here, so the event loops never touch the catalog or the
+//!    topology maps.
+//! 2. **Serial reference path** — [`run`] processes the whole trace
+//!    through one global event heap against the whole plant
+//!    ([`Topology`]). It is the semantic reference: deliberately simple,
+//!    single-threaded, structurally different from the sharded path.
+//! 3. **Sharded parallel path** — [`run_parallel`] partitions the trace
+//!    by neighborhood and runs each shard's heap + index server + meters
+//!    on a scoped worker pool (the same work-stealing primitive as
+//!    [`crate::runner::run_sweep`]). Per-shard results merge
+//!    deterministically: the server meter folds with
+//!    [`RateMeter::merge`] (exact, order-independent), cache counters fold
+//!    with `IndexStats + IndexStats`, and per-neighborhood outputs are
+//!    collected in neighborhood order. The merged [`SimReport`] is
+//!    **bit-identical** to the serial one — a property test enforces it
+//!    across strategies and shard counts.
+//!
+//! Global-feed exactness: the serial engine grows the feed record by
+//! record, so at record `r` a strategy can only ever see events `0..=r`.
+//! The sharded engine hands every shard the full precomputed feed plus the
+//! triggering record's global index as an explicit consumption bound
+//! (`IndexServer::sync_feed`'s `limit`), reproducing the serial
+//! prefix-visibility semantics exactly — batching lag and all.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -23,9 +60,11 @@ use cablevod_cache::{
     AccessSchedule, FeedEvent, GlobalFeed, IndexServer, IndexStats, PlacementPolicy, Resolution,
     SlotLedger,
 };
+use cablevod_hfc::coax::CoaxNetwork;
 use cablevod_hfc::ids::{NeighborhoodId, PeerId, SegmentId};
-use cablevod_hfc::meter::{RateStats, PEAK_END_HOUR, PEAK_START_HOUR};
+use cablevod_hfc::meter::{RateMeter, RateStats, PEAK_END_HOUR, PEAK_START_HOUR};
 use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::stb::{SetTopBox, StbStore};
 use cablevod_hfc::topology::{Topology, TopologyConfig};
 use cablevod_hfc::units::{SimDuration, SimTime};
 use cablevod_trace::record::{SessionRecord, Trace};
@@ -33,9 +72,349 @@ use cablevod_trace::record::{SessionRecord, Trace};
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::report::SimReport;
+use crate::runner;
+
+/// Everything the hot loop needs about one session, precomputed in a
+/// single pass so neither the serial nor the sharded path ever re-queries
+/// the catalog or the topology during event processing.
+#[derive(Debug, Clone, Copy)]
+struct SessionCtx {
+    /// Dense neighborhood index of the session's user.
+    nbhd: u32,
+    /// The viewer's own set-top box.
+    home: PeerId,
+    /// Full program length from the catalog.
+    length: SimDuration,
+    /// Seconds actually streamed (duration clamped to the post-seek tail).
+    watched: SimDuration,
+    /// Clamped seek offset in seconds.
+    offset: u64,
+    /// Absolute index of the first requested segment.
+    first_seg: u16,
+}
+
+/// Mutable per-run tallies shared by both engine paths.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineCounters {
+    sessions: u64,
+    segment_requests: u64,
+    viewer_overcommits: u64,
+}
+
+impl EngineCounters {
+    fn absorb(&mut self, other: EngineCounters) {
+        self.sessions += other.sessions;
+        self.segment_requests += other.segment_requests;
+        self.viewer_overcommits += other.viewer_overcommits;
+    }
+}
+
+/// The slice of the plant one event touches. The serial path implements it
+/// on the whole [`Topology`]; the sharded path on a per-neighborhood
+/// [`ShardPlant`]. Keeping the event-processing code generic over this
+/// trait guarantees both paths account bytes identically.
+trait SegmentPlant {
+    /// The set-top boxes requests resolve against.
+    fn stbs(&mut self) -> &mut dyn StbStore;
+
+    /// A cache miss: central server -> fiber -> headend rebroadcast
+    /// (Fig 4).
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError>;
+
+    /// The broadcast every segment makes over the coax regardless of who
+    /// serves it (§VI-B).
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError>;
+}
+
+impl SegmentPlant for Topology {
+    fn stbs(&mut self) -> &mut dyn StbStore {
+        self
+    }
+
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        self.server_mut().record_service(start, end, size);
+        self.neighborhood_mut(nbhd)?
+            .fiber_mut()
+            .record(start, end, size);
+        Ok(())
+    }
+
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        self.neighborhood_mut(nbhd)?
+            .coax_mut()
+            .record_broadcast(start, end, size);
+        Ok(())
+    }
+}
+
+/// One neighborhood's set-top boxes, addressed by global [`PeerId`]
+/// through a shared peer-to-local-position table (no hashing).
+struct ShardStbs<'a> {
+    /// The neighborhood whose members these boxes are.
+    id: NeighborhoodId,
+    stbs: Vec<SetTopBox>,
+    /// `positions[peer.index()]` is the peer's slot in `stbs`; only
+    /// meaningful for this shard's members, so membership is checked
+    /// against `nbhd_of` first.
+    positions: &'a [u32],
+    /// Every peer's neighborhood ([`Topology::peer_neighborhoods`]):
+    /// upholds the [`StbStore`] contract that a foreign peer is
+    /// `UnknownPeer`, never silently another member's box.
+    nbhd_of: &'a [NeighborhoodId],
+}
+
+impl StbStore for ShardStbs<'_> {
+    fn stb_mut(&mut self, peer: PeerId) -> Result<&mut SetTopBox, cablevod_hfc::error::HfcError> {
+        if self.nbhd_of.get(peer.index()) != Some(&self.id) {
+            return Err(cablevod_hfc::error::HfcError::UnknownPeer { peer });
+        }
+        self.stbs
+            .get_mut(self.positions[peer.index()] as usize)
+            .ok_or(cablevod_hfc::error::HfcError::UnknownPeer { peer })
+    }
+}
+
+/// One neighborhood's isolated slice of the plant: its boxes, its coax
+/// meter, and a private central-server meter that is merged into the
+/// shared one after the shard completes. (No fiber meter: [`SimReport`]
+/// never reads fiber data, so shards skip that bucket-split work; the
+/// serial path keeps it only because its [`Topology`] owns the links.)
+struct ShardPlant<'a> {
+    id: NeighborhoodId,
+    stbs: ShardStbs<'a>,
+    coax: CoaxNetwork,
+    server: RateMeter,
+}
+
+impl<'a> ShardPlant<'a> {
+    fn build(
+        n: usize,
+        topo: &'a Topology,
+        config: &SimConfig,
+        positions: &'a [u32],
+    ) -> Result<Self, SimError> {
+        let id = NeighborhoodId::new(n as u32);
+        let stbs: Vec<SetTopBox> = topo
+            .neighborhood(id)?
+            .members()
+            .iter()
+            .map(|&p| SetTopBox::new(p, config.per_peer_storage(), config.stream_slots()))
+            .collect();
+        Ok(ShardPlant {
+            id,
+            stbs: ShardStbs {
+                id,
+                stbs,
+                positions,
+                nbhd_of: topo.peer_neighborhoods(),
+            },
+            coax: CoaxNetwork::new(*config.coax_spec()),
+            server: RateMeter::hourly(),
+        })
+    }
+}
+
+impl SegmentPlant for ShardPlant<'_> {
+    fn stbs(&mut self) -> &mut dyn StbStore {
+        &mut self.stbs
+    }
+
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(
+            nbhd, self.id,
+            "shard received a foreign neighborhood's miss"
+        );
+        self.server.record(start, end, size);
+        Ok(())
+    }
+
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(
+            nbhd, self.id,
+            "shard received a foreign neighborhood's broadcast"
+        );
+        self.coax.record_broadcast(start, end, size);
+        Ok(())
+    }
+}
+
+/// What one shard hands back for the deterministic merge.
+struct ShardOutcome {
+    coax: CoaxNetwork,
+    server: RateMeter,
+    stats: IndexStats,
+    counters: EngineCounters,
+}
+
+/// Precomputes the per-session context table (one pass; see the module
+/// docs).
+fn precompute_sessions(
+    trace: &Trace,
+    topo: &Topology,
+    segmenter: &Segmenter,
+) -> Result<Vec<SessionCtx>, SimError> {
+    let seg_len = segmenter.segment_len().as_secs();
+    trace
+        .records()
+        .iter()
+        .map(|rec| {
+            let length = trace
+                .catalog()
+                .length(rec.program)
+                .expect("trace construction validates program references");
+            let nbhd = topo.neighborhood_of_user(rec.user)?;
+            let home = topo.home_peer(rec.user)?;
+            let offset = rec.offset.min(length).as_secs();
+            Ok(SessionCtx {
+                nbhd: nbhd.index() as u32,
+                home,
+                length,
+                watched: rec.watched(length),
+                offset,
+                first_seg: (offset / seg_len) as u16,
+            })
+        })
+        .collect()
+}
+
+/// Builds the per-neighborhood Oracle schedules (empty for strategies that
+/// do not need them).
+fn build_schedules(
+    trace: &Trace,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
+    if !config.strategy().needs_schedule() {
+        return Ok(vec![None; topo.neighborhood_count()]);
+    }
+    let mut per_nbhd: Vec<Vec<(SimTime, cablevod_hfc::ids::ProgramId)>> =
+        vec![Vec::new(); topo.neighborhood_count()];
+    for r in trace.iter() {
+        let nbhd = topo.neighborhood_of_user(r.user)?;
+        per_nbhd[nbhd.index()].push((r.start, r.program));
+    }
+    let costs: Vec<u32> = trace
+        .catalog()
+        .iter()
+        .map(|(_, info)| {
+            u32::from(segmenter.segment_count(info.length)) * u32::from(config.replication())
+        })
+        .collect();
+    Ok(per_nbhd
+        .into_iter()
+        .map(|events| Some(Arc::new(AccessSchedule::from_events(events, costs.clone()))))
+        .collect())
+}
+
+/// Builds the full global feed from the trace (a pure function of the
+/// trace — see the module docs), or `None` when the strategy ignores it.
+fn build_feed(
+    trace: &Trace,
+    ctxs: &[SessionCtx],
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Option<GlobalFeed> {
+    config.strategy().needs_feed().then(|| {
+        let mut feed = GlobalFeed::new();
+        for (rec, ctx) in trace.records().iter().zip(ctxs) {
+            let cost =
+                u32::from(segmenter.segment_count(ctx.length)) * u32::from(config.replication());
+            feed.publish(FeedEvent {
+                time: rec.start,
+                neighborhood: NeighborhoodId::new(ctx.nbhd),
+                program: rec.program,
+                cost,
+            });
+        }
+        feed
+    })
+}
+
+/// Builds the index server for neighborhood `n`. Shared by both engine
+/// paths so shard-local caches are configured exactly like serial ones
+/// (including the per-neighborhood placement RNG stream).
+fn build_index(
+    n: usize,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+    schedule: Option<Arc<AccessSchedule>>,
+) -> Result<IndexServer, SimError> {
+    let nominal = config.stream_rate() * config.segment_len();
+    let id = NeighborhoodId::new(n as u32);
+    let members: Vec<(PeerId, u32)> = topo
+        .neighborhood(id)?
+        .members()
+        .iter()
+        .map(|&p| {
+            Ok::<_, SimError>((
+                p,
+                (topo.stb(p)?.capacity().as_bits() / nominal.as_bits()) as u32,
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    // Give each neighborhood's random placement its own stream.
+    let placement = match config.placement() {
+        PlacementPolicy::Random { seed } => PlacementPolicy::Random {
+            seed: seed ^ ((n as u64) << 32),
+        },
+        other => other,
+    };
+    let ledger = SlotLedger::new(members, placement);
+    let strategy = config
+        .strategy()
+        .build(ledger.total_slots(), id, schedule)?;
+    let mut index =
+        IndexServer::with_replication(id, strategy, *segmenter, ledger, config.replication());
+    if let Some(fill) = config.fill_override() {
+        index.set_fill_policy(fill);
+    }
+    Ok(index)
+}
 
 /// Runs one simulation of `trace` under `config` and returns the measured
 /// report.
+///
+/// This is the serial reference path: one global event heap against the
+/// whole plant. [`run_parallel`] produces a bit-identical report by
+/// sharding per neighborhood.
 ///
 /// Deterministic: identical inputs produce identical reports.
 ///
@@ -60,7 +439,6 @@ use crate::report::SimReport;
 pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
     config.validate()?;
     let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
-    let nominal = config.stream_rate() * config.segment_len();
 
     let mut topo = Topology::build(
         TopologyConfig::new(trace.user_count(), config.neighborhood_size())
@@ -69,75 +447,21 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
             .with_coax_spec(*config.coax_spec()),
     )?;
 
-    // Future access schedules (Oracle only): one per neighborhood, costs
-    // for the whole catalog.
-    let schedules: Vec<Option<Arc<AccessSchedule>>> = if config.strategy().needs_schedule() {
-        let mut per_nbhd: Vec<Vec<(SimTime, cablevod_hfc::ids::ProgramId)>> =
-            vec![Vec::new(); topo.neighborhood_count()];
-        for r in trace.iter() {
-            let nbhd = topo.neighborhood_of_user(r.user)?;
-            per_nbhd[nbhd.index()].push((r.start, r.program));
-        }
-        let costs: Vec<u32> = trace
-            .catalog()
-            .iter()
-            .map(|(_, info)| {
-                u32::from(segmenter.segment_count(info.length)) * u32::from(config.replication())
-            })
-            .collect();
-        per_nbhd
-            .into_iter()
-            .map(|events| Some(Arc::new(AccessSchedule::from_events(events, costs.clone()))))
-            .collect()
-    } else {
-        vec![None; topo.neighborhood_count()]
-    };
+    let ctxs = precompute_sessions(trace, &topo, &segmenter)?;
+    let schedules = build_schedules(trace, &topo, config, &segmenter)?;
+    let feed = build_feed(trace, &ctxs, config, &segmenter);
 
-    let mut indexes: Vec<IndexServer> = Vec::with_capacity(topo.neighborhood_count());
-    for (n, schedule) in schedules.into_iter().enumerate() {
-        let id = NeighborhoodId::new(n as u32);
-        let members: Vec<(PeerId, u32)> = topo
-            .neighborhood(id)?
-            .members()
-            .iter()
-            .map(|&p|
-
-                Ok::<_, SimError>((
-                    p,
-                    (topo.stb(p)?.capacity().as_bits() / nominal.as_bits()) as u32,
-                )))
-            .collect::<Result<_, _>>()?;
-        // Give each neighborhood's random placement its own stream.
-        let placement = match config.placement() {
-            PlacementPolicy::Random { seed } => {
-                PlacementPolicy::Random { seed: seed ^ ((n as u64) << 32) }
-            }
-            other => other,
-        };
-        let ledger = SlotLedger::new(members, placement);
-        let strategy = config.strategy().build(ledger.total_slots(), id, schedule)?;
-        let mut index = IndexServer::with_replication(
-            id,
-            strategy,
-            segmenter,
-            ledger,
-            config.replication(),
-        );
-        if let Some(fill) = config.fill_override() {
-            index.set_fill_policy(fill);
-        }
-        indexes.push(index);
-    }
-
-    let mut feed = config.strategy().needs_feed().then(GlobalFeed::new);
+    let mut indexes: Vec<IndexServer> = schedules
+        .into_iter()
+        .enumerate()
+        .map(|(n, schedule)| build_index(n, &topo, config, &segmenter, schedule))
+        .collect::<Result<_, _>>()?;
 
     let records = trace.records();
     // Continuation events: (segment start, session index, segment index).
     let mut heap: BinaryHeap<Reverse<(SimTime, u32, u16)>> = BinaryHeap::new();
     let mut next_record = 0usize;
-    let mut sessions = 0u64;
-    let mut segment_requests = 0u64;
-    let mut viewer_overcommits = 0u64;
+    let mut counters = EngineCounters::default();
 
     loop {
         let take_record = match (next_record < records.len(), heap.peek()) {
@@ -150,78 +474,34 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
         if take_record {
             let idx = next_record;
             next_record += 1;
-            let rec = &records[idx];
-            let length = trace
-                .catalog()
-                .length(rec.program)
-                .expect("trace construction validates program references");
-            let nbhd = topo.neighborhood_of_user(rec.user)?;
-            let home = topo.home_peer(rec.user)?;
-            sessions += 1;
-            let watched = rec.watched(length);
-
-            // The viewer's own playback occupies one of its slots for the
-            // whole session; playback is never blocked, overcommit is
-            // counted (DESIGN.md §5).
-            let stb = topo.stb_mut(home)?;
-            stb.start_stream_unchecked(rec.start, rec.start + watched);
-            if stb.is_overcommitted(rec.start) {
-                viewer_overcommits += 1;
-            }
-
-            let index = &mut indexes[nbhd.index()];
-            if let Some(feed) = feed.as_mut() {
-                let cost = u32::from(segmenter.segment_count(length))
-                    * u32::from(config.replication());
-                feed.publish(FeedEvent {
-                    time: rec.start,
-                    neighborhood: nbhd,
-                    program: rec.program,
-                    cost,
-                });
-                index.sync_feed(feed, rec.start);
-            }
-            index.on_program_access(rec.program, length, rec.start, &mut topo)?;
-
-            if watched.as_secs() > 0 {
-                let offset = rec.offset.min(length).as_secs();
-                let first_seg = (offset / segmenter.segment_len().as_secs()) as u16;
-                process_segment(
-                    rec,
-                    idx as u32,
-                    first_seg,
-                    offset,
-                    watched,
-                    &segmenter,
-                    config,
-                    &mut topo,
-                    index,
-                    &mut heap,
-                    &mut segment_requests,
-                )?;
-            }
+            let ctx = &ctxs[idx];
+            start_session(
+                &records[idx],
+                ctx,
+                idx as u32,
+                config,
+                &segmenter,
+                &mut topo,
+                &mut indexes[ctx.nbhd as usize],
+                feed.as_ref(),
+                &mut heap,
+                &mut counters,
+            )?;
         } else {
             let Reverse((_, session_idx, seg_idx)) = heap.pop().expect("peeked entry exists");
-            let rec = &records[session_idx as usize];
-            let length = trace
-                .catalog()
-                .length(rec.program)
-                .expect("trace construction validates program references");
-            let nbhd = topo.neighborhood_of_user(rec.user)?;
-            let watched = rec.watched(length);
-            let offset = rec.offset.min(length).as_secs();
+            let idx = session_idx as usize;
+            let ctx = &ctxs[idx];
             process_segment(
-                rec,
+                &records[idx],
+                ctx,
                 session_idx,
                 seg_idx,
-                offset,
-                watched,
                 &segmenter,
                 config,
                 &mut topo,
-                &mut indexes[nbhd.index()],
+                &mut indexes[ctx.nbhd as usize],
                 &mut heap,
-                &mut segment_requests,
+                &mut counters.segment_requests,
             )?;
         }
     }
@@ -255,12 +535,240 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
         coax_peak: RateStats::from_samples(&coax_samples),
         coax_per_neighborhood,
         cache,
-        sessions,
-        segment_requests,
-        viewer_overcommits,
+        sessions: counters.sessions,
+        segment_requests: counters.segment_requests,
+        viewer_overcommits: counters.viewer_overcommits,
         measured_from_day: warmup,
         measured_to_day: days,
     })
+}
+
+/// Runs one simulation sharded per neighborhood over `threads` workers,
+/// producing a report **bit-identical** to [`run`]'s.
+///
+/// Correctness rests on the paper's own isolation structure: per-event
+/// state (cache, boxes, coax, fiber) is neighborhood-local; the shared
+/// server meter merges exactly because bucket accounting is commutative
+/// ([`RateMeter::merge`]); and the global feed is precomputed from the
+/// trace with per-record consumption bounds, reproducing serial
+/// visibility. Shards are scheduled work-stealing style, so thread count
+/// affects wall-clock only, never results.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations and propagates
+/// broken-invariant failures from the cache and plant layers.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::{run, run_parallel, SimConfig};
+/// use cablevod_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+///     ..SynthConfig::smoke_test() });
+/// let config = SimConfig::paper_default().with_neighborhood_size(100).with_warmup_days(1);
+/// assert_eq!(run_parallel(&trace, &config, 4)?, run(&trace, &config)?);
+/// # Ok::<(), cablevod_sim::SimError>(())
+/// ```
+pub fn run_parallel(
+    trace: &Trace,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+
+    // The topology is built once for membership, capacities and placement
+    // determinism, then only read; every shard owns fresh mutable state.
+    let topo = Topology::build(
+        TopologyConfig::new(trace.user_count(), config.neighborhood_size())
+            .with_per_peer_storage(config.per_peer_storage())
+            .with_stream_slots(config.stream_slots())
+            .with_coax_spec(*config.coax_spec()),
+    )?;
+
+    let ctxs = precompute_sessions(trace, &topo, &segmenter)?;
+    let schedules = build_schedules(trace, &topo, config, &segmenter)?;
+    let feed = build_feed(trace, &ctxs, config, &segmenter);
+    let positions = topo.local_positions();
+
+    let nbhd_count = topo.neighborhood_count();
+    let mut shard_records: Vec<Vec<u32>> = vec![Vec::new(); nbhd_count];
+    for (i, ctx) in ctxs.iter().enumerate() {
+        shard_records[ctx.nbhd as usize].push(i as u32);
+    }
+
+    let records = trace.records();
+    let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
+        let index = build_index(n, &topo, config, &segmenter, schedules[n].clone())?;
+        let plant = ShardPlant::build(n, &topo, config, &positions)?;
+        run_shard(
+            records,
+            &ctxs,
+            &shard_records[n],
+            index,
+            plant,
+            feed.as_ref(),
+            &segmenter,
+            config,
+        )
+    });
+
+    // Deterministic merge, in neighborhood order.
+    let days = trace.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    let mut server = RateMeter::hourly();
+    let mut coax_samples = Vec::new();
+    let mut coax_per_neighborhood = Vec::with_capacity(nbhd_count);
+    let mut cache = IndexStats::default();
+    let mut counters = EngineCounters::default();
+    for outcome in outcomes {
+        let shard = outcome?;
+        server.merge(&shard.server);
+        let stats = shard.coax.peak_stats(warmup, days);
+        coax_per_neighborhood.push(stats.mean);
+        coax_samples.extend(shard.coax.meter().window_samples(
+            warmup,
+            days,
+            PEAK_START_HOUR,
+            PEAK_END_HOUR,
+        ));
+        cache += shard.stats;
+        counters.absorb(shard.counters);
+    }
+
+    Ok(SimReport {
+        server_peak: server.peak_stats(warmup, days),
+        server_total: server.total(),
+        server_hourly: server.hourly_profile(),
+        coax_peak: RateStats::from_samples(&coax_samples),
+        coax_per_neighborhood,
+        cache,
+        sessions: counters.sessions,
+        segment_requests: counters.segment_requests,
+        viewer_overcommits: counters.viewer_overcommits,
+        measured_from_day: warmup,
+        measured_to_day: days,
+    })
+}
+
+/// Runs one neighborhood's complete event sequence: its records in trace
+/// order interleaved with its continuation heap, exactly the relative
+/// order the serial engine would process them in (cross-neighborhood
+/// interleavings never touch this shard's state).
+#[allow(clippy::too_many_arguments)]
+fn run_shard(
+    records: &[SessionRecord],
+    ctxs: &[SessionCtx],
+    my_records: &[u32],
+    mut index: IndexServer,
+    mut plant: ShardPlant<'_>,
+    feed: Option<&GlobalFeed>,
+    segmenter: &Segmenter,
+    config: &SimConfig,
+) -> Result<ShardOutcome, SimError> {
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u16)>> = BinaryHeap::new();
+    let mut next = 0usize;
+    let mut counters = EngineCounters::default();
+
+    loop {
+        let take_record = match (next < my_records.len(), heap.peek()) {
+            (false, None) => break,
+            (true, None) => true,
+            (false, Some(_)) => false,
+            (true, Some(&Reverse((t, _, _)))) => records[my_records[next] as usize].start <= t,
+        };
+
+        if take_record {
+            let idx = my_records[next] as usize;
+            next += 1;
+            start_session(
+                &records[idx],
+                &ctxs[idx],
+                idx as u32,
+                config,
+                segmenter,
+                &mut plant,
+                &mut index,
+                feed,
+                &mut heap,
+                &mut counters,
+            )?;
+        } else {
+            let Reverse((_, session_idx, seg_idx)) = heap.pop().expect("peeked entry exists");
+            let idx = session_idx as usize;
+            process_segment(
+                &records[idx],
+                &ctxs[idx],
+                session_idx,
+                seg_idx,
+                segmenter,
+                config,
+                &mut plant,
+                &mut index,
+                &mut heap,
+                &mut counters.segment_requests,
+            )?;
+        }
+    }
+
+    Ok(ShardOutcome {
+        coax: plant.coax,
+        server: plant.server,
+        stats: *index.stats(),
+        counters,
+    })
+}
+
+/// Handles one session start: viewer slot accounting, feed sync, strategy
+/// update, and the first segment request.
+#[allow(clippy::too_many_arguments)]
+fn start_session<P: SegmentPlant>(
+    rec: &SessionRecord,
+    ctx: &SessionCtx,
+    session_idx: u32,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+    plant: &mut P,
+    index: &mut IndexServer,
+    feed: Option<&GlobalFeed>,
+    heap: &mut BinaryHeap<Reverse<(SimTime, u32, u16)>>,
+    counters: &mut EngineCounters,
+) -> Result<(), SimError> {
+    counters.sessions += 1;
+
+    // The viewer's own playback occupies one of its slots for the whole
+    // session; playback is never blocked, overcommit is counted
+    // (DESIGN.md §5).
+    let stb = plant.stbs().stb_mut(ctx.home)?;
+    stb.start_stream_unchecked(rec.start, rec.start + ctx.watched);
+    if stb.is_overcommitted(rec.start) {
+        counters.viewer_overcommits += 1;
+    }
+
+    if let Some(feed) = feed {
+        // Events up to and including this record are "published" (see the
+        // module docs on feed exactness).
+        index.sync_feed(feed, rec.start, session_idx as usize + 1);
+    }
+    index.on_program_access(rec.program, ctx.length, rec.start, plant.stbs())?;
+
+    if ctx.watched.as_secs() > 0 {
+        process_segment(
+            rec,
+            ctx,
+            session_idx,
+            ctx.first_seg,
+            segmenter,
+            config,
+            plant,
+            index,
+            heap,
+            &mut counters.segment_requests,
+        )?;
+    }
+    Ok(())
 }
 
 /// Resolves one segment request and schedules the session's next one.
@@ -269,47 +777,45 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
 /// that seek (`offset > 0`) start mid-program, so the playback span is
 /// `[offset, offset + watched_total)` in program positions.
 #[allow(clippy::too_many_arguments)]
-fn process_segment(
+fn process_segment<P: SegmentPlant>(
     rec: &SessionRecord,
+    ctx: &SessionCtx,
     session_idx: u32,
     seg_idx: u16,
-    offset: u64,
-    watched_total: SimDuration,
     segmenter: &Segmenter,
     config: &SimConfig,
-    topo: &mut Topology,
+    plant: &mut P,
     index: &mut IndexServer,
     heap: &mut BinaryHeap<Reverse<(SimTime, u32, u16)>>,
     segment_requests: &mut u64,
 ) -> Result<(), SimError> {
     let seg_len = segmenter.segment_len().as_secs();
-    let span_end = offset + watched_total.as_secs();
+    let span_end = ctx.offset + ctx.watched.as_secs();
     let k = u64::from(seg_idx);
     // Overlap of this segment's positions with the playback span.
-    let overlap_start = offset.max(k * seg_len);
+    let overlap_start = ctx.offset.max(k * seg_len);
     let overlap_end = span_end.min((k + 1) * seg_len);
     debug_assert!(overlap_start < overlap_end, "segment outside playback span");
     let watched = overlap_end - overlap_start;
-    let start = rec.start + SimDuration::from_secs(overlap_start - offset);
+    let start = rec.start + SimDuration::from_secs(overlap_start - ctx.offset);
     let end = start + SimDuration::from_secs(watched);
     let size = config.stream_rate() * SimDuration::from_secs(watched);
     let segment = SegmentId::new(rec.program, seg_idx);
 
     *segment_requests += 1;
-    let resolution = index.resolve_segment(segment, rec.start, start, end, topo)?;
+    let resolution = index.resolve_segment(segment, rec.start, start, end, plant.stbs())?;
     let nbhd = index.home();
     if let Resolution::Miss(_) = resolution {
         // Fig 4: central server -> fiber -> headend rebroadcast.
-        topo.server_mut().record_service(start, end, size);
-        topo.neighborhood_mut(nbhd)?.fiber_mut().record(start, end, size);
+        plant.record_miss(nbhd, start, end, size)?;
     }
     // Broadcast medium: the segment crosses the coax either way (§VI-B).
-    topo.neighborhood_mut(nbhd)?.coax_mut().record_broadcast(start, end, size);
+    plant.record_broadcast(nbhd, start, end, size)?;
 
     let next_pos = (k + 1) * seg_len;
     if next_pos < span_end {
         heap.push(Reverse((
-            rec.start + SimDuration::from_secs(next_pos - offset),
+            rec.start + SimDuration::from_secs(next_pos - ctx.offset),
             session_idx,
             seg_idx + 1,
         )));
@@ -348,8 +854,10 @@ mod tests {
         assert_eq!(report.cache.hits, 0);
         assert_eq!(report.hit_rate(), 0.0);
         // Server carries every watched second at the stream rate.
-        let expected_bits =
-            trace.records().iter().map(|r| {
+        let expected_bits = trace
+            .records()
+            .iter()
+            .map(|r| {
                 let len = trace.catalog().length(r.program).expect("valid");
                 r.watched(len).as_secs() * BitRate::STREAM_MPEG2_SD.as_bps()
             })
@@ -394,7 +902,10 @@ mod tests {
             &base_config().with_strategy(StrategySpec::default_oracle()),
         )
         .expect("runs");
-        assert!(oracle.server_total <= lfu.server_total, "oracle must not lose to LFU");
+        assert!(
+            oracle.server_total <= lfu.server_total,
+            "oracle must not lose to LFU"
+        );
         assert!(lfu.server_total < none.server_total);
     }
 
@@ -476,5 +987,58 @@ mod tests {
         let trace = small_trace();
         let report = run(&trace, &base_config().with_replication(2)).expect("runs");
         assert!(report.cache.hits > 0);
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_every_strategy() {
+        let trace = small_trace();
+        for spec in [
+            StrategySpec::NoCache,
+            StrategySpec::Lru,
+            StrategySpec::default_lfu(),
+            StrategySpec::default_oracle(),
+            StrategySpec::GlobalLfu {
+                history: SimDuration::from_days(3),
+                lag: SimDuration::from_minutes(30),
+            },
+        ] {
+            let config = base_config().with_strategy(spec);
+            let serial = run(&trace, &config).expect("serial runs");
+            for threads in [1, 2, 8] {
+                let parallel = run_parallel(&trace, &config, threads).expect("parallel runs");
+                assert_eq!(parallel, serial, "strategy {spec:?}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_with_seeks_and_replication() {
+        let trace = generate(&SynthConfig {
+            users: 500,
+            programs: 120,
+            days: 5,
+            seek_prob: 0.25,
+            ..SynthConfig::smoke_test()
+        });
+        let config = base_config().with_replication(2);
+        let serial = run(&trace, &config).expect("serial runs");
+        let parallel = run_parallel(&trace, &config, 3).expect("parallel runs");
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_matches_serial_under_random_placement() {
+        let trace = small_trace();
+        let config = base_config().with_placement(PlacementPolicy::Random { seed: 7 });
+        let serial = run(&trace, &config).expect("serial runs");
+        let parallel = run_parallel(&trace, &config, 4).expect("parallel runs");
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn parallel_rejects_invalid_configs_like_serial() {
+        let trace = small_trace();
+        let config = base_config().with_neighborhood_size(0);
+        assert!(run_parallel(&trace, &config, 2).is_err());
     }
 }

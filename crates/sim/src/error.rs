@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn displays_and_chains() {
-        let err = SimError::Config { reason: "zero days".into() };
+        let err = SimError::Config {
+            reason: "zero days".into(),
+        };
         assert_eq!(err.to_string(), "invalid simulation config: zero days");
         let err = SimError::from(CacheError::MissingSchedule);
         assert!(err.source().is_some());

@@ -6,6 +6,8 @@
 //! * [`engine`] — the discrete-event simulation: session records drive
 //!   segment-granularity requests against per-neighborhood cooperative
 //!   caches, with exact byte accounting on the server, fiber and coax;
+//!   [`engine::run`] is the serial reference path, [`engine::run_parallel`]
+//!   the sharded per-neighborhood path with bit-identical reports;
 //! * [`config`] — the swept parameters (neighborhood size, per-peer
 //!   storage, strategy, slots, segment length, placement, replication);
 //! * [`report`] — measured results (peak server rate with 5 %/95 %
@@ -43,7 +45,7 @@ pub mod report;
 pub mod runner;
 
 pub use config::SimConfig;
-pub use engine::run;
+pub use engine::{run, run_parallel};
 pub use error::SimError;
 pub use multicast::MulticastStats;
 pub use report::SimReport;

@@ -60,7 +60,10 @@ pub fn ideal_multicast_peak(
             continue;
         }
         viewer_secs += watched.as_secs();
-        per_program.entry(r.program).or_default().push((r.start, r.start + watched));
+        per_program
+            .entry(r.program)
+            .or_default()
+            .push((r.start, r.start + watched));
     }
 
     let mut meter = RateMeter::hourly();
@@ -148,7 +151,14 @@ pub fn batched_multicast_peak(
             if let Some(g) = active.remove(&r.program) {
                 flush(g, rate, &mut meter);
             }
-            active.insert(r.program, Group { start: r.start, end, members: 1 });
+            active.insert(
+                r.program,
+                Group {
+                    start: r.start,
+                    end,
+                    members: 1,
+                },
+            );
             groups += 1;
             members_total += 1;
         }
@@ -160,7 +170,11 @@ pub fn batched_multicast_peak(
     MulticastStats {
         server_peak: meter.peak_stats(from_day, to_day),
         sessions: trace.len() as u64,
-        mean_sharing: if groups == 0 { 0.0 } else { members_total as f64 / groups as f64 },
+        mean_sharing: if groups == 0 {
+            0.0
+        } else {
+            members_total as f64 / groups as f64
+        },
     }
 }
 
@@ -171,7 +185,12 @@ mod tests {
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn small_trace() -> Trace {
-        generate(&SynthConfig { users: 800, programs: 200, days: 6, ..SynthConfig::smoke_test() })
+        generate(&SynthConfig {
+            users: 800,
+            programs: 200,
+            days: 6,
+            ..SynthConfig::smoke_test()
+        })
     }
 
     #[test]

@@ -101,7 +101,11 @@ mod tests {
             server_hourly: [BitRate::ZERO; 24],
             coax_peak: RateStats::from_samples(&[BitRate::from_mbps(400)]),
             coax_per_neighborhood: vec![BitRate::from_mbps(350), BitRate::from_mbps(450)],
-            cache: IndexStats { hits: 80, miss_uncached: 20, ..IndexStats::default() },
+            cache: IndexStats {
+                hits: 80,
+                miss_uncached: 20,
+                ..IndexStats::default()
+            },
             sessions: 100,
             segment_requests: 100,
             viewer_overcommits: 0,

@@ -1,9 +1,17 @@
-//! Parallel parameter sweeps.
+//! Parallel execution helpers.
 //!
-//! Every evaluation figure sweeps a parameter (cache size, neighborhood
-//! size, history length, scale factors). [`run_sweep`] executes independent
-//! simulation runs on all available cores with deterministic result
-//! ordering.
+//! Two layers of parallelism share one primitive:
+//!
+//! * [`run_sweep`] / [`run_sweep_traces`] execute *independent simulation
+//!   runs* (one per parameter point) on all available cores, the way every
+//!   evaluation figure consumes the engine;
+//! * [`crate::engine::run_parallel`] executes *one simulation* by sharding
+//!   it per neighborhood and scheduling the shards over a worker pool.
+//!
+//! Both use [`run_indexed`]: a scoped work-stealing pool that runs
+//! `job(i)` for every index exactly once and returns results in input
+//! order, so output ordering is deterministic no matter which worker ran
+//! which job.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -15,43 +23,63 @@ use crate::engine::run;
 use crate::error::SimError;
 use crate::report::SimReport;
 
+/// Runs `job(0..count)` on up to `threads` workers (clamped to `count`),
+/// collecting results in index order. Single-threaded requests run inline
+/// with no pool setup.
+pub(crate) fn run_indexed<R, F>(count: usize, threads: usize, job: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if count == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, count);
+    if threads == 1 {
+        return (0..count).map(job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(job(i));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was visited")
+        })
+        .collect()
+}
+
+/// The default worker count: every available core.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZero::get)
+        .unwrap_or(1)
+}
+
 /// Runs one simulation per `(label, config)` pair, in parallel, returning
 /// results in input order.
 pub fn run_sweep<L: Clone + Send + Sync>(
     trace: &Trace,
     jobs: &[(L, SimConfig)],
 ) -> Vec<(L, Result<SimReport, SimError>)> {
-    let n_threads = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let result = run(trace, &jobs[i].1);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
-    });
-
+    let results = run_indexed(jobs.len(), default_threads(), |i| run(trace, &jobs[i].1));
     jobs.iter()
         .zip(results)
-        .map(|((label, _), slot)| {
-            let result = slot
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was visited");
-            (label.clone(), result)
-        })
+        .map(|((label, _), result)| (label.clone(), result))
         .collect()
 }
 
@@ -60,38 +88,13 @@ pub fn run_sweep<L: Clone + Send + Sync>(
 pub fn run_sweep_traces<L: Clone + Send + Sync>(
     jobs: &[(L, Trace, SimConfig)],
 ) -> Vec<(L, Result<SimReport, SimError>)> {
-    let n_threads = std::thread::available_parallelism()
-        .map(std::num::NonZero::get)
-        .unwrap_or(1)
-        .min(jobs.len().max(1));
-
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<Result<SimReport, SimError>>>> =
-        jobs.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
-                }
-                let (_, trace, config) = &jobs[i];
-                let result = run(trace, config);
-                *results[i].lock().expect("result slot poisoned") = Some(result);
-            });
-        }
+    let results = run_indexed(jobs.len(), default_threads(), |i| {
+        let (_, trace, config) = &jobs[i];
+        run(trace, config)
     });
-
     jobs.iter()
         .zip(results)
-        .map(|((label, _, _), slot)| {
-            let result = slot
-                .into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was visited");
-            (label.clone(), result)
-        })
+        .map(|((label, _, _), result)| (label.clone(), result))
         .collect()
 }
 
@@ -140,5 +143,18 @@ mod tests {
         });
         let jobs: Vec<((), SimConfig)> = Vec::new();
         assert!(run_sweep(&trace, &jobs).is_empty());
+    }
+
+    #[test]
+    fn run_indexed_visits_every_index_in_order() {
+        for threads in [1, 2, 7] {
+            let out = run_indexed(23, threads, |i| i * i);
+            assert_eq!(
+                out,
+                (0..23).map(|i| i * i).collect::<Vec<_>>(),
+                "threads {threads}"
+            );
+        }
+        assert!(run_indexed(0, 4, |i| i).is_empty());
     }
 }

@@ -46,11 +46,9 @@ pub fn quantile_program(trace: &Trace, q: f64) -> Option<ProgramId> {
     if counts.iter().all(|&c| c == 0) {
         return None;
     }
-    let mut by_count: Vec<(u64, usize)> =
-        counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut by_count: Vec<(u64, usize)> = counts.iter().enumerate().map(|(i, &c)| (c, i)).collect();
     by_count.sort_unstable_by(|a, b| b.cmp(a)); // descending popularity
-    let rank = (((1.0 - q) * by_count.len() as f64).floor() as usize)
-        .min(by_count.len() - 1);
+    let rank = (((1.0 - q) * by_count.len() as f64).floor() as usize).min(by_count.len() - 1);
     Some(ProgramId::new(by_count[rank].1 as u32))
 }
 
@@ -79,7 +77,11 @@ impl SkewSeries {
     /// down to around 13, and for the 95 % quantile down to 5").
     pub fn peaks(&self) -> (u32, u32, u32) {
         let peak = |v: &[u32]| v.iter().copied().max().unwrap_or(0);
-        (peak(&self.max_series), peak(&self.q99_series), peak(&self.q95_series))
+        (
+            peak(&self.max_series),
+            peak(&self.q99_series),
+            peak(&self.q95_series),
+        )
     }
 }
 
@@ -101,7 +103,11 @@ pub fn popularity_skew(trace: &Trace, from_day: u64, to_day: u64) -> Option<Skew
     let q95_program = quantile_program(&window, 0.95)?;
 
     let buckets = ((to_day - from_day) * 96) as usize; // 96 quarter-hours/day
-    let mut series = [vec![0u32; buckets], vec![0u32; buckets], vec![0u32; buckets]];
+    let mut series = [
+        vec![0u32; buckets],
+        vec![0u32; buckets],
+        vec![0u32; buckets],
+    ];
     let targets = [max_program, q99_program, q95_program];
     for r in window.iter() {
         let bucket = ((r.start.as_secs() - from_day * 86_400) / 900) as usize;
@@ -112,7 +118,14 @@ pub fn popularity_skew(trace: &Trace, from_day: u64, to_day: u64) -> Option<Skew
         }
     }
     let [max_series, q99_series, q95_series] = series;
-    Some(SkewSeries { max_program, q99_program, q95_program, max_series, q99_series, q95_series })
+    Some(SkewSeries {
+        max_program,
+        q99_program,
+        q95_program,
+        max_series,
+        q99_series,
+        q95_series,
+    })
 }
 
 /// ECDF of session lengths (in seconds) for `program` — Fig 3 when applied
@@ -139,7 +152,11 @@ pub fn session_length_ecdf(trace: &Trace, program: ProgramId) -> Ecdf {
 /// `min_jump` of the probability mass (the paper's visual inspection
 /// corresponds to a few percent). Returns `None` when the program has no
 /// sessions or no atom is heavy enough.
-pub fn deduce_program_length(trace: &Trace, program: ProgramId, min_jump: f64) -> Option<SimDuration> {
+pub fn deduce_program_length(
+    trace: &Trace,
+    program: ProgramId,
+    min_jump: f64,
+) -> Option<SimDuration> {
     let ecdf = session_length_ecdf(trace, program);
     if ecdf.is_empty() {
         return None;
@@ -196,7 +213,10 @@ pub fn popularity_by_age(trace: &Trace, max_age_days: u64, top_n: usize) -> Vec<
             }
         }
     }
-    by_age.iter().map(|&c| c as f64 / candidates.len() as f64).collect()
+    by_age
+        .iter()
+        .map(|&c| c as f64 / candidates.len() as f64)
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,7 +236,10 @@ mod tests {
         let (max, q99, q95) = skew.peaks();
         assert!(max >= q99, "max {max} < q99 {q99}");
         assert!(q99 >= q95, "q99 {q99} < q95 {q95}");
-        assert!(max >= 3, "most popular program should see real traffic, got {max}");
+        assert!(
+            max >= 3,
+            "most popular program should see real traffic, got {max}"
+        );
         assert_eq!(skew.max_series.len(), 7 * 96);
     }
 
@@ -234,7 +257,11 @@ mod tests {
     fn ecdf_median_is_short_relative_to_program() {
         let t = smoke();
         let popular = most_popular_program(&t).expect("non-empty");
-        let len = t.catalog().length(popular).expect("valid program").as_secs() as f64;
+        let len = t
+            .catalog()
+            .length(popular)
+            .expect("valid program")
+            .as_secs() as f64;
         let ecdf = session_length_ecdf(&t, popular);
         assert!(ecdf.len() > 50, "popular program should have many sessions");
         let median = ecdf.quantile(0.5);
@@ -261,15 +288,19 @@ mod tests {
                 }
             }
         }
-        assert!(correct >= 8, "deduction correct for only {correct}/{tested} programs");
+        assert!(
+            correct >= 8,
+            "deduction correct for only {correct}/{tested} programs"
+        );
     }
 
     #[test]
     fn hourly_demand_peaks_in_the_evening() {
         let t = smoke();
         let profile = hourly_demand(&t, BitRate::STREAM_MPEG2_SD);
-        let peak_hour =
-            (0..24).max_by_key(|&h| profile[h as usize].as_bps()).expect("24 hours");
+        let peak_hour = (0..24)
+            .max_by_key(|&h| profile[h as usize].as_bps())
+            .expect("24 hours");
         assert!((19..=22).contains(&peak_hour), "peak at hour {peak_hour}");
         assert!(profile[4].as_bps() < profile[peak_hour as usize].as_bps() / 4);
     }

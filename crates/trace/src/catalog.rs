@@ -53,7 +53,9 @@ pub struct ProgramCatalog {
 impl ProgramCatalog {
     /// Creates an empty catalog.
     pub fn new() -> Self {
-        ProgramCatalog { programs: Vec::new() }
+        ProgramCatalog {
+            programs: Vec::new(),
+        }
     }
 
     /// Adds a program, returning its id (dense, in insertion order).
@@ -90,13 +92,19 @@ impl ProgramCatalog {
 
     /// Iterates `(id, info)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ProgramId, &ProgramInfo)> {
-        self.programs.iter().enumerate().map(|(i, p)| (ProgramId::new(i as u32), p))
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProgramId::new(i as u32), p))
     }
 
     /// Total storage footprint of the catalog at `segmenter`'s stream rate —
     /// the denominator for "what fraction of the catalog fits in the cache".
     pub fn total_size(&self, segmenter: &Segmenter) -> DataSize {
-        self.programs.iter().map(|p| segmenter.program_size(p.length)).sum()
+        self.programs
+            .iter()
+            .map(|p| segmenter.program_size(p.length))
+            .sum()
     }
 
     /// Mean program length (zero for an empty catalog).
@@ -128,7 +136,9 @@ impl ProgramCatalog {
 
 impl FromIterator<ProgramInfo> for ProgramCatalog {
     fn from_iter<I: IntoIterator<Item = ProgramInfo>>(iter: I) -> Self {
-        ProgramCatalog { programs: iter.into_iter().collect() }
+        ProgramCatalog {
+            programs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -137,7 +147,10 @@ mod tests {
     use super::*;
 
     fn info(minutes: u64, day: i64) -> ProgramInfo {
-        ProgramInfo { length: SimDuration::from_minutes(minutes), introduced_day: day }
+        ProgramInfo {
+            length: SimDuration::from_minutes(minutes),
+            introduced_day: day,
+        }
     }
 
     #[test]
@@ -146,7 +159,10 @@ mod tests {
         assert_eq!(c.push(info(10, 0)), ProgramId::new(0));
         assert_eq!(c.push(info(20, 1)), ProgramId::new(1));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.length(ProgramId::new(1)), Some(SimDuration::from_minutes(20)));
+        assert_eq!(
+            c.length(ProgramId::new(1)),
+            Some(SimDuration::from_minutes(20))
+        );
         assert_eq!(c.length(ProgramId::new(5)), None);
     }
 
@@ -176,7 +192,10 @@ mod tests {
         let doubled = c.replicate(2);
         assert_eq!(doubled.len(), 4);
         // Copy of program 1 lives at id 1 + 2 = 3.
-        assert_eq!(doubled.length(ProgramId::new(3)), Some(SimDuration::from_minutes(10)));
+        assert_eq!(
+            doubled.length(ProgramId::new(3)),
+            Some(SimDuration::from_minutes(10))
+        );
         assert_eq!(doubled.introduced_day(ProgramId::new(3)), Some(3));
     }
 

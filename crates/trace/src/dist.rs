@@ -22,7 +22,10 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 ///
 /// Panics if `sigma` is negative or not finite.
 pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
-    assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and non-negative");
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be finite and non-negative"
+    );
     (mu + sigma * standard_normal(rng)).exp()
 }
 
@@ -33,7 +36,10 @@ pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
 ///
 /// Panics if `shape` is not strictly positive and finite.
 pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
-    assert!(shape.is_finite() && shape > 0.0, "gamma shape must be positive");
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "gamma shape must be positive"
+    );
     if shape < 1.0 {
         // G(a) = G(a + 1) * U^(1/a)
         let u: f64 = (1.0 - rng.random::<f64>()).max(f64::MIN_POSITIVE);
@@ -76,7 +82,10 @@ pub fn beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, b: f64) -> f64 {
 ///
 /// Panics if `lambda` is negative or not finite.
 pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
-    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be finite and non-negative");
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "lambda must be finite and non-negative"
+    );
     if lambda == 0.0 {
         return 0;
     }
@@ -108,7 +117,10 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
 ///
 /// Panics if `s` is negative or not finite.
 pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
-    assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and non-negative");
+    assert!(
+        s.is_finite() && s >= 0.0,
+        "zipf exponent must be finite and non-negative"
+    );
     (1..=n).map(|rank| 1.0 / (rank as f64).powf(s)).collect()
 }
 
@@ -141,7 +153,10 @@ impl WeightedIndex {
         let mut cumulative = Vec::new();
         let mut sum = 0.0;
         for w in weights {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "weights must be finite and non-negative"
+            );
             sum += w;
             cumulative.push(sum);
         }
@@ -172,7 +187,9 @@ impl WeightedIndex {
         let x = rng.random::<f64>() * self.total();
         // partition_point: first index with cumulative > x. Using `<= x`
         // keeps zero-weight indices unreachable.
-        self.cumulative.partition_point(|&c| c <= x).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c <= x)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -203,7 +220,10 @@ mod tests {
         for shape in [0.45, 1.0, 2.5, 9.0] {
             let n = 20_000;
             let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.08 * shape.max(1.0), "shape {shape}: mean {mean}");
+            assert!(
+                (mean - shape).abs() < 0.08 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
         }
     }
 

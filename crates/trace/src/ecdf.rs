@@ -31,7 +31,10 @@ impl Ecdf {
     /// Panics if any sample is NaN or infinite.
     pub fn from_samples<I: IntoIterator<Item = f64>>(samples: I) -> Self {
         let mut sorted: Vec<f64> = samples.into_iter().collect();
-        assert!(sorted.iter().all(|x| x.is_finite()), "ECDF samples must be finite");
+        assert!(
+            sorted.iter().all(|x| x.is_finite()),
+            "ECDF samples must be finite"
+        );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples compare"));
         Ecdf { sorted }
     }
@@ -125,7 +128,7 @@ impl Ecdf {
                 let mass = (j - i) as f64 / n;
                 // Prefer the *latest* atom on ties: the full-length jump is
                 // the right-most heavy atom.
-                if best.map_or(true, |(_, m)| mass >= m) {
+                if best.is_none_or(|(_, m)| mass >= m) {
                     best = Some((self.sorted[j - 1], mass));
                 }
             }
@@ -179,7 +182,7 @@ mod tests {
         // 80% of sessions spread over [0, 50), 20% exactly at 100 — the
         // §V-A pattern for a 100-minute program.
         let mut samples: Vec<f64> = (0..80).map(|i| i as f64 * 50.0 / 80.0).collect();
-        samples.extend(std::iter::repeat(100.0).take(20));
+        samples.extend(std::iter::repeat_n(100.0, 20));
         let e = Ecdf::from_samples(samples);
         let (x, mass) = e.largest_atom(10.0, 1.0).expect("non-empty");
         assert_eq!(x, 100.0);

@@ -71,15 +71,20 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let err = TraceError::DanglingProgram { program: ProgramId::new(3) };
+        let err = TraceError::DanglingProgram {
+            program: ProgramId::new(3),
+        };
         assert!(err.to_string().contains("prog3"));
-        let err = TraceError::Parse { line: 7, reason: "bad field count".into() };
+        let err = TraceError::Parse {
+            line: 7,
+            reason: "bad field count".into(),
+        };
         assert_eq!(err.to_string(), "parse error on line 7: bad field count");
     }
 
     #[test]
     fn io_errors_chain_source() {
-        let err = TraceError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let err = TraceError::from(std::io::Error::other("boom"));
         assert!(err.source().is_some());
     }
 

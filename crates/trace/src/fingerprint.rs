@@ -70,13 +70,16 @@ impl WorkloadFingerprint {
 
         // Diurnal shape and implied concurrency.
         let profile = analyze::hourly_demand(trace, rate);
-        let mean_bps =
-            profile.iter().map(|r| r.as_bps()).sum::<u64>() as f64 / 24.0;
+        let mean_bps = profile.iter().map(|r| r.as_bps()).sum::<u64>() as f64 / 24.0;
         let peak_bps = (PEAK_START_HOUR..PEAK_END_HOUR)
             .map(|h| profile[h as usize].as_bps())
             .sum::<u64>() as f64
             / (PEAK_END_HOUR - PEAK_START_HOUR) as f64;
-        let peak_to_mean = if mean_bps > 0.0 { peak_bps / mean_bps } else { 0.0 };
+        let peak_to_mean = if mean_bps > 0.0 {
+            peak_bps / mean_bps
+        } else {
+            0.0
+        };
         let peak_concurrency_fraction =
             peak_bps / rate.as_bps() as f64 / trace.user_count().max(1) as f64;
 
@@ -85,15 +88,15 @@ impl WorkloadFingerprint {
             match analyze::most_popular_program(trace) {
                 Some(p) => {
                     let ecdf = analyze::session_length_ecdf(trace, p);
-                    let len =
-                        trace.catalog().length(p).map(|l| l.as_secs() as f64).unwrap_or(0.0);
+                    let len = trace
+                        .catalog()
+                        .length(p)
+                        .map(|l| l.as_secs() as f64)
+                        .unwrap_or(0.0);
                     if ecdf.is_empty() || len <= 0.0 {
                         (0.0, 0.0)
                     } else {
-                        (
-                            ecdf.quantile(0.5) / len,
-                            1.0 - ecdf.cdf(len / 2.0 - 1.0),
-                        )
+                        (ecdf.quantile(0.5) / len, 1.0 - ecdf.cdf(len / 2.0 - 1.0))
                     }
                 }
                 None => (0.0, 0.0),
@@ -104,7 +107,11 @@ impl WorkloadFingerprint {
         counts.sort_unstable_by(|a, b| b.cmp(a));
         let total: u64 = counts.iter().sum();
         let head: u64 = counts.iter().take((counts.len() / 20).max(1)).sum();
-        let top5_share = if total > 0 { head as f64 / total as f64 } else { 0.0 };
+        let top5_share = if total > 0 {
+            head as f64 / total as f64
+        } else {
+            0.0
+        };
 
         // Decay, when observable.
         let day7_decay = if trace.days() >= 9 {
@@ -173,12 +180,32 @@ impl WorkloadFingerprint {
 
 impl std::fmt::Display for WorkloadFingerprint {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "sessions/user/day:         {:.2}", self.sessions_per_user_day)?;
+        writeln!(
+            f,
+            "sessions/user/day:         {:.2}",
+            self.sessions_per_user_day
+        )?;
         writeln!(f, "peak-to-mean demand:       {:.2}", self.peak_to_mean)?;
-        writeln!(f, "peak concurrency:          {:.1}% of users", 100.0 * self.peak_concurrency_fraction)?;
-        writeln!(f, "median session fraction:   {:.1}% of program", 100.0 * self.median_session_fraction)?;
-        writeln!(f, "past-halfway sessions:     {:.1}%", 100.0 * self.past_halfway_fraction)?;
-        writeln!(f, "top-5% program share:      {:.1}%", 100.0 * self.top5_share)?;
+        writeln!(
+            f,
+            "peak concurrency:          {:.1}% of users",
+            100.0 * self.peak_concurrency_fraction
+        )?;
+        writeln!(
+            f,
+            "median session fraction:   {:.1}% of program",
+            100.0 * self.median_session_fraction
+        )?;
+        writeln!(
+            f,
+            "past-halfway sessions:     {:.1}%",
+            100.0 * self.past_halfway_fraction
+        )?;
+        writeln!(
+            f,
+            "top-5% program share:      {:.1}%",
+            100.0 * self.top5_share
+        )?;
         match self.day7_decay {
             Some(d) => write!(f, "day-7 popularity:          {:.0}% of day-0", 100.0 * d),
             None => write!(f, "day-7 popularity:          (window too short)"),
@@ -200,8 +227,7 @@ mod tests {
             ..SynthConfig::powerinfo()
         });
         let fp = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
-        let deviations =
-            fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
+        let deviations = fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
         assert!(
             deviations.is_empty(),
             "synthetic workload drifted from PowerInfo:\n{}",
@@ -222,8 +248,7 @@ mod tests {
             ..SynthConfig::powerinfo()
         });
         let fp = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
-        let deviations =
-            fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
+        let deviations = fp.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
         assert!(
             deviations.iter().any(|d| d.starts_with("peak-to-mean")),
             "flat profile must be flagged: {deviations:?}"
@@ -245,8 +270,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty trace")]
     fn empty_trace_panics() {
-        let trace = Trace::new(Vec::new(), crate::catalog::ProgramCatalog::new(), 1, 1)
-            .expect("empty ok");
+        let trace =
+            Trace::new(Vec::new(), crate::catalog::ProgramCatalog::new(), 1, 1).expect("empty ok");
         let _ = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
     }
 }

@@ -48,7 +48,13 @@ pub fn write_catalog<W: Write>(catalog: &ProgramCatalog, writer: W) -> Result<()
     let mut w = BufWriter::new(writer);
     writeln!(w, "program,length_secs,introduced_day")?;
     for (id, info) in catalog.iter() {
-        writeln!(w, "{},{},{}", id.value(), info.length.as_secs(), info.introduced_day)?;
+        writeln!(
+            w,
+            "{},{},{}",
+            id.value(),
+            info.length.as_secs(),
+            info.introduced_day
+        )?;
     }
     w.flush()?;
     Ok(())
@@ -84,16 +90,24 @@ pub fn read_catalog<R: Read>(reader: R) -> Result<ProgramCatalog, TraceError> {
         if id as usize != catalog.len() {
             return Err(TraceError::Parse {
                 line: lineno + 1,
-                reason: format!("program ids must be dense; expected {}, got {id}", catalog.len()),
+                reason: format!(
+                    "program ids must be dense; expected {}, got {id}",
+                    catalog.len()
+                ),
             });
         }
         let length = parse_u64(fields[1], "length")?;
-        let introduced_day =
-            fields[2].trim().parse::<i64>().map_err(|e| TraceError::Parse {
+        let introduced_day = fields[2]
+            .trim()
+            .parse::<i64>()
+            .map_err(|e| TraceError::Parse {
                 line: lineno + 1,
                 reason: format!("bad introduced_day: {e}"),
             })?;
-        catalog.push(ProgramInfo { length: SimDuration::from_secs(length), introduced_day });
+        catalog.push(ProgramInfo {
+            length: SimDuration::from_secs(length),
+            introduced_day,
+        });
     }
     Ok(catalog)
 }

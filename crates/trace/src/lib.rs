@@ -32,10 +32,10 @@
 
 pub mod analyze;
 pub mod catalog;
-pub mod fingerprint;
 pub mod dist;
 pub mod ecdf;
 pub mod error;
+pub mod fingerprint;
 pub mod io;
 pub mod record;
 pub mod scale;

@@ -40,7 +40,13 @@ impl SessionRecord {
     /// Creates a record starting at the program beginning (the PowerInfo
     /// schema).
     pub fn new(user: UserId, program: ProgramId, start: SimTime, duration: SimDuration) -> Self {
-        SessionRecord { user, program, start, duration, offset: SimDuration::ZERO }
+        SessionRecord {
+            user,
+            program,
+            start,
+            duration,
+            offset: SimDuration::ZERO,
+        }
     }
 
     /// The instant the session ends.
@@ -58,7 +64,9 @@ impl SessionRecord {
     /// offset. The single source of truth for byte accounting.
     pub fn watched(&self, program_len: SimDuration) -> SimDuration {
         let offset = self.offset.min(program_len);
-        self.duration.min(SimDuration::from_secs(program_len.as_secs() - offset.as_secs()))
+        self.duration.min(SimDuration::from_secs(
+            program_len.as_secs() - offset.as_secs(),
+        ))
     }
 }
 
@@ -105,7 +113,12 @@ impl Trace {
             }
         }
         records.sort_by_key(|r| (r.start, r.user, r.program));
-        Ok(Trace { records, catalog, user_count, days })
+        Ok(Trace {
+            records,
+            catalog,
+            user_count,
+            days,
+        })
     }
 
     /// The time-ordered session records.
@@ -194,7 +207,10 @@ mod tests {
 
     fn catalog(n: u32) -> ProgramCatalog {
         (0..n)
-            .map(|_| ProgramInfo { length: SimDuration::from_minutes(60), introduced_day: 0 })
+            .map(|_| ProgramInfo {
+                length: SimDuration::from_minutes(60),
+                introduced_day: 0,
+            })
             .collect()
     }
 
@@ -232,7 +248,11 @@ mod tests {
     #[test]
     fn slice_days_filters_by_start() {
         let t = Trace::new(
-            vec![rec(0, 0, 0, 10), rec(0, 0, 86_400, 10), rec(0, 0, 200_000, 10)],
+            vec![
+                rec(0, 0, 0, 10),
+                rec(0, 0, 86_400, 10),
+                rec(0, 0, 200_000, 10),
+            ],
             catalog(1),
             1,
             3,

@@ -52,7 +52,12 @@ pub fn scale_users(trace: &Trace, factor: u32, seed: u64) -> Result<Trace, Trace
             });
         }
     }
-    Trace::new(records, trace.catalog().clone(), base_users * factor, trace.days())
+    Trace::new(
+        records,
+        trace.catalog().clone(),
+        base_users * factor,
+        trace.days(),
+    )
 }
 
 /// Multiplies the catalog by `factor`.
@@ -141,14 +146,14 @@ mod tests {
         assert_eq!(scaled.user_count(), 6);
         // Each original event appears once untouched and twice jittered by
         // 1-60 s toward the same program.
-        let originals: Vec<_> =
-            scaled.iter().filter(|r| r.start == SimTime::from_secs(100)).collect();
+        let originals: Vec<_> = scaled
+            .iter()
+            .filter(|r| r.start == SimTime::from_secs(100))
+            .collect();
         assert_eq!(originals.len(), 1);
         let copies: Vec<_> = scaled
             .iter()
-            .filter(|r| {
-                r.program == ProgramId::new(1) && r.start > SimTime::from_secs(100)
-            })
+            .filter(|r| r.program == ProgramId::new(1) && r.start > SimTime::from_secs(100))
             .collect();
         assert_eq!(copies.len(), 2);
         for c in copies {
@@ -209,7 +214,7 @@ mod tests {
         let scaled = scale_catalog(&t, 5, 3).expect("valid factor");
         let mut seen = [false; 5];
         for r in scaled.iter() {
-            seen[(r.program.value() / 1) as usize % 5] = true;
+            seen[r.program.value() as usize % 5] = true;
         }
         let copies_hit = scaled
             .iter()
@@ -230,8 +235,14 @@ mod tests {
     #[test]
     fn zero_factor_errors() {
         let t = tiny_trace();
-        assert!(matches!(scale_users(&t, 0, 0), Err(TraceError::ZeroScaleFactor)));
-        assert!(matches!(scale_catalog(&t, 0, 0), Err(TraceError::ZeroScaleFactor)));
+        assert!(matches!(
+            scale_users(&t, 0, 0),
+            Err(TraceError::ZeroScaleFactor)
+        ));
+        assert!(matches!(
+            scale_catalog(&t, 0, 0),
+            Err(TraceError::ZeroScaleFactor)
+        ));
     }
 
     #[test]

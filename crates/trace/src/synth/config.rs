@@ -112,7 +112,10 @@ impl SynthConfig {
     /// reproduced experiments (fast enough to sweep, long enough for LFU
     /// history and Oracle look-ahead studies).
     pub fn experiment_default() -> Self {
-        SynthConfig { days: 28, ..SynthConfig::powerinfo() }
+        SynthConfig {
+            days: 28,
+            ..SynthConfig::powerinfo()
+        }
     }
 
     /// A small, fast configuration for unit tests and benches.
@@ -141,9 +144,9 @@ impl SynthConfig {
     /// the quantity that, multiplied by the stream rate, must land near the
     /// paper's 17 Gb/s no-cache peak.
     pub fn expected_peak_concurrency(&self, mean_program_secs: f64) -> f64 {
-        let starts_per_peak_sec = self.users as f64 * self.sessions_per_user_day
-            * self.diurnal.peak_hour_share()
-            / 3_600.0;
+        let starts_per_peak_sec =
+            self.users as f64 * self.sessions_per_user_day * self.diurnal.peak_hour_share()
+                / 3_600.0;
         starts_per_peak_sec * self.expected_mean_session_secs(mean_program_secs)
     }
 
@@ -162,17 +165,32 @@ impl SynthConfig {
             self.sessions_per_user_day > 0.0 && self.sessions_per_user_day.is_finite(),
             "sessions_per_user_day must be positive"
         );
-        assert!((0.0..=1.0).contains(&self.complete_view_prob), "complete_view_prob in [0,1]");
-        assert!((0.0..=1.0).contains(&self.decay_floor), "decay_floor in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.complete_view_prob),
+            "complete_view_prob in [0,1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.decay_floor),
+            "decay_floor in [0,1]"
+        );
         assert!(
             self.decay_day7_fraction > self.decay_floor && self.decay_day7_fraction <= 1.0,
             "decay_day7_fraction must lie in (decay_floor, 1]"
         );
-        assert!(self.partial_alpha > 0.0 && self.partial_beta > 0.0, "beta shapes positive");
+        assert!(
+            self.partial_alpha > 0.0 && self.partial_beta > 0.0,
+            "beta shapes positive"
+        );
         assert!(self.weekend_boost > 0.0, "weekend_boost positive");
-        assert!(self.user_activity_sigma >= 0.0, "activity sigma non-negative");
+        assert!(
+            self.user_activity_sigma >= 0.0,
+            "activity sigma non-negative"
+        );
         assert!((0.0..=1.0).contains(&self.seek_prob), "seek_prob in [0,1]");
-        assert!(self.seek_boundary_secs > 0, "seek boundary must be positive");
+        assert!(
+            self.seek_boundary_secs > 0,
+            "seek boundary must be positive"
+        );
     }
 }
 
@@ -215,7 +233,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "users must be positive")]
     fn validate_rejects_zero_users() {
-        SynthConfig { users: 0, ..SynthConfig::smoke_test() }.validate();
+        SynthConfig {
+            users: 0,
+            ..SynthConfig::smoke_test()
+        }
+        .validate();
     }
 
     #[test]

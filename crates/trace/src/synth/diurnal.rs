@@ -77,7 +77,9 @@ impl DiurnalProfile {
 
     /// Mean per-hour share inside the paper's 7–11 PM peak window.
     pub fn peak_hour_share(&self) -> f64 {
-        (PEAK_START_HOUR..PEAK_END_HOUR).map(|h| self.share(h)).sum::<f64>()
+        (PEAK_START_HOUR..PEAK_END_HOUR)
+            .map(|h| self.share(h))
+            .sum::<f64>()
             / (PEAK_END_HOUR - PEAK_START_HOUR) as f64
     }
 

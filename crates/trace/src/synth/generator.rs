@@ -45,8 +45,7 @@ pub fn build_catalog<R: Rng + ?Sized>(config: &SynthConfig, rng: &mut R) -> Prog
             pick -= p;
         }
         let minutes = rng.random_range(class.1..=class.2);
-        let introduced_day =
-            rng.random_range(-(config.backfill_days as i64)..config.days as i64);
+        let introduced_day = rng.random_range(-(config.backfill_days as i64)..config.days as i64);
         catalog.push(ProgramInfo {
             length: SimDuration::from_minutes(minutes),
             introduced_day,
@@ -94,42 +93,42 @@ pub fn generate(config: &SynthConfig) -> Trace {
     // sessions/user/day is preserved in expectation.
     let sigma = config.user_activity_sigma;
     let mu = -0.5 * sigma * sigma; // E[LogNormal(mu, sigma)] = 1
-    let user_weights: Vec<f64> =
-        (0..config.users).map(|_| log_normal(&mut rng, mu, sigma)).collect();
-    let user_table = WeightedIndex::new(user_weights.iter().copied())
-        .expect("log-normal weights are positive");
+    let user_weights: Vec<f64> = (0..config.users)
+        .map(|_| log_normal(&mut rng, mu, sigma))
+        .collect();
+    let user_table =
+        WeightedIndex::new(user_weights.iter().copied()).expect("log-normal weights are positive");
 
     // Weekend boost, renormalized so the weekly mean stays at 1.
     let mean_boost = (5.0 + 2.0 * config.weekend_boost) / 7.0;
     let weekday_factor = 1.0 / mean_boost;
     let weekend_factor = config.weekend_boost / mean_boost;
 
-    let mut records =
-        Vec::with_capacity((config.expected_sessions() * 1.05) as usize);
+    let mut records = Vec::with_capacity((config.expected_sessions() * 1.05) as usize);
     for day in 0..config.days {
         let Some(program_table) = popularity.day_table(day) else {
             continue; // no program introduced yet
         };
         let dow = SimTime::from_days_hours(day, 0).day_of_week();
-        let day_factor = if dow == 5 || dow == 6 { weekend_factor } else { weekday_factor };
-        let daily_rate =
-            config.users as f64 * config.sessions_per_user_day * day_factor;
+        let day_factor = if dow == 5 || dow == 6 {
+            weekend_factor
+        } else {
+            weekday_factor
+        };
+        let daily_rate = config.users as f64 * config.sessions_per_user_day * day_factor;
         for hour in 0..24u64 {
             let lambda = daily_rate * config.diurnal.share(hour);
             let n = poisson(&mut rng, lambda);
             for _ in 0..n {
-                let start = SimTime::from_secs(
-                    day * 86_400 + hour * 3_600 + rng.random_range(0..3_600),
-                );
+                let start =
+                    SimTime::from_secs(day * 86_400 + hour * 3_600 + rng.random_range(0..3_600));
                 let user = UserId::new(user_table.sample(&mut rng) as u32);
                 let program = ProgramId::new(program_table.sample(&mut rng) as u32);
                 let length = catalog.length(program).expect("program from table exists");
                 // Fast-forward jumps land on segment boundaries (§IV-B.1):
                 // a seeking session starts at a random interior boundary
                 // and watches a sampled fraction of the remainder.
-                let offset = if config.seek_prob > 0.0
-                    && rng.random::<f64>() < config.seek_prob
-                {
+                let offset = if config.seek_prob > 0.0 && rng.random::<f64>() < config.seek_prob {
                     let boundaries = length.as_secs() / config.seek_boundary_secs;
                     if boundaries >= 2 {
                         SimDuration::from_secs(
@@ -143,7 +142,13 @@ pub fn generate(config: &SynthConfig) -> Trace {
                 };
                 let remaining = SimDuration::from_secs(length.as_secs() - offset.as_secs());
                 let duration = sessions.sample(&mut rng, remaining);
-                records.push(SessionRecord { user, program, start, duration, offset });
+                records.push(SessionRecord {
+                    user,
+                    program,
+                    start,
+                    duration,
+                    offset,
+                });
             }
         }
     }
@@ -175,7 +180,10 @@ mod tests {
         let b = smoke();
         assert_eq!(a.len(), b.len());
         assert_eq!(a.records()[..50], b.records()[..50]);
-        let c = generate(&SynthConfig { seed: 1, ..SynthConfig::smoke_test() });
+        let c = generate(&SynthConfig {
+            seed: 1,
+            ..SynthConfig::smoke_test()
+        });
         assert_ne!(a.records()[..50], c.records()[..50]);
     }
 
@@ -195,7 +203,10 @@ mod tests {
     fn no_program_watched_before_introduction() {
         let t = smoke();
         for r in t.iter() {
-            let intro = t.catalog().introduced_day(r.program).expect("valid program");
+            let intro = t
+                .catalog()
+                .introduced_day(r.program)
+                .expect("valid program");
             assert!(
                 (r.start.day() as i64) >= intro,
                 "{} watched on day {} but introduced day {intro}",
@@ -212,7 +223,9 @@ mod tests {
         for r in t.iter() {
             by_hour[r.start.hour_of_day() as usize] += 1;
         }
-        let peak: u64 = (PEAK_START_HOUR..PEAK_END_HOUR).map(|h| by_hour[h as usize]).sum();
+        let peak: u64 = (PEAK_START_HOUR..PEAK_END_HOUR)
+            .map(|h| by_hour[h as usize])
+            .sum();
         let trough: u64 = (2..6).map(|h| by_hour[h as usize]).sum();
         assert!(peak > 8 * trough, "peak {peak} vs trough {trough}");
     }
@@ -233,12 +246,22 @@ mod tests {
 
     #[test]
     fn seeks_land_on_boundaries_within_program() {
-        let t = generate(&SynthConfig { seek_prob: 0.4, ..SynthConfig::smoke_test() });
+        let t = generate(&SynthConfig {
+            seek_prob: 0.4,
+            ..SynthConfig::smoke_test()
+        });
         let seeking = t.iter().filter(|r| r.offset.as_secs() > 0).count();
-        assert!(seeking > t.len() / 10, "expected many seeking sessions, got {seeking}");
+        assert!(
+            seeking > t.len() / 10,
+            "expected many seeking sessions, got {seeking}"
+        );
         for r in t.iter() {
             let len = t.catalog().length(r.program).expect("valid");
-            assert_eq!(r.offset.as_secs() % 300, 0, "jump points are segment boundaries");
+            assert_eq!(
+                r.offset.as_secs() % 300,
+                0,
+                "jump points are segment boundaries"
+            );
             assert!(r.offset < len, "offset inside the program");
             assert!(r.end_position() <= len, "playback cannot pass the end");
         }

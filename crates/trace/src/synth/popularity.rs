@@ -42,8 +42,17 @@ impl PopularityModel {
     ///
     /// Panics if the catalog is empty or `day7_fraction` is not in
     /// `(floor, 1]`.
-    pub fn new(catalog: &ProgramCatalog, zipf_s: f64, floor: f64, day7_fraction: f64, seed: u64) -> Self {
-        assert!(!catalog.is_empty(), "popularity model needs a non-empty catalog");
+    pub fn new(
+        catalog: &ProgramCatalog,
+        zipf_s: f64,
+        floor: f64,
+        day7_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            !catalog.is_empty(),
+            "popularity model needs a non-empty catalog"
+        );
         assert!(
             day7_fraction > floor && day7_fraction <= 1.0,
             "day7 fraction must lie in (floor, 1]"
@@ -59,7 +68,12 @@ impl PopularityModel {
         let introduced_day = catalog.iter().map(|(_, p)| p.introduced_day).collect();
         // Solve floor + (1-floor) e^(-λ·7) = day7_fraction for λ.
         let lambda_per_day = ((1.0 - floor) / (day7_fraction - floor)).ln() / 7.0;
-        PopularityModel { base, introduced_day, floor, lambda_per_day }
+        PopularityModel {
+            base,
+            introduced_day,
+            floor,
+            lambda_per_day,
+        }
     }
 
     /// Number of programs covered.
@@ -151,7 +165,11 @@ mod tests {
         let table = m.day_table(2).expect("program 0 is live");
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..200 {
-            assert_eq!(table.sample(&mut rng), 0, "only the introduced program is drawn");
+            assert_eq!(
+                table.sample(&mut rng),
+                0,
+                "only the introduced program is drawn"
+            );
         }
     }
 
@@ -169,7 +187,10 @@ mod tests {
         let m = model(&c);
         let w_fresh = m.weight_on_day(ProgramId::new(0), 0.5) / m.base_weight(ProgramId::new(0));
         let w_stale = m.weight_on_day(ProgramId::new(1), 0.5) / m.base_weight(ProgramId::new(1));
-        assert!(w_fresh > 10.0 * w_stale, "fresh {w_fresh} vs stale {w_stale}");
+        assert!(
+            w_fresh > 10.0 * w_stale,
+            "fresh {w_fresh} vs stale {w_stale}"
+        );
     }
 
     #[test]
@@ -190,6 +211,9 @@ mod tests {
         let same = (0..50)
             .filter(|&i| a.base_weight(ProgramId::new(i)) == b.base_weight(ProgramId::new(i)))
             .count();
-        assert!(same < 25, "different seeds should permute ranks differently");
+        assert!(
+            same < 25,
+            "different seeds should permute ranks differently"
+        );
     }
 }

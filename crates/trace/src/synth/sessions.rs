@@ -33,9 +33,17 @@ impl SessionLengthModel {
     /// Panics if `complete_view_prob` is outside `[0, 1]` or a Beta shape
     /// is non-positive.
     pub fn new(complete_view_prob: f64, alpha: f64, b: f64, min_secs: u64) -> Self {
-        assert!((0.0..=1.0).contains(&complete_view_prob), "probability in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&complete_view_prob),
+            "probability in [0,1]"
+        );
         assert!(alpha > 0.0 && b > 0.0, "beta shapes must be positive");
-        SessionLengthModel { complete_view_prob, alpha, beta: b, min_secs }
+        SessionLengthModel {
+            complete_view_prob,
+            alpha,
+            beta: b,
+            min_secs,
+        }
     }
 
     /// The paper-calibrated defaults (10 % completion, Beta(0.45, 2.5),
@@ -77,7 +85,11 @@ mod tests {
         let model = SessionLengthModel::paper_default();
         let mut rng = StdRng::seed_from_u64(0xBEEF);
         (0..n)
-            .map(|_| model.sample(&mut rng, SimDuration::from_minutes(minutes)).as_secs())
+            .map(|_| {
+                model
+                    .sample(&mut rng, SimDuration::from_minutes(minutes))
+                    .as_secs()
+            })
             .collect()
     }
 
@@ -93,7 +105,10 @@ mod tests {
     fn about_13_percent_pass_halfway() {
         let s = samples(40_000, 100);
         let past_half = s.iter().filter(|&&d| d > 50 * 60).count() as f64 / s.len() as f64;
-        assert!((0.10..0.17).contains(&past_half), "past-half fraction {past_half}");
+        assert!(
+            (0.10..0.17).contains(&past_half),
+            "past-half fraction {past_half}"
+        );
     }
 
     #[test]

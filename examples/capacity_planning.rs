@@ -28,8 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         7,
         trace.days(),
     );
-    println!("workload: {} sessions / {} users", trace.len(), trace.user_count());
-    println!("without any cache the servers must sustain {}\n", no_cache.mean);
+    println!(
+        "workload: {} sessions / {} users",
+        trace.len(),
+        trace.user_count()
+    );
+    println!(
+        "without any cache the servers must sustain {}\n",
+        no_cache.mean
+    );
 
     println!(
         "{:>12} {:>10} {:>14} {:>10} {:>14} {:>12}",

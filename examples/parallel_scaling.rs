@@ -1,0 +1,60 @@
+//! Sharded-engine scaling scenario: the Criterion bench workload scaled to
+//! 10x its user count (15,000 users, ~200k sessions), simulated serially
+//! and with the per-neighborhood sharded engine at several worker counts.
+//!
+//! The sharded path must produce a bit-identical report — this example
+//! asserts it — while shard memory stays bounded by the largest
+//! neighborhood, not the whole plant.
+//!
+//! ```text
+//! cargo run --release --example parallel_scaling
+//! ```
+
+use std::time::Instant;
+
+use cablevod_hfc::units::DataSize;
+use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_trace::synth::{generate, SynthConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 10x the bench workload's 1,500 users (see crates/bench/src/lib.rs).
+    let trace = generate(&SynthConfig {
+        users: 15_000,
+        programs: 400,
+        days: 6,
+        ..SynthConfig::powerinfo()
+    });
+    let config = SimConfig::paper_default()
+        .with_neighborhood_size(500)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3);
+    println!(
+        "workload: {} sessions / {} users in {} neighborhoods of {}",
+        trace.len(),
+        trace.user_count(),
+        trace.user_count().div_ceil(config.neighborhood_size()),
+        config.neighborhood_size(),
+    );
+
+    let t0 = Instant::now();
+    let serial = run(&trace, &config)?;
+    let serial_elapsed = t0.elapsed();
+    let rate = trace.len() as f64 / serial_elapsed.as_secs_f64();
+    println!("serial reference: {serial_elapsed:?} ({rate:.0} sessions/s)");
+
+    for threads in [1usize, 2, 4, 8] {
+        let t0 = Instant::now();
+        let parallel = run_parallel(&trace, &config, threads)?;
+        let elapsed = t0.elapsed();
+        assert_eq!(parallel, serial, "sharded report must be bit-identical");
+        let rate = trace.len() as f64 / elapsed.as_secs_f64();
+        println!(
+            "sharded x{threads}: {elapsed:?} ({rate:.0} sessions/s, {:.2}x vs serial, \
+             bit-identical)",
+            serial_elapsed.as_secs_f64() / elapsed.as_secs_f64()
+        );
+    }
+
+    println!("\n{serial}");
+    Ok(())
+}

@@ -35,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let catalog_path = dir.join("cablevod_catalog.csv");
         io::write_records(&synthetic, std::fs::File::create(&sessions)?)?;
         io::write_catalog(synthetic.catalog(), std::fs::File::create(&catalog_path)?)?;
-        println!("  wrote {} and {}", sessions.display(), catalog_path.display());
+        println!(
+            "  wrote {} and {}",
+            sessions.display(),
+            catalog_path.display()
+        );
         let catalog = io::read_catalog(std::fs::File::open(&catalog_path)?)?;
         io::read_records(std::fs::File::open(&sessions)?, catalog)?
     };
@@ -51,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Does the workload look like the one the paper's conclusions assume?
     let fingerprint = WorkloadFingerprint::measure(&trace, BitRate::STREAM_MPEG2_SD);
     println!("workload fingerprint:\n{fingerprint}\n");
-    let deviations =
-        fingerprint.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
+    let deviations = fingerprint.deviations_from(&WorkloadFingerprint::powerinfo_reference(), 0.5);
     if deviations.is_empty() {
         println!("fingerprint is PowerInfo-like (within ±50% on every property)");
     } else {

@@ -17,8 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         days: 10,
         ..SynthConfig::powerinfo()
     });
-    let no_cache =
-        baseline::no_cache_peak(&trace, BitRate::STREAM_MPEG2_SD, 5, trace.days());
+    let no_cache = baseline::no_cache_peak(&trace, BitRate::STREAM_MPEG2_SD, 5, trace.days());
     println!(
         "base workload: {} sessions / {} users; no-cache peak {}\n",
         trace.len(),

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("LFU (7-day history)", StrategySpec::Lfu { history }),
         (
             "Global LFU (30 min lag)",
-            StrategySpec::GlobalLfu { history, lag: SimDuration::from_minutes(30) },
+            StrategySpec::GlobalLfu {
+                history,
+                lag: SimDuration::from_minutes(30),
+            },
         ),
         ("Oracle (3-day lookahead)", StrategySpec::default_oracle()),
     ];
@@ -49,9 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         );
         for (name, spec) in &strategies {
-            let system = VodSystem::from_config(
-                base.clone().with_strategy(*spec).with_fill_override(fill),
-            );
+            let system =
+                VodSystem::from_config(base.clone().with_strategy(*spec).with_fill_override(fill));
             let outcome = system.evaluate(&trace)?;
             println!(
                 "{:<26} {:>14} {:>9.1}% {:>9.1}% {:>12}",

@@ -26,8 +26,7 @@ fn config() -> SimConfig {
 #[test]
 fn no_cache_server_carries_exactly_the_offered_load() {
     let trace = medium_trace();
-    let report =
-        run(&trace, &config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    let report = run(&trace, &config().with_strategy(StrategySpec::NoCache)).expect("runs");
     assert_eq!(report.server_total.as_bits(), offered_bits(&trace));
 }
 
@@ -49,7 +48,11 @@ fn coax_carries_offered_load_regardless_of_strategy() {
     // segment exactly once whether a peer or the headend sends it.
     let trace = medium_trace();
     let offered = offered_bits(&trace);
-    for strategy in [StrategySpec::NoCache, StrategySpec::default_lfu(), StrategySpec::Lru] {
+    for strategy in [
+        StrategySpec::NoCache,
+        StrategySpec::default_lfu(),
+        StrategySpec::Lru,
+    ] {
         let report = run(&trace, &config().with_strategy(strategy)).expect("runs");
         let coax_total: u64 = report.segment_requests; // sanity anchor
         assert!(coax_total > 0);
@@ -80,11 +83,13 @@ fn prefetch_and_broadcast_fill_conserve_identically() {
         &config().with_fill_override(FillPolicy::OnBroadcast),
     )
     .expect("runs");
-    let push =
-        run(&trace, &config().with_fill_override(FillPolicy::Prefetch)).expect("runs");
+    let push = run(&trace, &config().with_fill_override(FillPolicy::Prefetch)).expect("runs");
     assert_eq!(capture.segment_requests, push.segment_requests);
     assert!(capture.server_total.as_bits() <= offered);
-    assert!(push.server_total <= capture.server_total, "push saves fill misses");
+    assert!(
+        push.server_total <= capture.server_total,
+        "push saves fill misses"
+    );
 }
 
 #[test]
@@ -96,7 +101,10 @@ fn stats_identities_hold() {
         s.requests(),
         s.hits + s.miss_uncached + s.miss_not_materialized + s.miss_peer_busy
     );
-    assert!(s.evictions <= s.admissions, "cannot evict what was never admitted");
+    assert!(
+        s.evictions <= s.admissions,
+        "cannot evict what was never admitted"
+    );
     assert!(s.capture_fills <= s.miss_not_materialized + s.miss_peer_busy + s.hits + 1);
     let rate = s.hit_rate();
     assert!((0.0..=1.0).contains(&rate));

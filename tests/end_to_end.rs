@@ -16,8 +16,16 @@ fn full_pipeline_produces_sane_evaluation() {
     let outcome = system.evaluate(&trace).expect("pipeline runs");
 
     assert_eq!(outcome.report.sessions as usize, trace.len());
-    assert!(outcome.savings > 0.0 && outcome.savings < 1.0, "savings {}", outcome.savings);
-    assert!(outcome.report.hit_rate() > 0.1, "hit rate {}", outcome.report.hit_rate());
+    assert!(
+        outcome.savings > 0.0 && outcome.savings < 1.0,
+        "savings {}",
+        outcome.savings
+    );
+    assert!(
+        outcome.report.hit_rate() > 0.1,
+        "hit rate {}",
+        outcome.report.hit_rate()
+    );
     assert!(outcome.report.server_peak.q05 <= outcome.report.server_peak.mean);
     assert!(outcome.report.server_peak.mean <= outcome.report.server_peak.q95);
     assert_eq!(outcome.report.measured_from_day, 4);
@@ -27,7 +35,9 @@ fn full_pipeline_produces_sane_evaluation() {
 #[test]
 fn evaluation_is_deterministic_end_to_end() {
     let trace = medium_trace();
-    let system = VodSystem::paper_default().with_neighborhood_size(500).with_warmup_days(4);
+    let system = VodSystem::paper_default()
+        .with_neighborhood_size(500)
+        .with_warmup_days(4);
     let a = system.evaluate(&trace).expect("runs");
     let b = system.evaluate(&trace).expect("runs");
     assert_eq!(a.report, b.report);
@@ -46,7 +56,9 @@ fn trace_survives_csv_round_trip_and_simulates_identically() {
     let catalog = io::read_catalog(catalog_csv.as_slice()).expect("read catalog");
     let restored = io::read_records(records_csv.as_slice(), catalog).expect("read records");
 
-    let system = VodSystem::paper_default().with_neighborhood_size(500).with_warmup_days(4);
+    let system = VodSystem::paper_default()
+        .with_neighborhood_size(500)
+        .with_warmup_days(4);
     let original = system.simulate(&trace).expect("runs");
     let roundtrip = system.simulate(&restored).expect("runs");
     assert_eq!(original.server_total, roundtrip.server_total);
@@ -68,14 +80,20 @@ fn strategy_choice_flows_through_the_facade() {
         .expect("runs");
     let lfu = base.evaluate(&trace).expect("runs");
     assert_eq!(none.report.cache.hits, 0);
-    assert!(none.savings.abs() < 1e-9, "no-cache saves nothing: {}", none.savings);
+    assert!(
+        none.savings.abs() < 1e-9,
+        "no-cache saves nothing: {}",
+        none.savings
+    );
     assert!(lfu.savings > none.savings);
 }
 
 #[test]
 fn viewer_overcommit_is_rare_but_counted() {
     let trace = medium_trace();
-    let system = VodSystem::paper_default().with_neighborhood_size(500).with_warmup_days(4);
+    let system = VodSystem::paper_default()
+        .with_neighborhood_size(500)
+        .with_warmup_days(4);
     let report = system.simulate(&trace).expect("runs");
     // Overcommit (a viewer exceeding 2 concurrent streams) happens but is
     // a tiny fraction of sessions for a realistic workload.

@@ -14,11 +14,7 @@ use cablevod_hfc::units::{SimDuration, SimTime};
 use std::collections::HashMap;
 
 /// Brute-force windowed counts: events within `(now - window, now]`.
-fn reference_counts(
-    events: &[(u64, u32)],
-    now: u64,
-    window: u64,
-) -> HashMap<u32, u32> {
+fn reference_counts(events: &[(u64, u32)], now: u64, window: u64) -> HashMap<u32, u32> {
     let mut counts = HashMap::new();
     for &(t, p) in events {
         let expired = match now.checked_sub(window) {

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
-use cablevod_sim::{run, SimConfig};
+use cablevod_sim::{run, run_parallel, SimConfig};
 use cablevod_tests::tiny_config;
 use cablevod_trace::scale;
 use cablevod_trace::synth::generate;
@@ -117,5 +117,41 @@ proptest! {
         prop_assert!(report.cache.evictions <= report.cache.admissions);
         // Quantile ordering.
         prop_assert!(report.server_peak.q05 <= report.server_peak.q95);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// The sharded engine is bit-identical to the serial reference for
+    /// every strategy, at shard-pool sizes 1, 2 and one-worker-per-
+    /// neighborhood, on randomized small worlds.
+    #[test]
+    fn parallel_engine_is_bit_identical(
+        users in 60u32..250,
+        nbhd in 25u32..120,
+        gb in 1u64..5,
+        strategy_pick in 0usize..4,
+        seed in 0u64..500,
+    ) {
+        let trace = generate(&tiny_config(users, 30, 3, seed));
+        let strategy = [
+            StrategySpec::NoCache,
+            StrategySpec::Lru,
+            StrategySpec::default_lfu(),
+            StrategySpec::default_oracle(),
+        ][strategy_pick];
+        let config = SimConfig::paper_default()
+            .with_neighborhood_size(nbhd)
+            .with_per_peer_storage(DataSize::from_gigabytes(gb))
+            .with_warmup_days(1)
+            .with_strategy(strategy);
+        let serial = run(&trace, &config).expect("serial engine runs");
+        let neighborhoods = users.div_ceil(nbhd) as usize;
+        for threads in [1, 2, neighborhoods] {
+            let parallel =
+                run_parallel(&trace, &config, threads).expect("parallel engine runs");
+            prop_assert_eq!(&parallel, &serial, "threads = {}", threads);
+        }
     }
 }

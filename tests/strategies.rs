@@ -21,8 +21,11 @@ fn oracle_dominates_the_frequency_strategies() {
     // (LRU) optimizes a different objective and can win at tiny caches
     // under free push-fill, so it is compared separately below.
     let trace = medium_trace();
-    let oracle = run(&trace, &config(2).with_strategy(StrategySpec::default_oracle()))
-        .expect("runs");
+    let oracle = run(
+        &trace,
+        &config(2).with_strategy(StrategySpec::default_oracle()),
+    )
+    .expect("runs");
     for strategy in [
         StrategySpec::default_lfu(),
         StrategySpec::GlobalLfu {
@@ -85,11 +88,17 @@ fn lfu_beats_lru_under_deployable_fill() {
 fn global_feed_does_not_hurt() {
     let trace = medium_trace();
     let history = SimDuration::from_days(7);
-    let local =
-        run(&trace, &config(1).with_strategy(StrategySpec::Lfu { history })).expect("runs");
+    let local = run(
+        &trace,
+        &config(1).with_strategy(StrategySpec::Lfu { history }),
+    )
+    .expect("runs");
     let global = run(
         &trace,
-        &config(1).with_strategy(StrategySpec::GlobalLfu { history, lag: SimDuration::ZERO }),
+        &config(1).with_strategy(StrategySpec::GlobalLfu {
+            history,
+            lag: SimDuration::ZERO,
+        }),
     )
     .expect("runs");
     assert!(
@@ -113,8 +122,7 @@ fn savings_match_the_baseline_identity() {
     let savings = report.savings_vs(no_cache.mean);
     assert!((0.0..1.0).contains(&savings), "savings {savings}");
     // The savings formula must be consistent with raw rates.
-    let recomputed =
-        1.0 - report.server_peak.mean.as_bps() as f64 / no_cache.mean.as_bps() as f64;
+    let recomputed = 1.0 - report.server_peak.mean.as_bps() as f64 / no_cache.mean.as_bps() as f64;
     assert!((savings - recomputed).abs() < 1e-12);
 }
 

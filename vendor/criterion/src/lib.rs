@@ -1,0 +1,308 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of the Criterion API the workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `Bencher::iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros — as a compact wall-clock harness. It is not a
+//! statistics engine: it warms up once, takes `sample_size` timed samples,
+//! and reports the median together with the configured throughput.
+//!
+//! Extra over upstream: when the `BENCH_JSON` environment variable names a
+//! file, every measurement is appended there as one JSON object per line
+//! (`{"group","bench","median_ns","mean_ns","throughput_per_sec"}`), which
+//! is how CI captures `BENCH_engine.json` without a custom runner.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Units the measured iterations are normalized to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`function_id` / parameter pair).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` once per sample, keeping its output alive via
+    /// `black_box` semantics (the closure's return value is dropped after
+    /// the clock stops).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up run.
+        let _ = std::hint::black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            std::hint::black_box(out);
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+/// One named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Units for per-second reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Runs one benchmark with an input reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        self.report(&id.to_string(), &bencher.samples);
+        self
+    }
+
+    /// Finishes the group (a no-op beyond API compatibility).
+    pub fn finish(&mut self) {}
+
+    fn report(&mut self, bench: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<u128>() / sorted.len() as u128;
+        let per_sec = self.throughput.map(|t| {
+            let units = match t {
+                Throughput::Elements(n) | Throughput::Bytes(n) => n,
+            };
+            if median == 0 {
+                0.0
+            } else {
+                units as f64 * 1e9 / median as f64
+            }
+        });
+        match per_sec {
+            Some(rate) => println!(
+                "{}/{}: median {} ({rate:.0}/s over {} samples)",
+                self.name,
+                bench,
+                format_ns(median),
+                sorted.len()
+            ),
+            None => println!(
+                "{}/{}: median {} ({} samples)",
+                self.name,
+                bench,
+                format_ns(median),
+                sorted.len()
+            ),
+        }
+        self.criterion
+            .record_json(&self.name, bench, median, mean, per_sec);
+    }
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            json_path: std::env::var("BENCH_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = id.to_string();
+        self.benchmark_group(name)
+            .bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+
+    /// Accepted for API compatibility with `Criterion::configure_from_args`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn record_json(
+        &mut self,
+        group: &str,
+        bench: &str,
+        median_ns: u128,
+        mean_ns: u128,
+        per_sec: Option<f64>,
+    ) {
+        let Some(path) = &self.json_path else { return };
+        let throughput = per_sec.map_or("null".to_string(), |r| format!("{r:.2}"));
+        let line = format!(
+            "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{median_ns},\
+             \"mean_ns\":{mean_ns},\"throughput_per_sec\":{throughput}}}\n"
+        );
+        // Truncate on each path's first write of the process so re-runs
+        // replace — never accumulate — measurements; append within a run
+        // so multiple criterion_group!s compose into one file.
+        use std::collections::HashSet;
+        use std::sync::{Mutex, OnceLock};
+        static TRUNCATED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+        let first_write = TRUNCATED
+            .get_or_init(|| Mutex::new(HashSet::new()))
+            .lock()
+            .map(|mut seen| seen.insert(path.clone()))
+            .unwrap_or(false);
+        let mut options = std::fs::OpenOptions::new();
+        options.create(true);
+        if first_write {
+            options.write(true).truncate(true);
+        } else {
+            options.append(true);
+        }
+        if let Ok(mut file) = options.open(path) {
+            let _ = file.write_all(line.as_bytes());
+        }
+    }
+}
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,293 @@
+//! Vendored minimal stand-in for `rand` 0.9.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the small slice of the rand API the workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{random, random_range}` and
+//! `seq::SliceRandom::shuffle` — backed by the SplitMix64 /
+//! xoshiro256++ generators. The streams differ from upstream `StdRng`
+//! (ChaCha12); everything in this workspace treats seeded randomness as an
+//! opaque deterministic source, so only reproducibility matters, and that
+//! holds: identical seeds yield identical streams on every platform.
+
+/// Low-level 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// xoshiro256++ — fast, high-quality, trivially seedable from 64 bits via
+/// SplitMix64 (the reference seeding recipe from Blackman & Vigna).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable generators (the `seed_from_u64` subset).
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        StdRng { s }
+    }
+}
+
+mod sealed {
+    /// Types producible by [`super::Rng::random`].
+    pub trait StandardSample {
+        fn sample(bits: u64) -> Self;
+    }
+
+    impl StandardSample for f64 {
+        fn sample(bits: u64) -> Self {
+            // 53 uniform mantissa bits in [0, 1).
+            (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample(bits: u64) -> Self {
+            (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl StandardSample for bool {
+        fn sample(bits: u64) -> Self {
+            bits & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {
+            $(impl StandardSample for $t {
+                fn sample(bits: u64) -> Self {
+                    bits as $t
+                }
+            })*
+        };
+    }
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Types with uniform range sampling — the shape of rand's
+    /// `SampleUniform`, kept generic so type inference matches upstream.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// A uniform value in `[lo, hi)`.
+        fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self;
+        /// A uniform value in `[lo, hi]`.
+        fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self;
+    }
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {
+            $(impl SampleUniform for $t {
+                fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self {
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    lo.wrapping_add((bits % span) as $t)
+                }
+                fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full 64-bit domain.
+                        return lo.wrapping_add(bits as $t);
+                    }
+                    lo.wrapping_add((bits % span) as $t)
+                }
+            })*
+        };
+    }
+    uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_half_open(lo: Self, hi: Self, bits: u64) -> Self {
+            let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            lo + unit * (hi - lo)
+        }
+        fn sample_inclusive(lo: Self, hi: Self, bits: u64) -> Self {
+            Self::sample_half_open(lo, hi, bits)
+        }
+    }
+
+    /// Ranges usable with [`super::Rng::random_range`].
+    pub trait SampleRange<T> {
+        fn sample_from(self, bits_source: &mut dyn FnMut() -> u64) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+            assert!(self.start < self.end, "empty range in random_range");
+            T::sample_half_open(self.start, self.end, bits())
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from(self, bits: &mut dyn FnMut() -> u64) -> T {
+            let (start, end) = self.into_inner();
+            assert!(start <= end, "empty range in random_range");
+            T::sample_inclusive(start, end, bits())
+        }
+    }
+}
+
+/// User-facing generator interface (the `random*` subset of rand 0.9).
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T` (floats in `[0, 1)`).
+    fn random<T: sealed::StandardSample>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// A uniform value in `range`.
+    fn random_range<T, R: sealed::SampleRange<T>>(&mut self, range: R) -> T {
+        let mut bits = || self.next_u64();
+        range.sample_from(&mut bits)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (the `shuffle` subset of rand's `SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly chosen element, `None` for an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.random_range(0..self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(1u64..=60);
+            assert!((1..=60).contains(&w));
+            let s = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..1_000).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1_000).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle moved something");
+    }
+
+    #[test]
+    fn range_distribution_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

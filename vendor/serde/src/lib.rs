@@ -1,0 +1,60 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny slice of the serde surface the codebase actually
+//! relies on: the `Serialize` / `Deserialize` marker traits and their
+//! derive macros. Nothing in the repo performs wire (de)serialization —
+//! the derives exist so types advertise serializability for downstream
+//! consumers — so the traits are deliberately empty markers. Swapping in
+//! the real serde later requires no source changes in the workspace
+//! crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+macro_rules! impl_markers {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl Serialize for $t {}
+            impl<'de> Deserialize<'de> for $t {}
+        )*
+    };
+}
+
+impl_markers!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl Serialize for str {}
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+impl<T: Serialize> Serialize for [T] {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>, S> Deserialize<'de>
+    for std::collections::HashMap<K, V, S>
+{
+}
+impl<T: Serialize, S> Serialize for std::collections::HashSet<T, S> {}
+impl<'de, T: Deserialize<'de>, S> Deserialize<'de> for std::collections::HashSet<T, S> {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {}
+impl<T: Serialize> Serialize for std::collections::BinaryHeap<T> {}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BinaryHeap<T> {}
+impl<T: Serialize> Serialize for std::cmp::Reverse<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::cmp::Reverse<T> {}

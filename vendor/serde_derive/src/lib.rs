@@ -1,0 +1,70 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Emits empty marker-trait impls (`impl serde::Serialize for T {}`), which
+//! is all the workspace needs: the vendored `serde` traits carry no
+//! methods. Implemented with a hand-rolled token scan instead of `syn` /
+//! `quote` so the macro builds fully offline with only the compiler's
+//! built-in `proc_macro` library.
+//!
+//! Supported shapes: non-generic `struct` / `enum` items, with arbitrary
+//! outer attributes, visibility and `#[serde(...)]` field/variant helper
+//! attributes (helper attributes are declared so the compiler accepts
+//! them; the expansion ignores them). Generic items get no impls, which is
+//! fine for marker traits that nothing bounds on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the `struct`/`enum` the derive is applied
+/// to, returning `None` for generic items (no impls are emitted for them).
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Outer attribute: `#` followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    let name = match tokens.next() {
+                        Some(TokenTree::Ident(name)) => name.to_string(),
+                        _ => return None,
+                    };
+                    // A `<` right after the name means generics.
+                    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name);
+                }
+                // `pub`, `pub(crate)`, etc. — keep scanning.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Derives the vendored `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some(name) => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
