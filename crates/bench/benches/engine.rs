@@ -1,6 +1,6 @@
 //! Engine throughput benches: simulated sessions per second for each
-//! strategy (serial and sharded-parallel), plus workload generation and
-//! trace scaling.
+//! strategy (serial, sharded-parallel, and out-of-core streaming from a
+//! columnar disk trace), plus workload generation and trace scaling.
 //!
 //! Set `BENCH_JSON=BENCH_engine.json` to append one JSON line per
 //! measurement — CI uses this to track the serial-vs-parallel throughput
@@ -12,8 +12,10 @@ use cablevod_bench::bench_trace;
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
 use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::scale;
-use cablevod_trace::synth::{generate, SynthConfig};
+use cablevod_trace::source::TraceSource;
+use cablevod_trace::synth::{generate, generate_to_disk, SynthConfig};
 
 fn engine_throughput(c: &mut Criterion) {
     let trace = bench_trace();
@@ -56,6 +58,51 @@ fn engine_parallel_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The out-of-core pipeline: traces are generated straight to disk in the
+/// columnar chunked format at 10x and 50x the in-memory bench user count,
+/// then replayed through the streaming engine (serial and sharded) with
+/// resident memory bounded by chunk size plus session concurrency — the
+/// workloads this group runs never exist as an in-memory `Trace` at all.
+fn engine_streaming_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_streaming");
+    let config = SimConfig::paper_default()
+        .with_neighborhood_size(500)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3);
+    // (label, user-count multiple of the in-memory bench workload).
+    // Sample size stays at upstream criterion's minimum of 10 so the
+    // vendored stand-in can be swapped back without source changes.
+    for (scale_label, users) in [("10x", 15_000u32), ("50x", 75_000)] {
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "cvtc_bench_{}_{scale_label}.cvtc",
+            std::process::id()
+        ));
+        generate_to_disk(
+            &SynthConfig {
+                users,
+                programs: 400,
+                days: 6,
+                ..SynthConfig::powerinfo()
+            },
+            &path,
+            DEFAULT_CHUNK_SIZE,
+        )
+        .expect("disk workload generated");
+        let reader = ColumnarReader::open(&path).expect("columnar file opens");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(reader.record_count()));
+        group.bench_function(BenchmarkId::new("serial_disk", scale_label), |b| {
+            b.iter(|| run(&reader, &config).expect("runs"))
+        });
+        group.bench_function(BenchmarkId::new("parallel_disk_4", scale_label), |b| {
+            b.iter(|| run_parallel(&reader, &config, 4).expect("runs"))
+        });
+        std::fs::remove_file(&path).ok();
+    }
+    group.finish();
+}
+
 fn workload_generation(c: &mut Criterion) {
     let config = SynthConfig {
         users: 1_500,
@@ -81,6 +128,7 @@ criterion_group!(
     benches,
     engine_throughput,
     engine_parallel_throughput,
+    engine_streaming_throughput,
     workload_generation
 );
 criterion_main!(benches);

@@ -10,6 +10,29 @@
 //! publishes every access); [`GlobalLfu`] is a windowed LFU that counts
 //! local accesses immediately and remote accesses once their batch boundary
 //! has passed.
+//!
+//! # Two feed carriers, one consumption contract
+//!
+//! Consumers read the feed through the [`FeedEvents`] trait: a dense
+//! sequence of events addressed by **global sequence number** (the global
+//! record index of the access that produced the event). Two carriers
+//! implement it:
+//!
+//! * [`GlobalFeed`] — an append-only `Vec`, grown by a single publisher
+//!   (the serial engine as it consumes records, or a precomputation pass);
+//! * [`WatermarkFeed`] — the concurrent carrier for *streaming* sharded
+//!   simulation, where no precomputed feed exists. Every shard is a
+//!   producer: it publishes the events for its own records as it discovers
+//!   them in its chunk scan, tagged with their global sequence numbers,
+//!   and advances a per-producer **watermark** — a promise that it will
+//!   never again publish an event below that sequence number. A consumer
+//!   about to process the record with global index `g` may consume events
+//!   `0..=g` once the **frontier** (the minimum watermark across all
+//!   producers) has passed `g`, which reproduces the serial engine's
+//!   grow-as-you-go prefix visibility bit-for-bit.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
 use cablevod_hfc::units::{SimDuration, SimTime};
@@ -28,6 +51,26 @@ pub struct FeedEvent {
     pub program: ProgramId,
     /// The program's size in slots.
     pub cost: u32,
+}
+
+/// Read access to the system-wide event sequence, addressed by global
+/// sequence number.
+///
+/// Implementations guarantee that events `0..published()` exist and are in
+/// non-decreasing time order; consumers additionally bound themselves with
+/// the explicit `limit` the engine passes to
+/// [`CacheStrategy::sync_global`](crate::strategy::CacheStrategy::sync_global).
+pub trait FeedEvents {
+    /// The event with sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// May panic when `seq >= published()`.
+    fn event_at(&self, seq: usize) -> FeedEvent;
+
+    /// Number of leading events guaranteed present: every `seq` below this
+    /// is safe to read.
+    fn published(&self) -> usize;
 }
 
 /// The append-only system-wide access stream.
@@ -75,6 +118,132 @@ impl GlobalFeed {
     /// Whether nothing has been published.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+impl FeedEvents for GlobalFeed {
+    fn event_at(&self, seq: usize) -> FeedEvent {
+        self.events[seq]
+    }
+
+    fn published(&self) -> usize {
+        self.events.len()
+    }
+}
+
+/// The multi-producer watermark-ordered feed carrier (see the module
+/// docs).
+///
+/// Every event slot is written at most once (slots are addressed by
+/// global sequence number, and each sequence number belongs to exactly
+/// one producer's records), so publication is a lock-free `OnceLock`
+/// store; watermarks are release-stored and the frontier acquire-loads,
+/// making every event below the frontier visible to every consumer.
+#[derive(Debug)]
+pub struct WatermarkFeed {
+    slots: Vec<OnceLock<FeedEvent>>,
+    marks: Vec<AtomicU64>,
+}
+
+impl WatermarkFeed {
+    /// A feed over `capacity` sequence numbers shared by `producers`
+    /// publishers. All watermarks start at zero.
+    pub fn new(capacity: usize, producers: usize) -> Self {
+        assert!(producers > 0, "a feed needs at least one producer");
+        WatermarkFeed {
+            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
+            marks: (0..producers).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Total sequence-number capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Publishes the event for sequence number `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` was already published (each sequence number has
+    /// exactly one owning producer) or is out of range.
+    pub fn publish(&self, seq: u64, event: FeedEvent) {
+        self.slots[usize::try_from(seq).expect("seq fits usize")]
+            .set(event)
+            .expect("sequence number published twice");
+    }
+
+    /// Raises `producer`'s watermark to `mark`: a promise that every event
+    /// it owns with a sequence number below `mark` is published.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the watermark would move backwards.
+    pub fn advance(&self, producer: usize, mark: u64) {
+        debug_assert!(
+            self.marks[producer].load(Ordering::Relaxed) <= mark,
+            "watermarks must not regress"
+        );
+        self.marks[producer].store(mark, Ordering::Release);
+    }
+
+    /// Marks `producer` as finished: it will publish nothing more.
+    pub fn finish(&self, producer: usize) {
+        self.marks[producer].store(u64::MAX, Ordering::Release);
+    }
+
+    /// The frontier: the minimum watermark across producers. Every event
+    /// with a sequence number below it is published and safe to read.
+    pub fn frontier(&self) -> u64 {
+        self.marks
+            .iter()
+            .map(|m| m.load(Ordering::Acquire))
+            .min()
+            .expect("at least one producer")
+    }
+}
+
+impl WatermarkFeed {
+    /// A read view pinned at a `frontier` value the consumer has already
+    /// observed. The frontier is monotonic, so a cached observation stays
+    /// valid forever — hot-path consumers read through a view instead of
+    /// rescanning every producer's watermark on each sync.
+    pub fn view_at(&self, frontier: u64) -> FeedView<'_> {
+        FeedView {
+            feed: self,
+            frontier,
+        }
+    }
+}
+
+impl FeedEvents for WatermarkFeed {
+    fn event_at(&self, seq: usize) -> FeedEvent {
+        *self.slots[seq]
+            .get()
+            .expect("event read from below the frontier")
+    }
+
+    fn published(&self) -> usize {
+        usize::try_from(self.frontier().min(self.slots.len() as u64)).expect("capacity fits usize")
+    }
+}
+
+/// A [`WatermarkFeed`] read view carrying a frontier observed earlier (see
+/// [`WatermarkFeed::view_at`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FeedView<'a> {
+    feed: &'a WatermarkFeed,
+    frontier: u64,
+}
+
+impl FeedEvents for FeedView<'_> {
+    fn event_at(&self, seq: usize) -> FeedEvent {
+        self.feed.event_at(seq)
+    }
+
+    fn published(&self) -> usize {
+        usize::try_from(self.frontier.min(self.feed.capacity() as u64))
+            .expect("capacity fits usize")
     }
 }
 
@@ -158,11 +327,10 @@ impl CacheStrategy for GlobalLfu {
     /// Ingests newly visible remote accesses. Counts only — rebalancing
     /// happens at the next local access, when admissions can actually be
     /// placed.
-    fn sync_global(&mut self, feed: &GlobalFeed, now: SimTime, limit: usize) {
-        let events = feed.events();
-        let limit = limit.min(events.len());
+    fn sync_global(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) {
+        let limit = limit.min(feed.published());
         while self.cursor < limit {
-            let ev = events[self.cursor];
+            let ev = feed.event_at(self.cursor);
             if !self.visible(ev.time, now) {
                 break;
             }
@@ -274,6 +442,81 @@ mod tests {
         s.sync_global(&feed, SimTime::from_secs(20), feed.len());
         s.sync_global(&feed, SimTime::from_secs(30), feed.len());
         assert_eq!(s.cursor(), 1, "event consumed exactly once");
+    }
+
+    #[test]
+    fn watermark_frontier_is_minimum_across_producers() {
+        let feed = WatermarkFeed::new(10, 3);
+        assert_eq!(feed.frontier(), 0);
+        feed.advance(0, 4);
+        feed.advance(1, 7);
+        assert_eq!(feed.frontier(), 0, "producer 2 still at zero");
+        feed.advance(2, 2);
+        assert_eq!(feed.frontier(), 2);
+        feed.finish(0);
+        assert_eq!(feed.frontier(), 2);
+        feed.finish(2);
+        assert_eq!(feed.frontier(), 7);
+        feed.finish(1);
+        assert_eq!(feed.frontier(), u64::MAX);
+        assert_eq!(feed.published(), 10, "clamped to capacity");
+    }
+
+    #[test]
+    fn watermark_consumption_matches_global_feed() {
+        // Three "shards" publish interleaved sequence numbers; a GlobalLfu
+        // consuming through the watermark carrier must ingest exactly the
+        // sequence a serial GlobalFeed would feed it.
+        let events: Vec<FeedEvent> = (0..9)
+            .map(|i| ev(10 + i, (i % 3) as u32 + 1, i as u32))
+            .collect();
+        let mut serial_feed = GlobalFeed::new();
+        for &e in &events {
+            serial_feed.publish(e);
+        }
+        let shared = WatermarkFeed::new(events.len(), 3);
+        // Publish out of producer order (shard 2 races ahead).
+        for (seq, &e) in events.iter().enumerate().rev() {
+            shared.publish(seq as u64, e);
+        }
+        for p in 0..3 {
+            shared.finish(p);
+        }
+
+        let mut a = lfu(0);
+        let mut b = lfu(0);
+        for (limit, now) in [(3usize, 12u64), (7, 17), (9, 30)] {
+            a.sync_global(&serial_feed, SimTime::from_secs(now), limit);
+            b.sync_global(&shared, SimTime::from_secs(now), limit);
+            assert_eq!(a.cursor(), b.cursor(), "limit {limit}");
+        }
+        let mut ops_a = Vec::new();
+        let mut ops_b = Vec::new();
+        a.on_access(ProgramId::new(50), 1, SimTime::from_secs(40), &mut ops_a);
+        b.on_access(ProgramId::new(50), 1, SimTime::from_secs(40), &mut ops_b);
+        assert_eq!(ops_a, ops_b, "identical admissions from either carrier");
+    }
+
+    #[test]
+    fn watermark_events_below_frontier_only() {
+        let feed = WatermarkFeed::new(4, 2);
+        feed.publish(0, ev(5, 1, 7));
+        feed.advance(0, 1);
+        // Producer 1 has published nothing: nothing is consumable.
+        let mut s = lfu(0);
+        s.sync_global(&feed, SimTime::from_secs(100), 4);
+        assert_eq!(s.cursor(), 0);
+        feed.advance(1, 1);
+        s.sync_global(&feed, SimTime::from_secs(100), 4);
+        assert_eq!(s.cursor(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "published twice")]
+    fn watermark_double_publish_panics() {
+        let feed = WatermarkFeed::new(2, 1);
+        feed.publish(0, ev(1, 1, 1));
+        feed.publish(0, ev(1, 1, 1));
     }
 
     #[test]

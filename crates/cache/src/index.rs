@@ -20,7 +20,7 @@ use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CacheError;
-use crate::feed::GlobalFeed;
+use crate::feed::FeedEvents;
 use crate::placement::SlotLedger;
 use crate::strategy::{CacheOp, CacheStrategy, FillPolicy};
 
@@ -262,12 +262,14 @@ impl IndexServer {
     /// published at or before global record index `limit` (exclusive).
     /// No-op for local strategies.
     ///
-    /// The explicit bound is what lets the sharded engine hand every shard
-    /// the full precomputed feed while reproducing the serial engine's
-    /// prefix-visibility semantics exactly (the serial engine grows the
-    /// feed one record at a time, so at record `r` only events `0..=r`
-    /// exist).
-    pub fn sync_feed(&mut self, feed: &GlobalFeed, now: SimTime, limit: usize) {
+    /// The explicit bound reproduces the serial engine's prefix-visibility
+    /// semantics (the serial engine grows the feed one record at a time,
+    /// so at record `r` only events `0..=r` exist) on any carrier: the
+    /// resident sharded engine hands every shard the full precomputed
+    /// [`GlobalFeed`], the streaming sharded engine a
+    /// [`WatermarkFeed`](crate::feed::WatermarkFeed) whose frontier has
+    /// passed `limit`.
+    pub fn sync_feed(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) {
         self.strategy.sync_global(feed, now, limit);
     }
 

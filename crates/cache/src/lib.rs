@@ -41,7 +41,7 @@ pub mod placement;
 pub mod strategy;
 
 pub use error::CacheError;
-pub use feed::{FeedEvent, GlobalFeed, GlobalLfu};
+pub use feed::{FeedEvent, FeedEvents, FeedView, GlobalFeed, GlobalLfu, WatermarkFeed};
 pub use index::{IndexServer, IndexStats, MissReason, Resolution};
 pub use lfu::WindowedLfu;
 pub use lru::Lru;

@@ -20,7 +20,7 @@ use cablevod_hfc::units::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CacheError;
-use crate::feed::{GlobalFeed, GlobalLfu};
+use crate::feed::{FeedEvents, GlobalLfu};
 use crate::lfu::WindowedLfu;
 use crate::lru::Lru;
 use crate::oracle::{AccessSchedule, Oracle};
@@ -87,12 +87,13 @@ pub trait CacheStrategy: fmt::Debug + Send {
     /// Ingests remote-neighborhood accesses from the global feed (only the
     /// global-LFU variants use this; the default is a no-op).
     ///
-    /// Only events below index `limit` may be consumed, on top of the
-    /// usual time-visibility rule. The engine sets `limit` to the number
-    /// of events published when the triggering access happened, which lets
-    /// the sharded engine precompute the whole feed up front while
-    /// reproducing the serial engine's grow-as-you-go visibility exactly.
-    fn sync_global(&mut self, _feed: &GlobalFeed, _now: SimTime, _limit: usize) {}
+    /// Only events below sequence number `limit` may be consumed, on top
+    /// of the usual time-visibility rule. The engine sets `limit` to the
+    /// number of events published when the triggering access happened,
+    /// which reproduces the serial engine's grow-as-you-go visibility
+    /// exactly whether the carrier is a precomputed [`GlobalFeed`] or a
+    /// streaming [`WatermarkFeed`](crate::feed::WatermarkFeed).
+    fn sync_global(&mut self, _feed: &dyn FeedEvents, _now: SimTime, _limit: usize) {}
 }
 
 /// A strategy that never caches anything — the paper's no-cache baseline

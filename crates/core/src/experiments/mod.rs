@@ -19,7 +19,10 @@ pub use ablations::{
 pub use baselines::{headend_comparison, multicast_comparison};
 pub use caching::{fig08, fig09, fig10, fig11, fig13};
 pub use feasibility::fig14;
-pub use scaling::{fig15, fig15_with_table, fig16b, fig16c, scaling_grid, table16a};
+pub use scaling::{
+    fig15, fig15_with_table, fig16b, fig16c, out_of_core_scaling, scaling_grid, table16a,
+    OutOfCoreCell,
+};
 pub use workload::{fig02, fig03, fig06, fig07, fig12};
 
 use cablevod_trace::record::Trace;

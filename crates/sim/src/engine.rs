@@ -21,62 +21,85 @@
 //! request resolves inside one neighborhood's cache and coax, and the only
 //! cross-neighborhood couplings are (a) the shared central-server meter,
 //! whose bucket accounting is commutative, and (b) the global popularity
-//! feed, which is a pure function of the trace. The engine exploits that
-//! in three layers:
+//! feed, which is a pure function of the trace.
 //!
-//! 1. **Precomputation** — one pass over the trace derives, per session,
-//!    everything the hot loop would otherwise re-query: neighborhood, home
-//!    peer, program length, watched span, seek offset and first segment
-//!    ([`SessionCtx`]). Oracle schedules and the global feed are also
-//!    precomputed here, so the event loops never touch the catalog or the
-//!    topology maps.
-//! 2. **Serial reference path** — [`run`] processes the whole trace
-//!    through one global event heap against the whole plant
-//!    ([`Topology`]). It is the semantic reference: deliberately simple,
-//!    single-threaded, structurally different from the sharded path.
-//! 3. **Sharded parallel path** — [`run_parallel`] partitions the trace
-//!    by neighborhood and runs each shard's heap + index server + meters
-//!    on a scoped worker pool (the same work-stealing primitive as
-//!    [`crate::runner::run_sweep`]). Per-shard results merge
-//!    deterministically: the server meter folds with
-//!    [`RateMeter::merge`] (exact, order-independent), cache counters fold
-//!    with `IndexStats + IndexStats`, and per-neighborhood outputs are
-//!    collected in neighborhood order. The merged [`SimReport`] is
-//!    **bit-identical** to the serial one — a property test enforces it
-//!    across strategies and shard counts.
+//! Both entry points — the serial reference [`run`] and the sharded
+//! [`run_parallel`] — are generic over
+//! [`TraceSource`](cablevod_trace::source::TraceSource), and each has two
+//! internal paths:
 //!
-//! Global-feed exactness: the serial engine grows the feed record by
+//! * **Resident** (`source.resident_records()` is `Some`): the classic
+//!   hot path over the full record slice — per-session contexts, Oracle
+//!   schedules and the global feed are precomputed in one pass, and the
+//!   sharded variant gives every shard the whole precomputed feed plus
+//!   per-record consumption bounds.
+//! * **Streaming** (chunked sources — an on-disk
+//!   [`ColumnarReader`](cablevod_trace::columnar::ColumnarReader) or a
+//!   [`ChunkedTrace`](cablevod_trace::source::ChunkedTrace)): records are
+//!   staged one chunk at a time, per-session contexts are computed at
+//!   ingestion, and records of in-flight sessions live in a small
+//!   active-session slab — resident memory is bounded by chunk size plus
+//!   session concurrency, never by trace length.
+//!
+//! # Watermark-ordered global feeds
+//!
+//! Serial feed exactness: the serial engine grows the feed record by
 //! record, so at record `r` a strategy can only ever see events `0..=r`.
-//! The sharded engine hands every shard the full precomputed feed plus the
-//! triggering record's global index as an explicit consumption bound
-//! (`IndexServer::sync_feed`'s `limit`), reproducing the serial
-//! prefix-visibility semantics exactly — batching lag and all.
+//! The resident sharded path reproduces that by precomputing the whole
+//! feed and bounding consumption per record. A *streaming* source breaks
+//! precomputation — no pass may hold every record — so the streaming
+//! sharded path replaces it with the **watermark protocol** of
+//! [`WatermarkFeed`]: every shard publishes the feed events for its own
+//! records (tagged with their global sequence numbers) as it discovers
+//! them in its chunk scan, and advances its watermark — its local clock in
+//! sequence-number terms — past every index it can no longer own events
+//! below. A shard about to start the session with global index `g` first
+//! waits until the cross-shard minimum watermark (the *frontier*) passes
+//! `g`, then consumes events `0..=g` exactly like the serial engine.
+//!
+//! Deadlock freedom: among blocked shards, the one waiting at the
+//! globally smallest record index `g` needs only watermarks above `g`;
+//! every other blocked shard waits at a larger index and has already
+//! advanced past it, and running shards advance in bounded time — so some
+//! shard can always proceed, at any worker count (shards are cooperative
+//! tasks multiplexed onto workers, parked when blocked).
+//!
+//! Whichever path runs, the report is **bit-identical** — property tests
+//! enforce `run == run_parallel == streaming run == streaming
+//! run_parallel` across strategies, chunk sizes and shard counts.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use cablevod_cache::{
-    AccessSchedule, FeedEvent, GlobalFeed, IndexServer, IndexStats, PlacementPolicy, Resolution,
-    SlotLedger,
+    AccessSchedule, FeedEvent, FeedEvents, GlobalFeed, IndexServer, IndexStats, PlacementPolicy,
+    Resolution, SlotLedger, WatermarkFeed,
 };
 use cablevod_hfc::coax::CoaxNetwork;
-use cablevod_hfc::ids::{NeighborhoodId, PeerId, SegmentId};
+use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId, SegmentId};
 use cablevod_hfc::meter::{RateMeter, RateStats, PEAK_END_HOUR, PEAK_START_HOUR};
 use cablevod_hfc::segment::Segmenter;
 use cablevod_hfc::stb::{SetTopBox, StbStore};
 use cablevod_hfc::topology::{Topology, TopologyConfig};
 use cablevod_hfc::units::{SimDuration, SimTime};
-use cablevod_trace::record::{SessionRecord, Trace};
+use cablevod_trace::catalog::ProgramCatalog;
+use cablevod_trace::record::SessionRecord;
+use cablevod_trace::source::TraceSource;
 
 use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::report::SimReport;
 use crate::runner;
 
-/// Everything the hot loop needs about one session, precomputed in a
-/// single pass so neither the serial nor the sharded path ever re-queries
-/// the catalog or the topology during event processing.
+/// Error reason used when a shard bails out because a sibling failed; the
+/// merge prefers the sibling's real error over this sentinel.
+const ABORTED: &str = "aborted after a failure in another shard";
+
+/// Everything the hot loop needs about one session, precomputed (resident
+/// path) or computed at ingestion (streaming paths) so neither event loop
+/// ever re-queries the catalog or the topology during event processing.
 #[derive(Debug, Clone, Copy)]
 struct SessionCtx {
     /// Dense neighborhood index of the session's user.
@@ -91,6 +114,50 @@ struct SessionCtx {
     offset: u64,
     /// Absolute index of the first requested segment.
     first_seg: u16,
+}
+
+/// Computes one session's context (pure function of record, catalog and
+/// topology — both engine paths share it, so contexts are identical no
+/// matter when they are computed).
+fn session_ctx(
+    rec: &SessionRecord,
+    catalog: &ProgramCatalog,
+    topo: &Topology,
+    seg_len: u64,
+) -> Result<SessionCtx, SimError> {
+    let length = catalog.length(rec.program).ok_or(SimError::Trace(
+        cablevod_trace::TraceError::DanglingProgram {
+            program: rec.program,
+        },
+    ))?;
+    let nbhd = topo.neighborhood_of_user(rec.user)?;
+    let home = topo.home_peer(rec.user)?;
+    let offset = rec.offset.min(length).as_secs();
+    Ok(SessionCtx {
+        nbhd: nbhd.index() as u32,
+        home,
+        length,
+        watched: rec.watched(length),
+        offset,
+        first_seg: (offset / seg_len) as u16,
+    })
+}
+
+/// The feed event an access publishes (pure function of the record — the
+/// serial grow-as-you-go feed, the resident precomputed feed and the
+/// streaming watermark feed all emit exactly this).
+fn feed_event(
+    rec: &SessionRecord,
+    ctx: &SessionCtx,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> FeedEvent {
+    FeedEvent {
+        time: rec.start,
+        neighborhood: NeighborhoodId::new(ctx.nbhd),
+        program: rec.program,
+        cost: u32::from(segmenter.segment_count(ctx.length)) * u32::from(config.replication()),
+    }
 }
 
 /// Mutable per-run tallies shared by both engine paths.
@@ -282,41 +349,53 @@ struct ShardOutcome {
     counters: EngineCounters,
 }
 
-/// Precomputes the per-session context table (one pass; see the module
-/// docs).
+/// Precomputes the per-session context table (one pass; resident paths
+/// only — streaming paths compute contexts at ingestion).
 fn precompute_sessions(
-    trace: &Trace,
+    records: &[SessionRecord],
+    catalog: &ProgramCatalog,
     topo: &Topology,
     segmenter: &Segmenter,
 ) -> Result<Vec<SessionCtx>, SimError> {
     let seg_len = segmenter.segment_len().as_secs();
-    trace
-        .records()
+    records
         .iter()
-        .map(|rec| {
-            let length = trace
-                .catalog()
-                .length(rec.program)
-                .expect("trace construction validates program references");
-            let nbhd = topo.neighborhood_of_user(rec.user)?;
-            let home = topo.home_peer(rec.user)?;
-            let offset = rec.offset.min(length).as_secs();
-            Ok(SessionCtx {
-                nbhd: nbhd.index() as u32,
-                home,
-                length,
-                watched: rec.watched(length),
-                offset,
-                first_seg: (offset / seg_len) as u16,
-            })
+        .map(|rec| session_ctx(rec, catalog, topo, seg_len))
+        .collect()
+}
+
+/// Program slot costs, indexed by program — what Oracle schedules charge.
+fn schedule_costs(catalog: &ProgramCatalog, config: &SimConfig, segmenter: &Segmenter) -> Vec<u32> {
+    catalog
+        .iter()
+        .map(|(_, info)| {
+            u32::from(segmenter.segment_count(info.length)) * u32::from(config.replication())
         })
         .collect()
 }
 
-/// Builds the per-neighborhood Oracle schedules (empty for strategies that
-/// do not need them).
+/// Builds the per-neighborhood Oracle schedules from per-neighborhood
+/// event lists.
+fn schedules_from_events(
+    per_nbhd: Vec<Vec<(SimTime, ProgramId)>>,
+    costs: &[u32],
+) -> Vec<Option<Arc<AccessSchedule>>> {
+    per_nbhd
+        .into_iter()
+        .map(|events| {
+            Some(Arc::new(AccessSchedule::from_events(
+                events,
+                costs.to_vec(),
+            )))
+        })
+        .collect()
+}
+
+/// Builds the per-neighborhood Oracle schedules from a resident record
+/// slice (empty for strategies that do not need them).
 fn build_schedules(
-    trace: &Trace,
+    records: &[SessionRecord],
+    catalog: &ProgramCatalog,
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
@@ -324,44 +403,28 @@ fn build_schedules(
     if !config.strategy().needs_schedule() {
         return Ok(vec![None; topo.neighborhood_count()]);
     }
-    let mut per_nbhd: Vec<Vec<(SimTime, cablevod_hfc::ids::ProgramId)>> =
-        vec![Vec::new(); topo.neighborhood_count()];
-    for r in trace.iter() {
+    let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
+    for r in records {
         let nbhd = topo.neighborhood_of_user(r.user)?;
         per_nbhd[nbhd.index()].push((r.start, r.program));
     }
-    let costs: Vec<u32> = trace
-        .catalog()
-        .iter()
-        .map(|(_, info)| {
-            u32::from(segmenter.segment_count(info.length)) * u32::from(config.replication())
-        })
-        .collect();
-    Ok(per_nbhd
-        .into_iter()
-        .map(|events| Some(Arc::new(AccessSchedule::from_events(events, costs.clone()))))
-        .collect())
+    let costs = schedule_costs(catalog, config, segmenter);
+    Ok(schedules_from_events(per_nbhd, &costs))
 }
 
-/// Builds the full global feed from the trace (a pure function of the
-/// trace — see the module docs), or `None` when the strategy ignores it.
+/// Builds the full global feed from a resident record slice (a pure
+/// function of the trace — see the module docs), or `None` when the
+/// strategy ignores it.
 fn build_feed(
-    trace: &Trace,
+    records: &[SessionRecord],
     ctxs: &[SessionCtx],
     config: &SimConfig,
     segmenter: &Segmenter,
 ) -> Option<GlobalFeed> {
     config.strategy().needs_feed().then(|| {
         let mut feed = GlobalFeed::new();
-        for (rec, ctx) in trace.records().iter().zip(ctxs) {
-            let cost =
-                u32::from(segmenter.segment_count(ctx.length)) * u32::from(config.replication());
-            feed.publish(FeedEvent {
-                time: rec.start,
-                neighborhood: NeighborhoodId::new(ctx.nbhd),
-                program: rec.program,
-                cost,
-            });
+        for (rec, ctx) in records.iter().zip(ctxs) {
+            feed.publish(feed_event(rec, ctx, config, segmenter));
         }
         feed
     })
@@ -409,106 +472,28 @@ fn build_index(
     Ok(index)
 }
 
-/// Runs one simulation of `trace` under `config` and returns the measured
-/// report.
-///
-/// This is the serial reference path: one global event heap against the
-/// whole plant. [`run_parallel`] produces a bit-identical report by
-/// sharding per neighborhood.
-///
-/// Deterministic: identical inputs produce identical reports.
-///
-/// # Errors
-///
-/// Returns [`SimError::Config`] for invalid configurations and propagates
-/// broken-invariant failures from the cache and plant layers.
-///
-/// # Examples
-///
-/// ```
-/// use cablevod_sim::{run, SimConfig};
-/// use cablevod_trace::synth::{generate, SynthConfig};
-///
-/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
-///     ..SynthConfig::smoke_test() });
-/// let report = run(&trace, &SimConfig::paper_default().with_neighborhood_size(100)
-///     .with_warmup_days(1))?;
-/// assert!(report.sessions > 0);
-/// # Ok::<(), cablevod_sim::SimError>(())
-/// ```
-pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
-    config.validate()?;
-    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
-
-    let mut topo = Topology::build(
-        TopologyConfig::new(trace.user_count(), config.neighborhood_size())
-            .with_per_peer_storage(config.per_peer_storage())
-            .with_stream_slots(config.stream_slots())
-            .with_coax_spec(*config.coax_spec()),
-    )?;
-
-    let ctxs = precompute_sessions(trace, &topo, &segmenter)?;
-    let schedules = build_schedules(trace, &topo, config, &segmenter)?;
-    let feed = build_feed(trace, &ctxs, config, &segmenter);
-
-    let mut indexes: Vec<IndexServer> = schedules
+/// Builds every neighborhood's index server.
+fn build_indexes(
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+    schedules: Vec<Option<Arc<AccessSchedule>>>,
+) -> Result<Vec<IndexServer>, SimError> {
+    schedules
         .into_iter()
         .enumerate()
-        .map(|(n, schedule)| build_index(n, &topo, config, &segmenter, schedule))
-        .collect::<Result<_, _>>()?;
+        .map(|(n, schedule)| build_index(n, topo, config, segmenter, schedule))
+        .collect()
+}
 
-    let records = trace.records();
-    // Continuation events: (segment start, session index, segment index).
-    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u16)>> = BinaryHeap::new();
-    let mut next_record = 0usize;
-    let mut counters = EngineCounters::default();
-
-    loop {
-        let take_record = match (next_record < records.len(), heap.peek()) {
-            (false, None) => break,
-            (true, None) => true,
-            (false, Some(_)) => false,
-            (true, Some(&Reverse((t, _, _)))) => records[next_record].start <= t,
-        };
-
-        if take_record {
-            let idx = next_record;
-            next_record += 1;
-            let ctx = &ctxs[idx];
-            start_session(
-                &records[idx],
-                ctx,
-                idx as u32,
-                config,
-                &segmenter,
-                &mut topo,
-                &mut indexes[ctx.nbhd as usize],
-                feed.as_ref(),
-                &mut heap,
-                &mut counters,
-            )?;
-        } else {
-            let Reverse((_, session_idx, seg_idx)) = heap.pop().expect("peeked entry exists");
-            let idx = session_idx as usize;
-            let ctx = &ctxs[idx];
-            process_segment(
-                &records[idx],
-                ctx,
-                session_idx,
-                seg_idx,
-                &segmenter,
-                config,
-                &mut topo,
-                &mut indexes[ctx.nbhd as usize],
-                &mut heap,
-                &mut counters.segment_requests,
-            )?;
-        }
-    }
-
-    // Assemble the report.
-    let days = trace.days().max(1);
-    let warmup = config.warmup_days().min(days - 1);
+/// Assembles the serial report from the whole-plant topology and indexes.
+fn assemble_serial_report(
+    topo: &Topology,
+    indexes: &[IndexServer],
+    counters: EngineCounters,
+    days: u64,
+    warmup: u64,
+) -> SimReport {
     let server_peak = topo.server().peak_stats(warmup, days);
     let server_hourly = topo.server().meter().hourly_profile();
     let mut coax_samples = Vec::new();
@@ -524,11 +509,10 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
         ));
     }
     let mut cache = IndexStats::default();
-    for index in &indexes {
+    for index in indexes {
         cache += *index.stats();
     }
-
-    Ok(SimReport {
+    SimReport {
         server_peak,
         server_total: topo.server().total(),
         server_hourly,
@@ -540,84 +524,20 @@ pub fn run(trace: &Trace, config: &SimConfig) -> Result<SimReport, SimError> {
         viewer_overcommits: counters.viewer_overcommits,
         measured_from_day: warmup,
         measured_to_day: days,
-    })
+    }
 }
 
-/// Runs one simulation sharded per neighborhood over `threads` workers,
-/// producing a report **bit-identical** to [`run`]'s.
-///
-/// Correctness rests on the paper's own isolation structure: per-event
-/// state (cache, boxes, coax, fiber) is neighborhood-local; the shared
-/// server meter merges exactly because bucket accounting is commutative
-/// ([`RateMeter::merge`]); and the global feed is precomputed from the
-/// trace with per-record consumption bounds, reproducing serial
-/// visibility. Shards are scheduled work-stealing style, so thread count
-/// affects wall-clock only, never results.
-///
-/// # Errors
-///
-/// Returns [`SimError::Config`] for invalid configurations and propagates
-/// broken-invariant failures from the cache and plant layers.
-///
-/// # Examples
-///
-/// ```
-/// use cablevod_sim::{run, run_parallel, SimConfig};
-/// use cablevod_trace::synth::{generate, SynthConfig};
-///
-/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
-///     ..SynthConfig::smoke_test() });
-/// let config = SimConfig::paper_default().with_neighborhood_size(100).with_warmup_days(1);
-/// assert_eq!(run_parallel(&trace, &config, 4)?, run(&trace, &config)?);
-/// # Ok::<(), cablevod_sim::SimError>(())
-/// ```
-pub fn run_parallel(
-    trace: &Trace,
-    config: &SimConfig,
-    threads: usize,
+/// Merges shard outcomes, in neighborhood order, into the report the
+/// serial engine would produce. Bit-exact: the server meter folds with
+/// [`RateMeter::merge`] (commutative bucket accounting), cache counters
+/// fold with `IndexStats + IndexStats`, and coax statistics are collected
+/// in neighborhood order.
+fn merge_outcomes(
+    outcomes: impl IntoIterator<Item = Result<ShardOutcome, SimError>>,
+    days: u64,
+    warmup: u64,
+    nbhd_count: usize,
 ) -> Result<SimReport, SimError> {
-    config.validate()?;
-    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
-
-    // The topology is built once for membership, capacities and placement
-    // determinism, then only read; every shard owns fresh mutable state.
-    let topo = Topology::build(
-        TopologyConfig::new(trace.user_count(), config.neighborhood_size())
-            .with_per_peer_storage(config.per_peer_storage())
-            .with_stream_slots(config.stream_slots())
-            .with_coax_spec(*config.coax_spec()),
-    )?;
-
-    let ctxs = precompute_sessions(trace, &topo, &segmenter)?;
-    let schedules = build_schedules(trace, &topo, config, &segmenter)?;
-    let feed = build_feed(trace, &ctxs, config, &segmenter);
-    let positions = topo.local_positions();
-
-    let nbhd_count = topo.neighborhood_count();
-    let mut shard_records: Vec<Vec<u32>> = vec![Vec::new(); nbhd_count];
-    for (i, ctx) in ctxs.iter().enumerate() {
-        shard_records[ctx.nbhd as usize].push(i as u32);
-    }
-
-    let records = trace.records();
-    let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
-        let index = build_index(n, &topo, config, &segmenter, schedules[n].clone())?;
-        let plant = ShardPlant::build(n, &topo, config, &positions)?;
-        run_shard(
-            records,
-            &ctxs,
-            &shard_records[n],
-            index,
-            plant,
-            feed.as_ref(),
-            &segmenter,
-            config,
-        )
-    });
-
-    // Deterministic merge, in neighborhood order.
-    let days = trace.days().max(1);
-    let warmup = config.warmup_days().min(days - 1);
     let mut server = RateMeter::hourly();
     let mut coax_samples = Vec::new();
     let mut coax_per_neighborhood = Vec::with_capacity(nbhd_count);
@@ -637,7 +557,6 @@ pub fn run_parallel(
         cache += shard.stats;
         counters.absorb(shard.counters);
     }
-
     Ok(SimReport {
         server_peak: server.peak_stats(warmup, days),
         server_total: server.total(),
@@ -653,10 +572,430 @@ pub fn run_parallel(
     })
 }
 
-/// Runs one neighborhood's complete event sequence: its records in trace
-/// order interleaved with its continuation heap, exactly the relative
-/// order the serial engine would process them in (cross-neighborhood
-/// interleavings never touch this shard's state).
+fn build_topology<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+) -> Result<Topology, SimError> {
+    Ok(Topology::build(
+        TopologyConfig::new(source.user_count(), config.neighborhood_size())
+            .with_per_peer_storage(config.per_peer_storage())
+            .with_stream_slots(config.stream_slots())
+            .with_coax_spec(*config.coax_spec()),
+    )?)
+}
+
+/// Runs one simulation of the workload in `source` under `config` and
+/// returns the measured report.
+///
+/// This is the serial reference path: one global event heap against the
+/// whole plant. A resident [`Trace`](cablevod_trace::record::Trace) takes
+/// the classic precomputed hot path; chunked sources (an on-disk
+/// [`ColumnarReader`](cablevod_trace::columnar::ColumnarReader),
+/// a [`ChunkedTrace`](cablevod_trace::source::ChunkedTrace)) stream
+/// through the engine with bounded resident memory. Both produce
+/// bit-identical reports; [`run_parallel`] matches them too.
+///
+/// Deterministic: identical inputs produce identical reports.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations, and
+/// propagates trace-source failures and broken-invariant failures from
+/// the cache and plant layers.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::{run, SimConfig};
+/// use cablevod_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+///     ..SynthConfig::smoke_test() });
+/// let report = run(&trace, &SimConfig::paper_default().with_neighborhood_size(100)
+///     .with_warmup_days(1))?;
+/// assert!(report.sessions > 0);
+/// # Ok::<(), cablevod_sim::SimError>(())
+/// ```
+pub fn run<S: TraceSource + ?Sized>(source: &S, config: &SimConfig) -> Result<SimReport, SimError> {
+    check_record_count(source)?;
+    match source.resident_records() {
+        Some(records) => run_resident(records, source, config),
+        None => run_streaming(source, config),
+    }
+}
+
+/// Session indices ride in `u32` heap entries on every path (resident and
+/// streaming), so traces beyond 2^32 records are rejected up front rather
+/// than silently wrapping.
+fn check_record_count<S: TraceSource + ?Sized>(source: &S) -> Result<(), SimError> {
+    if source.record_count() > u64::from(u32::MAX) {
+        return Err(SimError::Config {
+            reason: "traces beyond 2^32 records are not supported".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The classic serial path over a fully resident record slice.
+fn run_resident<S: TraceSource + ?Sized>(
+    records: &[SessionRecord],
+    source: &S,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+    let catalog = source.catalog();
+
+    let mut topo = build_topology(source, config)?;
+    let ctxs = precompute_sessions(records, catalog, &topo, &segmenter)?;
+    let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
+    let feed = build_feed(records, &ctxs, config, &segmenter);
+    let mut indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+
+    // Continuation events: (segment start, session index, segment index).
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u16)>> = BinaryHeap::new();
+    let mut next_record = 0usize;
+    let mut counters = EngineCounters::default();
+
+    loop {
+        let take_record = match (next_record < records.len(), heap.peek()) {
+            (false, None) => break,
+            (true, None) => true,
+            (false, Some(_)) => false,
+            (true, Some(&Reverse((t, _, _)))) => records[next_record].start <= t,
+        };
+
+        if take_record {
+            let idx = next_record;
+            next_record += 1;
+            let ctx = &ctxs[idx];
+            let cont = start_session(
+                &records[idx],
+                ctx,
+                config,
+                &segmenter,
+                &mut topo,
+                &mut indexes[ctx.nbhd as usize],
+                feed.as_ref().map(|f| (f as &dyn FeedEvents, idx + 1)),
+                &mut counters,
+            )?;
+            if let Some((t, seg)) = cont {
+                heap.push(Reverse((t, idx as u32, seg)));
+            }
+        } else {
+            let Reverse((_, session_idx, seg_idx)) = heap.pop().expect("peeked entry exists");
+            let idx = session_idx as usize;
+            let ctx = &ctxs[idx];
+            let cont = process_segment(
+                &records[idx],
+                ctx,
+                seg_idx,
+                &segmenter,
+                config,
+                &mut topo,
+                &mut indexes[ctx.nbhd as usize],
+                &mut counters.segment_requests,
+            )?;
+            if let Some((t, seg)) = cont {
+                heap.push(Reverse((t, session_idx, seg)));
+            }
+        }
+    }
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    Ok(assemble_serial_report(
+        &topo, &indexes, counters, days, warmup,
+    ))
+}
+
+/// Sequential chunk-at-a-time reader over a [`TraceSource`].
+struct RecordStream<'a, S: TraceSource + ?Sized> {
+    source: &'a S,
+    chunk: usize,
+    buf: Vec<SessionRecord>,
+    pos: usize,
+    /// Global index of `buf[pos]`.
+    next_index: u64,
+}
+
+impl<'a, S: TraceSource + ?Sized> RecordStream<'a, S> {
+    fn new(source: &'a S) -> Self {
+        RecordStream {
+            source,
+            chunk: 0,
+            buf: Vec::new(),
+            pos: 0,
+            next_index: 0,
+        }
+    }
+
+    /// Ensures the buffer holds the next record; false at end of stream.
+    fn fill(&mut self) -> Result<bool, SimError> {
+        while self.pos == self.buf.len() {
+            if self.chunk >= self.source.chunk_count() {
+                return Ok(false);
+            }
+            self.source.read_chunk(self.chunk, &mut self.buf)?;
+            self.pos = 0;
+            self.chunk += 1;
+        }
+        Ok(true)
+    }
+
+    fn peek_start(&mut self) -> Result<Option<SimTime>, SimError> {
+        Ok(if self.fill()? {
+            Some(self.buf[self.pos].start)
+        } else {
+            None
+        })
+    }
+
+    fn next(&mut self) -> Result<Option<(u64, SessionRecord)>, SimError> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let rec = self.buf[self.pos];
+        let gidx = self.next_index;
+        self.pos += 1;
+        self.next_index += 1;
+        Ok(Some((gidx, rec)))
+    }
+}
+
+/// Slab of in-flight sessions: the streaming paths retain only records
+/// whose continuation events are still in the heap, keyed by a reusable
+/// slot id carried alongside the heap entry (the slot never participates
+/// in event ordering — heap keys stay `(time, global index, segment)`).
+#[derive(Default)]
+struct ActiveSessions {
+    slots: Vec<(SessionRecord, SessionCtx)>,
+    free: Vec<u32>,
+}
+
+impl ActiveSessions {
+    fn insert(&mut self, rec: SessionRecord, ctx: SessionCtx) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = (rec, ctx);
+            slot
+        } else {
+            self.slots.push((rec, ctx));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    fn get(&self, slot: u32) -> (SessionRecord, SessionCtx) {
+        self.slots[slot as usize]
+    }
+
+    fn remove(&mut self, slot: u32) {
+        self.free.push(slot);
+    }
+}
+
+/// Builds Oracle schedules with one streaming pass over the source.
+///
+/// Oracle is inherently offline — it needs the whole future — so this is
+/// the one strategy whose auxiliary state still grows with trace length
+/// (one `(time, program)` pair per record); all per-record *simulation*
+/// state stays bounded.
+fn build_schedules_streaming<S: TraceSource + ?Sized>(
+    source: &S,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
+    let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
+    let mut buf = Vec::new();
+    for chunk in 0..source.chunk_count() {
+        source.read_chunk(chunk, &mut buf)?;
+        for r in &buf {
+            let nbhd = topo.neighborhood_of_user(r.user)?;
+            per_nbhd[nbhd.index()].push((r.start, r.program));
+        }
+    }
+    let costs = schedule_costs(source.catalog(), config, segmenter);
+    Ok(schedules_from_events(per_nbhd, &costs))
+}
+
+/// The serial engine over a chunked source: same event order as
+/// [`run_resident`], with records staged chunk by chunk, contexts computed
+/// at ingestion, and the global feed grown record by record exactly as the
+/// serial semantics define it.
+fn run_streaming<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+    let seg_len = segmenter.segment_len().as_secs();
+    let catalog = source.catalog();
+
+    let mut topo = build_topology(source, config)?;
+    let schedules = if config.strategy().needs_schedule() {
+        build_schedules_streaming(source, &topo, config, &segmenter)?
+    } else {
+        vec![None; topo.neighborhood_count()]
+    };
+    let mut indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+    let mut feed = config.strategy().needs_feed().then(GlobalFeed::new);
+
+    let mut stream = RecordStream::new(source);
+    let mut active = ActiveSessions::default();
+    // Continuation events: (start, global record index, segment, slot).
+    let mut heap: BinaryHeap<Reverse<(SimTime, u32, u16, u32)>> = BinaryHeap::new();
+    let mut counters = EngineCounters::default();
+
+    loop {
+        let take_record = match (stream.peek_start()?, heap.peek()) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(s), Some(&Reverse((t, _, _, _)))) => s <= t,
+        };
+
+        if take_record {
+            let (gidx, rec) = stream.next()?.expect("peeked record exists");
+            let ctx = session_ctx(&rec, catalog, &topo, seg_len)?;
+            if let Some(feed) = feed.as_mut() {
+                feed.publish(feed_event(&rec, &ctx, config, &segmenter));
+            }
+            let cont = start_session(
+                &rec,
+                &ctx,
+                config,
+                &segmenter,
+                &mut topo,
+                &mut indexes[ctx.nbhd as usize],
+                feed.as_ref()
+                    .map(|f| (f as &dyn FeedEvents, gidx as usize + 1)),
+                &mut counters,
+            )?;
+            if let Some((t, seg)) = cont {
+                let slot = active.insert(rec, ctx);
+                heap.push(Reverse((t, gidx as u32, seg, slot)));
+            }
+        } else {
+            let Reverse((_, gidx, seg_idx, slot)) = heap.pop().expect("peeked entry exists");
+            let (rec, ctx) = active.get(slot);
+            let cont = process_segment(
+                &rec,
+                &ctx,
+                seg_idx,
+                &segmenter,
+                config,
+                &mut topo,
+                &mut indexes[ctx.nbhd as usize],
+                &mut counters.segment_requests,
+            )?;
+            match cont {
+                Some((t, seg)) => heap.push(Reverse((t, gidx, seg, slot))),
+                None => active.remove(slot),
+            }
+        }
+    }
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    Ok(assemble_serial_report(
+        &topo, &indexes, counters, days, warmup,
+    ))
+}
+
+/// Runs one simulation sharded per neighborhood over `threads` workers,
+/// producing a report **bit-identical** to [`run`]'s.
+///
+/// Correctness rests on the paper's own isolation structure: per-event
+/// state (cache, boxes, coax, fiber) is neighborhood-local; the shared
+/// server meter merges exactly because bucket accounting is commutative
+/// ([`RateMeter::merge`]); and the global feed reproduces serial
+/// visibility — via a precomputed feed with per-record consumption bounds
+/// on resident sources, via the watermark protocol (see the module docs)
+/// on streaming sources. Shards are scheduled work-stealing style
+/// (resident) or as cooperative tasks (streaming), so thread count
+/// affects wall-clock only, never results.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations, and
+/// propagates trace-source failures and broken-invariant failures from
+/// the cache and plant layers.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::{run, run_parallel, SimConfig};
+/// use cablevod_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+///     ..SynthConfig::smoke_test() });
+/// let config = SimConfig::paper_default().with_neighborhood_size(100).with_warmup_days(1);
+/// assert_eq!(run_parallel(&trace, &config, 4)?, run(&trace, &config)?);
+/// # Ok::<(), cablevod_sim::SimError>(())
+/// ```
+pub fn run_parallel<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    check_record_count(source)?;
+    match source.resident_records() {
+        Some(records) => run_parallel_resident(records, source, config, threads),
+        None => run_parallel_streaming(source, config, threads),
+    }
+}
+
+/// The classic sharded path over a fully resident record slice, with the
+/// precomputed global feed.
+fn run_parallel_resident<S: TraceSource + ?Sized>(
+    records: &[SessionRecord],
+    source: &S,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+    let catalog = source.catalog();
+
+    // The topology is built once for membership, capacities and placement
+    // determinism, then only read; every shard owns fresh mutable state.
+    let topo = build_topology(source, config)?;
+
+    let ctxs = precompute_sessions(records, catalog, &topo, &segmenter)?;
+    let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
+    let feed = build_feed(records, &ctxs, config, &segmenter);
+    let positions = topo.local_positions();
+
+    let nbhd_count = topo.neighborhood_count();
+    let mut shard_records: Vec<Vec<u32>> = vec![Vec::new(); nbhd_count];
+    for (i, ctx) in ctxs.iter().enumerate() {
+        shard_records[ctx.nbhd as usize].push(i as u32);
+    }
+
+    let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
+        let index = build_index(n, &topo, config, &segmenter, schedules[n].clone())?;
+        let plant = ShardPlant::build(n, &topo, config, &positions)?;
+        run_shard(
+            records,
+            &ctxs,
+            &shard_records[n],
+            index,
+            plant,
+            feed.as_ref(),
+            &segmenter,
+            config,
+        )
+    });
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    merge_outcomes(outcomes, days, warmup, nbhd_count)
+}
+
+/// Runs one neighborhood's complete event sequence (resident path): its
+/// records in trace order interleaved with its continuation heap, exactly
+/// the relative order the serial engine would process them in
+/// (cross-neighborhood interleavings never touch this shard's state).
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
     records: &[SessionRecord],
@@ -683,33 +1022,35 @@ fn run_shard(
         if take_record {
             let idx = my_records[next] as usize;
             next += 1;
-            start_session(
+            let cont = start_session(
                 &records[idx],
                 &ctxs[idx],
-                idx as u32,
                 config,
                 segmenter,
                 &mut plant,
                 &mut index,
-                feed,
-                &mut heap,
+                feed.map(|f| (f as &dyn FeedEvents, idx + 1)),
                 &mut counters,
             )?;
+            if let Some((t, seg)) = cont {
+                heap.push(Reverse((t, idx as u32, seg)));
+            }
         } else {
             let Reverse((_, session_idx, seg_idx)) = heap.pop().expect("peeked entry exists");
             let idx = session_idx as usize;
-            process_segment(
+            let cont = process_segment(
                 &records[idx],
                 &ctxs[idx],
-                session_idx,
                 seg_idx,
                 segmenter,
                 config,
                 &mut plant,
                 &mut index,
-                &mut heap,
                 &mut counters.segment_requests,
             )?;
+            if let Some((t, seg)) = cont {
+                heap.push(Reverse((t, session_idx, seg)));
+            }
         }
     }
 
@@ -721,21 +1062,431 @@ fn run_shard(
     })
 }
 
+/// What one [`ShardTask::step`] call ended with.
+enum Step {
+    /// The shard processed every one of its events.
+    Done,
+    /// The shard must wait for the feed frontier; `progressed` reports
+    /// whether any events were processed before blocking (workers yield
+    /// the CPU only when a full round over their tasks made no progress).
+    Blocked { progressed: bool },
+}
+
+/// One neighborhood's event loop as a resumable cooperative task
+/// (streaming sharded path). Workers multiplex several tasks; a task
+/// parks — instead of spinning — whenever the watermark frontier has not
+/// yet reached the record it must start next.
+struct ShardTask<'a, S: TraceSource + ?Sized> {
+    nbhd: usize,
+    source: &'a S,
+    topo: &'a Topology,
+    config: &'a SimConfig,
+    segmenter: Segmenter,
+    /// Chunks known to contain this neighborhood's records (the runtime
+    /// per-neighborhood chunk index).
+    chunks: &'a [u32],
+    next_chunk: usize,
+    buf: Vec<SessionRecord>,
+    /// This shard's records from the current chunk, with global indices
+    /// and precomputed contexts; events already published to the feed.
+    pending: VecDeque<(u32, SessionRecord, SessionCtx)>,
+    exhausted: bool,
+    feed: Option<&'a WatermarkFeed>,
+    /// Last observed frontier — monotonic, so the per-producer watermark
+    /// scan reruns only when this cached value is not yet past the record
+    /// about to start, not on every session.
+    frontier_cache: u64,
+    aborted: &'a AtomicBool,
+    index: IndexServer,
+    plant: ShardPlant<'a>,
+    active: ActiveSessions,
+    heap: BinaryHeap<Reverse<(SimTime, u32, u16, u32)>>,
+    counters: EngineCounters,
+}
+
+impl<'a, S: TraceSource + ?Sized> ShardTask<'a, S> {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        nbhd: usize,
+        source: &'a S,
+        topo: &'a Topology,
+        config: &'a SimConfig,
+        segmenter: Segmenter,
+        chunks: &'a [u32],
+        schedule: Option<Arc<AccessSchedule>>,
+        positions: &'a [u32],
+        feed: Option<&'a WatermarkFeed>,
+        aborted: &'a AtomicBool,
+    ) -> Result<Self, SimError> {
+        let index = build_index(nbhd, topo, config, &segmenter, schedule)?;
+        let plant = ShardPlant::build(nbhd, topo, config, positions)?;
+        Ok(ShardTask {
+            nbhd,
+            source,
+            topo,
+            config,
+            segmenter,
+            chunks,
+            next_chunk: 0,
+            buf: Vec::new(),
+            pending: VecDeque::new(),
+            exhausted: false,
+            feed,
+            frontier_cache: 0,
+            aborted,
+            index,
+            plant,
+            active: ActiveSessions::default(),
+            heap: BinaryHeap::new(),
+            counters: EngineCounters::default(),
+        })
+    }
+
+    /// Loads chunks (from this shard's chunk index) until one yields
+    /// records of this neighborhood, publishing their feed events at
+    /// discovery and advancing this producer's watermark — publication at
+    /// scan time is safe because consumers bound themselves by their own
+    /// record index, so an early-published event is never visible early.
+    fn refill(&mut self) -> Result<(), SimError> {
+        let seg_len = self.segmenter.segment_len().as_secs();
+        while self.pending.is_empty() && self.next_chunk < self.chunks.len() {
+            let chunk = self.chunks[self.next_chunk] as usize;
+            self.source.read_chunk(chunk, &mut self.buf)?;
+            let base = self.source.chunk_first_index(chunk);
+            for (i, rec) in self.buf.iter().enumerate() {
+                if self.topo.neighborhood_of_user(rec.user)?.index() != self.nbhd {
+                    continue;
+                }
+                let ctx = session_ctx(rec, self.source.catalog(), self.topo, seg_len)?;
+                let gidx = base + i as u64;
+                if let Some(feed) = self.feed {
+                    feed.publish(gidx, feed_event(rec, &ctx, self.config, &self.segmenter));
+                }
+                self.pending.push_back((gidx as u32, *rec, ctx));
+            }
+            self.next_chunk += 1;
+            if let Some(feed) = self.feed {
+                // Everything before our next indexed chunk contains none of
+                // our records, so the watermark jumps straight to it.
+                let mark = if self.next_chunk < self.chunks.len() {
+                    self.source
+                        .chunk_first_index(self.chunks[self.next_chunk] as usize)
+                } else {
+                    u64::MAX
+                };
+                feed.advance(self.nbhd, mark);
+            }
+        }
+        if self.pending.is_empty() && !self.exhausted {
+            self.exhausted = true;
+            if let Some(feed) = self.feed {
+                feed.finish(self.nbhd);
+            }
+        }
+        Ok(())
+    }
+
+    /// Processes events until the shard completes or must wait for the
+    /// feed frontier.
+    fn step(&mut self) -> Result<Step, SimError> {
+        let mut progressed = false;
+        loop {
+            if self.aborted.load(Ordering::Relaxed) {
+                return Err(SimError::Config {
+                    reason: ABORTED.into(),
+                });
+            }
+            if self.pending.is_empty() && !self.exhausted {
+                self.refill()?;
+            }
+            let take_record = match (self.pending.front(), self.heap.peek()) {
+                (None, None) => {
+                    if let Some(feed) = self.feed {
+                        feed.finish(self.nbhd);
+                    }
+                    return Ok(Step::Done);
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(&(_, rec, _)), Some(&Reverse((t, _, _, _)))) => rec.start <= t,
+            };
+
+            if take_record {
+                let &(gidx, rec, ctx) = self.pending.front().expect("checked non-empty");
+                if let Some(feed) = self.feed {
+                    // Serial prefix visibility: events 0..=gidx must all be
+                    // published before this session may consult the feed.
+                    // The frontier only moves forward, so the cross-shard
+                    // watermark scan reruns only until it passes gidx once.
+                    if self.frontier_cache <= u64::from(gidx) {
+                        self.frontier_cache = feed.frontier();
+                        if self.frontier_cache <= u64::from(gidx) {
+                            return Ok(Step::Blocked { progressed });
+                        }
+                    }
+                }
+                self.pending.pop_front();
+                let view = self.feed.map(|f| f.view_at(self.frontier_cache));
+                let cont = start_session(
+                    &rec,
+                    &ctx,
+                    self.config,
+                    &self.segmenter,
+                    &mut self.plant,
+                    &mut self.index,
+                    view.as_ref()
+                        .map(|v| (v as &dyn FeedEvents, gidx as usize + 1)),
+                    &mut self.counters,
+                )?;
+                if let Some((t, seg)) = cont {
+                    let slot = self.active.insert(rec, ctx);
+                    self.heap.push(Reverse((t, gidx, seg, slot)));
+                }
+            } else {
+                let Reverse((_, gidx, seg_idx, slot)) =
+                    self.heap.pop().expect("peeked entry exists");
+                let (rec, ctx) = self.active.get(slot);
+                let cont = process_segment(
+                    &rec,
+                    &ctx,
+                    seg_idx,
+                    &self.segmenter,
+                    self.config,
+                    &mut self.plant,
+                    &mut self.index,
+                    &mut self.counters.segment_requests,
+                )?;
+                match cont {
+                    Some((t, seg)) => self.heap.push(Reverse((t, gidx, seg, slot))),
+                    None => self.active.remove(slot),
+                }
+            }
+            progressed = true;
+        }
+    }
+
+    fn into_outcome(self) -> ShardOutcome {
+        ShardOutcome {
+            coax: self.plant.coax,
+            server: self.plant.server,
+            stats: *self.index.stats(),
+            counters: self.counters,
+        }
+    }
+}
+
+/// The sharded engine over a chunked source: shards stream their own
+/// chunk subsets and synchronize global-feed visibility through the
+/// watermark protocol (see the module docs).
+fn run_parallel_streaming<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let total = source.record_count();
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+    let topo = build_topology(source, config)?;
+    let nbhd_count = topo.neighborhood_count();
+    let needs_schedule = config.strategy().needs_schedule();
+
+    // One streaming pre-pass builds the per-neighborhood chunk index (and,
+    // for Oracle, the future schedules): each shard then reads only chunks
+    // that contain at least one of its records.
+    let mut shard_chunks: Vec<Vec<u32>> = vec![Vec::new(); nbhd_count];
+    let mut sched_events: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); nbhd_count];
+    {
+        let mut buf = Vec::new();
+        let mut seen = vec![u32::MAX; nbhd_count];
+        for chunk in 0..source.chunk_count() {
+            source.read_chunk(chunk, &mut buf)?;
+            for r in &buf {
+                let n = topo.neighborhood_of_user(r.user)?.index();
+                if seen[n] != chunk as u32 {
+                    seen[n] = chunk as u32;
+                    shard_chunks[n].push(chunk as u32);
+                }
+                if needs_schedule {
+                    sched_events[n].push((r.start, r.program));
+                }
+            }
+        }
+    }
+    let schedules: Vec<Option<Arc<AccessSchedule>>> = if needs_schedule {
+        let costs = schedule_costs(source.catalog(), config, &segmenter);
+        schedules_from_events(sched_events, &costs)
+    } else {
+        vec![None; nbhd_count]
+    };
+
+    let feed = config
+        .strategy()
+        .needs_feed()
+        .then(|| WatermarkFeed::new(total as usize, nbhd_count));
+    let positions = topo.local_positions();
+    let aborted = AtomicBool::new(false);
+
+    let threads = threads.clamp(1, nbhd_count);
+    let mut collected: Vec<Option<Result<ShardOutcome, SimError>>> =
+        (0..nbhd_count).map(|_| None).collect();
+    let worker_results: Vec<Vec<(usize, Result<ShardOutcome, SimError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let topo = &topo;
+                    let schedules = &schedules;
+                    let shard_chunks = &shard_chunks;
+                    let positions = &positions;
+                    let feed = feed.as_ref();
+                    let aborted = &aborted;
+                    let segmenter = &segmenter;
+                    scope.spawn(move || {
+                        drive_worker(
+                            w,
+                            threads,
+                            nbhd_count,
+                            source,
+                            topo,
+                            config,
+                            *segmenter,
+                            schedules,
+                            shard_chunks,
+                            positions,
+                            feed,
+                            aborted,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+    for (nbhd, result) in worker_results.into_iter().flatten() {
+        collected[nbhd] = Some(result);
+    }
+
+    // Prefer a shard's real failure over the abort sentinel its siblings
+    // raised while bailing out.
+    if aborted.load(Ordering::Relaxed) {
+        let mut sentinel = None;
+        for result in collected.iter_mut() {
+            match result.take() {
+                Some(Err(SimError::Config { reason })) if reason == ABORTED => {
+                    sentinel = Some(SimError::Config { reason });
+                }
+                Some(Err(e)) => return Err(e),
+                _ => {}
+            }
+        }
+        return Err(sentinel.expect("abort flag implies at least one error"));
+    }
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    merge_outcomes(
+        collected
+            .into_iter()
+            .map(|r| r.expect("every shard reports exactly once")),
+        days,
+        warmup,
+        nbhd_count,
+    )
+}
+
+/// Drives the shard tasks assigned to worker `w` (neighborhoods `w`,
+/// `w + stride`, ...), round-robin, yielding the CPU only when every
+/// task is parked on the feed frontier.
+#[allow(clippy::too_many_arguments)]
+fn drive_worker<'a, S: TraceSource + ?Sized>(
+    w: usize,
+    stride: usize,
+    nbhd_count: usize,
+    source: &'a S,
+    topo: &'a Topology,
+    config: &'a SimConfig,
+    segmenter: Segmenter,
+    schedules: &'a [Option<Arc<AccessSchedule>>],
+    shard_chunks: &'a [Vec<u32>],
+    positions: &'a [u32],
+    feed: Option<&'a WatermarkFeed>,
+    aborted: &'a AtomicBool,
+) -> Vec<(usize, Result<ShardOutcome, SimError>)> {
+    let mut results = Vec::new();
+    let mut tasks: Vec<ShardTask<'a, S>> = Vec::new();
+    for nbhd in (w..nbhd_count).step_by(stride) {
+        match ShardTask::build(
+            nbhd,
+            source,
+            topo,
+            config,
+            segmenter,
+            &shard_chunks[nbhd],
+            schedules[nbhd].clone(),
+            positions,
+            feed,
+            aborted,
+        ) {
+            Ok(task) => tasks.push(task),
+            Err(e) => {
+                // Do NOT finish this shard's feed watermark: its events were
+                // never published, and raising the mark would let siblings
+                // pass the frontier check into unpublished slots. The abort
+                // flag unparks them instead (checked at every step entry).
+                aborted.store(true, Ordering::Relaxed);
+                results.push((nbhd, Err(e)));
+            }
+        }
+    }
+
+    while !tasks.is_empty() {
+        let mut any_progress = false;
+        let mut i = 0;
+        while i < tasks.len() {
+            match tasks[i].step() {
+                Ok(Step::Done) => {
+                    let task = tasks.swap_remove(i);
+                    results.push((task.nbhd, Ok(task.into_outcome())));
+                    any_progress = true;
+                }
+                Ok(Step::Blocked { progressed }) => {
+                    any_progress |= progressed;
+                    i += 1;
+                }
+                Err(e) => {
+                    // As at build failure: leave the watermark where honest
+                    // publication got to, and rely on the abort flag — a
+                    // finished mark over unpublished slots would turn this
+                    // error into sibling panics on empty feed slots.
+                    aborted.store(true, Ordering::Relaxed);
+                    let task = tasks.swap_remove(i);
+                    results.push((task.nbhd, Err(e)));
+                    any_progress = true;
+                }
+            }
+        }
+        if !any_progress {
+            std::thread::yield_now();
+        }
+    }
+    results
+}
+
 /// Handles one session start: viewer slot accounting, feed sync, strategy
-/// update, and the first segment request.
+/// update, and the first segment request. Returns the continuation event
+/// to schedule, if the session has further segments.
 #[allow(clippy::too_many_arguments)]
 fn start_session<P: SegmentPlant>(
     rec: &SessionRecord,
     ctx: &SessionCtx,
-    session_idx: u32,
     config: &SimConfig,
     segmenter: &Segmenter,
     plant: &mut P,
     index: &mut IndexServer,
-    feed: Option<&GlobalFeed>,
-    heap: &mut BinaryHeap<Reverse<(SimTime, u32, u16)>>,
+    feed: Option<(&dyn FeedEvents, usize)>,
     counters: &mut EngineCounters,
-) -> Result<(), SimError> {
+) -> Result<Option<(SimTime, u16)>, SimError> {
     counters.sessions += 1;
 
     // The viewer's own playback occupies one of its slots for the whole
@@ -747,10 +1498,10 @@ fn start_session<P: SegmentPlant>(
         counters.viewer_overcommits += 1;
     }
 
-    if let Some(feed) = feed {
+    if let Some((feed, limit)) = feed {
         // Events up to and including this record are "published" (see the
         // module docs on feed exactness).
-        index.sync_feed(feed, rec.start, session_idx as usize + 1);
+        index.sync_feed(feed, rec.start, limit);
     }
     index.on_program_access(rec.program, ctx.length, rec.start, plant.stbs())?;
 
@@ -758,20 +1509,20 @@ fn start_session<P: SegmentPlant>(
         process_segment(
             rec,
             ctx,
-            session_idx,
             ctx.first_seg,
             segmenter,
             config,
             plant,
             index,
-            heap,
             &mut counters.segment_requests,
-        )?;
+        )
+    } else {
+        Ok(None)
     }
-    Ok(())
 }
 
-/// Resolves one segment request and schedules the session's next one.
+/// Resolves one segment request and returns the session's next one (the
+/// caller schedules it on its heap).
 ///
 /// `seg_idx` is the *absolute* segment index within the program; sessions
 /// that seek (`offset > 0`) start mid-program, so the playback span is
@@ -780,15 +1531,13 @@ fn start_session<P: SegmentPlant>(
 fn process_segment<P: SegmentPlant>(
     rec: &SessionRecord,
     ctx: &SessionCtx,
-    session_idx: u32,
     seg_idx: u16,
     segmenter: &Segmenter,
     config: &SimConfig,
     plant: &mut P,
     index: &mut IndexServer,
-    heap: &mut BinaryHeap<Reverse<(SimTime, u32, u16)>>,
     segment_requests: &mut u64,
-) -> Result<(), SimError> {
+) -> Result<Option<(SimTime, u16)>, SimError> {
     let seg_len = segmenter.segment_len().as_secs();
     let span_end = ctx.offset + ctx.watched.as_secs();
     let k = u64::from(seg_idx);
@@ -813,14 +1562,12 @@ fn process_segment<P: SegmentPlant>(
     plant.record_broadcast(nbhd, start, end, size)?;
 
     let next_pos = (k + 1) * seg_len;
-    if next_pos < span_end {
-        heap.push(Reverse((
+    Ok((next_pos < span_end).then(|| {
+        (
             rec.start + SimDuration::from_secs(next_pos - ctx.offset),
-            session_idx,
             seg_idx + 1,
-        )));
-    }
-    Ok(())
+        )
+    }))
 }
 
 #[cfg(test)]
@@ -828,6 +1575,8 @@ mod tests {
     use super::*;
     use cablevod_cache::StrategySpec;
     use cablevod_hfc::units::{BitRate, DataSize};
+    use cablevod_trace::record::Trace;
+    use cablevod_trace::source::ChunkedTrace;
     use cablevod_trace::synth::{generate, SynthConfig};
 
     fn small_trace() -> Trace {
@@ -1040,5 +1789,52 @@ mod tests {
         let trace = small_trace();
         let config = base_config().with_neighborhood_size(0);
         assert!(run_parallel(&trace, &config, 2).is_err());
+    }
+
+    #[test]
+    fn streaming_serial_matches_resident_on_every_strategy() {
+        let trace = small_trace();
+        for spec in [
+            StrategySpec::NoCache,
+            StrategySpec::Lru,
+            StrategySpec::default_lfu(),
+            StrategySpec::default_oracle(),
+            StrategySpec::GlobalLfu {
+                history: SimDuration::from_days(3),
+                lag: SimDuration::from_minutes(30),
+            },
+        ] {
+            let config = base_config().with_strategy(spec);
+            let resident = run(&trace, &config).expect("resident runs");
+            for chunk in [64usize, trace.len()] {
+                let streamed =
+                    run(&ChunkedTrace::new(&trace, chunk), &config).expect("streaming runs");
+                assert_eq!(streamed, resident, "strategy {spec:?}, chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_parallel_matches_serial_with_watermark_feed() {
+        let trace = small_trace();
+        let config = base_config().with_strategy(StrategySpec::GlobalLfu {
+            history: SimDuration::from_days(3),
+            lag: SimDuration::from_minutes(30),
+        });
+        let serial = run(&trace, &config).expect("serial runs");
+        for (chunk, threads) in [(1usize, 2usize), (64, 1), (64, 3), (trace.len(), 2)] {
+            let source = ChunkedTrace::new(&trace, chunk);
+            let streamed = run_parallel(&source, &config, threads).expect("streaming runs");
+            assert_eq!(streamed, serial, "chunk {chunk}, threads {threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_invalid_configs() {
+        let trace = small_trace();
+        let source = ChunkedTrace::new(&trace, 64);
+        let config = base_config().with_neighborhood_size(0);
+        assert!(run(&source, &config).is_err());
+        assert!(run_parallel(&source, &config, 2).is_err());
     }
 }

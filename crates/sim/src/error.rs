@@ -5,6 +5,7 @@ use std::fmt;
 
 use cablevod_cache::CacheError;
 use cablevod_hfc::HfcError;
+use cablevod_trace::TraceError;
 
 /// Errors raised while configuring or running a simulation.
 #[derive(Debug)]
@@ -19,6 +20,8 @@ pub enum SimError {
     Cache(CacheError),
     /// A cable-plant invariant broke mid-run.
     Hfc(HfcError),
+    /// The trace source failed while streaming records (I/O, corruption).
+    Trace(TraceError),
 }
 
 impl fmt::Display for SimError {
@@ -27,6 +30,7 @@ impl fmt::Display for SimError {
             SimError::Config { reason } => write!(f, "invalid simulation config: {reason}"),
             SimError::Cache(e) => write!(f, "cache failure: {e}"),
             SimError::Hfc(e) => write!(f, "cable plant failure: {e}"),
+            SimError::Trace(e) => write!(f, "trace source failure: {e}"),
         }
     }
 }
@@ -36,6 +40,7 @@ impl Error for SimError {
         match self {
             SimError::Cache(e) => Some(e),
             SimError::Hfc(e) => Some(e),
+            SimError::Trace(e) => Some(e),
             SimError::Config { .. } => None,
         }
     }
@@ -50,6 +55,12 @@ impl From<CacheError> for SimError {
 impl From<HfcError> for SimError {
     fn from(e: HfcError) -> Self {
         SimError::Hfc(e)
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
     }
 }
 

@@ -14,9 +14,9 @@
 //! which job.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 use cablevod_trace::record::Trace;
+use cablevod_trace::source::TraceSource;
 
 use crate::config::SimConfig;
 use crate::engine::run;
@@ -26,6 +26,11 @@ use crate::report::SimReport;
 /// Runs `job(0..count)` on up to `threads` workers (clamped to `count`),
 /// collecting results in index order. Single-threaded requests run inline
 /// with no pool setup.
+///
+/// Work is still stolen index-by-index off a shared atomic counter, but
+/// each worker owns a contiguous private buffer of `(index, result)`
+/// pairs — the hot path takes no lock per job; results are stitched back
+/// into index order once, after the pool joins.
 pub(crate) fn run_indexed<R, F>(count: usize, threads: usize, job: F) -> Vec<R>
 where
     R: Send,
@@ -40,26 +45,35 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                *slots[i].lock().expect("result slot poisoned") = Some(job(i));
-            });
-        }
+    let worker_outputs: Vec<Vec<(u32, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(u32, R)> = Vec::with_capacity(count / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        mine.push((i as u32, job(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("pool worker panicked"))
+            .collect()
     });
 
-    slots
+    let mut merged: Vec<Option<R>> = (0..count).map(|_| None).collect();
+    for (i, result) in worker_outputs.into_iter().flatten() {
+        merged[i as usize] = Some(result);
+    }
+    merged
         .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every job index was visited")
-        })
+        .map(|slot| slot.expect("every job index was visited"))
         .collect()
 }
 
@@ -72,11 +86,15 @@ pub(crate) fn default_threads() -> usize {
 
 /// Runs one simulation per `(label, config)` pair, in parallel, returning
 /// results in input order.
-pub fn run_sweep<L: Clone + Send + Sync>(
-    trace: &Trace,
+///
+/// Generic over [`TraceSource`], so a sweep can run against a resident
+/// [`Trace`] or replay an on-disk columnar file without each job holding
+/// the full record vector.
+pub fn run_sweep<L: Clone + Send + Sync, S: TraceSource + ?Sized>(
+    source: &S,
     jobs: &[(L, SimConfig)],
 ) -> Vec<(L, Result<SimReport, SimError>)> {
-    let results = run_indexed(jobs.len(), default_threads(), |i| run(trace, &jobs[i].1));
+    let results = run_indexed(jobs.len(), default_threads(), |i| run(source, &jobs[i].1));
     jobs.iter()
         .zip(results)
         .map(|((label, _), result)| (label.clone(), result))

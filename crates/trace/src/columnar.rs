@@ -1,0 +1,787 @@
+//! The binary columnar chunked trace format (`.cvtc`).
+//!
+//! Fully-materialized `Vec<SessionRecord>` traces cap workloads at RAM.
+//! This module defines an on-disk layout that the simulation engine can
+//! replay **out of core**: records are stored column-wise (SoA) inside
+//! fixed-size, time-ordered chunks, so a reader touches one chunk of each
+//! column at a time and never needs the whole trace resident.
+//!
+//! The format is **dependency-free by design**: it is written and read
+//! with `std::fs::File` only (no serialization crates), because the build
+//! environment vendors offline stand-ins for third-party crates (see
+//! `vendor/README.md`) and the trace pipeline must not grow a real
+//! serialization dependency it cannot have.
+//!
+//! # Format specification (version 1)
+//!
+//! All integers are **little-endian**, packed with no padding.
+//!
+//! ## File layout
+//!
+//! ```text
+//! +-----------------+
+//! | header          |  fixed 44 bytes
+//! | catalog         |  4 + 16 * program_count bytes
+//! | chunk 0 columns |
+//! | chunk 1 columns |
+//! | ...             |
+//! | chunk directory |  36 * chunk_count bytes, at header.directory_offset
+//! +-----------------+
+//! ```
+//!
+//! ## Header (44 bytes)
+//!
+//! | offset | size | field            | notes                              |
+//! |-------:|-----:|------------------|------------------------------------|
+//! |      0 |    4 | magic            | `b"CVTC"`                          |
+//! |      4 |    4 | version          | `u32` = 1                          |
+//! |      8 |    4 | user_count       | `u32`, dense ids `0..user_count`   |
+//! |     12 |    8 | days             | `u64` nominal trace length         |
+//! |     20 |    8 | record_count     | `u64` total records                |
+//! |     28 |    4 | chunk_size       | `u32` records per chunk (last may be short) |
+//! |     32 |    4 | chunk_count      | `u32`                              |
+//! |     36 |    8 | directory_offset | `u64` file offset of the directory |
+//!
+//! ## Catalog
+//!
+//! `program_count: u32`, then per program (dense ids in order):
+//! `length_secs: u64`, `introduced_day: i64`.
+//!
+//! ## Chunk columns
+//!
+//! Each chunk holds `n` records (`n == chunk_size` except possibly the
+//! last) as five contiguous column arrays, in this order and with these
+//! widths:
+//!
+//! | column        | element | bytes per element |
+//! |---------------|---------|------------------:|
+//! | user          | `u32`   | 4                 |
+//! | program       | `u32`   | 4                 |
+//! | start_secs    | `u64`   | 8                 |
+//! | duration_secs | `u32`   | 4                 |
+//! | offset_secs   | `u32`   | 4                 |
+//!
+//! Durations and seek offsets are bounded by program lengths (hours), so
+//! 32 bits are ample; the writer rejects values that do not fit.
+//!
+//! ## Chunk directory (36 bytes per chunk)
+//!
+//! | field            | type  | meaning                                        |
+//! |------------------|-------|------------------------------------------------|
+//! | file_offset      | `u64` | where the chunk's columns begin                |
+//! | record_count     | `u32` | records in this chunk                          |
+//! | first_index      | `u64` | global index of the chunk's first record       |
+//! | first_start_secs | `u64` | start of the chunk's first (earliest) record   |
+//! | watermark_secs   | `u64` | start of the chunk's last record — the **feed watermark**: every record (and thus every global-feed event) in later chunks starts at or after this instant |
+//!
+//! Records must be in non-decreasing start order **across the whole
+//! file** (the writer enforces it), which is what makes the per-chunk
+//! watermarks meaningful: a consumer that has replayed chunks `0..k` has
+//! seen every event strictly before `directory[k].watermark_secs`.
+//!
+//! Note on shard addressing: which *neighborhood* a record belongs to is a
+//! function of the simulation topology (users are shuffled into
+//! neighborhoods), not of the trace, so the per-neighborhood chunk index
+//! used by the sharded engine is built at run time from one streaming pass
+//! over the file — see `cablevod_sim::engine`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cablevod_trace::columnar::{write_trace, ColumnarReader};
+//! use cablevod_trace::synth::{generate, SynthConfig};
+//!
+//! let trace = generate(&SynthConfig::smoke_test());
+//! write_trace("trace.cvtc", &trace, 4_096)?;
+//! let reader = ColumnarReader::open("trace.cvtc")?;
+//! assert_eq!(reader.read_trace()?, trace);
+//! # Ok::<(), cablevod_trace::TraceError>(())
+//! ```
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use cablevod_hfc::ids::{ProgramId, UserId};
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::catalog::{ProgramCatalog, ProgramInfo};
+use crate::error::TraceError;
+use crate::record::{SessionRecord, Trace};
+use crate::source::TraceSource;
+
+/// The four magic bytes opening every columnar trace file.
+pub const MAGIC: [u8; 4] = *b"CVTC";
+/// The format version this module writes and reads.
+pub const VERSION: u32 = 1;
+/// Default records per chunk: 64 Ki records ≈ 1.5 MiB of columns — large
+/// enough to amortize syscalls, small enough that a reader's resident set
+/// stays a rounding error next to the simulation state.
+pub const DEFAULT_CHUNK_SIZE: u32 = 65_536;
+
+const HEADER_LEN: u64 = 44;
+const DIR_ENTRY_LEN: usize = 36;
+const CATALOG_ENTRY_LEN: usize = 16;
+const BYTES_PER_RECORD: usize = 24;
+
+fn format_err(reason: impl Into<String>) -> TraceError {
+    TraceError::Format {
+        reason: reason.into(),
+    }
+}
+
+/// One directory entry: where a chunk lives and what it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMeta {
+    /// File offset of the chunk's column data.
+    pub file_offset: u64,
+    /// Records in this chunk.
+    pub record_count: u32,
+    /// Global index of the chunk's first record.
+    pub first_index: u64,
+    /// Start instant of the chunk's first record.
+    pub first_start: SimTime,
+    /// Start instant of the chunk's last record; every event in later
+    /// chunks is at or after this — the chunk's feed watermark.
+    pub watermark: SimTime,
+}
+
+/// Streaming writer: records go to disk chunk by chunk; nothing but the
+/// current chunk's columns and the (small) directory is ever resident.
+///
+/// Call [`ColumnarWriter::push`] for every record in non-decreasing start
+/// order, then [`ColumnarWriter::finish`] to write the directory and patch
+/// the header. A file dropped before `finish` keeps a sentinel record
+/// count and is rejected by [`ColumnarReader::open`].
+#[derive(Debug)]
+pub struct ColumnarWriter {
+    out: BufWriter<File>,
+    user_count: u32,
+    program_count: u32,
+    chunk_size: u32,
+    // Current chunk's column buffers.
+    users: Vec<u32>,
+    programs: Vec<u32>,
+    starts: Vec<u64>,
+    durations: Vec<u32>,
+    offsets: Vec<u32>,
+    // Bookkeeping.
+    directory: Vec<ChunkMeta>,
+    next_offset: u64,
+    record_count: u64,
+    last_start: u64,
+}
+
+impl ColumnarWriter {
+    /// Creates `path` and writes the header and catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] for a zero `chunk_size` and
+    /// propagates I/O failures.
+    pub fn create(
+        path: impl AsRef<Path>,
+        catalog: &ProgramCatalog,
+        user_count: u32,
+        days: u64,
+        chunk_size: u32,
+    ) -> Result<Self, TraceError> {
+        if chunk_size == 0 {
+            return Err(format_err("chunk size must be at least 1 record"));
+        }
+        let file = File::create(path)?;
+        let mut out = BufWriter::with_capacity(1 << 16, file);
+
+        // Header; record_count / chunk_count / directory_offset are
+        // patched by `finish`. Until then record_count holds a sentinel so
+        // a torn file (writer crashed mid-generation) is rejected at open
+        // instead of silently parsing as a valid empty trace.
+        out.write_all(&MAGIC)?;
+        out.write_all(&VERSION.to_le_bytes())?;
+        out.write_all(&user_count.to_le_bytes())?;
+        out.write_all(&days.to_le_bytes())?;
+        out.write_all(&u64::MAX.to_le_bytes())?; // record_count sentinel
+        out.write_all(&chunk_size.to_le_bytes())?;
+        out.write_all(&0u32.to_le_bytes())?; // chunk_count
+        out.write_all(&0u64.to_le_bytes())?; // directory_offset
+
+        out.write_all(&(catalog.len() as u32).to_le_bytes())?;
+        for (_, info) in catalog.iter() {
+            out.write_all(&info.length.as_secs().to_le_bytes())?;
+            out.write_all(&info.introduced_day.to_le_bytes())?;
+        }
+
+        let next_offset = HEADER_LEN + 4 + 16 * catalog.len() as u64;
+        let cap = chunk_size as usize;
+        Ok(ColumnarWriter {
+            out,
+            user_count,
+            program_count: catalog.len() as u32,
+            chunk_size,
+            users: Vec::with_capacity(cap),
+            programs: Vec::with_capacity(cap),
+            starts: Vec::with_capacity(cap),
+            durations: Vec::with_capacity(cap),
+            offsets: Vec::with_capacity(cap),
+            directory: Vec::new(),
+            next_offset,
+            record_count: 0,
+            last_start: 0,
+        })
+    }
+
+    /// Appends one record; flushes a full chunk to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] when `rec` starts before the
+    /// previous record or its duration/offset overflows the 32-bit
+    /// columns, the `Dangling*` variants for out-of-range references, and
+    /// propagates I/O failures.
+    pub fn push(&mut self, rec: &SessionRecord) -> Result<(), TraceError> {
+        if rec.program.value() >= self.program_count {
+            return Err(TraceError::DanglingProgram {
+                program: rec.program,
+            });
+        }
+        if rec.user.value() >= self.user_count {
+            return Err(TraceError::DanglingUser { user: rec.user });
+        }
+        let start = rec.start.as_secs();
+        if self.record_count > 0 && start < self.last_start {
+            return Err(format_err(format!(
+                "records must be written in start order: {start}s after {}s",
+                self.last_start
+            )));
+        }
+        let duration = u32::try_from(rec.duration.as_secs())
+            .map_err(|_| format_err("session duration overflows the 32-bit column"))?;
+        let offset = u32::try_from(rec.offset.as_secs())
+            .map_err(|_| format_err("seek offset overflows the 32-bit column"))?;
+
+        self.users.push(rec.user.value());
+        self.programs.push(rec.program.value());
+        self.starts.push(start);
+        self.durations.push(duration);
+        self.offsets.push(offset);
+        self.last_start = start;
+        self.record_count += 1;
+
+        if self.users.len() == self.chunk_size as usize {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Appends every record of `batch` (a convenience over [`push`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`push`].
+    ///
+    /// [`push`]: ColumnarWriter::push
+    pub fn push_all(&mut self, batch: &[SessionRecord]) -> Result<(), TraceError> {
+        for rec in batch {
+            self.push(rec)?;
+        }
+        Ok(())
+    }
+
+    /// Records written so far.
+    pub fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    fn flush_chunk(&mut self) -> Result<(), TraceError> {
+        let n = self.users.len();
+        if n == 0 {
+            return Ok(());
+        }
+        let first_index = self.record_count - n as u64;
+        self.directory.push(ChunkMeta {
+            file_offset: self.next_offset,
+            record_count: n as u32,
+            first_index,
+            first_start: SimTime::from_secs(self.starts[0]),
+            watermark: SimTime::from_secs(self.starts[n - 1]),
+        });
+        for &u in &self.users {
+            self.out.write_all(&u.to_le_bytes())?;
+        }
+        for &p in &self.programs {
+            self.out.write_all(&p.to_le_bytes())?;
+        }
+        for &s in &self.starts {
+            self.out.write_all(&s.to_le_bytes())?;
+        }
+        for &d in &self.durations {
+            self.out.write_all(&d.to_le_bytes())?;
+        }
+        for &o in &self.offsets {
+            self.out.write_all(&o.to_le_bytes())?;
+        }
+        self.next_offset += (n * BYTES_PER_RECORD) as u64;
+        self.users.clear();
+        self.programs.clear();
+        self.starts.clear();
+        self.durations.clear();
+        self.offsets.clear();
+        Ok(())
+    }
+
+    /// Flushes the tail chunk, writes the directory, and patches the
+    /// header counts, completing the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn finish(mut self) -> Result<(), TraceError> {
+        self.flush_chunk()?;
+        let directory_offset = self.next_offset;
+        for meta in &self.directory {
+            self.out.write_all(&meta.file_offset.to_le_bytes())?;
+            self.out.write_all(&meta.record_count.to_le_bytes())?;
+            self.out.write_all(&meta.first_index.to_le_bytes())?;
+            self.out
+                .write_all(&meta.first_start.as_secs().to_le_bytes())?;
+            self.out
+                .write_all(&meta.watermark.as_secs().to_le_bytes())?;
+        }
+        self.out.flush()?;
+
+        // Patch record_count, chunk_count and directory_offset in place.
+        let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
+        file.seek(SeekFrom::Start(20))?;
+        file.write_all(&self.record_count.to_le_bytes())?;
+        file.seek(SeekFrom::Start(32))?;
+        file.write_all(&(self.directory.len() as u32).to_le_bytes())?;
+        file.write_all(&directory_offset.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Writes a whole in-memory trace as a columnar file.
+///
+/// # Errors
+///
+/// As for [`ColumnarWriter`].
+pub fn write_trace(
+    path: impl AsRef<Path>,
+    trace: &Trace,
+    chunk_size: u32,
+) -> Result<(), TraceError> {
+    let mut writer = ColumnarWriter::create(
+        path,
+        trace.catalog(),
+        trace.user_count(),
+        trace.days(),
+        chunk_size,
+    )?;
+    writer.push_all(trace.records())?;
+    writer.finish()
+}
+
+/// Reader over a columnar trace file: the header, catalog and chunk
+/// directory live in memory; record columns are read one chunk at a time.
+///
+/// Chunks are fetched with positioned reads (`pread`), so one reader can
+/// serve many shard workers concurrently through a shared reference.
+#[derive(Debug)]
+pub struct ColumnarReader {
+    file: File,
+    #[cfg(not(unix))]
+    read_lock: std::sync::Mutex<()>,
+    catalog: ProgramCatalog,
+    user_count: u32,
+    days: u64,
+    record_count: u64,
+    chunk_size: u32,
+    directory: Vec<ChunkMeta>,
+}
+
+fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], TraceError> {
+    let mut buf = [0u8; N];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, TraceError> {
+    Ok(u32::from_le_bytes(read_array(r)?))
+}
+
+fn read_u64(r: &mut impl Read) -> Result<u64, TraceError> {
+    Ok(u64::from_le_bytes(read_array(r)?))
+}
+
+impl ColumnarReader {
+    /// Opens and validates `path`: magic, version, directory shape and
+    /// cross-chunk watermark ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] for corrupt or foreign files and
+    /// propagates I/O failures.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let mut file = File::open(path)?;
+        if read_array::<4>(&mut file)? != MAGIC {
+            return Err(format_err("bad magic: not a columnar trace file"));
+        }
+        let version = read_u32(&mut file)?;
+        if version != VERSION {
+            return Err(format_err(format!(
+                "unsupported format version {version} (expected {VERSION})"
+            )));
+        }
+        let user_count = read_u32(&mut file)?;
+        let days = read_u64(&mut file)?;
+        let record_count = read_u64(&mut file)?;
+        let chunk_size = read_u32(&mut file)?;
+        let chunk_count = read_u32(&mut file)?;
+        let directory_offset = read_u64(&mut file)?;
+        if record_count == u64::MAX || directory_offset == 0 {
+            return Err(format_err(
+                "unfinished file: the writer never reached finish()",
+            ));
+        }
+        if chunk_size == 0 {
+            return Err(format_err("zero chunk size"));
+        }
+        // Every size field is untrusted: bound it against the physical
+        // file length before it sizes an allocation, so a corrupt header
+        // yields a Format error rather than an OOM abort.
+        let file_len = file.metadata()?.len();
+        if record_count > file_len / BYTES_PER_RECORD as u64 {
+            return Err(format_err(format!(
+                "header claims {record_count} records, more than the file can hold"
+            )));
+        }
+        if directory_offset
+            .checked_add(u64::from(chunk_count) * DIR_ENTRY_LEN as u64)
+            .is_none_or(|end| end > file_len)
+        {
+            return Err(format_err(format!(
+                "directory ({chunk_count} chunks at offset {directory_offset}) exceeds the file"
+            )));
+        }
+
+        let program_count = read_u32(&mut file)?;
+        if u64::from(program_count) > file_len / CATALOG_ENTRY_LEN as u64 {
+            return Err(format_err(format!(
+                "catalog claims {program_count} programs, more than the file can hold"
+            )));
+        }
+        let mut catalog = ProgramCatalog::new();
+        for _ in 0..program_count {
+            let length = read_u64(&mut file)?;
+            let introduced_day = i64::from_le_bytes(read_array(&mut file)?);
+            catalog.push(ProgramInfo {
+                length: SimDuration::from_secs(length),
+                introduced_day,
+            });
+        }
+
+        file.seek(SeekFrom::Start(directory_offset))?;
+        let mut directory = Vec::with_capacity(chunk_count as usize);
+        let mut expect_index = 0u64;
+        let mut last_watermark = 0u64;
+        for c in 0..chunk_count {
+            let file_offset = read_u64(&mut file)?;
+            let records = read_u32(&mut file)?;
+            let first_index = read_u64(&mut file)?;
+            let first_start = read_u64(&mut file)?;
+            let watermark = read_u64(&mut file)?;
+            if first_index != expect_index {
+                return Err(format_err(format!(
+                    "chunk {c} starts at record {first_index}, expected {expect_index}"
+                )));
+            }
+            if first_start < last_watermark || watermark < first_start {
+                return Err(format_err(format!("chunk {c} breaks time ordering")));
+            }
+            if file_offset
+                .checked_add(u64::from(records) * BYTES_PER_RECORD as u64)
+                .is_none_or(|end| end > directory_offset)
+            {
+                return Err(format_err(format!(
+                    "chunk {c} ({records} records at offset {file_offset}) overruns the directory"
+                )));
+            }
+            expect_index += u64::from(records);
+            last_watermark = watermark;
+            directory.push(ChunkMeta {
+                file_offset,
+                record_count: records,
+                first_index,
+                first_start: SimTime::from_secs(first_start),
+                watermark: SimTime::from_secs(watermark),
+            });
+        }
+        if expect_index != record_count {
+            return Err(format_err(format!(
+                "directory covers {expect_index} records, header says {record_count}"
+            )));
+        }
+
+        Ok(ColumnarReader {
+            file,
+            #[cfg(not(unix))]
+            read_lock: std::sync::Mutex::new(()),
+            catalog,
+            user_count,
+            days,
+            record_count,
+            chunk_size,
+            directory,
+        })
+    }
+
+    /// The nominal records-per-chunk the file was written with.
+    pub fn chunk_size(&self) -> u32 {
+        self.chunk_size
+    }
+
+    /// The chunk directory (offsets, counts, watermarks).
+    pub fn directory(&self) -> &[ChunkMeta] {
+        &self.directory
+    }
+
+    fn read_at(&self, buf: &mut [u8], offset: u64) -> Result<(), TraceError> {
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::FileExt;
+            self.file.read_exact_at(buf, offset)?;
+        }
+        #[cfg(not(unix))]
+        {
+            use std::io::Read as _;
+            let _guard = self.read_lock.lock().expect("reader lock poisoned");
+            let mut f = &self.file;
+            f.seek(SeekFrom::Start(offset))?;
+            f.read_exact(buf)?;
+        }
+        Ok(())
+    }
+
+    /// Materializes the whole file as an in-memory [`Trace`] (round-trip
+    /// tests and small-workload conversions; defeats the point for large
+    /// files).
+    ///
+    /// # Errors
+    ///
+    /// As for [`TraceSource::read_chunk`] plus [`Trace::new`] validation.
+    pub fn read_trace(&self) -> Result<Trace, TraceError> {
+        let mut records = Vec::with_capacity(self.record_count as usize);
+        let mut buf = Vec::new();
+        for chunk in 0..self.directory.len() {
+            self.read_chunk(chunk, &mut buf)?;
+            records.extend_from_slice(&buf);
+        }
+        Trace::new(records, self.catalog.clone(), self.user_count, self.days)
+    }
+}
+
+impl TraceSource for ColumnarReader {
+    fn catalog(&self) -> &ProgramCatalog {
+        &self.catalog
+    }
+
+    fn user_count(&self) -> u32 {
+        self.user_count
+    }
+
+    fn days(&self) -> u64 {
+        self.days
+    }
+
+    fn record_count(&self) -> u64 {
+        self.record_count
+    }
+
+    fn chunk_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    fn chunk_first_index(&self, chunk: usize) -> u64 {
+        self.directory[chunk].first_index
+    }
+
+    fn read_chunk(&self, chunk: usize, out: &mut Vec<SessionRecord>) -> Result<(), TraceError> {
+        let meta = self
+            .directory
+            .get(chunk)
+            .copied()
+            .ok_or_else(|| format_err(format!("chunk {chunk} out of range")))?;
+        let n = meta.record_count as usize;
+        let mut bytes = vec![0u8; n * BYTES_PER_RECORD];
+        self.read_at(&mut bytes, meta.file_offset)?;
+
+        let (users, rest) = bytes.split_at(4 * n);
+        let (programs, rest) = rest.split_at(4 * n);
+        let (starts, rest) = rest.split_at(8 * n);
+        let (durations, offsets) = rest.split_at(4 * n);
+
+        let u32_at = |col: &[u8], i: usize| {
+            u32::from_le_bytes(col[4 * i..4 * i + 4].try_into().expect("4-byte slice"))
+        };
+        let u64_at = |col: &[u8], i: usize| {
+            u64::from_le_bytes(col[8 * i..8 * i + 8].try_into().expect("8-byte slice"))
+        };
+
+        out.clear();
+        out.reserve(n);
+        for i in 0..n {
+            let user = u32_at(users, i);
+            let program = u32_at(programs, i);
+            if program >= self.catalog.len() as u32 {
+                return Err(TraceError::DanglingProgram {
+                    program: ProgramId::new(program),
+                });
+            }
+            if user >= self.user_count {
+                return Err(TraceError::DanglingUser {
+                    user: UserId::new(user),
+                });
+            }
+            out.push(SessionRecord {
+                user: UserId::new(user),
+                program: ProgramId::new(program),
+                start: SimTime::from_secs(u64_at(starts, i)),
+                duration: SimDuration::from_secs(u64::from(u32_at(durations, i))),
+                offset: SimDuration::from_secs(u64::from(u32_at(offsets, i))),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("cvtc_{}_{name}", std::process::id()));
+        p
+    }
+
+    fn small() -> Trace {
+        generate(&SynthConfig {
+            users: 200,
+            programs: 50,
+            days: 3,
+            ..SynthConfig::smoke_test()
+        })
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let trace = small();
+        for chunk_size in [1u32, 64, 1_000_000] {
+            let path = tmp_path(&format!("round_trip_{chunk_size}"));
+            write_trace(&path, &trace, chunk_size).expect("write");
+            let reader = ColumnarReader::open(&path).expect("open");
+            assert_eq!(reader.record_count(), trace.len() as u64);
+            assert_eq!(TraceSource::catalog(&reader), trace.catalog());
+            assert_eq!(reader.read_trace().expect("read"), trace);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn directory_watermarks_cover_chunks_in_order() {
+        let trace = small();
+        let path = tmp_path("watermarks");
+        write_trace(&path, &trace, 64).expect("write");
+        let reader = ColumnarReader::open(&path).expect("open");
+        assert_eq!(
+            reader.chunk_count(),
+            (trace.len() as u64).div_ceil(64) as usize
+        );
+        let mut index = 0u64;
+        let mut last = SimTime::EPOCH;
+        for meta in reader.directory() {
+            assert_eq!(meta.first_index, index);
+            assert!(meta.first_start >= last, "chunks overlap in time");
+            assert!(meta.watermark >= meta.first_start);
+            index += u64::from(meta.record_count);
+            last = meta.watermark;
+        }
+        assert_eq!(index, trace.len() as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn out_of_order_writes_are_rejected() {
+        let trace = small();
+        let path = tmp_path("order");
+        let mut w =
+            ColumnarWriter::create(&path, trace.catalog(), trace.user_count(), 3, 16).expect("c");
+        let recs = trace.records();
+        w.push(&recs[10]).expect("first");
+        let err = w.push(&recs[0]).unwrap_err();
+        assert!(matches!(err, TraceError::Format { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dangling_references_are_rejected_at_write() {
+        let trace = small();
+        let path = tmp_path("dangling");
+        let mut w =
+            ColumnarWriter::create(&path, trace.catalog(), trace.user_count(), 3, 16).expect("c");
+        let mut bad = trace.records()[0];
+        bad.program = ProgramId::new(9_999);
+        assert!(matches!(
+            w.push(&bad),
+            Err(TraceError::DanglingProgram { .. })
+        ));
+        let mut bad = trace.records()[0];
+        bad.user = UserId::new(9_999);
+        assert!(matches!(w.push(&bad), Err(TraceError::DanglingUser { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unfinished_files_are_rejected() {
+        let trace = small();
+        let path = tmp_path("unfinished");
+        let mut w = ColumnarWriter::create(&path, trace.catalog(), trace.user_count(), 3, 16)
+            .expect("create");
+        for rec in &trace.records()[..40] {
+            w.push(rec).expect("push");
+        }
+        drop(w); // never finished: chunks on disk, header still sentinel
+        let err = ColumnarReader::open(&path).unwrap_err();
+        assert!(
+            matches!(&err, TraceError::Format { reason } if reason.contains("unfinished")),
+            "{err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_files_are_rejected() {
+        let path = tmp_path("foreign");
+        std::fs::write(&path, b"user,program\n0,0\n").expect("write");
+        let err = ColumnarReader::open(&path).unwrap_err();
+        assert!(matches!(err, TraceError::Format { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_reads_match_global_indexing() {
+        let trace = small();
+        let path = tmp_path("chunk_index");
+        write_trace(&path, &trace, 37).expect("write");
+        let reader = ColumnarReader::open(&path).expect("open");
+        let mut buf = Vec::new();
+        for chunk in 0..reader.chunk_count() {
+            reader.read_chunk(chunk, &mut buf).expect("read");
+            let base = reader.chunk_first_index(chunk) as usize;
+            assert_eq!(&trace.records()[base..base + buf.len()], &buf[..]);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

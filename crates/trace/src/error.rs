@@ -28,6 +28,12 @@ pub enum TraceError {
         /// What was wrong.
         reason: String,
     },
+    /// A structural violation in a binary columnar trace file (bad magic,
+    /// unsupported version, broken chunk ordering, overflowing columns).
+    Format {
+        /// What was wrong.
+        reason: String,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -44,6 +50,9 @@ impl fmt::Display for TraceError {
             TraceError::ZeroScaleFactor => write!(f, "scale factor must be at least 1"),
             TraceError::Parse { line, reason } => {
                 write!(f, "parse error on line {line}: {reason}")
+            }
+            TraceError::Format { reason } => {
+                write!(f, "malformed columnar trace: {reason}")
             }
             TraceError::Io(e) => write!(f, "i/o error: {e}"),
         }

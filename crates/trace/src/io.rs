@@ -5,7 +5,9 @@
 //! one record per line. Program catalogs are stored alongside as
 //! `program,length_secs,introduced_day`. The format exists so traces can be
 //! inspected with standard tools and so a real PowerInfo-schema trace can be
-//! imported if available.
+//! imported if available. Readers stream through one reusable line buffer
+//! (no per-line allocation); for the binary format the simulation engine
+//! replays out of core, see [`crate::columnar`].
 
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
@@ -16,13 +18,40 @@ use crate::catalog::{ProgramCatalog, ProgramInfo};
 use crate::error::TraceError;
 use crate::record::{SessionRecord, Trace};
 
+/// Buffer size for CSV writers: records serialize to tens of bytes, so a
+/// 64 KiB buffer batches thousands of lines per flush.
+const WRITE_BUF: usize = 1 << 16;
+
+/// Iterates the non-header, non-blank lines of `reader` through one
+/// reusable `String`, so parsing a trace allocates per *field overflow*,
+/// not per line. Yields `(1-based line number, line)`.
+fn for_each_data_line<R: Read>(
+    reader: R,
+    mut body: impl FnMut(usize, &str) -> Result<(), TraceError>,
+) -> Result<(), TraceError> {
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        lineno += 1;
+        if lineno == 1 || line.trim().is_empty() {
+            continue; // header / blank
+        }
+        body(lineno, line.trim_end_matches(['\n', '\r']))?;
+    }
+}
+
 /// Writes the session records of `trace` as CSV.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `writer`.
 pub fn write_records<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceError> {
-    let mut w = BufWriter::new(writer);
+    let mut w = BufWriter::with_capacity(WRITE_BUF, writer);
     writeln!(w, "user,program,start_secs,duration_secs,offset_secs")?;
     for r in trace.iter() {
         writeln!(
@@ -45,7 +74,7 @@ pub fn write_records<W: Write>(trace: &Trace, writer: W) -> Result<(), TraceErro
 ///
 /// Propagates I/O errors from `writer`.
 pub fn write_catalog<W: Write>(catalog: &ProgramCatalog, writer: W) -> Result<(), TraceError> {
-    let mut w = BufWriter::new(writer);
+    let mut w = BufWriter::with_capacity(WRITE_BUF, writer);
     writeln!(w, "program,length_secs,introduced_day")?;
     for (id, info) in catalog.iter() {
         writeln!(
@@ -68,47 +97,50 @@ pub fn write_catalog<W: Write>(catalog: &ProgramCatalog, writer: W) -> Result<()
 /// errors.
 pub fn read_catalog<R: Read>(reader: R) -> Result<ProgramCatalog, TraceError> {
     let mut catalog = ProgramCatalog::new();
-    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        if lineno == 0 || line.trim().is_empty() {
-            continue; // header / blank
-        }
-        let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 3 {
-            return Err(TraceError::Parse {
-                line: lineno + 1,
-                reason: format!("expected 3 fields, got {}", fields.len()),
-            });
-        }
+    for_each_data_line(reader, |lineno, line| {
+        let mut fields = line.split(',');
+        let mut field = |what: &str| {
+            fields.next().ok_or_else(|| TraceError::Parse {
+                line: lineno,
+                reason: format!("expected 3 fields, missing {what}"),
+            })
+        };
         let parse_u64 = |s: &str, what: &str| {
             s.trim().parse::<u64>().map_err(|e| TraceError::Parse {
-                line: lineno + 1,
+                line: lineno,
                 reason: format!("bad {what}: {e}"),
             })
         };
-        let id = parse_u64(fields[0], "program id")?;
+        let id = parse_u64(field("program id")?, "program id")?;
+        let length = parse_u64(field("length")?, "length")?;
+        let introduced_day = field("introduced_day")?
+            .trim()
+            .parse::<i64>()
+            .map_err(|e| TraceError::Parse {
+                line: lineno,
+                reason: format!("bad introduced_day: {e}"),
+            })?;
+        if fields.next().is_some() {
+            return Err(TraceError::Parse {
+                line: lineno,
+                reason: "expected 3 fields, got more".into(),
+            });
+        }
         if id as usize != catalog.len() {
             return Err(TraceError::Parse {
-                line: lineno + 1,
+                line: lineno,
                 reason: format!(
                     "program ids must be dense; expected {}, got {id}",
                     catalog.len()
                 ),
             });
         }
-        let length = parse_u64(fields[1], "length")?;
-        let introduced_day = fields[2]
-            .trim()
-            .parse::<i64>()
-            .map_err(|e| TraceError::Parse {
-                line: lineno + 1,
-                reason: format!("bad introduced_day: {e}"),
-            })?;
         catalog.push(ProgramInfo {
             length: SimDuration::from_secs(length),
             introduced_day,
         });
-    }
+        Ok(())
+    })?;
     Ok(catalog)
 }
 
@@ -124,26 +156,29 @@ pub fn read_records<R: Read>(reader: R, catalog: ProgramCatalog) -> Result<Trace
     let mut records = Vec::new();
     let mut max_user = 0u32;
     let mut max_end = 0u64;
-    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
-        let line = line?;
-        if lineno == 0 || line.trim().is_empty() {
-            continue;
-        }
-        let fields: Vec<&str> = line.split(',').collect();
+    for_each_data_line(reader, |lineno, line| {
         // Four columns is the PowerInfo schema; a fifth optional column
         // carries the seek offset.
-        if fields.len() != 4 && fields.len() != 5 {
-            return Err(TraceError::Parse {
-                line: lineno + 1,
-                reason: format!("expected 4 or 5 fields, got {}", fields.len()),
-            });
-        }
         let mut nums = [0u64; 5];
-        for (i, f) in fields.iter().enumerate() {
-            nums[i] = f.trim().parse::<u64>().map_err(|e| TraceError::Parse {
-                line: lineno + 1,
-                reason: format!("bad field {}: {e}", i + 1),
+        let mut count = 0usize;
+        for f in line.split(',') {
+            if count == 5 {
+                return Err(TraceError::Parse {
+                    line: lineno,
+                    reason: "expected 4 or 5 fields, got more".into(),
+                });
+            }
+            nums[count] = f.trim().parse::<u64>().map_err(|e| TraceError::Parse {
+                line: lineno,
+                reason: format!("bad field {}: {e}", count + 1),
             })?;
+            count += 1;
+        }
+        if count < 4 {
+            return Err(TraceError::Parse {
+                line: lineno,
+                reason: format!("expected 4 or 5 fields, got {count}"),
+            });
         }
         let record = SessionRecord {
             user: UserId::new(nums[0] as u32),
@@ -155,7 +190,8 @@ pub fn read_records<R: Read>(reader: R, catalog: ProgramCatalog) -> Result<Trace
         max_user = max_user.max(record.user.value());
         max_end = max_end.max(record.end().as_secs());
         records.push(record);
-    }
+        Ok(())
+    })?;
     let days = max_end.div_ceil(86_400).max(1);
     Trace::new(records, catalog, max_user + 1, days)
 }
@@ -182,6 +218,38 @@ mod tests {
         assert_eq!(&catalog, original.catalog());
         let restored = read_records(rec_buf.as_slice(), catalog).expect("read records");
         assert_eq!(restored.records(), original.records());
+    }
+
+    #[test]
+    fn csv_and_columnar_round_trip_agree() {
+        use crate::columnar::{write_trace, ColumnarReader};
+
+        let original = generate(&SynthConfig {
+            users: 150,
+            programs: 40,
+            days: 3,
+            seek_prob: 0.2,
+            ..SynthConfig::smoke_test()
+        });
+        // CSV out -> CSV in.
+        let mut rec_buf = Vec::new();
+        let mut cat_buf = Vec::new();
+        write_records(&original, &mut rec_buf).expect("write records");
+        write_catalog(original.catalog(), &mut cat_buf).expect("write catalog");
+        let catalog = read_catalog(cat_buf.as_slice()).expect("read catalog");
+        let from_csv = read_records(rec_buf.as_slice(), catalog).expect("read records");
+        // Columnar out -> columnar in.
+        let mut path = std::env::temp_dir();
+        path.push(format!("cvtc_io_{}.cvtc", std::process::id()));
+        write_trace(&path, &from_csv, 64).expect("write columnar");
+        let from_columnar = ColumnarReader::open(&path)
+            .expect("open")
+            .read_trace()
+            .expect("read");
+        std::fs::remove_file(&path).ok();
+        // Both round trips preserve the records and catalog exactly.
+        assert_eq!(from_csv.records(), original.records());
+        assert_eq!(from_columnar, from_csv);
     }
 
     #[test]

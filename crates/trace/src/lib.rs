@@ -32,6 +32,7 @@
 
 pub mod analyze;
 pub mod catalog;
+pub mod columnar;
 pub mod dist;
 pub mod ecdf;
 pub mod error;
@@ -39,11 +40,14 @@ pub mod fingerprint;
 pub mod io;
 pub mod record;
 pub mod scale;
+pub mod source;
 pub mod synth;
 
 pub use catalog::{ProgramCatalog, ProgramInfo};
+pub use columnar::{ColumnarReader, ColumnarWriter};
 pub use ecdf::Ecdf;
 pub use error::TraceError;
 pub use fingerprint::WorkloadFingerprint;
 pub use record::{SessionRecord, Trace};
+pub use source::{ChunkedTrace, TraceSource};
 pub use synth::{generate, SynthConfig};

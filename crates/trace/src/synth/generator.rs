@@ -14,7 +14,9 @@ use cablevod_hfc::ids::{ProgramId, UserId};
 use cablevod_hfc::units::{SimDuration, SimTime};
 
 use crate::catalog::{ProgramCatalog, ProgramInfo};
+use crate::columnar::ColumnarWriter;
 use crate::dist::{log_normal, poisson, WeightedIndex};
+use crate::error::TraceError;
 use crate::record::{SessionRecord, Trace};
 use crate::synth::config::SynthConfig;
 use crate::synth::popularity::PopularityModel;
@@ -54,6 +56,109 @@ pub fn build_catalog<R: Rng + ?Sized>(config: &SynthConfig, rng: &mut R) -> Prog
     catalog
 }
 
+/// Drives the generative model, handing each hour's records — **stably
+/// sorted** by `(start, user, program)` — to `sink`.
+///
+/// This is the shared core of [`generate`] (sink appends to a `Vec`) and
+/// [`generate_to_disk`] (sink appends to a
+/// [`ColumnarWriter`](crate::columnar::ColumnarWriter)): hour batches
+/// partition the start-time axis, so the concatenation of stably sorted
+/// batches equals one global stable sort — the two paths emit
+/// byte-identical record sequences while the streaming one never holds
+/// more than an hour of records.
+fn generate_hours<E>(
+    config: &SynthConfig,
+    catalog: &ProgramCatalog,
+    rng: &mut StdRng,
+    mut sink: impl FnMut(&[SessionRecord]) -> Result<(), E>,
+) -> Result<(), E> {
+    let popularity = PopularityModel::new(
+        catalog,
+        config.zipf_exponent,
+        config.decay_floor,
+        config.decay_day7_fraction,
+        config.seed,
+    );
+    let sessions = SessionLengthModel::new(
+        config.complete_view_prob,
+        config.partial_alpha,
+        config.partial_beta,
+        config.min_session_secs,
+    );
+
+    // Per-user activity weights, normalized to mean 1 so the configured
+    // sessions/user/day is preserved in expectation.
+    let sigma = config.user_activity_sigma;
+    let mu = -0.5 * sigma * sigma; // E[LogNormal(mu, sigma)] = 1
+    let user_weights: Vec<f64> = (0..config.users)
+        .map(|_| log_normal(rng, mu, sigma))
+        .collect();
+    let user_table =
+        WeightedIndex::new(user_weights.iter().copied()).expect("log-normal weights are positive");
+
+    // Weekend boost, renormalized so the weekly mean stays at 1.
+    let mean_boost = (5.0 + 2.0 * config.weekend_boost) / 7.0;
+    let weekday_factor = 1.0 / mean_boost;
+    let weekend_factor = config.weekend_boost / mean_boost;
+
+    let mut batch: Vec<SessionRecord> = Vec::new();
+    for day in 0..config.days {
+        let Some(program_table) = popularity.day_table(day) else {
+            continue; // no program introduced yet
+        };
+        let dow = SimTime::from_days_hours(day, 0).day_of_week();
+        let day_factor = if dow == 5 || dow == 6 {
+            weekend_factor
+        } else {
+            weekday_factor
+        };
+        let daily_rate = config.users as f64 * config.sessions_per_user_day * day_factor;
+        for hour in 0..24u64 {
+            let lambda = daily_rate * config.diurnal.share(hour);
+            let n = poisson(rng, lambda);
+            batch.clear();
+            batch.reserve(n as usize);
+            for _ in 0..n {
+                let start =
+                    SimTime::from_secs(day * 86_400 + hour * 3_600 + rng.random_range(0..3_600));
+                let user = UserId::new(user_table.sample(rng) as u32);
+                let program = ProgramId::new(program_table.sample(rng) as u32);
+                let length = catalog.length(program).expect("program from table exists");
+                // Fast-forward jumps land on segment boundaries (§IV-B.1):
+                // a seeking session starts at a random interior boundary
+                // and watches a sampled fraction of the remainder.
+                let offset = if config.seek_prob > 0.0 && rng.random::<f64>() < config.seek_prob {
+                    let boundaries = length.as_secs() / config.seek_boundary_secs;
+                    if boundaries >= 2 {
+                        SimDuration::from_secs(
+                            rng.random_range(1..boundaries) * config.seek_boundary_secs,
+                        )
+                    } else {
+                        SimDuration::ZERO
+                    }
+                } else {
+                    SimDuration::ZERO
+                };
+                let remaining = SimDuration::from_secs(length.as_secs() - offset.as_secs());
+                let duration = sessions.sample(rng, remaining);
+                batch.push(SessionRecord {
+                    user,
+                    program,
+                    start,
+                    duration,
+                    offset,
+                });
+            }
+            // The same stable key `Trace::new` sorts the whole record
+            // vector by — hour batches partition the time axis, so
+            // per-batch sorting reproduces the global order exactly.
+            batch.sort_by_key(|r| (r.start, r.user, r.program));
+            sink(&batch)?;
+        }
+    }
+    Ok(())
+}
+
 /// Generates a complete trace from `config`.
 ///
 /// # Panics
@@ -73,88 +178,47 @@ pub fn build_catalog<R: Rng + ?Sized>(config: &SynthConfig, rng: &mut R) -> Prog
 pub fn generate(config: &SynthConfig) -> Trace {
     config.validate();
     let mut rng = StdRng::seed_from_u64(config.seed);
-
     let catalog = build_catalog(config, &mut rng);
-    let popularity = PopularityModel::new(
-        &catalog,
-        config.zipf_exponent,
-        config.decay_floor,
-        config.decay_day7_fraction,
-        config.seed,
-    );
-    let sessions = SessionLengthModel::new(
-        config.complete_view_prob,
-        config.partial_alpha,
-        config.partial_beta,
-        config.min_session_secs,
-    );
-
-    // Per-user activity weights, normalized to mean 1 so the configured
-    // sessions/user/day is preserved in expectation.
-    let sigma = config.user_activity_sigma;
-    let mu = -0.5 * sigma * sigma; // E[LogNormal(mu, sigma)] = 1
-    let user_weights: Vec<f64> = (0..config.users)
-        .map(|_| log_normal(&mut rng, mu, sigma))
-        .collect();
-    let user_table =
-        WeightedIndex::new(user_weights.iter().copied()).expect("log-normal weights are positive");
-
-    // Weekend boost, renormalized so the weekly mean stays at 1.
-    let mean_boost = (5.0 + 2.0 * config.weekend_boost) / 7.0;
-    let weekday_factor = 1.0 / mean_boost;
-    let weekend_factor = config.weekend_boost / mean_boost;
 
     let mut records = Vec::with_capacity((config.expected_sessions() * 1.05) as usize);
-    for day in 0..config.days {
-        let Some(program_table) = popularity.day_table(day) else {
-            continue; // no program introduced yet
-        };
-        let dow = SimTime::from_days_hours(day, 0).day_of_week();
-        let day_factor = if dow == 5 || dow == 6 {
-            weekend_factor
-        } else {
-            weekday_factor
-        };
-        let daily_rate = config.users as f64 * config.sessions_per_user_day * day_factor;
-        for hour in 0..24u64 {
-            let lambda = daily_rate * config.diurnal.share(hour);
-            let n = poisson(&mut rng, lambda);
-            for _ in 0..n {
-                let start =
-                    SimTime::from_secs(day * 86_400 + hour * 3_600 + rng.random_range(0..3_600));
-                let user = UserId::new(user_table.sample(&mut rng) as u32);
-                let program = ProgramId::new(program_table.sample(&mut rng) as u32);
-                let length = catalog.length(program).expect("program from table exists");
-                // Fast-forward jumps land on segment boundaries (§IV-B.1):
-                // a seeking session starts at a random interior boundary
-                // and watches a sampled fraction of the remainder.
-                let offset = if config.seek_prob > 0.0 && rng.random::<f64>() < config.seek_prob {
-                    let boundaries = length.as_secs() / config.seek_boundary_secs;
-                    if boundaries >= 2 {
-                        SimDuration::from_secs(
-                            rng.random_range(1..boundaries) * config.seek_boundary_secs,
-                        )
-                    } else {
-                        SimDuration::ZERO
-                    }
-                } else {
-                    SimDuration::ZERO
-                };
-                let remaining = SimDuration::from_secs(length.as_secs() - offset.as_secs());
-                let duration = sessions.sample(&mut rng, remaining);
-                records.push(SessionRecord {
-                    user,
-                    program,
-                    start,
-                    duration,
-                    offset,
-                });
-            }
-        }
-    }
+    generate_hours(config, &catalog, &mut rng, |batch| {
+        records.extend_from_slice(batch);
+        Ok::<(), std::convert::Infallible>(())
+    })
+    .expect("infallible sink");
 
     Trace::new(records, catalog, config.users, config.days)
         .expect("generator emits only valid references")
+}
+
+/// Generates the same trace [`generate`] would, **directly to disk** in
+/// the columnar chunked format, without ever materializing the record
+/// vector: resident memory is one hour of records plus one column chunk.
+///
+/// The on-disk file replayed through
+/// [`ColumnarReader`](crate::columnar::ColumnarReader) is record-for-record
+/// identical to `generate(config)` — a unit test enforces it — so in-core
+/// and out-of-core experiments share one workload definition.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid (see [`SynthConfig::validate`]).
+///
+/// # Errors
+///
+/// Propagates columnar-writer failures (I/O, column overflow).
+pub fn generate_to_disk(
+    config: &SynthConfig,
+    path: impl AsRef<std::path::Path>,
+    chunk_size: u32,
+) -> Result<(), TraceError> {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let catalog = build_catalog(config, &mut rng);
+
+    let mut writer = ColumnarWriter::create(path, &catalog, config.users, config.days, chunk_size)?;
+    generate_hours(config, &catalog, &mut rng, |batch| writer.push_all(batch))?;
+    writer.finish()
 }
 
 #[cfg(test)]
@@ -265,6 +329,31 @@ mod tests {
             assert!(r.offset < len, "offset inside the program");
             assert!(r.end_position() <= len, "playback cannot pass the end");
         }
+    }
+
+    #[test]
+    fn disk_generator_is_record_identical_to_in_memory() {
+        use crate::columnar::ColumnarReader;
+
+        let cfg = SynthConfig {
+            users: 300,
+            programs: 80,
+            days: 4,
+            seek_prob: 0.2,
+            ..SynthConfig::smoke_test()
+        };
+        let in_memory = generate(&cfg);
+        let mut path = std::env::temp_dir();
+        path.push(format!("cvtc_synth_{}.cvtc", std::process::id()));
+        for chunk_size in [128u32, 1 << 20] {
+            generate_to_disk(&cfg, &path, chunk_size).expect("writes");
+            let restored = ColumnarReader::open(&path)
+                .expect("opens")
+                .read_trace()
+                .expect("reads");
+            assert_eq!(restored, in_memory, "chunk size {chunk_size}");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -13,6 +13,6 @@ mod sessions;
 
 pub use config::SynthConfig;
 pub use diurnal::DiurnalProfile;
-pub use generator::{build_catalog, generate};
+pub use generator::{build_catalog, generate, generate_to_disk};
 pub use popularity::PopularityModel;
 pub use sessions::SessionLengthModel;
