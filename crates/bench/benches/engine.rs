@@ -13,6 +13,7 @@ use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
 use cablevod_sim::{run, run_parallel, SimConfig};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
+use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
 use cablevod_trace::scale;
 use cablevod_trace::source::TraceSource;
 use cablevod_trace::synth::{generate, generate_to_disk, SynthConfig};
@@ -98,7 +99,26 @@ fn engine_streaming_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("parallel_disk_4", scale_label), |b| {
             b.iter(|| run_parallel(&reader, &config, 4).expect("runs"))
         });
+        // The neighborhood-major replay of the same workload: re-chunked
+        // once at import, then each shard decodes only its own chunks —
+        // `parallel_disk_4` vs `parallel_nbhd_major_4` is the decode-work
+        // win in wall-clock terms.
+        let mut nm_path = std::env::temp_dir();
+        nm_path.push(format!(
+            "cvtc_bench_nm_{}_{scale_label}.cvtc",
+            std::process::id()
+        ));
+        let import_chunk =
+            import_chunk_size(reader.user_count(), 500, DEFAULT_CHUNK_SIZE, 64 << 20);
+        rechunk_by_neighborhood(&reader, &nm_path, 500, import_chunk)
+            .expect("neighborhood-major rechunk");
+        let nm_reader = ColumnarReader::open(&nm_path).expect("rechunked file opens");
+        group.bench_function(
+            BenchmarkId::new("parallel_nbhd_major_4", scale_label),
+            |b| b.iter(|| run_parallel(&nm_reader, &config, 4).expect("runs")),
+        );
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&nm_path).ok();
     }
     group.finish();
 }

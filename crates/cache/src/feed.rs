@@ -19,26 +19,36 @@
 //! implement it:
 //!
 //! * [`GlobalFeed`] — an append-only `Vec`, grown by a single publisher
-//!   (the serial engine as it consumes records, or a precomputation pass);
-//! * [`WatermarkFeed`] — the concurrent carrier for *streaming* sharded
-//!   simulation, where no precomputed feed exists. Every shard is a
-//!   producer: it publishes the events for its own records as it discovers
-//!   them in its chunk scan, tagged with their global sequence numbers,
-//!   and advances a per-producer **watermark** — a promise that it will
-//!   never again publish an event below that sequence number. A consumer
-//!   about to process the record with global index `g` may consume events
-//!   `0..=g` once the **frontier** (the minimum watermark across all
-//!   producers) has passed `g`, which reproduces the serial engine's
-//!   grow-as-you-go prefix visibility bit-for-bit.
+//!   (a precomputation pass over a resident trace);
+//! * [`WatermarkFeed`] — the concurrent
+//!   bounded-retention carrier for *streaming* simulation, where no
+//!   precomputed feed exists (see [`crate::watermark`]).
+//!
+//! # One provider seam for every engine path
+//!
+//! The simulation engine does not pick carriers directly: its single
+//! session-lifecycle implementation drives the feed through the
+//! [`FeedProvider`] trait — publication, watermark bookkeeping, the
+//! readiness gate, and strategy syncs — so resident and streaming runs
+//! differ only in which provider they construct:
+//!
+//! * [`PrecomputedFeed`] wraps a fully built [`GlobalFeed`]: always ready,
+//!   publication is a no-op, syncs bound consumption by the session's own
+//!   record index;
+//! * [`SharedFeed`] wraps a [`WatermarkFeed`](crate::watermark::
+//!   WatermarkFeed): records publish as they are ingested, the readiness
+//!   gate waits on the cross-producer frontier, and every sync reports the
+//!   strategy's consumption cursor back so the carrier can reclaim.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::ops::Range;
 
 use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
 use cablevod_hfc::units::{SimDuration, SimTime};
 
+use crate::index::IndexServer;
 use crate::lfu::WindowedLfu;
 use crate::strategy::{CacheOp, CacheStrategy};
+use crate::watermark::{FeedProducer, WatermarkFeed};
 
 /// One access published to the global feed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,7 +69,7 @@ pub struct FeedEvent {
 /// Implementations guarantee that events `0..published()` exist and are in
 /// non-decreasing time order; consumers additionally bound themselves with
 /// the explicit `limit` the engine passes to
-/// [`CacheStrategy::sync_global`](crate::strategy::CacheStrategy::sync_global).
+/// [`CacheStrategy::sync_global`].
 pub trait FeedEvents {
     /// The event with sequence number `seq`.
     ///
@@ -131,119 +141,130 @@ impl FeedEvents for GlobalFeed {
     }
 }
 
-/// The multi-producer watermark-ordered feed carrier (see the module
-/// docs).
+/// How a session-lifecycle driver sees the global popularity feed.
 ///
-/// Every event slot is written at most once (slots are addressed by
-/// global sequence number, and each sequence number belongs to exactly
-/// one producer's records), so publication is a lock-free `OnceLock`
-/// store; watermarks are release-stored and the frontier acquire-loads,
-/// making every event below the frontier visible to every consumer.
-#[derive(Debug)]
-pub struct WatermarkFeed {
-    slots: Vec<OnceLock<FeedEvent>>,
-    marks: Vec<AtomicU64>,
+/// The engine's single event loop is generic over this trait; the
+/// concrete provider decides what publication, readiness and consumption
+/// mean for its carrier (see the module docs). All sequence numbers are
+/// global record indices.
+pub trait FeedProvider {
+    /// Publishes the event for the record with global index `seq`.
+    /// Providers over already-built carriers ignore this.
+    fn publish(&mut self, seq: u64, event: FeedEvent);
+
+    /// Promises that this provider's producer will never publish an event
+    /// with a sequence number below `mark` again.
+    fn advance(&mut self, mark: u64);
+
+    /// Marks this provider's producer — and the consumers it answers for —
+    /// as done: everything it owns is published, nothing will be read.
+    fn finish(&mut self);
+
+    /// Whether events `0..=seq` are all published. `false` means the
+    /// driver must park until other producers catch up.
+    fn ready(&mut self, seq: u64) -> bool;
+
+    /// Feeds `index`'s strategy every newly visible event up to and
+    /// including `seq`, at session-start time `now`. Call only after
+    /// [`ready`](FeedProvider::ready) returned `true` for `seq`.
+    fn sync(&mut self, index: &mut IndexServer, now: SimTime, seq: u64);
 }
 
-impl WatermarkFeed {
-    /// A feed over `capacity` sequence numbers shared by `producers`
-    /// publishers. All watermarks start at zero.
-    pub fn new(capacity: usize, producers: usize) -> Self {
-        assert!(producers > 0, "a feed needs at least one producer");
-        WatermarkFeed {
-            slots: (0..capacity).map(|_| OnceLock::new()).collect(),
-            marks: (0..producers).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// Total sequence-number capacity.
-    pub fn capacity(&self) -> usize {
-        self.slots.len()
-    }
-
-    /// Publishes the event for sequence number `seq`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `seq` was already published (each sequence number has
-    /// exactly one owning producer) or is out of range.
-    pub fn publish(&self, seq: u64, event: FeedEvent) {
-        self.slots[usize::try_from(seq).expect("seq fits usize")]
-            .set(event)
-            .expect("sequence number published twice");
-    }
-
-    /// Raises `producer`'s watermark to `mark`: a promise that every event
-    /// it owns with a sequence number below `mark` is published.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug builds) if the watermark would move backwards.
-    pub fn advance(&self, producer: usize, mark: u64) {
-        debug_assert!(
-            self.marks[producer].load(Ordering::Relaxed) <= mark,
-            "watermarks must not regress"
-        );
-        self.marks[producer].store(mark, Ordering::Release);
-    }
-
-    /// Marks `producer` as finished: it will publish nothing more.
-    pub fn finish(&self, producer: usize) {
-        self.marks[producer].store(u64::MAX, Ordering::Release);
-    }
-
-    /// The frontier: the minimum watermark across producers. Every event
-    /// with a sequence number below it is published and safe to read.
-    pub fn frontier(&self) -> u64 {
-        self.marks
-            .iter()
-            .map(|m| m.load(Ordering::Acquire))
-            .min()
-            .expect("at least one producer")
-    }
-}
-
-impl WatermarkFeed {
-    /// A read view pinned at a `frontier` value the consumer has already
-    /// observed. The frontier is monotonic, so a cached observation stays
-    /// valid forever — hot-path consumers read through a view instead of
-    /// rescanning every producer's watermark on each sync.
-    pub fn view_at(&self, frontier: u64) -> FeedView<'_> {
-        FeedView {
-            feed: self,
-            frontier,
-        }
-    }
-}
-
-impl FeedEvents for WatermarkFeed {
-    fn event_at(&self, seq: usize) -> FeedEvent {
-        *self.slots[seq]
-            .get()
-            .expect("event read from below the frontier")
-    }
-
-    fn published(&self) -> usize {
-        usize::try_from(self.frontier().min(self.slots.len() as u64)).expect("capacity fits usize")
-    }
-}
-
-/// A [`WatermarkFeed`] read view carrying a frontier observed earlier (see
-/// [`WatermarkFeed::view_at`]).
+/// [`FeedProvider`] over a fully precomputed [`GlobalFeed`] — the resident
+/// engine paths, where one pass over the record slice built the whole feed
+/// up front. Always ready; consumption is bounded per session by the
+/// session's own record index, reproducing grow-as-you-go publication.
 #[derive(Debug, Clone, Copy)]
-pub struct FeedView<'a> {
-    feed: &'a WatermarkFeed,
-    frontier: u64,
+pub struct PrecomputedFeed<'a> {
+    feed: &'a GlobalFeed,
 }
 
-impl FeedEvents for FeedView<'_> {
-    fn event_at(&self, seq: usize) -> FeedEvent {
-        self.feed.event_at(seq)
+impl<'a> PrecomputedFeed<'a> {
+    /// Wraps a fully built feed.
+    pub fn new(feed: &'a GlobalFeed) -> Self {
+        PrecomputedFeed { feed }
+    }
+}
+
+impl FeedProvider for PrecomputedFeed<'_> {
+    fn publish(&mut self, _seq: u64, _event: FeedEvent) {}
+
+    fn advance(&mut self, _mark: u64) {}
+
+    fn finish(&mut self) {}
+
+    fn ready(&mut self, _seq: u64) -> bool {
+        true
     }
 
-    fn published(&self) -> usize {
-        usize::try_from(self.frontier.min(self.feed.capacity() as u64))
-            .expect("capacity fits usize")
+    fn sync(&mut self, index: &mut IndexServer, now: SimTime, seq: u64) {
+        index.sync_feed(self.feed, now, seq as usize + 1);
+    }
+}
+
+/// [`FeedProvider`] over a shared
+/// [`WatermarkFeed`] — the streaming
+/// engine paths. One instance serves one producer (a shard, or the whole
+/// serial run) and the consumer range it syncs (its own neighborhood, or
+/// all of them).
+#[derive(Debug)]
+pub struct SharedFeed<'a> {
+    feed: &'a WatermarkFeed,
+    producer: FeedProducer<'a>,
+    producer_id: usize,
+    consumers: Range<usize>,
+    /// Last observed frontier — monotonic, so the cross-producer watermark
+    /// scan reruns only until the cached value passes the record about to
+    /// start, not on every session.
+    frontier_cache: u64,
+}
+
+impl<'a> SharedFeed<'a> {
+    /// A provider publishing as `producer_id` and syncing (and eventually
+    /// finishing) the consumers in `consumers`. The sharded engine passes
+    /// its own neighborhood for both; the serial streaming engine is
+    /// producer 0 answering for every neighborhood.
+    pub fn new(feed: &'a WatermarkFeed, producer_id: usize, consumers: Range<usize>) -> Self {
+        SharedFeed {
+            feed,
+            producer: feed.producer_handle(),
+            producer_id,
+            consumers,
+            frontier_cache: 0,
+        }
+    }
+}
+
+impl FeedProvider for SharedFeed<'_> {
+    fn publish(&mut self, seq: u64, event: FeedEvent) {
+        self.producer.publish(seq, event);
+    }
+
+    fn advance(&mut self, mark: u64) {
+        self.feed.advance(self.producer_id, mark);
+    }
+
+    fn finish(&mut self) {
+        self.feed.finish(self.producer_id);
+        for consumer in self.consumers.clone() {
+            self.feed.finish_consumer(consumer);
+        }
+    }
+
+    fn ready(&mut self, seq: u64) -> bool {
+        // Serial prefix visibility: events 0..=seq must all be published
+        // before this session may consult the feed. The frontier only
+        // moves forward, so the scan reruns only until it passes seq once.
+        if self.frontier_cache <= seq {
+            self.frontier_cache = self.feed.frontier();
+        }
+        self.frontier_cache > seq
+    }
+
+    fn sync(&mut self, index: &mut IndexServer, now: SimTime, seq: u64) {
+        let view = self.feed.view_at(self.frontier_cache);
+        let cursor = index.sync_feed(&view, now, seq as usize + 1);
+        self.feed.note_consumed(index.home().index(), cursor);
     }
 }
 
@@ -326,8 +347,9 @@ impl CacheStrategy for GlobalLfu {
 
     /// Ingests newly visible remote accesses. Counts only — rebalancing
     /// happens at the next local access, when admissions can actually be
-    /// placed.
-    fn sync_global(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) {
+    /// placed. Returns the post-sync cursor: everything below it has been
+    /// consumed and will never be read again.
+    fn sync_global(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) -> u64 {
         let limit = limit.min(feed.published());
         while self.cursor < limit {
             let ev = feed.event_at(self.cursor);
@@ -341,6 +363,7 @@ impl CacheStrategy for GlobalLfu {
             self.core.record(ev.program, ev.cost, ev.time);
         }
         self.core.expire(now);
+        self.cursor as u64
     }
 }
 
@@ -445,78 +468,25 @@ mod tests {
     }
 
     #[test]
-    fn watermark_frontier_is_minimum_across_producers() {
-        let feed = WatermarkFeed::new(10, 3);
-        assert_eq!(feed.frontier(), 0);
-        feed.advance(0, 4);
-        feed.advance(1, 7);
-        assert_eq!(feed.frontier(), 0, "producer 2 still at zero");
-        feed.advance(2, 2);
-        assert_eq!(feed.frontier(), 2);
-        feed.finish(0);
-        assert_eq!(feed.frontier(), 2);
-        feed.finish(2);
-        assert_eq!(feed.frontier(), 7);
-        feed.finish(1);
-        assert_eq!(feed.frontier(), u64::MAX);
-        assert_eq!(feed.published(), 10, "clamped to capacity");
-    }
-
-    #[test]
-    fn watermark_consumption_matches_global_feed() {
-        // Three "shards" publish interleaved sequence numbers; a GlobalLfu
-        // consuming through the watermark carrier must ingest exactly the
-        // sequence a serial GlobalFeed would feed it.
-        let events: Vec<FeedEvent> = (0..9)
-            .map(|i| ev(10 + i, (i % 3) as u32 + 1, i as u32))
-            .collect();
-        let mut serial_feed = GlobalFeed::new();
-        for &e in &events {
-            serial_feed.publish(e);
-        }
-        let shared = WatermarkFeed::new(events.len(), 3);
-        // Publish out of producer order (shard 2 races ahead).
-        for (seq, &e) in events.iter().enumerate().rev() {
+    fn providers_share_one_consumption_contract() {
+        // The same event stream through a PrecomputedFeed and a SharedFeed
+        // must leave a GlobalLfu with the same cursor.
+        let events: Vec<FeedEvent> = (0..6).map(|i| ev(10 + i, 1, i as u32)).collect();
+        let mut built = GlobalFeed::new();
+        let shared = WatermarkFeed::new(events.len() as u64, 1, 1);
+        for (seq, &e) in events.iter().enumerate() {
+            built.publish(e);
             shared.publish(seq as u64, e);
         }
-        for p in 0..3 {
-            shared.finish(p);
-        }
-
+        shared.finish(0);
         let mut a = lfu(0);
         let mut b = lfu(0);
-        for (limit, now) in [(3usize, 12u64), (7, 17), (9, 30)] {
-            a.sync_global(&serial_feed, SimTime::from_secs(now), limit);
-            b.sync_global(&shared, SimTime::from_secs(now), limit);
+        for limit in [2usize, 6] {
+            let now = SimTime::from_secs(40);
+            a.sync_global(&built, now, limit);
+            b.sync_global(&shared, now, limit);
             assert_eq!(a.cursor(), b.cursor(), "limit {limit}");
         }
-        let mut ops_a = Vec::new();
-        let mut ops_b = Vec::new();
-        a.on_access(ProgramId::new(50), 1, SimTime::from_secs(40), &mut ops_a);
-        b.on_access(ProgramId::new(50), 1, SimTime::from_secs(40), &mut ops_b);
-        assert_eq!(ops_a, ops_b, "identical admissions from either carrier");
-    }
-
-    #[test]
-    fn watermark_events_below_frontier_only() {
-        let feed = WatermarkFeed::new(4, 2);
-        feed.publish(0, ev(5, 1, 7));
-        feed.advance(0, 1);
-        // Producer 1 has published nothing: nothing is consumable.
-        let mut s = lfu(0);
-        s.sync_global(&feed, SimTime::from_secs(100), 4);
-        assert_eq!(s.cursor(), 0);
-        feed.advance(1, 1);
-        s.sync_global(&feed, SimTime::from_secs(100), 4);
-        assert_eq!(s.cursor(), 1);
-    }
-
-    #[test]
-    #[should_panic(expected = "published twice")]
-    fn watermark_double_publish_panics() {
-        let feed = WatermarkFeed::new(2, 1);
-        feed.publish(0, ev(1, 1, 1));
-        feed.publish(0, ev(1, 1, 1));
     }
 
     #[test]

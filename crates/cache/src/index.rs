@@ -266,11 +266,15 @@ impl IndexServer {
     /// semantics (the serial engine grows the feed one record at a time,
     /// so at record `r` only events `0..=r` exist) on any carrier: the
     /// resident sharded engine hands every shard the full precomputed
-    /// [`GlobalFeed`], the streaming sharded engine a
-    /// [`WatermarkFeed`](crate::feed::WatermarkFeed) whose frontier has
-    /// passed `limit`.
-    pub fn sync_feed(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) {
-        self.strategy.sync_global(feed, now, limit);
+    /// [`GlobalFeed`](crate::feed::GlobalFeed), the streaming sharded engine a
+    /// [`WatermarkFeed`](crate::watermark::WatermarkFeed) whose frontier
+    /// has passed `limit`.
+    ///
+    /// Returns the strategy's post-sync consumption cursor (see
+    /// [`CacheStrategy::sync_global`]) so bounded feed carriers can
+    /// reclaim fully consumed slots.
+    pub fn sync_feed(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) -> u64 {
+        self.strategy.sync_global(feed, now, limit)
     }
 
     /// Observes a program access (session start): updates the strategy and

@@ -39,12 +39,16 @@ pub mod lru;
 pub mod oracle;
 pub mod placement;
 pub mod strategy;
+pub mod watermark;
 
 pub use error::CacheError;
-pub use feed::{FeedEvent, FeedEvents, FeedView, GlobalFeed, GlobalLfu, WatermarkFeed};
+pub use feed::{
+    FeedEvent, FeedEvents, FeedProvider, GlobalFeed, GlobalLfu, PrecomputedFeed, SharedFeed,
+};
 pub use index::{IndexServer, IndexStats, MissReason, Resolution};
 pub use lfu::WindowedLfu;
 pub use lru::Lru;
 pub use oracle::{AccessSchedule, Oracle};
 pub use placement::{PlacementPolicy, SlotLedger};
 pub use strategy::{CacheOp, CacheStrategy, FillPolicy, StrategySpec};
+pub use watermark::{FeedProducer, FeedView, WatermarkFeed};

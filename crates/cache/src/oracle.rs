@@ -9,7 +9,7 @@
 //! access schedule with two pointers, keeping per-program future counts,
 //! and maintains the same waterline invariant as the LFU. Content appears
 //! on peers the moment it is admitted
-//! ([`FillPolicy::Prefetch`](crate::strategy::FillPolicy::Prefetch)) — it
+//! ([`FillPolicy::Prefetch`]) — it
 //! is an upper bound, not an implementable policy.
 
 use std::collections::{BTreeSet, HashMap};

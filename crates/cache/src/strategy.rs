@@ -91,9 +91,18 @@ pub trait CacheStrategy: fmt::Debug + Send {
     /// of the usual time-visibility rule. The engine sets `limit` to the
     /// number of events published when the triggering access happened,
     /// which reproduces the serial engine's grow-as-you-go visibility
-    /// exactly whether the carrier is a precomputed [`GlobalFeed`] or a
-    /// streaming [`WatermarkFeed`](crate::feed::WatermarkFeed).
-    fn sync_global(&mut self, _feed: &dyn FeedEvents, _now: SimTime, _limit: usize) {}
+    /// exactly whether the carrier is a precomputed
+    /// [`GlobalFeed`](crate::feed::GlobalFeed) or a
+    /// streaming [`WatermarkFeed`](crate::watermark::WatermarkFeed).
+    ///
+    /// Returns the strategy's consumption cursor after the sync: the
+    /// sequence number below which it will never read the feed again.
+    /// Bounded feed carriers reclaim slots below the minimum cursor
+    /// across consumers; strategies that ignore the feed report `limit`
+    /// (they will never read anything).
+    fn sync_global(&mut self, _feed: &dyn FeedEvents, _now: SimTime, limit: usize) -> u64 {
+        limit as u64
+    }
 }
 
 /// A strategy that never caches anything — the paper's no-cache baseline

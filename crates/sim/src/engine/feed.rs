@@ -1,0 +1,44 @@
+//! Feed glue: constructing the right [`FeedProvider`] carrier for each
+//! entry driver.
+//!
+//! The lifecycle core never touches a concrete feed type — it publishes,
+//! gates and syncs through [`FeedProvider`] (see
+//! [`cablevod_cache::feed`]). This module is the engine-side selection
+//! logic:
+//!
+//! * **resident runs** precompute the whole [`GlobalFeed`] in one pass
+//!   over the record slice ([`build_feed`]) and hand every driver a
+//!   [`PrecomputedFeed`](cablevod_cache::PrecomputedFeed) over it —
+//!   consumption is bounded per session by its own record index, which
+//!   equals grow-as-you-go publication exactly;
+//! * **streaming runs** (serial and sharded alike) share one
+//!   [`WatermarkFeed`](cablevod_cache::WatermarkFeed) through
+//!   [`SharedFeed`](cablevod_cache::SharedFeed) handles: supplies publish
+//!   records as they stage them, the frontier gates consumption, and
+//!   every sync reports the strategy's cursor back so the carrier keeps
+//!   its memory O(unconsumed window) instead of O(trace).
+
+use cablevod_cache::GlobalFeed;
+use cablevod_hfc::segment::Segmenter;
+use cablevod_trace::record::SessionRecord;
+
+use super::lifecycle::{feed_event, SessionCtx};
+use crate::config::SimConfig;
+
+/// Builds the full global feed from a resident record slice (a pure
+/// function of the trace — see the module docs of [`super`]), or `None`
+/// when the strategy ignores it.
+pub(super) fn build_feed(
+    records: &[SessionRecord],
+    ctxs: &[SessionCtx],
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Option<GlobalFeed> {
+    config.strategy().needs_feed().then(|| {
+        let mut feed = GlobalFeed::new();
+        for (rec, ctx) in records.iter().zip(ctxs) {
+            feed.publish(feed_event(rec, ctx, config, segmenter));
+        }
+        feed
+    })
+}

@@ -1,0 +1,549 @@
+//! The **one** session-lifecycle implementation.
+//!
+//! [`SessionDriver`] owns the discrete-event loop every engine entry
+//! point runs: interleave the next trace record with the continuation
+//! heap in time order, start sessions (viewer slot accounting, feed sync,
+//! strategy update, first segment), and resolve segment requests against
+//! the cache and the plant. It is generic over three seams, and those
+//! seams — not copies of this loop — are what distinguish the four entry
+//! drivers:
+//!
+//! * [`SegmentPlant`] — whose bytes get accounted: the whole
+//!   [`Topology`] (serial) or one neighborhood's
+//!   [`ShardPlant`](super::shard::ShardPlant);
+//! * [`FeedProvider`] — how the global popularity feed is published and
+//!   consumed: a precomputed carrier (resident) or the shared watermark
+//!   carrier (streaming);
+//! * [`RecordSupply`] — where sessions come from: a resident slice or a
+//!   merged chunk stream (see [`super::stream`]).
+//!
+//! The loop can run to completion ([`SessionDriver::run`]) or as a
+//! resumable cooperative task ([`SessionDriver::step`]), which is how the
+//! streaming sharded engine multiplexes many shards onto few workers and
+//! parks the ones waiting on the feed frontier.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use cablevod_cache::{FeedEvent, FeedProvider, IndexServer, Resolution};
+use cablevod_hfc::ids::{NeighborhoodId, PeerId, SegmentId, UserId};
+use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::stb::StbStore;
+use cablevod_hfc::topology::Topology;
+use cablevod_hfc::units::{SimDuration, SimTime};
+use cablevod_trace::catalog::ProgramCatalog;
+use cablevod_trace::record::SessionRecord;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+
+/// Error reason used when a shard bails out because a sibling failed; the
+/// merge prefers the sibling's real error over this sentinel.
+pub(super) const ABORTED: &str = "aborted after a failure in another shard";
+
+/// The immutable user → plant mapping sessions are contextualized
+/// against: who lives where. An owned snapshot of
+/// [`Topology::peer_neighborhoods`] (shared via `Arc`, so clones are
+/// cheap), which lets supplies resolve users while a serial driver holds
+/// the topology itself mutably as its plant.
+#[derive(Debug, Clone)]
+pub(super) struct UserMap {
+    nbhd_of: Arc<[NeighborhoodId]>,
+}
+
+impl UserMap {
+    pub(super) fn from_topology(topo: &Topology) -> Self {
+        UserMap {
+            nbhd_of: topo.peer_neighborhoods().into(),
+        }
+    }
+
+    /// The neighborhood serving `user` (mirrors
+    /// [`Topology::neighborhood_of_user`]).
+    pub(super) fn neighborhood_of_user(&self, user: UserId) -> Result<NeighborhoodId, SimError> {
+        self.nbhd_of
+            .get(user.index())
+            .copied()
+            .ok_or_else(|| SimError::from(cablevod_hfc::error::HfcError::UnknownUser { user }))
+    }
+
+    /// The home peer of `user` (mirrors [`Topology::home_peer`]: users and
+    /// peers are in one-to-one correspondence).
+    fn home_peer(&self, user: UserId) -> Result<PeerId, SimError> {
+        if user.index() < self.nbhd_of.len() {
+            Ok(PeerId::new(user.value()))
+        } else {
+            Err(SimError::from(cablevod_hfc::error::HfcError::UnknownUser {
+                user,
+            }))
+        }
+    }
+}
+
+/// Everything the hot loop needs about one session, precomputed (resident
+/// path) or computed at ingestion (streaming paths) so the event loop
+/// never re-queries the catalog or the topology during event processing.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct SessionCtx {
+    /// Dense neighborhood index of the session's user.
+    pub nbhd: u32,
+    /// The viewer's own set-top box.
+    pub home: PeerId,
+    /// Full program length from the catalog.
+    pub length: SimDuration,
+    /// Seconds actually streamed (duration clamped to the post-seek tail).
+    pub watched: SimDuration,
+    /// Clamped seek offset in seconds.
+    pub offset: u64,
+    /// Absolute index of the first requested segment.
+    pub first_seg: u16,
+}
+
+/// Computes one session's context (pure function of record, catalog and
+/// user map — every engine path shares it, so contexts are identical no
+/// matter when they are computed).
+pub(super) fn session_ctx(
+    rec: &SessionRecord,
+    catalog: &ProgramCatalog,
+    users: &UserMap,
+    seg_len: u64,
+) -> Result<SessionCtx, SimError> {
+    let length = catalog.length(rec.program).ok_or(SimError::Trace(
+        cablevod_trace::TraceError::DanglingProgram {
+            program: rec.program,
+        },
+    ))?;
+    let nbhd = users.neighborhood_of_user(rec.user)?;
+    let home = users.home_peer(rec.user)?;
+    let offset = rec.offset.min(length).as_secs();
+    Ok(SessionCtx {
+        nbhd: nbhd.index() as u32,
+        home,
+        length,
+        watched: rec.watched(length),
+        offset,
+        first_seg: (offset / seg_len) as u16,
+    })
+}
+
+/// The feed event an access publishes (pure function of the record — every
+/// feed carrier emits exactly this).
+pub(super) fn feed_event(
+    rec: &SessionRecord,
+    ctx: &SessionCtx,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> FeedEvent {
+    FeedEvent {
+        time: rec.start,
+        neighborhood: NeighborhoodId::new(ctx.nbhd),
+        program: rec.program,
+        cost: u32::from(segmenter.segment_count(ctx.length)) * u32::from(config.replication()),
+    }
+}
+
+/// Mutable per-run tallies.
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct EngineCounters {
+    pub sessions: u64,
+    pub segment_requests: u64,
+    pub viewer_overcommits: u64,
+}
+
+impl EngineCounters {
+    pub(super) fn absorb(&mut self, other: EngineCounters) {
+        self.sessions += other.sessions;
+        self.segment_requests += other.segment_requests;
+        self.viewer_overcommits += other.viewer_overcommits;
+    }
+}
+
+/// The slice of the plant one event touches. The serial drivers implement
+/// it on the whole [`Topology`]; the sharded drivers on a per-neighborhood
+/// [`ShardPlant`](super::shard::ShardPlant). Keeping the lifecycle generic
+/// over this trait guarantees every path accounts bytes identically.
+pub(super) trait SegmentPlant {
+    /// The set-top boxes requests resolve against.
+    fn stbs(&mut self) -> &mut dyn StbStore;
+
+    /// A cache miss: central server -> fiber -> headend rebroadcast
+    /// (Fig 4).
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError>;
+
+    /// The broadcast every segment makes over the coax regardless of who
+    /// serves it (§VI-B).
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError>;
+}
+
+impl<P: SegmentPlant + ?Sized> SegmentPlant for &mut P {
+    fn stbs(&mut self) -> &mut dyn StbStore {
+        (**self).stbs()
+    }
+
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        (**self).record_miss(nbhd, start, end, size)
+    }
+
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        (**self).record_broadcast(nbhd, start, end, size)
+    }
+}
+
+impl SegmentPlant for Topology {
+    fn stbs(&mut self) -> &mut dyn StbStore {
+        self
+    }
+
+    fn record_miss(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        self.server_mut().record_service(start, end, size);
+        self.neighborhood_mut(nbhd)?
+            .fiber_mut()
+            .record(start, end, size);
+        Ok(())
+    }
+
+    fn record_broadcast(
+        &mut self,
+        nbhd: NeighborhoodId,
+        start: SimTime,
+        end: SimTime,
+        size: cablevod_hfc::units::DataSize,
+    ) -> Result<(), SimError> {
+        self.neighborhood_mut(nbhd)?
+            .coax_mut()
+            .record_broadcast(start, end, size);
+        Ok(())
+    }
+}
+
+/// One staged session: its global record index, the record, and the
+/// precomputed context.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct PendingSession {
+    pub gidx: u64,
+    pub rec: SessionRecord,
+    pub ctx: SessionCtx,
+}
+
+/// Where a driver's sessions come from, in the order it must start them
+/// (ascending global index). Supplies own all staging concerns: chunk
+/// decoding, context computation, neighborhood filtering, and — via the
+/// [`FeedProvider`] they are handed — feed publication and watermark
+/// advancement for the records they accept.
+pub(super) trait RecordSupply<F: FeedProvider> {
+    /// Stages (if necessary) and describes the next session as
+    /// `(start time, global index)`; `None` when the supply is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates source read and context computation failures.
+    fn peek(&mut self, feed: &mut Option<F>) -> Result<Option<(SimTime, u64)>, SimError>;
+
+    /// Consumes the session [`peek`](RecordSupply::peek) described.
+    ///
+    /// # Panics
+    ///
+    /// May panic if nothing is staged.
+    fn take(&mut self) -> PendingSession;
+}
+
+/// Slab of in-flight sessions: the driver retains only records whose
+/// continuation events are still in the heap, keyed by a reusable slot id
+/// carried alongside the heap entry (the slot never participates in event
+/// ordering — heap keys stay `(time, global index, segment)`).
+#[derive(Debug, Default)]
+pub(super) struct ActiveSessions {
+    slots: Vec<(SessionRecord, SessionCtx)>,
+    free: Vec<u32>,
+}
+
+impl ActiveSessions {
+    pub(super) fn insert(&mut self, rec: SessionRecord, ctx: SessionCtx) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = (rec, ctx);
+            slot
+        } else {
+            self.slots.push((rec, ctx));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    pub(super) fn get(&self, slot: u32) -> (SessionRecord, SessionCtx) {
+        self.slots[slot as usize]
+    }
+
+    pub(super) fn remove(&mut self, slot: u32) {
+        self.free.push(slot);
+    }
+
+    /// Slots ever allocated (high-water mark of concurrent sessions).
+    #[cfg(test)]
+    pub(super) fn allocated(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slots currently free for reuse.
+    #[cfg(test)]
+    pub(super) fn free_count(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// What one [`SessionDriver::step`] call ended with.
+pub(super) enum Step {
+    /// The driver processed every one of its events.
+    Done,
+    /// The driver must wait for the feed frontier; `progressed` reports
+    /// whether any events were processed before blocking (workers yield
+    /// the CPU only when a full round over their tasks made no progress).
+    Blocked { progressed: bool },
+}
+
+/// The single discrete-event loop (see the module docs). One instance
+/// drives one plant: the whole topology for serial runs, one
+/// neighborhood's shard for sharded runs.
+pub(super) struct SessionDriver<'a, P, F, R> {
+    supply: R,
+    feed: Option<F>,
+    plant: P,
+    /// The index servers this driver routes events to;
+    /// `indexes[ctx.nbhd - index_base]`. Serial drivers hold every
+    /// neighborhood (base 0); shard drivers hold exactly their own.
+    indexes: Vec<IndexServer>,
+    index_base: u32,
+    active: ActiveSessions,
+    /// Continuation events: (segment start, global record index, segment
+    /// index, active-session slot). The slot is payload, not key — ties on
+    /// it are impossible because a session has at most one outstanding
+    /// continuation.
+    heap: BinaryHeap<Reverse<(SimTime, u32, u16, u32)>>,
+    counters: EngineCounters,
+    config: &'a SimConfig,
+    segmenter: Segmenter,
+    /// Set when any sibling shard failed; checked at every step entry so
+    /// parked shards unblock into an orderly bail-out.
+    abort: Option<&'a AtomicBool>,
+}
+
+impl<'a, P, F, R> SessionDriver<'a, P, F, R>
+where
+    P: SegmentPlant,
+    F: FeedProvider,
+    R: RecordSupply<F>,
+{
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn new(
+        supply: R,
+        feed: Option<F>,
+        plant: P,
+        indexes: Vec<IndexServer>,
+        index_base: u32,
+        config: &'a SimConfig,
+        segmenter: Segmenter,
+        abort: Option<&'a AtomicBool>,
+    ) -> Self {
+        SessionDriver {
+            supply,
+            feed,
+            plant,
+            indexes,
+            index_base,
+            active: ActiveSessions::default(),
+            heap: BinaryHeap::new(),
+            counters: EngineCounters::default(),
+            config,
+            segmenter,
+            abort,
+        }
+    }
+
+    /// Processes events until the driver completes or must wait for the
+    /// feed frontier.
+    pub(super) fn step(&mut self) -> Result<Step, SimError> {
+        let mut progressed = false;
+        loop {
+            if let Some(abort) = self.abort {
+                if abort.load(Ordering::Relaxed) {
+                    return Err(SimError::Config {
+                        reason: ABORTED.into(),
+                    });
+                }
+            }
+            let staged = self.supply.peek(&mut self.feed)?;
+            let take_record = match (staged, self.heap.peek()) {
+                (None, None) => {
+                    if let Some(feed) = self.feed.as_mut() {
+                        feed.finish();
+                    }
+                    return Ok(Step::Done);
+                }
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some((start, _)), Some(&Reverse((t, _, _, _)))) => start <= t,
+            };
+
+            if take_record {
+                let (_, gidx) = staged.expect("record chosen");
+                if let Some(feed) = self.feed.as_mut() {
+                    if !feed.ready(gidx) {
+                        return Ok(Step::Blocked { progressed });
+                    }
+                }
+                let session = self.supply.take();
+                self.start_session(&session)?;
+            } else {
+                let Reverse((_, gidx, seg_idx, slot)) =
+                    self.heap.pop().expect("peeked entry exists");
+                let (rec, ctx) = self.active.get(slot);
+                let cont = self.process_segment(&rec, &ctx, seg_idx)?;
+                match cont {
+                    Some((t, seg)) => self.heap.push(Reverse((t, gidx, seg, slot))),
+                    None => self.active.remove(slot),
+                }
+            }
+            progressed = true;
+        }
+    }
+
+    /// Runs to completion. Only valid for drivers whose feed provider is
+    /// always ready (everything except the streaming sharded path, which
+    /// steps cooperatively instead).
+    pub(super) fn run(&mut self) -> Result<(), SimError> {
+        loop {
+            match self.step()? {
+                Step::Done => return Ok(()),
+                Step::Blocked { .. } => {
+                    debug_assert!(false, "a non-sharded feed provider never blocks");
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Handles one session start: viewer slot accounting, feed sync,
+    /// strategy update, and the first segment request.
+    fn start_session(&mut self, session: &PendingSession) -> Result<(), SimError> {
+        let PendingSession { gidx, rec, ctx } = session;
+        self.counters.sessions += 1;
+        let index_at = (ctx.nbhd - self.index_base) as usize;
+
+        // The viewer's own playback occupies one of its slots for the
+        // whole session; playback is never blocked, overcommit is counted
+        // (DESIGN.md §5).
+        let stb = self.plant.stbs().stb_mut(ctx.home)?;
+        stb.start_stream_unchecked(rec.start, rec.start + ctx.watched);
+        if stb.is_overcommitted(rec.start) {
+            self.counters.viewer_overcommits += 1;
+        }
+
+        if let Some(feed) = self.feed.as_mut() {
+            // Events up to and including this record are published (see
+            // the module docs on feed exactness); the provider bounds
+            // consumption accordingly.
+            feed.sync(&mut self.indexes[index_at], rec.start, *gidx);
+        }
+        self.indexes[index_at].on_program_access(
+            rec.program,
+            ctx.length,
+            rec.start,
+            self.plant.stbs(),
+        )?;
+
+        if ctx.watched.as_secs() > 0 {
+            if let Some((t, seg)) = self.process_segment(rec, ctx, ctx.first_seg)? {
+                let slot = self.active.insert(*rec, *ctx);
+                self.heap.push(Reverse((t, *gidx as u32, seg, slot)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves one segment request and returns the session's next one.
+    ///
+    /// `seg_idx` is the *absolute* segment index within the program;
+    /// sessions that seek (`offset > 0`) start mid-program, so the
+    /// playback span is `[offset, offset + watched_total)` in program
+    /// positions.
+    fn process_segment(
+        &mut self,
+        rec: &SessionRecord,
+        ctx: &SessionCtx,
+        seg_idx: u16,
+    ) -> Result<Option<(SimTime, u16)>, SimError> {
+        let seg_len = self.segmenter.segment_len().as_secs();
+        let span_end = ctx.offset + ctx.watched.as_secs();
+        let k = u64::from(seg_idx);
+        // Overlap of this segment's positions with the playback span.
+        let overlap_start = ctx.offset.max(k * seg_len);
+        let overlap_end = span_end.min((k + 1) * seg_len);
+        debug_assert!(overlap_start < overlap_end, "segment outside playback span");
+        let watched = overlap_end - overlap_start;
+        let start = rec.start + SimDuration::from_secs(overlap_start - ctx.offset);
+        let end = start + SimDuration::from_secs(watched);
+        let size = self.config.stream_rate() * SimDuration::from_secs(watched);
+        let segment = SegmentId::new(rec.program, seg_idx);
+        let index_at = (ctx.nbhd - self.index_base) as usize;
+
+        self.counters.segment_requests += 1;
+        let resolution = self.indexes[index_at].resolve_segment(
+            segment,
+            rec.start,
+            start,
+            end,
+            self.plant.stbs(),
+        )?;
+        let nbhd = self.indexes[index_at].home();
+        if let Resolution::Miss(_) = resolution {
+            // Fig 4: central server -> fiber -> headend rebroadcast.
+            self.plant.record_miss(nbhd, start, end, size)?;
+        }
+        // Broadcast medium: the segment crosses the coax either way
+        // (§VI-B).
+        self.plant.record_broadcast(nbhd, start, end, size)?;
+
+        let next_pos = (k + 1) * seg_len;
+        Ok((next_pos < span_end).then(|| {
+            (
+                rec.start + SimDuration::from_secs(next_pos - ctx.offset),
+                seg_idx + 1,
+            )
+        }))
+    }
+
+    /// Decomposes the driver after a completed run.
+    pub(super) fn into_parts(self) -> (P, Vec<IndexServer>, EngineCounters) {
+        (self.plant, self.indexes, self.counters)
+    }
+}

@@ -1,0 +1,567 @@
+//! The trace-driven discrete-event simulation (§V-B).
+//!
+//! > "A discrete event simulation is dictated by each download event from
+//! > the trace data. When an event occurs, the user who initiated the event
+//! > locates the specified program in the simulated topology. This program
+//! > will either be cached within the neighborhood by one of the peers, or
+//! > it will be housed on a central server. In either case, the download
+//! > consumes neighborhood bandwidth, and in the latter case, it also
+//! > consumes server bandwidth."
+//!
+//! Sessions are simulated at segment granularity: a session of watched
+//! length `d` issues `ceil(d / segment)` segment requests at segment
+//! boundaries, each resolved independently against the neighborhood cache
+//! (placement spreads a program's segments over many peers, so consecutive
+//! segments can come from different peers, and a busy peer misses only the
+//! segments it actually hosts).
+//!
+//! # Architecture: one lifecycle, three seams, four thin drivers
+//!
+//! There is exactly **one** session-lifecycle implementation —
+//! `lifecycle::SessionDriver` — and every entry point is a thin
+//! composition of pluggable pieces around it:
+//!
+//! ```text
+//!  run / run_parallel            (mod.rs, shard.rs — the four entry drivers)
+//!  ───────────────────────────────────────────────────────────────────────
+//!        │ compose
+//!        ▼
+//!  SessionDriver                 (lifecycle.rs — THE event loop: record/heap
+//!        │                        interleave, session start, segment resolve)
+//!        │ is generic over
+//!        ├─► RecordSupply        (stream.rs — where sessions come from)
+//!        │     ResidentSupply      resident slice (+ optional shard subset)
+//!        │     StreamSupply        gidx-ordered merge over chunk runs
+//!        │                         (decode → ctx → filter → publish)
+//!        ├─► FeedProvider        (feed.rs glue; cablevod_cache::feed — how
+//!        │     PrecomputedFeed     the global popularity feed is carried)
+//!        │     SharedFeed          over GlobalFeed / WatermarkFeed
+//!        └─► SegmentPlant        (lifecycle.rs, shard.rs — whose bytes get
+//!              Topology            accounted: the whole plant, or)
+//!              ShardPlant          (one neighborhood's isolated slice)
+//!  ───────────────────────────────────────────────────────────────────────
+//!        │ results flow into
+//!        ▼
+//!  report.rs                     (assemble_serial_report / merge_outcomes —
+//!                                 bit-exact fold of meters and counters)
+//! ```
+//!
+//! The four drivers pick one of each:
+//!
+//! | driver                | supply                      | feed            | plant      | scheduling                 |
+//! |-----------------------|-----------------------------|-----------------|------------|----------------------------|
+//! | serial resident       | `ResidentSupply` (all)      | `PrecomputedFeed` | `Topology`   | inline                     |
+//! | serial streaming      | `StreamSupply` (no filter)  | `SharedFeed`      | `Topology`   | inline                     |
+//! | sharded resident      | `ResidentSupply` (subset)   | `PrecomputedFeed` | `ShardPlant` | work-stealing pool         |
+//! | sharded streaming     | `StreamSupply` (per shard)  | `SharedFeed`      | `ShardPlant` | cooperative tasks, parking |
+//!
+//! # Trace layouts and decode work
+//!
+//! Chunked sources come in two layouts (see [`cablevod_trace::columnar`]).
+//! Time-major chunks partition the global order, so a sharded run's shards
+//! each rescan most chunks (~`shards × file` decode work, pruned only by a
+//! runtime chunk index). A **neighborhood-major** file (re-chunked at
+//! import, [`cablevod_trace::rechunk`]) groups each chunk under one
+//! neighborhood and carries a per-neighborhood chunk index plus per-record
+//! global sequence numbers: a sharded run whose neighborhood size matches
+//! hands each shard exactly its own chunks — each chunk is decoded **once**
+//! per run (a counter-based test enforces this), and for non-Oracle
+//! strategies no pre-pass scan is needed at all. Serial runs (and sharded
+//! runs at a *different* neighborhood size) replay neighborhood-major files
+//! through `stream::StreamSupply`'s sequence-number merge, so every
+//! layout stays replayable by every driver.
+//!
+//! # Watermark-ordered global feeds
+//!
+//! Serial feed exactness: the serial engine publishes the feed one record
+//! at a time, so at record `r` a strategy can only ever see events
+//! `0..=r`. The resident drivers reproduce that bound against a feed
+//! precomputed in full; the streaming drivers publish into a shared
+//! [`WatermarkFeed`]: each shard publishes its own records' events as it
+//! stages them — chunk-at-a-time on single-run supplies, record-at-a-time
+//! on merges (see `stream.rs`) — and advances its watermark past
+//! everything it has staged (publication at scan time is safe because
+//! consumers bound themselves by their own record index, so an
+//! early-published event is never visible early). A shard about to start
+//! the session with global index `g` first waits until the cross-shard
+//! minimum watermark (the *frontier*) passes `g`, then consumes events
+//! `0..=g` exactly like the serial engine.
+//!
+//! Frontier liveness: among parked shards, the one waiting at the globally
+//! smallest record index `g` needs every other shard's watermark above
+//! `g`; every other parked shard's watermark is past its own staged head,
+//! which is at a larger index, exhausted shards sit at `u64::MAX`, and
+//! running shards advance in bounded time — so some shard can always
+//! proceed, at any worker count (shards are cooperative tasks multiplexed
+//! onto workers, parked when blocked). Feed memory stays bounded by
+//! consumption, not trace length: every sync reports the strategy's
+//! cursor back and the carrier reclaims fully consumed segments (see
+//! [`cablevod_cache::watermark`]).
+//!
+//! Whichever path runs, the report is **bit-identical** — property tests
+//! enforce `run == run_parallel == streaming run == streaming
+//! run_parallel` across strategies, chunk sizes, chunk layouts and shard
+//! counts.
+
+mod feed;
+mod lifecycle;
+mod report;
+mod shard;
+mod stream;
+
+#[cfg(test)]
+mod tests;
+
+use std::sync::Arc;
+
+use cablevod_cache::{
+    AccessSchedule, IndexServer, PlacementPolicy, SharedFeed, SlotLedger, WatermarkFeed,
+};
+use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId};
+use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::topology::{Topology, TopologyConfig};
+use cablevod_hfc::units::SimTime;
+use cablevod_trace::catalog::ProgramCatalog;
+use cablevod_trace::record::SessionRecord;
+use cablevod_trace::source::TraceSource;
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::report::SimReport;
+
+use feed::build_feed;
+use lifecycle::{session_ctx, SessionCtx, SessionDriver, UserMap};
+use report::assemble_serial_report;
+use stream::{ResidentSupply, StreamSupply};
+
+/// Runs one simulation of the workload in `source` under `config` and
+/// returns the measured report.
+///
+/// This is the serial reference path: one global event heap against the
+/// whole plant. A resident [`Trace`](cablevod_trace::record::Trace) takes
+/// the classic precomputed hot path; chunked sources (an on-disk
+/// [`ColumnarReader`](cablevod_trace::columnar::ColumnarReader) in either
+/// chunk layout, a [`ChunkedTrace`](cablevod_trace::source::ChunkedTrace))
+/// stream through the engine with bounded resident memory. All produce
+/// bit-identical reports; [`run_parallel`] matches them too.
+///
+/// Deterministic: identical inputs produce identical reports.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations, and
+/// propagates trace-source failures and broken-invariant failures from
+/// the cache and plant layers.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::{run, SimConfig};
+/// use cablevod_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+///     ..SynthConfig::smoke_test() });
+/// let report = run(&trace, &SimConfig::paper_default().with_neighborhood_size(100)
+///     .with_warmup_days(1))?;
+/// assert!(report.sessions > 0);
+/// # Ok::<(), cablevod_sim::SimError>(())
+/// ```
+pub fn run<S: TraceSource + ?Sized>(source: &S, config: &SimConfig) -> Result<SimReport, SimError> {
+    check_record_count(source)?;
+    match source.resident_records() {
+        Some(records) => run_resident(records, source, config),
+        None => run_streaming(source, config),
+    }
+}
+
+/// Runs one simulation sharded per neighborhood over `threads` workers,
+/// producing a report **bit-identical** to [`run`]'s.
+///
+/// Correctness rests on the paper's own isolation structure — see the
+/// module docs; thread count affects wall-clock only, never results.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] for invalid configurations, and
+/// propagates trace-source failures and broken-invariant failures from
+/// the cache and plant layers.
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_sim::{run, run_parallel, SimConfig};
+/// use cablevod_trace::synth::{generate, SynthConfig};
+///
+/// let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
+///     ..SynthConfig::smoke_test() });
+/// let config = SimConfig::paper_default().with_neighborhood_size(100).with_warmup_days(1);
+/// assert_eq!(run_parallel(&trace, &config, 4)?, run(&trace, &config)?);
+/// # Ok::<(), cablevod_sim::SimError>(())
+/// ```
+pub fn run_parallel<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+    threads: usize,
+) -> Result<SimReport, SimError> {
+    check_record_count(source)?;
+    match source.resident_records() {
+        Some(records) => shard::run_parallel_resident(records, source, config, threads),
+        None => shard::run_parallel_streaming(source, config, threads),
+    }
+}
+
+/// Session indices ride in `u32` heap entries on every path (resident and
+/// streaming), so traces beyond 2^32 records are rejected up front rather
+/// than silently wrapping.
+fn check_record_count<S: TraceSource + ?Sized>(source: &S) -> Result<(), SimError> {
+    if source.record_count() > u64::from(u32::MAX) {
+        return Err(SimError::Config {
+            reason: "traces beyond 2^32 records are not supported".into(),
+        });
+    }
+    Ok(())
+}
+
+fn build_topology<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+) -> Result<Topology, SimError> {
+    Ok(Topology::build(
+        TopologyConfig::new(source.user_count(), config.neighborhood_size())
+            .with_per_peer_storage(config.per_peer_storage())
+            .with_stream_slots(config.stream_slots())
+            .with_coax_spec(*config.coax_spec()),
+    )?)
+}
+
+/// Precomputes the per-session context table (one pass; resident paths
+/// only — streaming paths compute contexts at ingestion).
+fn precompute_sessions(
+    records: &[SessionRecord],
+    catalog: &ProgramCatalog,
+    users: &UserMap,
+    segmenter: &Segmenter,
+) -> Result<Vec<SessionCtx>, SimError> {
+    let seg_len = segmenter.segment_len().as_secs();
+    records
+        .iter()
+        .map(|rec| session_ctx(rec, catalog, users, seg_len))
+        .collect()
+}
+
+/// Program slot costs, indexed by program — what Oracle schedules charge.
+fn schedule_costs(catalog: &ProgramCatalog, config: &SimConfig, segmenter: &Segmenter) -> Vec<u32> {
+    catalog
+        .iter()
+        .map(|(_, info)| {
+            u32::from(segmenter.segment_count(info.length)) * u32::from(config.replication())
+        })
+        .collect()
+}
+
+/// Builds the per-neighborhood Oracle schedules from per-neighborhood
+/// event lists.
+fn schedules_from_events(
+    per_nbhd: Vec<Vec<(SimTime, ProgramId)>>,
+    costs: &[u32],
+) -> Vec<Option<Arc<AccessSchedule>>> {
+    per_nbhd
+        .into_iter()
+        .map(|events| {
+            Some(Arc::new(AccessSchedule::from_events(
+                events,
+                costs.to_vec(),
+            )))
+        })
+        .collect()
+}
+
+/// Builds the per-neighborhood Oracle schedules from a resident record
+/// slice (empty for strategies that do not need them).
+fn build_schedules(
+    records: &[SessionRecord],
+    catalog: &ProgramCatalog,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
+    if !config.strategy().needs_schedule() {
+        return Ok(vec![None; topo.neighborhood_count()]);
+    }
+    let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
+    for r in records {
+        let nbhd = topo.neighborhood_of_user(r.user)?;
+        per_nbhd[nbhd.index()].push((r.start, r.program));
+    }
+    let costs = schedule_costs(catalog, config, segmenter);
+    Ok(schedules_from_events(per_nbhd, &costs))
+}
+
+/// Builds Oracle schedules with one streaming pass over the source.
+///
+/// Oracle is inherently offline — it needs the whole future — so this is
+/// the one strategy whose auxiliary state still grows with trace length
+/// (one `(time, program)` pair per record); all per-record *simulation*
+/// state stays bounded. [`AccessSchedule::from_events`] sorts, so the
+/// scan order (and with it the source's chunk layout) is irrelevant.
+fn schedules_from_scan<S: TraceSource + ?Sized>(
+    source: &S,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
+    let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
+    let mut buf = Vec::new();
+    for chunk in 0..source.chunk_count() {
+        source.read_chunk(chunk, &mut buf)?;
+        for r in &buf {
+            let nbhd = topo.neighborhood_of_user(r.user)?;
+            per_nbhd[nbhd.index()].push((r.start, r.program));
+        }
+    }
+    let costs = schedule_costs(source.catalog(), config, segmenter);
+    Ok(schedules_from_events(per_nbhd, &costs))
+}
+
+/// Builds the index server for neighborhood `n`. Shared by every driver so
+/// shard-local caches are configured exactly like serial ones (including
+/// the per-neighborhood placement RNG stream).
+fn build_index(
+    n: usize,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+    schedule: Option<Arc<AccessSchedule>>,
+) -> Result<IndexServer, SimError> {
+    let nominal = config.stream_rate() * config.segment_len();
+    let id = NeighborhoodId::new(n as u32);
+    let members: Vec<(PeerId, u32)> = topo
+        .neighborhood(id)?
+        .members()
+        .iter()
+        .map(|&p| {
+            Ok::<_, SimError>((
+                p,
+                (topo.stb(p)?.capacity().as_bits() / nominal.as_bits()) as u32,
+            ))
+        })
+        .collect::<Result<_, _>>()?;
+    // Give each neighborhood's random placement its own stream.
+    let placement = match config.placement() {
+        PlacementPolicy::Random { seed } => PlacementPolicy::Random {
+            seed: seed ^ ((n as u64) << 32),
+        },
+        other => other,
+    };
+    let ledger = SlotLedger::new(members, placement);
+    let strategy = config
+        .strategy()
+        .build(ledger.total_slots(), id, schedule)?;
+    let mut index =
+        IndexServer::with_replication(id, strategy, *segmenter, ledger, config.replication());
+    if let Some(fill) = config.fill_override() {
+        index.set_fill_policy(fill);
+    }
+    Ok(index)
+}
+
+/// Builds every neighborhood's index server.
+fn build_indexes(
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+    schedules: Vec<Option<Arc<AccessSchedule>>>,
+) -> Result<Vec<IndexServer>, SimError> {
+    schedules
+        .into_iter()
+        .enumerate()
+        .map(|(n, schedule)| build_index(n, topo, config, segmenter, schedule))
+        .collect()
+}
+
+/// The classic serial driver over a fully resident record slice:
+/// precomputed contexts, schedules and feed; whole-plant accounting.
+fn run_resident<S: TraceSource + ?Sized>(
+    records: &[SessionRecord],
+    source: &S,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+    let catalog = source.catalog();
+
+    let mut topo = build_topology(source, config)?;
+    let users = UserMap::from_topology(&topo);
+    let ctxs = precompute_sessions(records, catalog, &users, &segmenter)?;
+    let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
+    let feed = build_feed(records, &ctxs, config, &segmenter);
+    let indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+
+    let supply = ResidentSupply::new(records, &ctxs, None);
+    let provider = feed.as_ref().map(cablevod_cache::PrecomputedFeed::new);
+    let mut driver = SessionDriver::new(
+        supply, provider, &mut topo, indexes, 0, config, segmenter, None,
+    );
+    driver.run()?;
+    let (_, indexes, counters) = driver.into_parts();
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    Ok(assemble_serial_report(
+        &topo, &indexes, counters, days, warmup,
+    ))
+}
+
+/// The chunk runs a **serial** streaming replay merges: one run over all
+/// chunks for time-major sources, one run per group for
+/// neighborhood-major sources (any group size — the sequence-number merge
+/// restores global order).
+fn serial_runs<S: TraceSource + ?Sized>(source: &S) -> Vec<Vec<u32>> {
+    match source.neighborhood_layout() {
+        Some(layout) => layout.chunks.clone(),
+        None => vec![(0..source.chunk_count() as u32).collect()],
+    }
+}
+
+/// The serial driver over a chunked source: same event order as
+/// [`run_resident`], with records staged chunk by chunk, contexts computed
+/// at ingestion, and the feed carried by a single-producer watermark feed
+/// (bounded retention for free — see [`feed`]).
+fn run_streaming<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+) -> Result<SimReport, SimError> {
+    config.validate()?;
+    let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
+
+    let mut topo = build_topology(source, config)?;
+    let nbhd_count = topo.neighborhood_count();
+    let schedules = if config.strategy().needs_schedule() {
+        schedules_from_scan(source, &topo, config, &segmenter)?
+    } else {
+        vec![None; nbhd_count]
+    };
+    let indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+    let users = UserMap::from_topology(&topo);
+
+    let runs = serial_runs(source);
+    let wfeed = config
+        .strategy()
+        .needs_feed()
+        .then(|| WatermarkFeed::new(source.record_count(), 1, nbhd_count));
+    let provider = wfeed.as_ref().map(|f| SharedFeed::new(f, 0, 0..nbhd_count));
+    let supply = StreamSupply::new(
+        source,
+        runs.iter().map(Vec::as_slice),
+        None,
+        users,
+        config,
+        segmenter,
+    );
+    let mut driver = SessionDriver::new(
+        supply, provider, &mut topo, indexes, 0, config, segmenter, None,
+    );
+    driver.run()?;
+    let (_, indexes, counters) = driver.into_parts();
+
+    let days = source.days().max(1);
+    let warmup = config.warmup_days().min(days - 1);
+    Ok(assemble_serial_report(
+        &topo, &indexes, counters, days, warmup,
+    ))
+}
+
+/// The per-shard streaming plan: which chunk runs each shard merges, the
+/// Oracle schedules (when needed), and whether supplies must filter
+/// records by neighborhood.
+struct StreamPlan {
+    /// `shard_runs[n]` — the gidx-sorted chunk runs shard `n` merges.
+    shard_runs: Vec<Vec<Vec<u32>>>,
+    schedules: Vec<Option<Arc<AccessSchedule>>>,
+    /// Whether chunks can contain foreign records (false only on the
+    /// matched neighborhood-major fast path, where a chunk's records all
+    /// belong to its one shard).
+    filtered: bool,
+}
+
+/// Plans the streaming sharded replay.
+///
+/// * **Matched neighborhood-major source** (its group size equals the
+///   configured neighborhood size): each shard gets exactly its group's
+///   chunks straight from the file's chunk index — no pre-pass scan, no
+///   filtering, each chunk decoded once for the whole run.
+/// * Otherwise one streaming pre-pass builds, per shard, the pruned chunk
+///   runs holding at least one of its records (one run per source group,
+///   so each run stays gidx-sorted even when the source's grouping
+///   disagrees with the configured neighborhood size).
+///
+/// Oracle schedules ride along on the same scan when the strategy needs
+/// them.
+fn shard_plans<S: TraceSource + ?Sized>(
+    source: &S,
+    topo: &Topology,
+    config: &SimConfig,
+    segmenter: &Segmenter,
+) -> Result<StreamPlan, SimError> {
+    let nbhd_count = topo.neighborhood_count();
+    let needs_schedule = config.strategy().needs_schedule();
+    let matched = source.neighborhood_layout().is_some_and(|layout| {
+        layout.neighborhood_size == config.neighborhood_size() && layout.chunks.len() == nbhd_count
+    });
+
+    if matched {
+        let layout = source
+            .neighborhood_layout()
+            .expect("matched implies layout");
+        let shard_runs = layout
+            .chunks
+            .iter()
+            .map(|chunks| vec![chunks.clone()])
+            .collect();
+        let schedules = if needs_schedule {
+            schedules_from_scan(source, topo, config, segmenter)?
+        } else {
+            vec![None; nbhd_count]
+        };
+        return Ok(StreamPlan {
+            shard_runs,
+            schedules,
+            filtered: false,
+        });
+    }
+
+    let group_lists = serial_runs(source);
+    let mut shard_runs: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); group_lists.len()]; nbhd_count];
+    let mut sched_events: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); nbhd_count];
+    let mut buf = Vec::new();
+    let mut seen = vec![u32::MAX; nbhd_count];
+    for (g, chunks) in group_lists.iter().enumerate() {
+        for &chunk in chunks {
+            source.read_chunk(chunk as usize, &mut buf)?;
+            for r in &buf {
+                let n = topo.neighborhood_of_user(r.user)?.index();
+                if seen[n] != chunk {
+                    seen[n] = chunk;
+                    shard_runs[n][g].push(chunk);
+                }
+                if needs_schedule {
+                    sched_events[n].push((r.start, r.program));
+                }
+            }
+        }
+    }
+    for runs in &mut shard_runs {
+        runs.retain(|run| !run.is_empty());
+    }
+    let schedules = if needs_schedule {
+        let costs = schedule_costs(source.catalog(), config, segmenter);
+        schedules_from_events(sched_events, &costs)
+    } else {
+        vec![None; nbhd_count]
+    };
+    Ok(StreamPlan {
+        shard_runs,
+        schedules,
+        filtered: true,
+    })
+}

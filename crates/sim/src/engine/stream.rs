@@ -1,0 +1,304 @@
+//! Record supplies: where a [`SessionDriver`](super::lifecycle::
+//! SessionDriver) gets its sessions from.
+//!
+//! * [`ResidentSupply`] — a fully resident record slice with precomputed
+//!   contexts, optionally restricted to one shard's record subset. Zero
+//!   staging cost; feed events were precomputed, so it publishes nothing.
+//! * [`StreamSupply`] — the out-of-core supply: a gidx-ordered **merge**
+//!   over one or more [`ChunkRun`]s (sequential cursors over gidx-sorted
+//!   chunk lists), decoding one chunk per run at a time. It computes
+//!   contexts at ingestion, optionally filters to one neighborhood, and
+//!   publishes each accepted record's feed event. Publication timing never
+//!   affects results (consumers bound themselves by their own record
+//!   index), so each path picks the cheapest watermark granularity: a
+//!   **single-run** supply stages whole chunks, publishing at scan time
+//!   and advancing its watermark straight past each chunk (shards stay a
+//!   chunk apart on the frontier, never in per-record lock-step), while a
+//!   **multi-run** merge stages record by record and advances just past
+//!   each merged head.
+//!
+//! One merge shape covers every streaming path:
+//!
+//! | path                                   | runs                    | filter |
+//! |----------------------------------------|-------------------------|--------|
+//! | serial, time-major source              | 1 (all chunks)          | no     |
+//! | serial, neighborhood-major source      | 1 per group             | no     |
+//! | shard, time-major source               | 1 (runtime chunk index) | yes    |
+//! | shard, matching neighborhood-major     | 1 (its group's chunks)  | no     |
+//! | shard, mismatched neighborhood-major   | 1 per group (pruned)    | yes    |
+//!
+//! A single-run supply degenerates to plain sequential streaming with no
+//! merge overhead; the multi-run merge does a linear min-scan over run
+//! heads per record (run counts are neighborhood-group counts — tens to a
+//! few hundred — and only the fallback paths pay it).
+
+use std::collections::VecDeque;
+
+use cablevod_cache::FeedProvider;
+use cablevod_hfc::segment::Segmenter;
+use cablevod_hfc::units::SimTime;
+use cablevod_trace::catalog::ProgramCatalog;
+use cablevod_trace::record::SessionRecord;
+use cablevod_trace::source::TraceSource;
+
+use super::lifecycle::{
+    feed_event, session_ctx, PendingSession, RecordSupply, SessionCtx, UserMap,
+};
+use crate::config::SimConfig;
+use crate::error::SimError;
+
+/// Resident record slice with precomputed contexts, served in trace order
+/// (or the order of an explicit index subset).
+pub(super) struct ResidentSupply<'a> {
+    records: &'a [SessionRecord],
+    ctxs: &'a [SessionCtx],
+    /// When present, the (ascending) record indices this supply serves —
+    /// one shard's records. Otherwise every record.
+    subset: Option<&'a [u32]>,
+    pos: usize,
+}
+
+impl<'a> ResidentSupply<'a> {
+    pub(super) fn new(
+        records: &'a [SessionRecord],
+        ctxs: &'a [SessionCtx],
+        subset: Option<&'a [u32]>,
+    ) -> Self {
+        ResidentSupply {
+            records,
+            ctxs,
+            subset,
+            pos: 0,
+        }
+    }
+
+    fn current(&self) -> Option<u64> {
+        match self.subset {
+            Some(subset) => subset.get(self.pos).map(|&i| u64::from(i)),
+            None => (self.pos < self.records.len()).then_some(self.pos as u64),
+        }
+    }
+}
+
+impl<F: FeedProvider> RecordSupply<F> for ResidentSupply<'_> {
+    fn peek(&mut self, _feed: &mut Option<F>) -> Result<Option<(SimTime, u64)>, SimError> {
+        Ok(self
+            .current()
+            .map(|gidx| (self.records[gidx as usize].start, gidx)))
+    }
+
+    fn take(&mut self) -> PendingSession {
+        let gidx = self.current().expect("a record is staged");
+        self.pos += 1;
+        PendingSession {
+            gidx,
+            rec: self.records[gidx as usize],
+            ctx: self.ctxs[gidx as usize],
+        }
+    }
+}
+
+/// A sequential cursor over a gidx-ascending list of chunk ids, holding
+/// one decoded chunk at a time.
+pub(super) struct ChunkRun<'a, S: TraceSource + ?Sized> {
+    source: &'a S,
+    chunks: &'a [u32],
+    next: usize,
+    buf: Vec<(u64, SessionRecord)>,
+    pos: usize,
+}
+
+impl<'a, S: TraceSource + ?Sized> ChunkRun<'a, S> {
+    fn new(source: &'a S, chunks: &'a [u32]) -> Self {
+        ChunkRun {
+            source,
+            chunks,
+            next: 0,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// The run's head record, decoding forward as needed; `None` at end.
+    fn head(&mut self) -> Result<Option<(u64, SessionRecord)>, SimError> {
+        while self.pos == self.buf.len() {
+            if self.decode_next()?.is_none() {
+                return Ok(None);
+            }
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    fn pop_head(&mut self) {
+        self.pos += 1;
+    }
+
+    /// Decodes the run's next chunk into the internal buffer (batch
+    /// consumption); `None` at end of run.
+    fn decode_next(&mut self) -> Result<Option<&[(u64, SessionRecord)]>, SimError> {
+        let Some(&chunk) = self.chunks.get(self.next) else {
+            return Ok(None);
+        };
+        self.source
+            .read_chunk_indexed(chunk as usize, &mut self.buf)?;
+        self.pos = 0;
+        self.next += 1;
+        Ok(Some(&self.buf))
+    }
+
+    /// Lower bound on the global index of the run's next *undecoded*
+    /// record: the next chunk's first index, or `u64::MAX` at end of run.
+    fn next_chunk_first_index(&self) -> u64 {
+        self.chunks
+            .get(self.next)
+            .map_or(u64::MAX, |&c| self.source.chunk_first_index(c as usize))
+    }
+}
+
+/// The streaming supply (see the module docs).
+pub(super) struct StreamSupply<'a, S: TraceSource + ?Sized> {
+    runs: Vec<ChunkRun<'a, S>>,
+    /// Keep only records of this neighborhood (foreign records are
+    /// discarded unpublished: their owning shard publishes them).
+    filter: Option<u32>,
+    users: UserMap,
+    catalog: &'a ProgramCatalog,
+    config: &'a SimConfig,
+    segmenter: Segmenter,
+    seg_len: u64,
+    /// Staged sessions: up to a whole chunk's worth on the single-run
+    /// batch path, at most one on the multi-run merge path.
+    pending: VecDeque<PendingSession>,
+}
+
+impl<'a, S: TraceSource + ?Sized> StreamSupply<'a, S> {
+    pub(super) fn new(
+        source: &'a S,
+        run_chunks: impl IntoIterator<Item = &'a [u32]>,
+        filter: Option<u32>,
+        users: UserMap,
+        config: &'a SimConfig,
+        segmenter: Segmenter,
+    ) -> Self {
+        StreamSupply {
+            runs: run_chunks
+                .into_iter()
+                .map(|chunks| ChunkRun::new(source, chunks))
+                .collect(),
+            filter,
+            users,
+            catalog: source.catalog(),
+            config,
+            segmenter,
+            seg_len: segmenter.segment_len().as_secs(),
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Accepts one decoded record: filter, context, feed publication
+    /// (filtered-out foreign records are discarded unpublished — their
+    /// owning shard publishes them).
+    fn accept<F: FeedProvider>(
+        &mut self,
+        gidx: u64,
+        rec: &SessionRecord,
+        feed: &mut Option<F>,
+    ) -> Result<(), SimError> {
+        if let Some(keep) = self.filter {
+            if self.users.neighborhood_of_user(rec.user)?.index() as u32 != keep {
+                return Ok(());
+            }
+        }
+        let ctx = session_ctx(rec, self.catalog, &self.users, self.seg_len)?;
+        if let Some(feed) = feed.as_mut() {
+            feed.publish(gidx, feed_event(rec, &ctx, self.config, &self.segmenter));
+        }
+        self.pending.push_back(PendingSession {
+            gidx,
+            rec: *rec,
+            ctx,
+        });
+        Ok(())
+    }
+
+    /// Single-run staging: decode whole chunks, publishing every accepted
+    /// record's feed event at scan time (safe — consumers bound themselves
+    /// by their own record index, so an early-published event is never
+    /// visible early) and advancing the watermark straight past each
+    /// decoded chunk. Chunk-granular watermarks keep shards far apart on
+    /// the feed frontier instead of in per-record lock-step.
+    fn stage_batch<F: FeedProvider>(&mut self, feed: &mut Option<F>) -> Result<(), SimError> {
+        while self.pending.is_empty() {
+            if self.runs[0].decode_next()?.is_none() {
+                return Ok(()); // exhausted
+            }
+            // Consume the decoded chunk wholesale (the buffer is loaned
+            // out and handed back so its allocation is reused).
+            let records = std::mem::take(&mut self.runs[0].buf);
+            for &(gidx, ref rec) in &records {
+                self.accept(gidx, rec, feed)?;
+            }
+            self.runs[0].pos = records.len();
+            self.runs[0].buf = records;
+            if let Some(feed) = feed.as_mut() {
+                // Everything before the run's next chunk is published (our
+                // accepted records above) or foreign.
+                feed.advance(self.runs[0].next_chunk_first_index());
+            }
+        }
+        Ok(())
+    }
+
+    /// Multi-run staging: merge the runs by global index, one record at a
+    /// time, advancing the watermark just past each staged record.
+    fn stage_merge<F: FeedProvider>(&mut self, feed: &mut Option<F>) -> Result<(), SimError> {
+        while self.pending.is_empty() {
+            // The run holding the globally next record: minimum head gidx.
+            let mut best: Option<(u64, usize)> = None;
+            for i in 0..self.runs.len() {
+                if let Some((gidx, _)) = self.runs[i].head()? {
+                    if best.is_none_or(|(b, _)| gidx < b) {
+                        best = Some((gidx, i));
+                    }
+                }
+            }
+            let Some((gidx, run)) = best else {
+                return Ok(()); // exhausted
+            };
+            let (_, rec) = self.runs[run].head()?.expect("head just observed");
+            self.runs[run].pop_head();
+            self.accept(gidx, &rec, feed)?;
+            if let Some(feed) = feed.as_mut() {
+                // Everything below this record is published (our earlier
+                // records, in gidx order) or foreign — discards advance
+                // the watermark too, so filtered merges never stall the
+                // frontier on records they will never own.
+                feed.advance(gidx + 1);
+            }
+        }
+        Ok(())
+    }
+
+    fn stage<F: FeedProvider>(&mut self, feed: &mut Option<F>) -> Result<(), SimError> {
+        if self.runs.len() == 1 {
+            self.stage_batch(feed)
+        } else if !self.runs.is_empty() {
+            self.stage_merge(feed)
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl<S: TraceSource + ?Sized, F: FeedProvider> RecordSupply<F> for StreamSupply<'_, S> {
+    fn peek(&mut self, feed: &mut Option<F>) -> Result<Option<(SimTime, u64)>, SimError> {
+        if self.pending.is_empty() {
+            self.stage(feed)?;
+        }
+        Ok(self.pending.front().map(|p| (p.rec.start, p.gidx)))
+    }
+
+    fn take(&mut self) -> PendingSession {
+        self.pending.pop_front().expect("a record is staged")
+    }
+}

@@ -1,0 +1,332 @@
+//! Engine unit tests: physics invariants of the serial reference path,
+//! equivalence of the sharded and streaming drivers, and lifecycle
+//! internals (the active-session slab).
+
+use super::lifecycle::ActiveSessions;
+use super::*;
+use cablevod_cache::StrategySpec;
+use cablevod_hfc::ids::{ProgramId, UserId};
+use cablevod_hfc::units::{BitRate, DataSize, SimDuration};
+use cablevod_trace::record::Trace;
+use cablevod_trace::source::ChunkedTrace;
+use cablevod_trace::synth::{generate, SynthConfig};
+
+fn small_trace() -> Trace {
+    generate(&SynthConfig {
+        users: 600,
+        programs: 150,
+        days: 6,
+        ..SynthConfig::smoke_test()
+    })
+}
+
+fn base_config() -> SimConfig {
+    SimConfig::paper_default()
+        .with_neighborhood_size(200)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(2)
+}
+
+#[test]
+fn no_cache_equals_offered_load() {
+    let trace = small_trace();
+    let report = run(&trace, &base_config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    assert_eq!(report.cache.hits, 0);
+    assert_eq!(report.hit_rate(), 0.0);
+    // Server carries every watched second at the stream rate.
+    let expected_bits = trace
+        .records()
+        .iter()
+        .map(|r| {
+            let len = trace.catalog().length(r.program).expect("valid");
+            r.watched(len).as_secs() * BitRate::STREAM_MPEG2_SD.as_bps()
+        })
+        .sum::<u64>();
+    assert_eq!(report.server_total.as_bits(), expected_bits);
+    assert_eq!(report.sessions as usize, trace.len());
+}
+
+#[test]
+fn caching_reduces_server_load() {
+    let trace = small_trace();
+    let none = run(&trace, &base_config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    let lfu = run(&trace, &base_config()).expect("runs");
+    assert!(lfu.cache.hits > 0, "cache must produce hits");
+    assert!(
+        lfu.server_total < none.server_total,
+        "lfu {} vs none {}",
+        lfu.server_total,
+        none.server_total
+    );
+    assert!(lfu.server_peak.mean < none.server_peak.mean);
+}
+
+#[test]
+fn coax_load_is_identical_with_and_without_cache() {
+    // §VI-B: broadcast means every segment crosses the coax once no
+    // matter who serves it.
+    let trace = small_trace();
+    let none = run(&trace, &base_config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    let lfu = run(&trace, &base_config()).expect("runs");
+    assert_eq!(none.coax_peak.mean, lfu.coax_peak.mean);
+    assert_eq!(none.segment_requests, lfu.segment_requests);
+}
+
+#[test]
+fn oracle_dominates_lfu_dominates_nothing() {
+    let trace = small_trace();
+    let none = run(&trace, &base_config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    let lfu = run(&trace, &base_config()).expect("runs");
+    let oracle = run(
+        &trace,
+        &base_config().with_strategy(StrategySpec::default_oracle()),
+    )
+    .expect("runs");
+    assert!(
+        oracle.server_total <= lfu.server_total,
+        "oracle must not lose to LFU"
+    );
+    assert!(lfu.server_total < none.server_total);
+}
+
+#[test]
+fn deterministic_reports() {
+    let trace = small_trace();
+    let a = run(&trace, &base_config()).expect("runs");
+    let b = run(&trace, &base_config()).expect("runs");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn server_plus_peer_bytes_conserve_demand() {
+    let trace = small_trace();
+    let report = run(&trace, &base_config()).expect("runs");
+    // Total coax bytes = total demand; server bytes = misses only.
+    let coax_total: u64 = {
+        // recompute demand from the trace
+        trace
+            .records()
+            .iter()
+            .map(|r| {
+                let len = trace.catalog().length(r.program).expect("valid");
+                r.watched(len).as_secs() * BitRate::STREAM_MPEG2_SD.as_bps()
+            })
+            .sum()
+    };
+    assert!(report.server_total.as_bits() <= coax_total);
+    assert_eq!(
+        report.cache.requests(),
+        report.segment_requests,
+        "every segment request is resolved exactly once"
+    );
+}
+
+#[test]
+fn global_lfu_runs_and_uses_feed() {
+    let trace = small_trace();
+    let config = base_config().with_strategy(StrategySpec::GlobalLfu {
+        history: SimDuration::from_days(3),
+        lag: SimDuration::from_minutes(30),
+    });
+    let report = run(&trace, &config).expect("runs");
+    assert!(report.cache.hits > 0);
+}
+
+#[test]
+fn seeking_sessions_request_interior_segments() {
+    let trace = generate(&SynthConfig {
+        users: 600,
+        programs: 150,
+        days: 6,
+        seek_prob: 0.3,
+        ..SynthConfig::smoke_test()
+    });
+    assert!(
+        trace.iter().any(|r| r.offset.as_secs() > 0),
+        "workload must contain seeks"
+    );
+    let none = run(&trace, &base_config().with_strategy(StrategySpec::NoCache)).expect("runs");
+    // Conservation still holds with seeks.
+    let expected_bits: u64 = trace
+        .records()
+        .iter()
+        .map(|r| {
+            let len = trace.catalog().length(r.program).expect("valid");
+            r.watched(len).as_secs() * BitRate::STREAM_MPEG2_SD.as_bps()
+        })
+        .sum();
+    assert_eq!(none.server_total.as_bits(), expected_bits);
+    // Caching still works on a seeking workload.
+    let lfu = run(&trace, &base_config()).expect("runs");
+    assert!(lfu.cache.hits > 0);
+    assert!(lfu.server_total < none.server_total);
+}
+
+#[test]
+fn replication_two_runs() {
+    let trace = small_trace();
+    let report = run(&trace, &base_config().with_replication(2)).expect("runs");
+    assert!(report.cache.hits > 0);
+}
+
+#[test]
+fn parallel_matches_serial_on_every_strategy() {
+    let trace = small_trace();
+    for spec in [
+        StrategySpec::NoCache,
+        StrategySpec::Lru,
+        StrategySpec::default_lfu(),
+        StrategySpec::default_oracle(),
+        StrategySpec::GlobalLfu {
+            history: SimDuration::from_days(3),
+            lag: SimDuration::from_minutes(30),
+        },
+    ] {
+        let config = base_config().with_strategy(spec);
+        let serial = run(&trace, &config).expect("serial runs");
+        for threads in [1, 2, 8] {
+            let parallel = run_parallel(&trace, &config, threads).expect("parallel runs");
+            assert_eq!(parallel, serial, "strategy {spec:?}, threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_with_seeks_and_replication() {
+    let trace = generate(&SynthConfig {
+        users: 500,
+        programs: 120,
+        days: 5,
+        seek_prob: 0.25,
+        ..SynthConfig::smoke_test()
+    });
+    let config = base_config().with_replication(2);
+    let serial = run(&trace, &config).expect("serial runs");
+    let parallel = run_parallel(&trace, &config, 3).expect("parallel runs");
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn parallel_matches_serial_under_random_placement() {
+    let trace = small_trace();
+    let config = base_config().with_placement(PlacementPolicy::Random { seed: 7 });
+    let serial = run(&trace, &config).expect("serial runs");
+    let parallel = run_parallel(&trace, &config, 4).expect("parallel runs");
+    assert_eq!(parallel, serial);
+}
+
+#[test]
+fn parallel_rejects_invalid_configs_like_serial() {
+    let trace = small_trace();
+    let config = base_config().with_neighborhood_size(0);
+    assert!(run_parallel(&trace, &config, 2).is_err());
+}
+
+#[test]
+fn streaming_serial_matches_resident_on_every_strategy() {
+    let trace = small_trace();
+    for spec in [
+        StrategySpec::NoCache,
+        StrategySpec::Lru,
+        StrategySpec::default_lfu(),
+        StrategySpec::default_oracle(),
+        StrategySpec::GlobalLfu {
+            history: SimDuration::from_days(3),
+            lag: SimDuration::from_minutes(30),
+        },
+    ] {
+        let config = base_config().with_strategy(spec);
+        let resident = run(&trace, &config).expect("resident runs");
+        for chunk in [64usize, trace.len()] {
+            let streamed = run(&ChunkedTrace::new(&trace, chunk), &config).expect("streaming runs");
+            assert_eq!(streamed, resident, "strategy {spec:?}, chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn streaming_parallel_matches_serial_with_watermark_feed() {
+    let trace = small_trace();
+    let config = base_config().with_strategy(StrategySpec::GlobalLfu {
+        history: SimDuration::from_days(3),
+        lag: SimDuration::from_minutes(30),
+    });
+    let serial = run(&trace, &config).expect("serial runs");
+    for (chunk, threads) in [(1usize, 2usize), (64, 1), (64, 3), (trace.len(), 2)] {
+        let source = ChunkedTrace::new(&trace, chunk);
+        let streamed = run_parallel(&source, &config, threads).expect("streaming runs");
+        assert_eq!(streamed, serial, "chunk {chunk}, threads {threads}");
+    }
+}
+
+#[test]
+fn streaming_rejects_invalid_configs() {
+    let trace = small_trace();
+    let source = ChunkedTrace::new(&trace, 64);
+    let config = base_config().with_neighborhood_size(0);
+    assert!(run(&source, &config).is_err());
+    assert!(run_parallel(&source, &config, 2).is_err());
+}
+
+fn slab_entry(i: u32) -> (cablevod_trace::record::SessionRecord, SessionCtx) {
+    let rec = cablevod_trace::record::SessionRecord::new(
+        UserId::new(i),
+        ProgramId::new(i),
+        SimTime::from_secs(u64::from(i)),
+        SimDuration::from_secs(60),
+    );
+    let ctx = SessionCtx {
+        nbhd: 0,
+        home: cablevod_hfc::ids::PeerId::new(i),
+        length: SimDuration::from_hours(1),
+        watched: SimDuration::from_secs(60),
+        offset: 0,
+        first_seg: 0,
+    };
+    (rec, ctx)
+}
+
+#[test]
+fn active_sessions_reuse_freed_slots() {
+    let mut slab = ActiveSessions::default();
+    let (r0, c0) = slab_entry(0);
+    let (r1, c1) = slab_entry(1);
+    let a = slab.insert(r0, c0);
+    let b = slab.insert(r1, c1);
+    assert_ne!(a, b);
+    assert_eq!(slab.allocated(), 2);
+
+    // Freeing then inserting must reuse the slot, not grow the slab.
+    slab.remove(a);
+    assert_eq!(slab.free_count(), 1);
+    let (r2, c2) = slab_entry(2);
+    let c = slab.insert(r2, c2);
+    assert_eq!(c, a, "freed slot is reused");
+    assert_eq!(slab.allocated(), 2, "slab did not grow");
+    assert_eq!(slab.free_count(), 0);
+    assert_eq!(slab.get(c).0, r2, "slot holds the new session");
+    assert_eq!(slab.get(b).0, r1, "other slot untouched");
+}
+
+#[test]
+fn active_sessions_bound_allocation_by_concurrency() {
+    // Churning insert/remove pairs must keep the slab at the concurrency
+    // high-water mark, not the total session count.
+    let mut slab = ActiveSessions::default();
+    let mut live = Vec::new();
+    for i in 0..1_000u32 {
+        let (r, c) = slab_entry(i);
+        live.push(slab.insert(r, c));
+        if live.len() == 4 {
+            // retire the oldest three
+            for slot in live.drain(..3) {
+                slab.remove(slot);
+            }
+        }
+    }
+    assert!(
+        slab.allocated() <= 4,
+        "slab grew to {} slots for 4-concurrent sessions",
+        slab.allocated()
+    );
+}

@@ -8,7 +8,7 @@
 //! * [`crate::engine::run_parallel`] executes *one simulation* by sharding
 //!   it per neighborhood and scheduling the shards over a worker pool.
 //!
-//! Both use [`run_indexed`]: a scoped work-stealing pool that runs
+//! Both use `run_indexed`: a scoped work-stealing pool that runs
 //! `job(i)` for every index exactly once and returns results in input
 //! order, so output ordering is deterministic no matter which worker ran
 //! which job.

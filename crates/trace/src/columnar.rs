@@ -3,8 +3,8 @@
 //! Fully-materialized `Vec<SessionRecord>` traces cap workloads at RAM.
 //! This module defines an on-disk layout that the simulation engine can
 //! replay **out of core**: records are stored column-wise (SoA) inside
-//! fixed-size, time-ordered chunks, so a reader touches one chunk of each
-//! column at a time and never needs the whole trace resident.
+//! fixed-size chunks, so a reader touches one chunk of each column at a
+//! time and never needs the whole trace resident.
 //!
 //! The format is **dependency-free by design**: it is written and read
 //! with `std::fs::File` only (no serialization crates), because the build
@@ -12,7 +12,26 @@
 //! `vendor/README.md`) and the trace pipeline must not grow a real
 //! serialization dependency it cannot have.
 //!
-//! # Format specification (version 1)
+//! # Two chunk layouts
+//!
+//! * **Time-major** (the default): chunks partition the global
+//!   time-ordered record sequence; chunk `k + 1` continues exactly where
+//!   chunk `k` ended. This is the natural layout for sequential import
+//!   (CSV conversion, synthetic generation straight to disk) and serial
+//!   replay.
+//! * **Neighborhood-major**: each chunk holds records of exactly **one
+//!   neighborhood group** (the deterministic §V-B user shuffle for a
+//!   declared neighborhood size — see [`crate::rechunk`]), in global
+//!   order within the group, with every record's **global sequence
+//!   number** stored in an extra column. The directory tags each chunk
+//!   with its group, and the reader exposes the per-neighborhood chunk
+//!   index as a [`NeighborhoodLayout`]. A sharded streaming replay whose
+//!   neighborhood size matches then decodes each chunk exactly once — in
+//!   the time-major layout users are shuffled across every chunk, so each
+//!   of `S` shards decodes nearly every chunk and a run costs ~`S × file`
+//!   decode work.
+//!
+//! # Format specification (version 2)
 //!
 //! All integers are **little-endian**, packed with no padding.
 //!
@@ -20,28 +39,30 @@
 //!
 //! ```text
 //! +-----------------+
-//! | header          |  fixed 44 bytes
+//! | header          |  fixed 52 bytes
 //! | catalog         |  4 + 16 * program_count bytes
 //! | chunk 0 columns |
 //! | chunk 1 columns |
 //! | ...             |
-//! | chunk directory |  36 * chunk_count bytes, at header.directory_offset
+//! | chunk directory |  40 * chunk_count bytes, at header.directory_offset
 //! +-----------------+
 //! ```
 //!
-//! ## Header (44 bytes)
+//! ## Header (52 bytes)
 //!
-//! | offset | size | field            | notes                              |
-//! |-------:|-----:|------------------|------------------------------------|
-//! |      0 |    4 | magic            | `b"CVTC"`                          |
-//! |      4 |    4 | version          | `u32` = 1                          |
-//! |      8 |    4 | user_count       | `u32`, dense ids `0..user_count`   |
-//! |     12 |    8 | days             | `u64` nominal trace length         |
-//! |     20 |    8 | record_count     | `u64` total records                |
-//! |     28 |    4 | chunk_size       | `u32` records per chunk (last may be short) |
-//! |     32 |    4 | chunk_count      | `u32`                              |
-//! |     36 |    8 | directory_offset | `u64` file offset of the directory |
-//!
+//! | offset | size | field             | notes                              |
+//! |-------:|-----:|-------------------|------------------------------------|
+//! |      0 |    4 | magic             | `b"CVTC"`                          |
+//! |      4 |    4 | version           | `u32` = 2                          |
+//! |      8 |    4 | user_count        | `u32`, dense ids `0..user_count`   |
+//! |     12 |    8 | days              | `u64` nominal trace length         |
+//! |     20 |    8 | record_count      | `u64` total records                |
+//! |     28 |    4 | chunk_size        | `u32` records per chunk (chunks may be short) |
+//! |     32 |    4 | chunk_count       | `u32`                              |
+//! |     36 |    8 | directory_offset  | `u64` file offset of the directory |
+//! |     44 |    4 | layout            | `u32`: 0 = time-major, 1 = neighborhood-major |
+//! |     48 |    4 | neighborhood_size | `u32` group parameter (0 for time-major) |
+//! |
 //! ## Catalog
 //!
 //! `program_count: u32`, then per program (dense ids in order):
@@ -49,41 +70,46 @@
 //!
 //! ## Chunk columns
 //!
-//! Each chunk holds `n` records (`n == chunk_size` except possibly the
-//! last) as five contiguous column arrays, in this order and with these
-//! widths:
+//! Each chunk holds `n` records as contiguous column arrays, in this order
+//! and with these widths:
 //!
-//! | column        | element | bytes per element |
-//! |---------------|---------|------------------:|
-//! | user          | `u32`   | 4                 |
-//! | program       | `u32`   | 4                 |
-//! | start_secs    | `u64`   | 8                 |
-//! | duration_secs | `u32`   | 4                 |
-//! | offset_secs   | `u32`   | 4                 |
+//! | column        | element | bytes per element | layouts            |
+//! |---------------|---------|------------------:|--------------------|
+//! | user          | `u32`   | 4                 | both               |
+//! | program       | `u32`   | 4                 | both               |
+//! | start_secs    | `u64`   | 8                 | both               |
+//! | duration_secs | `u32`   | 4                 | both               |
+//! | offset_secs   | `u32`   | 4                 | both               |
+//! | gseq          | `u64`   | 8                 | neighborhood-major |
 //!
 //! Durations and seek offsets are bounded by program lengths (hours), so
-//! 32 bits are ample; the writer rejects values that do not fit.
+//! 32 bits are ample; the writer rejects values that do not fit. `gseq`
+//! is a record's index in the global time-ordered sequence — the identity
+//! the feed protocol and the event loop key on — which the time-major
+//! layout gets for free (`first_index + position`) and the
+//! neighborhood-major layout must store.
 //!
-//! ## Chunk directory (36 bytes per chunk)
+//! ## Chunk directory (40 bytes per chunk)
 //!
 //! | field            | type  | meaning                                        |
 //! |------------------|-------|------------------------------------------------|
 //! | file_offset      | `u64` | where the chunk's columns begin                |
 //! | record_count     | `u32` | records in this chunk                          |
-//! | first_index      | `u64` | global index of the chunk's first record       |
+//! | first_index      | `u64` | global sequence number of the chunk's first record |
 //! | first_start_secs | `u64` | start of the chunk's first (earliest) record   |
-//! | watermark_secs   | `u64` | start of the chunk's last record — the **feed watermark**: every record (and thus every global-feed event) in later chunks starts at or after this instant |
+//! | watermark_secs   | `u64` | start of the chunk's last record               |
+//! | group            | `u32` | neighborhood group (`u32::MAX` for time-major) |
 //!
-//! Records must be in non-decreasing start order **across the whole
-//! file** (the writer enforces it), which is what makes the per-chunk
-//! watermarks meaningful: a consumer that has replayed chunks `0..k` has
-//! seen every event strictly before `directory[k].watermark_secs`.
+//! Ordering invariants (writer-enforced, reader-validated):
 //!
-//! Note on shard addressing: which *neighborhood* a record belongs to is a
-//! function of the simulation topology (users are shuffled into
-//! neighborhoods), not of the trace, so the per-neighborhood chunk index
-//! used by the sharded engine is built at run time from one streaming pass
-//! over the file — see `cablevod_sim::engine`.
+//! * **time-major**: `first_index` is dense (`chunk k+1` starts where `k`
+//!   ended) and starts are non-decreasing across the whole file, so a
+//!   consumer that replayed chunks `0..k` has seen every event strictly
+//!   before `directory[k].watermark_secs`;
+//! * **neighborhood-major**: the same two invariants hold **per group**
+//!   (`first_index` strictly ascending, `first_start` at or after the
+//!   group's previous watermark); chunks of different groups may
+//!   interleave freely in the file.
 //!
 //! # Examples
 //!
@@ -101,6 +127,7 @@
 use std::fs::File;
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cablevod_hfc::ids::{ProgramId, UserId};
 use cablevod_hfc::units::{SimDuration, SimTime};
@@ -108,25 +135,57 @@ use cablevod_hfc::units::{SimDuration, SimTime};
 use crate::catalog::{ProgramCatalog, ProgramInfo};
 use crate::error::TraceError;
 use crate::record::{SessionRecord, Trace};
-use crate::source::TraceSource;
+use crate::source::{DecodeStats, NeighborhoodLayout, TraceSource};
 
 /// The four magic bytes opening every columnar trace file.
 pub const MAGIC: [u8; 4] = *b"CVTC";
 /// The format version this module writes and reads.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 /// Default records per chunk: 64 Ki records ≈ 1.5 MiB of columns — large
 /// enough to amortize syscalls, small enough that a reader's resident set
 /// stays a rounding error next to the simulation state.
 pub const DEFAULT_CHUNK_SIZE: u32 = 65_536;
 
-const HEADER_LEN: u64 = 44;
-const DIR_ENTRY_LEN: usize = 36;
+const HEADER_LEN: u64 = 52;
+const DIR_ENTRY_LEN: usize = 40;
 const CATALOG_ENTRY_LEN: usize = 16;
 const BYTES_PER_RECORD: usize = 24;
+const BYTES_PER_RECORD_INDEXED: usize = 32;
+/// Directory group tag of time-major chunks.
+const NO_GROUP: u32 = u32::MAX;
 
 fn format_err(reason: impl Into<String>) -> TraceError {
     TraceError::Format {
         reason: reason.into(),
+    }
+}
+
+/// How a file partitions records into chunks (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChunkLayout {
+    /// Chunks partition the global time-ordered sequence.
+    #[default]
+    TimeMajor,
+    /// Each chunk holds one neighborhood group's records.
+    NeighborhoodMajor {
+        /// The neighborhood size the §V-B shuffle was evaluated at.
+        neighborhood_size: u32,
+    },
+}
+
+impl ChunkLayout {
+    fn tag(self) -> (u32, u32) {
+        match self {
+            ChunkLayout::TimeMajor => (0, 0),
+            ChunkLayout::NeighborhoodMajor { neighborhood_size } => (1, neighborhood_size),
+        }
+    }
+
+    fn record_bytes(self) -> usize {
+        match self {
+            ChunkLayout::TimeMajor => BYTES_PER_RECORD,
+            ChunkLayout::NeighborhoodMajor { .. } => BYTES_PER_RECORD_INDEXED,
+        }
     }
 }
 
@@ -137,43 +196,65 @@ pub struct ChunkMeta {
     pub file_offset: u64,
     /// Records in this chunk.
     pub record_count: u32,
-    /// Global index of the chunk's first record.
+    /// Global sequence number of the chunk's first record.
     pub first_index: u64,
     /// Start instant of the chunk's first record.
     pub first_start: SimTime,
     /// Start instant of the chunk's last record; every event in later
-    /// chunks is at or after this — the chunk's feed watermark.
+    /// chunks *of the same group* (of any later chunk, for time-major
+    /// files) is at or after this.
     pub watermark: SimTime,
+    /// Neighborhood group (`None` for time-major chunks).
+    pub group: Option<u32>,
+}
+
+/// One in-progress chunk's column buffers plus per-group ordering state.
+#[derive(Debug, Default)]
+struct ChunkBuf {
+    users: Vec<u32>,
+    programs: Vec<u32>,
+    starts: Vec<u64>,
+    durations: Vec<u32>,
+    offsets: Vec<u32>,
+    /// Only populated for the neighborhood-major layout (the time-major
+    /// column is implicit: `first_gseq + position`).
+    gseqs: Vec<u64>,
+    /// Sequence number of the buffer's first record.
+    first_gseq: u64,
+    last_start: u64,
+    last_gseq: u64,
+    any: bool,
 }
 
 /// Streaming writer: records go to disk chunk by chunk; nothing but the
-/// current chunk's columns and the (small) directory is ever resident.
+/// in-progress chunk buffers (one per neighborhood group for the
+/// neighborhood-major layout) and the (small) directory is ever resident.
 ///
-/// Call [`ColumnarWriter::push`] for every record in non-decreasing start
-/// order, then [`ColumnarWriter::finish`] to write the directory and patch
-/// the header. A file dropped before `finish` keeps a sentinel record
-/// count and is rejected by [`ColumnarReader::open`].
+/// Call [`ColumnarWriter::push`] for every record in global order — or
+/// [`ColumnarWriter::push_indexed`] with explicit global sequence numbers
+/// when re-chunking — then [`ColumnarWriter::finish`] to write the
+/// directory and patch the header. A file dropped before `finish` keeps a
+/// sentinel record count and is rejected by [`ColumnarReader::open`].
 #[derive(Debug)]
 pub struct ColumnarWriter {
     out: BufWriter<File>,
     user_count: u32,
     program_count: u32,
     chunk_size: u32,
-    // Current chunk's column buffers.
-    users: Vec<u32>,
-    programs: Vec<u32>,
-    starts: Vec<u64>,
-    durations: Vec<u32>,
-    offsets: Vec<u32>,
-    // Bookkeeping.
+    layout: ChunkLayout,
+    /// Group of each user (empty for time-major: everything is group 0 of
+    /// a single buffer).
+    group_of_user: Vec<u32>,
+    bufs: Vec<ChunkBuf>,
     directory: Vec<ChunkMeta>,
     next_offset: u64,
     record_count: u64,
-    last_start: u64,
+    next_gseq: u64,
 }
 
 impl ColumnarWriter {
-    /// Creates `path` and writes the header and catalog.
+    /// Creates `path` with the time-major layout and writes the header and
+    /// catalog.
     ///
     /// # Errors
     ///
@@ -186,9 +267,72 @@ impl ColumnarWriter {
         days: u64,
         chunk_size: u32,
     ) -> Result<Self, TraceError> {
+        Self::create_with_groups(path, catalog, user_count, days, chunk_size, None)
+    }
+
+    /// Creates `path` with the neighborhood-major layout for
+    /// `neighborhood_size`-sized groups. `group_of_user[u]` is user `u`'s
+    /// group — compute it with
+    /// [`rechunk::neighborhood_groups`](crate::rechunk::neighborhood_groups)
+    /// so it matches the simulator's §V-B shuffle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] for a zero `chunk_size` or a group
+    /// table that does not cover `user_count`, and propagates I/O
+    /// failures.
+    pub fn create_neighborhood_major(
+        path: impl AsRef<Path>,
+        catalog: &ProgramCatalog,
+        user_count: u32,
+        days: u64,
+        chunk_size: u32,
+        neighborhood_size: u32,
+        group_of_user: Vec<u32>,
+    ) -> Result<Self, TraceError> {
+        if group_of_user.len() != user_count as usize {
+            return Err(format_err(format!(
+                "group table covers {} users, file declares {user_count}",
+                group_of_user.len()
+            )));
+        }
+        Self::create_with_groups(
+            path,
+            catalog,
+            user_count,
+            days,
+            chunk_size,
+            Some((neighborhood_size, group_of_user)),
+        )
+    }
+
+    fn create_with_groups(
+        path: impl AsRef<Path>,
+        catalog: &ProgramCatalog,
+        user_count: u32,
+        days: u64,
+        chunk_size: u32,
+        groups: Option<(u32, Vec<u32>)>,
+    ) -> Result<Self, TraceError> {
         if chunk_size == 0 {
             return Err(format_err("chunk size must be at least 1 record"));
         }
+        let (layout, group_of_user) = match groups {
+            None => (ChunkLayout::TimeMajor, Vec::new()),
+            Some((neighborhood_size, table)) => {
+                if neighborhood_size == 0 {
+                    return Err(format_err("neighborhood size must be at least 1"));
+                }
+                (ChunkLayout::NeighborhoodMajor { neighborhood_size }, table)
+            }
+        };
+        let group_count = match layout {
+            ChunkLayout::TimeMajor => 1,
+            ChunkLayout::NeighborhoodMajor { .. } => {
+                group_of_user.iter().max().map_or(1, |&g| g as usize + 1)
+            }
+        };
+
         let file = File::create(path)?;
         let mut out = BufWriter::with_capacity(1 << 16, file);
 
@@ -196,6 +340,7 @@ impl ColumnarWriter {
         // patched by `finish`. Until then record_count holds a sentinel so
         // a torn file (writer crashed mid-generation) is rejected at open
         // instead of silently parsing as a valid empty trace.
+        let (layout_tag, group_param) = layout.tag();
         out.write_all(&MAGIC)?;
         out.write_all(&VERSION.to_le_bytes())?;
         out.write_all(&user_count.to_le_bytes())?;
@@ -204,6 +349,8 @@ impl ColumnarWriter {
         out.write_all(&chunk_size.to_le_bytes())?;
         out.write_all(&0u32.to_le_bytes())?; // chunk_count
         out.write_all(&0u64.to_le_bytes())?; // directory_offset
+        out.write_all(&layout_tag.to_le_bytes())?;
+        out.write_all(&group_param.to_le_bytes())?;
 
         out.write_all(&(catalog.len() as u32).to_le_bytes())?;
         for (_, info) in catalog.iter() {
@@ -212,33 +359,43 @@ impl ColumnarWriter {
         }
 
         let next_offset = HEADER_LEN + 4 + 16 * catalog.len() as u64;
-        let cap = chunk_size as usize;
         Ok(ColumnarWriter {
             out,
             user_count,
             program_count: catalog.len() as u32,
             chunk_size,
-            users: Vec::with_capacity(cap),
-            programs: Vec::with_capacity(cap),
-            starts: Vec::with_capacity(cap),
-            durations: Vec::with_capacity(cap),
-            offsets: Vec::with_capacity(cap),
+            layout,
+            group_of_user,
+            bufs: (0..group_count).map(|_| ChunkBuf::default()).collect(),
             directory: Vec::new(),
             next_offset,
             record_count: 0,
-            last_start: 0,
+            next_gseq: 0,
         })
     }
 
-    /// Appends one record; flushes a full chunk to disk.
+    /// Appends one record in global order (its global sequence number is
+    /// the running record count); flushes a full chunk to disk.
     ///
     /// # Errors
     ///
-    /// Returns [`TraceError::Format`] when `rec` starts before the
-    /// previous record or its duration/offset overflows the 32-bit
-    /// columns, the `Dangling*` variants for out-of-range references, and
-    /// propagates I/O failures.
+    /// As for [`push_indexed`](ColumnarWriter::push_indexed).
     pub fn push(&mut self, rec: &SessionRecord) -> Result<(), TraceError> {
+        let gseq = self.next_gseq;
+        self.push_indexed(gseq, rec)
+    }
+
+    /// Appends one record with an explicit global sequence number (the
+    /// re-chunking path, where records arrive grouped rather than in
+    /// global order); flushes a full chunk to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] when `rec` breaks its group's
+    /// start-time or sequence ordering or its duration/offset overflows
+    /// the 32-bit columns, the `Dangling*` variants for out-of-range
+    /// references, and propagates I/O failures.
+    pub fn push_indexed(&mut self, gseq: u64, rec: &SessionRecord) -> Result<(), TraceError> {
         if rec.program.value() >= self.program_count {
             return Err(TraceError::DanglingProgram {
                 program: rec.program,
@@ -247,11 +404,31 @@ impl ColumnarWriter {
         if rec.user.value() >= self.user_count {
             return Err(TraceError::DanglingUser { user: rec.user });
         }
+        let group = match self.layout {
+            ChunkLayout::TimeMajor => {
+                if gseq != self.next_gseq {
+                    return Err(format_err(format!(
+                        "time-major records must carry dense sequence numbers: got {gseq}, \
+                         expected {}",
+                        self.next_gseq
+                    )));
+                }
+                0
+            }
+            ChunkLayout::NeighborhoodMajor { .. } => self.group_of_user[rec.user.index()] as usize,
+        };
         let start = rec.start.as_secs();
-        if self.record_count > 0 && start < self.last_start {
+        let buf = &mut self.bufs[group];
+        if buf.any && start < buf.last_start {
             return Err(format_err(format!(
-                "records must be written in start order: {start}s after {}s",
-                self.last_start
+                "records must be written in start order within a group: {start}s after {}s",
+                buf.last_start
+            )));
+        }
+        if buf.any && gseq <= buf.last_gseq {
+            return Err(format_err(format!(
+                "sequence numbers must ascend within a group: {gseq} after {}",
+                buf.last_gseq
             )));
         }
         let duration = u32::try_from(rec.duration.as_secs())
@@ -259,16 +436,27 @@ impl ColumnarWriter {
         let offset = u32::try_from(rec.offset.as_secs())
             .map_err(|_| format_err("seek offset overflows the 32-bit column"))?;
 
-        self.users.push(rec.user.value());
-        self.programs.push(rec.program.value());
-        self.starts.push(start);
-        self.durations.push(duration);
-        self.offsets.push(offset);
-        self.last_start = start;
+        let indexed = matches!(self.layout, ChunkLayout::NeighborhoodMajor { .. });
+        let buf = &mut self.bufs[group];
+        if buf.users.is_empty() {
+            buf.first_gseq = gseq;
+        }
+        buf.users.push(rec.user.value());
+        buf.programs.push(rec.program.value());
+        buf.starts.push(start);
+        buf.durations.push(duration);
+        buf.offsets.push(offset);
+        if indexed {
+            buf.gseqs.push(gseq);
+        }
+        buf.last_start = start;
+        buf.last_gseq = gseq;
+        buf.any = true;
         self.record_count += 1;
+        self.next_gseq = self.next_gseq.max(gseq + 1);
 
-        if self.users.len() == self.chunk_size as usize {
-            self.flush_chunk()?;
+        if self.bufs[group].users.len() == self.chunk_size as usize {
+            self.flush_group(group)?;
         }
         Ok(())
     }
@@ -292,51 +480,62 @@ impl ColumnarWriter {
         self.record_count
     }
 
-    fn flush_chunk(&mut self) -> Result<(), TraceError> {
-        let n = self.users.len();
+    fn flush_group(&mut self, group: usize) -> Result<(), TraceError> {
+        let buf = &mut self.bufs[group];
+        let n = buf.users.len();
         if n == 0 {
             return Ok(());
         }
-        let first_index = self.record_count - n as u64;
+        let indexed = matches!(self.layout, ChunkLayout::NeighborhoodMajor { .. });
         self.directory.push(ChunkMeta {
             file_offset: self.next_offset,
             record_count: n as u32,
-            first_index,
-            first_start: SimTime::from_secs(self.starts[0]),
-            watermark: SimTime::from_secs(self.starts[n - 1]),
+            first_index: buf.first_gseq,
+            first_start: SimTime::from_secs(buf.starts[0]),
+            watermark: SimTime::from_secs(buf.starts[n - 1]),
+            group: indexed.then_some(group as u32),
         });
-        for &u in &self.users {
+        for &u in &buf.users {
             self.out.write_all(&u.to_le_bytes())?;
         }
-        for &p in &self.programs {
+        for &p in &buf.programs {
             self.out.write_all(&p.to_le_bytes())?;
         }
-        for &s in &self.starts {
+        for &s in &buf.starts {
             self.out.write_all(&s.to_le_bytes())?;
         }
-        for &d in &self.durations {
+        for &d in &buf.durations {
             self.out.write_all(&d.to_le_bytes())?;
         }
-        for &o in &self.offsets {
+        for &o in &buf.offsets {
             self.out.write_all(&o.to_le_bytes())?;
         }
-        self.next_offset += (n * BYTES_PER_RECORD) as u64;
-        self.users.clear();
-        self.programs.clear();
-        self.starts.clear();
-        self.durations.clear();
-        self.offsets.clear();
+        if indexed {
+            for &g in &buf.gseqs {
+                self.out.write_all(&g.to_le_bytes())?;
+            }
+        }
+        self.next_offset += (n * self.layout.record_bytes()) as u64;
+        buf.users.clear();
+        buf.programs.clear();
+        buf.starts.clear();
+        buf.durations.clear();
+        buf.offsets.clear();
+        buf.gseqs.clear();
         Ok(())
     }
 
-    /// Flushes the tail chunk, writes the directory, and patches the
-    /// header counts, completing the file.
+    /// Flushes the tail chunks (one per group still holding records),
+    /// writes the directory, and patches the header counts, completing
+    /// the file.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn finish(mut self) -> Result<(), TraceError> {
-        self.flush_chunk()?;
+        for group in 0..self.bufs.len() {
+            self.flush_group(group)?;
+        }
         let directory_offset = self.next_offset;
         for meta in &self.directory {
             self.out.write_all(&meta.file_offset.to_le_bytes())?;
@@ -346,6 +545,8 @@ impl ColumnarWriter {
                 .write_all(&meta.first_start.as_secs().to_le_bytes())?;
             self.out
                 .write_all(&meta.watermark.as_secs().to_le_bytes())?;
+            self.out
+                .write_all(&meta.group.unwrap_or(NO_GROUP).to_le_bytes())?;
         }
         self.out.flush()?;
 
@@ -361,7 +562,7 @@ impl ColumnarWriter {
     }
 }
 
-/// Writes a whole in-memory trace as a columnar file.
+/// Writes a whole in-memory trace as a time-major columnar file.
 ///
 /// # Errors
 ///
@@ -386,7 +587,10 @@ pub fn write_trace(
 /// directory live in memory; record columns are read one chunk at a time.
 ///
 /// Chunks are fetched with positioned reads (`pread`), so one reader can
-/// serve many shard workers concurrently through a shared reference.
+/// serve many shard workers concurrently through a shared reference. The
+/// reader counts every chunk decode (chunks and bytes) in
+/// [`TraceSource::decode_stats`], which is how the engine's decode-work
+/// regression tests observe I/O amplification.
 #[derive(Debug)]
 pub struct ColumnarReader {
     file: File,
@@ -397,7 +601,11 @@ pub struct ColumnarReader {
     days: u64,
     record_count: u64,
     chunk_size: u32,
+    layout: ChunkLayout,
     directory: Vec<ChunkMeta>,
+    neighborhood_layout: Option<NeighborhoodLayout>,
+    chunks_decoded: AtomicU64,
+    bytes_decoded: AtomicU64,
 }
 
 fn read_array<const N: usize>(r: &mut impl Read) -> Result<[u8; N], TraceError> {
@@ -416,7 +624,7 @@ fn read_u64(r: &mut impl Read) -> Result<u64, TraceError> {
 
 impl ColumnarReader {
     /// Opens and validates `path`: magic, version, directory shape and
-    /// cross-chunk watermark ordering.
+    /// per-group index/watermark ordering.
     ///
     /// # Errors
     ///
@@ -439,6 +647,8 @@ impl ColumnarReader {
         let chunk_size = read_u32(&mut file)?;
         let chunk_count = read_u32(&mut file)?;
         let directory_offset = read_u64(&mut file)?;
+        let layout_tag = read_u32(&mut file)?;
+        let group_param = read_u32(&mut file)?;
         if record_count == u64::MAX || directory_offset == 0 {
             return Err(format_err(
                 "unfinished file: the writer never reached finish()",
@@ -447,11 +657,19 @@ impl ColumnarReader {
         if chunk_size == 0 {
             return Err(format_err("zero chunk size"));
         }
+        let layout = match (layout_tag, group_param) {
+            (0, _) => ChunkLayout::TimeMajor,
+            (1, 0) => return Err(format_err("neighborhood-major file with zero group size")),
+            (1, size) => ChunkLayout::NeighborhoodMajor {
+                neighborhood_size: size,
+            },
+            (tag, _) => return Err(format_err(format!("unknown chunk layout tag {tag}"))),
+        };
         // Every size field is untrusted: bound it against the physical
         // file length before it sizes an allocation, so a corrupt header
         // yields a Format error rather than an OOM abort.
         let file_len = file.metadata()?.len();
-        if record_count > file_len / BYTES_PER_RECORD as u64 {
+        if record_count > file_len / layout.record_bytes() as u64 {
             return Err(format_err(format!(
                 "header claims {record_count} records, more than the file can hold"
             )));
@@ -482,46 +700,31 @@ impl ColumnarReader {
         }
 
         file.seek(SeekFrom::Start(directory_offset))?;
-        let mut directory = Vec::with_capacity(chunk_count as usize);
-        let mut expect_index = 0u64;
-        let mut last_watermark = 0u64;
-        for c in 0..chunk_count {
-            let file_offset = read_u64(&mut file)?;
-            let records = read_u32(&mut file)?;
-            let first_index = read_u64(&mut file)?;
-            let first_start = read_u64(&mut file)?;
-            let watermark = read_u64(&mut file)?;
-            if first_index != expect_index {
-                return Err(format_err(format!(
-                    "chunk {c} starts at record {first_index}, expected {expect_index}"
-                )));
+        let directory = Self::read_directory(
+            &mut file,
+            chunk_count,
+            layout,
+            user_count,
+            record_count,
+            directory_offset,
+        )?;
+        let neighborhood_layout = match layout {
+            ChunkLayout::TimeMajor => None,
+            ChunkLayout::NeighborhoodMajor { neighborhood_size } => {
+                let groups = (u64::from(user_count))
+                    .div_ceil(u64::from(neighborhood_size))
+                    .max(1);
+                let mut chunks: Vec<Vec<u32>> = vec![Vec::new(); groups as usize];
+                for (c, meta) in directory.iter().enumerate() {
+                    let g = meta.group.expect("neighborhood-major chunks are grouped");
+                    chunks[g as usize].push(c as u32);
+                }
+                Some(NeighborhoodLayout {
+                    neighborhood_size,
+                    chunks,
+                })
             }
-            if first_start < last_watermark || watermark < first_start {
-                return Err(format_err(format!("chunk {c} breaks time ordering")));
-            }
-            if file_offset
-                .checked_add(u64::from(records) * BYTES_PER_RECORD as u64)
-                .is_none_or(|end| end > directory_offset)
-            {
-                return Err(format_err(format!(
-                    "chunk {c} ({records} records at offset {file_offset}) overruns the directory"
-                )));
-            }
-            expect_index += u64::from(records);
-            last_watermark = watermark;
-            directory.push(ChunkMeta {
-                file_offset,
-                record_count: records,
-                first_index,
-                first_start: SimTime::from_secs(first_start),
-                watermark: SimTime::from_secs(watermark),
-            });
-        }
-        if expect_index != record_count {
-            return Err(format_err(format!(
-                "directory covers {expect_index} records, header says {record_count}"
-            )));
-        }
+        };
 
         Ok(ColumnarReader {
             file,
@@ -532,8 +735,114 @@ impl ColumnarReader {
             days,
             record_count,
             chunk_size,
+            layout,
             directory,
+            neighborhood_layout,
+            chunks_decoded: AtomicU64::new(0),
+            bytes_decoded: AtomicU64::new(0),
         })
+    }
+
+    fn read_directory(
+        file: &mut File,
+        chunk_count: u32,
+        layout: ChunkLayout,
+        user_count: u32,
+        record_count: u64,
+        directory_offset: u64,
+    ) -> Result<Vec<ChunkMeta>, TraceError> {
+        let group_count = match layout {
+            ChunkLayout::TimeMajor => 1,
+            ChunkLayout::NeighborhoodMajor { neighborhood_size } => u64::from(user_count)
+                .div_ceil(u64::from(neighborhood_size))
+                .max(1)
+                as usize,
+        };
+        // Per-group continuation state: expected next index (dense for
+        // time-major) or last seen index+watermark (neighborhood-major).
+        let mut next_index = vec![0u64; group_count];
+        let mut last_watermark = vec![0u64; group_count];
+        let mut covered = 0u64;
+        let mut directory = Vec::with_capacity(chunk_count as usize);
+        for c in 0..chunk_count {
+            let file_offset = read_u64(file)?;
+            let records = read_u32(file)?;
+            let first_index = read_u64(file)?;
+            let first_start = read_u64(file)?;
+            let watermark = read_u64(file)?;
+            let group_tag = read_u32(file)?;
+            let group = match layout {
+                ChunkLayout::TimeMajor => {
+                    if group_tag != NO_GROUP {
+                        return Err(format_err(format!(
+                            "time-major chunk {c} carries group tag {group_tag}"
+                        )));
+                    }
+                    if first_index != next_index[0] {
+                        return Err(format_err(format!(
+                            "chunk {c} starts at record {first_index}, expected {}",
+                            next_index[0]
+                        )));
+                    }
+                    next_index[0] = first_index + u64::from(records);
+                    0usize
+                }
+                ChunkLayout::NeighborhoodMajor { .. } => {
+                    let g = group_tag as usize;
+                    if g >= group_count {
+                        return Err(format_err(format!(
+                            "chunk {c} claims group {group_tag}, file has {group_count} groups"
+                        )));
+                    }
+                    if first_index < next_index[g] {
+                        return Err(format_err(format!(
+                            "chunk {c} regresses group {g}'s sequence numbers"
+                        )));
+                    }
+                    next_index[g] = first_index + u64::from(records);
+                    g
+                }
+            };
+            // Sequence numbers are global record indices: a chunk whose
+            // span leaves `0..record_count` is corrupt, and catching it
+            // here keeps a crafted first_index from sizing allocations or
+            // truncating 32-bit event keys downstream.
+            if first_index
+                .checked_add(u64::from(records))
+                .is_none_or(|end| end > record_count)
+            {
+                return Err(format_err(format!(
+                    "chunk {c} spans sequence numbers beyond the {record_count} records on file"
+                )));
+            }
+            if first_start < last_watermark[group] || watermark < first_start {
+                return Err(format_err(format!("chunk {c} breaks time ordering")));
+            }
+            if file_offset
+                .checked_add(u64::from(records) * layout.record_bytes() as u64)
+                .is_none_or(|end| end > directory_offset)
+            {
+                return Err(format_err(format!(
+                    "chunk {c} ({records} records at offset {file_offset}) overruns the directory"
+                )));
+            }
+            covered += u64::from(records);
+            last_watermark[group] = watermark;
+            directory.push(ChunkMeta {
+                file_offset,
+                record_count: records,
+                first_index,
+                first_start: SimTime::from_secs(first_start),
+                watermark: SimTime::from_secs(watermark),
+                group: matches!(layout, ChunkLayout::NeighborhoodMajor { .. }).then_some(group_tag),
+            });
+        }
+        if covered != record_count {
+            return Err(format_err(format!(
+                "directory covers {covered} records, header says {record_count}"
+            )));
+        }
+        Ok(directory)
     }
 
     /// The nominal records-per-chunk the file was written with.
@@ -541,7 +850,12 @@ impl ColumnarReader {
         self.chunk_size
     }
 
-    /// The chunk directory (offsets, counts, watermarks).
+    /// The chunk layout this file was written with.
+    pub fn layout(&self) -> ChunkLayout {
+        self.layout
+    }
+
+    /// The chunk directory (offsets, counts, watermarks, groups).
     pub fn directory(&self) -> &[ChunkMeta] {
         &self.directory
     }
@@ -565,20 +879,98 @@ impl ColumnarReader {
 
     /// Materializes the whole file as an in-memory [`Trace`] (round-trip
     /// tests and small-workload conversions; defeats the point for large
-    /// files).
+    /// files). Neighborhood-major files are reassembled into global order
+    /// through their sequence columns.
     ///
     /// # Errors
     ///
     /// As for [`TraceSource::read_chunk`] plus [`Trace::new`] validation.
     pub fn read_trace(&self) -> Result<Trace, TraceError> {
-        let mut records = Vec::with_capacity(self.record_count as usize);
+        let mut indexed = Vec::with_capacity(self.record_count as usize);
         let mut buf = Vec::new();
         for chunk in 0..self.directory.len() {
-            self.read_chunk(chunk, &mut buf)?;
-            records.extend_from_slice(&buf);
+            self.read_chunk_indexed(chunk, &mut buf)?;
+            indexed.extend_from_slice(&buf);
         }
+        indexed.sort_unstable_by_key(|&(gseq, _)| gseq);
+        let records = indexed.into_iter().map(|(_, rec)| rec).collect();
         Trace::new(records, self.catalog.clone(), self.user_count, self.days)
     }
+
+    /// Fetches chunk `chunk`'s raw column bytes (one positioned read) and
+    /// counts the decode.
+    fn fetch(&self, chunk: usize) -> Result<(ChunkMeta, Vec<u8>), TraceError> {
+        let meta = self
+            .directory
+            .get(chunk)
+            .copied()
+            .ok_or_else(|| format_err(format!("chunk {chunk} out of range")))?;
+        let n = meta.record_count as usize;
+        let mut bytes = vec![0u8; n * self.layout.record_bytes()];
+        self.read_at(&mut bytes, meta.file_offset)?;
+        self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
+        self.bytes_decoded
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok((meta, bytes))
+    }
+
+    fn record_at(&self, cols: &Columns<'_>, i: usize) -> Result<SessionRecord, TraceError> {
+        let user = u32_at(cols.users, i);
+        let program = u32_at(cols.programs, i);
+        if program >= self.catalog.len() as u32 {
+            return Err(TraceError::DanglingProgram {
+                program: ProgramId::new(program),
+            });
+        }
+        if user >= self.user_count {
+            return Err(TraceError::DanglingUser {
+                user: UserId::new(user),
+            });
+        }
+        Ok(SessionRecord {
+            user: UserId::new(user),
+            program: ProgramId::new(program),
+            start: SimTime::from_secs(u64_at(cols.starts, i)),
+            duration: SimDuration::from_secs(u64::from(u32_at(cols.durations, i))),
+            offset: SimDuration::from_secs(u64::from(u32_at(cols.offsets, i))),
+        })
+    }
+}
+
+/// One chunk's column slices.
+struct Columns<'a> {
+    users: &'a [u8],
+    programs: &'a [u8],
+    starts: &'a [u8],
+    durations: &'a [u8],
+    offsets: &'a [u8],
+    seqs: &'a [u8],
+}
+
+impl<'a> Columns<'a> {
+    fn split(bytes: &'a [u8], n: usize) -> Self {
+        let (users, rest) = bytes.split_at(4 * n);
+        let (programs, rest) = rest.split_at(4 * n);
+        let (starts, rest) = rest.split_at(8 * n);
+        let (durations, rest) = rest.split_at(4 * n);
+        let (offsets, seqs) = rest.split_at(4 * n);
+        Columns {
+            users,
+            programs,
+            starts,
+            durations,
+            offsets,
+            seqs,
+        }
+    }
+}
+
+fn u32_at(col: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(col[4 * i..4 * i + 4].try_into().expect("4-byte slice"))
+}
+
+fn u64_at(col: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(col[8 * i..8 * i + 8].try_into().expect("8-byte slice"))
 }
 
 impl TraceSource for ColumnarReader {
@@ -607,57 +999,72 @@ impl TraceSource for ColumnarReader {
     }
 
     fn read_chunk(&self, chunk: usize, out: &mut Vec<SessionRecord>) -> Result<(), TraceError> {
-        let meta = self
-            .directory
-            .get(chunk)
-            .copied()
-            .ok_or_else(|| format_err(format!("chunk {chunk} out of range")))?;
+        let (meta, bytes) = self.fetch(chunk)?;
         let n = meta.record_count as usize;
-        let mut bytes = vec![0u8; n * BYTES_PER_RECORD];
-        self.read_at(&mut bytes, meta.file_offset)?;
-
-        let (users, rest) = bytes.split_at(4 * n);
-        let (programs, rest) = rest.split_at(4 * n);
-        let (starts, rest) = rest.split_at(8 * n);
-        let (durations, offsets) = rest.split_at(4 * n);
-
-        let u32_at = |col: &[u8], i: usize| {
-            u32::from_le_bytes(col[4 * i..4 * i + 4].try_into().expect("4-byte slice"))
-        };
-        let u64_at = |col: &[u8], i: usize| {
-            u64::from_le_bytes(col[8 * i..8 * i + 8].try_into().expect("8-byte slice"))
-        };
-
+        let cols = Columns::split(&bytes, n);
         out.clear();
         out.reserve(n);
         for i in 0..n {
-            let user = u32_at(users, i);
-            let program = u32_at(programs, i);
-            if program >= self.catalog.len() as u32 {
-                return Err(TraceError::DanglingProgram {
-                    program: ProgramId::new(program),
-                });
-            }
-            if user >= self.user_count {
-                return Err(TraceError::DanglingUser {
-                    user: UserId::new(user),
-                });
-            }
-            out.push(SessionRecord {
-                user: UserId::new(user),
-                program: ProgramId::new(program),
-                start: SimTime::from_secs(u64_at(starts, i)),
-                duration: SimDuration::from_secs(u64::from(u32_at(durations, i))),
-                offset: SimDuration::from_secs(u64::from(u32_at(offsets, i))),
-            });
+            out.push(self.record_at(&cols, i)?);
         }
         Ok(())
+    }
+
+    fn read_chunk_indexed(
+        &self,
+        chunk: usize,
+        out: &mut Vec<(u64, SessionRecord)>,
+    ) -> Result<(), TraceError> {
+        let (meta, bytes) = self.fetch(chunk)?;
+        let n = meta.record_count as usize;
+        let cols = Columns::split(&bytes, n);
+        let indexed = matches!(self.layout, ChunkLayout::NeighborhoodMajor { .. });
+        out.clear();
+        out.reserve(n);
+        let mut prev = None;
+        for i in 0..n {
+            let gseq = if indexed {
+                // The stored sequence column is untrusted input: a corrupt
+                // value would size feed allocations and get truncated into
+                // 32-bit event keys downstream, so enforce the writer's
+                // invariants (starts at the directory's first_index,
+                // strictly ascending, within the file's record range) at
+                // decode.
+                let gseq = u64_at(cols.seqs, i);
+                if (i == 0 && gseq != meta.first_index)
+                    || prev.is_some_and(|p| gseq <= p)
+                    || gseq >= self.record_count
+                {
+                    return Err(format_err(format!(
+                        "chunk {chunk} carries a corrupt sequence column (value {gseq} at row {i})"
+                    )));
+                }
+                prev = Some(gseq);
+                gseq
+            } else {
+                meta.first_index + i as u64
+            };
+            out.push((gseq, self.record_at(&cols, i)?));
+        }
+        Ok(())
+    }
+
+    fn neighborhood_layout(&self) -> Option<&NeighborhoodLayout> {
+        self.neighborhood_layout.as_ref()
+    }
+
+    fn decode_stats(&self) -> DecodeStats {
+        DecodeStats {
+            chunks: self.chunks_decoded.load(Ordering::Relaxed),
+            bytes: self.bytes_decoded.load(Ordering::Relaxed),
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rechunk::{neighborhood_groups, rechunk_by_neighborhood};
     use crate::synth::{generate, SynthConfig};
 
     fn tmp_path(name: &str) -> std::path::PathBuf {
@@ -684,6 +1091,8 @@ mod tests {
             let reader = ColumnarReader::open(&path).expect("open");
             assert_eq!(reader.record_count(), trace.len() as u64);
             assert_eq!(TraceSource::catalog(&reader), trace.catalog());
+            assert_eq!(reader.layout(), ChunkLayout::TimeMajor);
+            assert!(reader.neighborhood_layout().is_none());
             assert_eq!(reader.read_trace().expect("read"), trace);
             std::fs::remove_file(&path).ok();
         }
@@ -705,6 +1114,7 @@ mod tests {
             assert_eq!(meta.first_index, index);
             assert!(meta.first_start >= last, "chunks overlap in time");
             assert!(meta.watermark >= meta.first_start);
+            assert_eq!(meta.group, None);
             index += u64::from(meta.record_count);
             last = meta.watermark;
         }
@@ -782,6 +1192,87 @@ mod tests {
             let base = reader.chunk_first_index(chunk) as usize;
             assert_eq!(&trace.records()[base..base + buf.len()], &buf[..]);
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_stats_count_chunks_and_bytes() {
+        let trace = small();
+        let path = tmp_path("decode_stats");
+        write_trace(&path, &trace, 64).expect("write");
+        let reader = ColumnarReader::open(&path).expect("open");
+        assert_eq!(reader.decode_stats().chunks, 0);
+        let mut buf = Vec::new();
+        reader.read_chunk(0, &mut buf).expect("read");
+        reader.read_chunk(1, &mut buf).expect("read");
+        let stats = reader.decode_stats();
+        assert_eq!(stats.chunks, 2);
+        assert_eq!(stats.bytes, 2 * 64 * BYTES_PER_RECORD as u64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn neighborhood_major_round_trips_and_indexes_groups() {
+        let trace = small();
+        let src = tmp_path("nm_src");
+        let dst = tmp_path("nm_dst");
+        write_trace(&src, &trace, 32).expect("write");
+        let reader = ColumnarReader::open(&src).expect("open src");
+        rechunk_by_neighborhood(&reader, &dst, 60, 32).expect("rechunk");
+
+        let nm = ColumnarReader::open(&dst).expect("open rechunked");
+        assert_eq!(
+            nm.layout(),
+            ChunkLayout::NeighborhoodMajor {
+                neighborhood_size: 60
+            }
+        );
+        assert_eq!(nm.record_count(), trace.len() as u64);
+        // Reassembled global order equals the original trace.
+        assert_eq!(nm.read_trace().expect("read"), trace);
+
+        // Every chunk holds exactly one group's records, and the layout's
+        // per-group chunk lists cover every chunk with ascending sequence
+        // numbers.
+        let groups = neighborhood_groups(trace.user_count(), 60).expect("groups");
+        let layout = nm.neighborhood_layout().expect("layout").clone();
+        assert_eq!(layout.neighborhood_size, 60);
+        let mut seen = 0usize;
+        let mut buf = Vec::new();
+        for (g, chunks) in layout.chunks.iter().enumerate() {
+            let mut last_seq = None;
+            for &c in chunks {
+                assert_eq!(nm.directory()[c as usize].group, Some(g as u32));
+                nm.read_chunk_indexed(c as usize, &mut buf).expect("read");
+                for &(gseq, rec) in &buf {
+                    assert_eq!(groups[rec.user.index()], g as u32, "record in wrong group");
+                    assert_eq!(trace.records()[gseq as usize], rec, "gseq column wrong");
+                    assert!(last_seq < Some(gseq), "sequence order within group");
+                    last_seq = Some(gseq);
+                }
+                seen += buf.len();
+            }
+        }
+        assert_eq!(seen, trace.len());
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn rechunk_rejects_mismatched_group_tables() {
+        let trace = small();
+        let path = tmp_path("bad_groups");
+        let err = ColumnarWriter::create_neighborhood_major(
+            &path,
+            trace.catalog(),
+            trace.user_count(),
+            3,
+            16,
+            60,
+            vec![0; 3], // wrong length
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::Format { .. }), "{err}");
         std::fs::remove_file(&path).ok();
     }
 }

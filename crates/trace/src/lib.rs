@@ -38,16 +38,18 @@ pub mod ecdf;
 pub mod error;
 pub mod fingerprint;
 pub mod io;
+pub mod rechunk;
 pub mod record;
 pub mod scale;
 pub mod source;
 pub mod synth;
 
 pub use catalog::{ProgramCatalog, ProgramInfo};
-pub use columnar::{ColumnarReader, ColumnarWriter};
+pub use columnar::{ChunkLayout, ColumnarReader, ColumnarWriter};
 pub use ecdf::Ecdf;
 pub use error::TraceError;
 pub use fingerprint::WorkloadFingerprint;
+pub use rechunk::rechunk_by_neighborhood;
 pub use record::{SessionRecord, Trace};
-pub use source::{ChunkedTrace, TraceSource};
+pub use source::{ChunkedTrace, DecodeStats, NeighborhoodLayout, TraceSource};
 pub use synth::{generate, SynthConfig};

@@ -3,7 +3,7 @@
 //! The PowerInfo schema (§V-A): every record "identifies the user, the
 //! program, and the length of the session". [`SessionRecord`] carries
 //! exactly that plus the start instant; [`Trace`] bundles the records with
-//! the [`ProgramCatalog`](crate::catalog::ProgramCatalog) they reference.
+//! the [`ProgramCatalog`] they reference.
 
 use serde::{Deserialize, Serialize};
 

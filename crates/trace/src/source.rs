@@ -10,10 +10,17 @@
 //!
 //! The contract mirrors the columnar format's invariants:
 //!
-//! * records are globally ordered by non-decreasing start time, and chunk
-//!   `k + 1` continues exactly where chunk `k` ended
+//! * every record carries a **global sequence number** — its index in the
+//!   global time-ordered record sequence
+//!   ([`read_chunk_indexed`](TraceSource::read_chunk_indexed));
+//! * within a chunk, records ascend in sequence number (and therefore in
+//!   start time). Across chunks, ordering depends on the layout: by
+//!   default chunk `k + 1` continues exactly where chunk `k` ended
 //!   ([`chunk_first_index`](TraceSource::chunk_first_index) exposes the
-//!   global index of a chunk's first record);
+//!   global index of a chunk's first record), while a source with a
+//!   [`neighborhood_layout`](TraceSource::neighborhood_layout) guarantees
+//!   it only **per neighborhood group** — consumers needing global order
+//!   merge the per-group streams by sequence number;
 //! * every record references a valid catalog program and a user below
 //!   [`user_count`](TraceSource::user_count);
 //! * [`read_chunk`](TraceSource::read_chunk) is `&self` and safe to call
@@ -23,6 +30,43 @@
 use crate::catalog::ProgramCatalog;
 use crate::error::TraceError;
 use crate::record::{SessionRecord, Trace};
+
+/// Cumulative chunk-decode counters of a source (zero for resident
+/// sources, which never decode anything).
+///
+/// The engine's decode-work tests read these before and after a run to
+/// assert I/O amplification bounds — e.g. that a sharded neighborhood-major
+/// replay decodes each chunk once, not once per shard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Chunks decoded.
+    pub chunks: u64,
+    /// Column bytes decoded.
+    pub bytes: u64,
+}
+
+impl std::ops::Sub for DecodeStats {
+    type Output = DecodeStats;
+    fn sub(self, rhs: DecodeStats) -> DecodeStats {
+        DecodeStats {
+            chunks: self.chunks - rhs.chunks,
+            bytes: self.bytes - rhs.bytes,
+        }
+    }
+}
+
+/// The per-neighborhood chunk index of a neighborhood-major source: for
+/// each neighborhood group of the declared size (under the deterministic
+/// §V-B user shuffle — see [`crate::rechunk`]), the chunks holding exactly
+/// that group's records, in ascending sequence order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborhoodLayout {
+    /// The neighborhood size the grouping was evaluated at. The index is
+    /// only valid for simulations configured with this exact size.
+    pub neighborhood_size: u32,
+    /// `chunks[g]` are the chunk ids holding group `g`'s records.
+    pub chunks: Vec<Vec<u32>>,
+}
 
 /// Chunked, possibly out-of-core access to a session-record workload.
 pub trait TraceSource: Sync {
@@ -55,6 +99,48 @@ pub trait TraceSource: Sync {
     /// Returns an error for out-of-range chunks and propagates storage
     /// failures.
     fn read_chunk(&self, chunk: usize, out: &mut Vec<SessionRecord>) -> Result<(), TraceError>;
+
+    /// Reads `chunk` into `out` (cleared first) as `(global sequence
+    /// number, record)` pairs.
+    ///
+    /// The default derives dense indices from
+    /// [`chunk_first_index`](TraceSource::chunk_first_index); sources
+    /// whose chunks are not globally contiguous (neighborhood-major
+    /// columnar files) override it with their stored sequence column.
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_chunk`](TraceSource::read_chunk).
+    fn read_chunk_indexed(
+        &self,
+        chunk: usize,
+        out: &mut Vec<(u64, SessionRecord)>,
+    ) -> Result<(), TraceError> {
+        let mut records = Vec::new();
+        self.read_chunk(chunk, &mut records)?;
+        let base = self.chunk_first_index(chunk);
+        out.clear();
+        out.extend(
+            records
+                .into_iter()
+                .enumerate()
+                .map(|(i, rec)| (base + i as u64, rec)),
+        );
+        Ok(())
+    }
+
+    /// The per-neighborhood chunk index, when this source's chunks are
+    /// grouped by neighborhood (see [`NeighborhoodLayout`]). `None` means
+    /// chunks partition the global time order.
+    fn neighborhood_layout(&self) -> Option<&NeighborhoodLayout> {
+        None
+    }
+
+    /// Cumulative decode counters (see [`DecodeStats`]); sources that do
+    /// not track decodes report zeros.
+    fn decode_stats(&self) -> DecodeStats {
+        DecodeStats::default()
+    }
 
     /// The fully resident record slice, when this source is in memory.
     ///
@@ -179,6 +265,28 @@ impl TraceSource for ChunkedTrace<'_> {
         }
         out.clear();
         out.extend_from_slice(&self.trace.records()[lo..hi]);
+        Ok(())
+    }
+
+    fn read_chunk_indexed(
+        &self,
+        chunk: usize,
+        out: &mut Vec<(u64, SessionRecord)>,
+    ) -> Result<(), TraceError> {
+        let lo = chunk * self.chunk_size;
+        let hi = (lo + self.chunk_size).min(self.trace.len());
+        if lo >= hi {
+            return Err(TraceError::Format {
+                reason: format!("chunk {chunk} out of range"),
+            });
+        }
+        out.clear();
+        out.extend(
+            self.trace.records()[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(i, &rec)| ((lo + i) as u64, rec)),
+        );
         Ok(())
     }
 }

@@ -1,17 +1,23 @@
 //! Equivalence properties of the out-of-core trace pipeline: replaying a
 //! workload through a chunked [`TraceSource`] — in memory or from a
-//! columnar file on disk — must be **bit-identical** to the classic
-//! resident engine, serial and sharded, for every strategy, chunk size
-//! and shard count.
+//! columnar file on disk, time-major or neighborhood-major — must be
+//! **bit-identical** to the classic resident engine, serial and sharded,
+//! for every strategy, chunk size, chunk layout and shard count. Plus
+//! decode-work bounds (a sharded neighborhood-major replay decodes each
+//! chunk once) and streaming edge cases (empty traces, one-record chunks,
+//! sessions straddling chunk boundaries).
 
 use proptest::prelude::*;
 
 use cablevod_cache::StrategySpec;
-use cablevod_hfc::units::{DataSize, SimDuration};
+use cablevod_hfc::ids::{ProgramId, UserId};
+use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
 use cablevod_sim::{run, run_parallel, SimConfig};
 use cablevod_tests::tiny_config;
+use cablevod_trace::catalog::{ProgramCatalog, ProgramInfo};
 use cablevod_trace::columnar::{write_trace, ColumnarReader};
-use cablevod_trace::record::Trace;
+use cablevod_trace::rechunk::rechunk_by_neighborhood;
+use cablevod_trace::record::{SessionRecord, Trace};
 use cablevod_trace::source::{ChunkedTrace, TraceSource};
 use cablevod_trace::synth::generate;
 
@@ -114,5 +120,172 @@ fn columnar_file_replay_is_bit_identical() {
         let sharded = run_parallel(&reader, &config, 3).expect("sharded disk replay runs");
         assert_eq!(sharded, resident, "sharded, strategy {pick}");
     }
+    std::fs::remove_file(&path).ok();
+}
+
+/// Neighborhood-major replay — matched, serial, and mismatched-size — is
+/// bit-identical to the resident engine for every strategy.
+#[test]
+fn neighborhood_major_replay_is_bit_identical() {
+    let trace: Trace = generate(&tiny_config(300, 40, 4, 11));
+    let mut tm = std::env::temp_dir();
+    tm.push(format!("cvtc_nm_equiv_tm_{}.cvtc", std::process::id()));
+    let mut nm = std::env::temp_dir();
+    nm.push(format!("cvtc_nm_equiv_nm_{}.cvtc", std::process::id()));
+    write_trace(&tm, &trace, 128).expect("write time-major");
+    let tm_reader = ColumnarReader::open(&tm).expect("open time-major");
+    rechunk_by_neighborhood(&tm_reader, &nm, 60, 64).expect("rechunk");
+    let reader = ColumnarReader::open(&nm).expect("open neighborhood-major");
+    assert_eq!(
+        reader
+            .neighborhood_layout()
+            .expect("indexed")
+            .neighborhood_size,
+        60
+    );
+
+    for pick in 0..5 {
+        // Matched neighborhood size: shards read their own chunks only.
+        let config = config_for(60, 2, strategy(pick));
+        let resident = run(&trace, &config).expect("resident runs");
+        let serial = run(&reader, &config).expect("serial merge replay runs");
+        assert_eq!(serial, resident, "serial merge, strategy {pick}");
+        for threads in [1usize, 3] {
+            let sharded = run_parallel(&reader, &config, threads).expect("matched sharded runs");
+            assert_eq!(sharded, resident, "matched sharded, strategy {pick}");
+        }
+
+        // Mismatched neighborhood size: the file's grouping disagrees with
+        // the simulation's shuffle, so the engine falls back to pruned
+        // per-group merges — results must not change.
+        let config = config_for(45, 2, strategy(pick));
+        let resident = run(&trace, &config).expect("resident runs");
+        let serial = run(&reader, &config).expect("mismatched serial runs");
+        assert_eq!(serial, resident, "mismatched serial, strategy {pick}");
+        let sharded = run_parallel(&reader, &config, 2).expect("mismatched sharded runs");
+        assert_eq!(sharded, resident, "mismatched sharded, strategy {pick}");
+    }
+    std::fs::remove_file(&tm).ok();
+    std::fs::remove_file(&nm).ok();
+}
+
+/// The ROADMAP "per-shard chunk scans" item, fixed structurally: a sharded
+/// streaming run over a **matching** neighborhood-major file decodes each
+/// chunk exactly once (counter-based), while the same run over the
+/// time-major file pays ~`shards × file`.
+#[test]
+fn neighborhood_major_sharded_run_decodes_each_chunk_once() {
+    let trace: Trace = generate(&tiny_config(400, 40, 4, 13));
+    let mut tm = std::env::temp_dir();
+    tm.push(format!("cvtc_decode_tm_{}.cvtc", std::process::id()));
+    let mut nm = std::env::temp_dir();
+    nm.push(format!("cvtc_decode_nm_{}.cvtc", std::process::id()));
+    write_trace(&tm, &trace, 64).expect("write time-major");
+    let tm_reader = ColumnarReader::open(&tm).expect("open time-major");
+    rechunk_by_neighborhood(&tm_reader, &nm, 50, 64).expect("rechunk");
+    let nm_reader = ColumnarReader::open(&nm).expect("open neighborhood-major");
+
+    // LFU needs neither the feed nor Oracle schedules, so the matched
+    // fast path does no pre-pass at all: replay decode work is the whole
+    // story. 400 users / 50 = 8 shards.
+    let config = config_for(50, 2, StrategySpec::default_lfu());
+
+    let before = nm_reader.decode_stats();
+    let nm_report = run_parallel(&nm_reader, &config, 4).expect("matched sharded runs");
+    let nm_decodes = nm_reader.decode_stats() - before;
+    assert_eq!(
+        nm_decodes.chunks,
+        nm_reader.chunk_count() as u64,
+        "each neighborhood-major chunk decoded exactly once"
+    );
+    assert!(nm_decodes.bytes > 0, "decode bytes are tracked");
+
+    let before = tm_reader.decode_stats();
+    let tm_report = run_parallel(&tm_reader, &config, 4).expect("time-major sharded runs");
+    let tm_decodes = tm_reader.decode_stats() - before;
+    assert_eq!(tm_report, nm_report, "layouts agree bit-for-bit");
+    assert!(
+        tm_decodes.chunks > 2 * tm_reader.chunk_count() as u64,
+        "time-major shards rescan chunks ({} decodes of {} chunks); \
+         neighborhood-major removes exactly this amplification",
+        tm_decodes.chunks,
+        tm_reader.chunk_count()
+    );
+    std::fs::remove_file(&tm).ok();
+    std::fs::remove_file(&nm).ok();
+}
+
+fn hour_catalog(programs: u32) -> ProgramCatalog {
+    (0..programs)
+        .map(|_| ProgramInfo {
+            length: SimDuration::from_hours(2),
+            introduced_day: 0,
+        })
+        .collect()
+}
+
+fn rec(user: u32, program: u32, start: u64, dur: u64) -> SessionRecord {
+    SessionRecord::new(
+        UserId::new(user),
+        ProgramId::new(program),
+        SimTime::from_secs(start),
+        SimDuration::from_secs(dur),
+    )
+}
+
+/// An empty trace replays to an empty report through every path — the
+/// streaming record supplies must handle zero chunks.
+#[test]
+fn empty_trace_streams_to_an_empty_report() {
+    let trace = Trace::new(Vec::new(), hour_catalog(4), 50, 2).expect("empty trace is valid");
+    let config = config_for(25, 1, StrategySpec::default_lfu());
+    let resident = run(&trace, &config).expect("resident empty run");
+    assert_eq!(resident.sessions, 0);
+    assert_eq!(resident.segment_requests, 0);
+    let streamed = run(&ChunkedTrace::new(&trace, 8), &config).expect("streaming empty run");
+    assert_eq!(streamed, resident);
+    let sharded =
+        run_parallel(&ChunkedTrace::new(&trace, 8), &config, 2).expect("sharded empty run");
+    assert_eq!(sharded, resident);
+}
+
+/// Sessions whose continuation events outlive their chunk — including a
+/// session spanning *every* later chunk — replay identically from
+/// one-record chunks, in memory and from a one-record-chunk columnar file.
+#[test]
+fn sessions_straddling_chunk_boundaries_replay_exactly() {
+    // User 0 watches two full hours: its segment continuations stay in the
+    // heap while every later record (in later one-record chunks) arrives.
+    let records = vec![
+        rec(0, 0, 1_000, 7_200),
+        rec(1, 1, 1_060, 600),
+        rec(2, 2, 1_500, 1_800),
+        rec(3, 1, 2_400, 900),
+        rec(4, 3, 6_000, 3_600),
+    ];
+    let trace = Trace::new(records, hour_catalog(4), 5, 1).expect("valid trace");
+    let config = config_for(3, 1, StrategySpec::default_lfu()).with_warmup_days(0);
+    let resident = run(&trace, &config).expect("resident runs");
+    assert_eq!(resident.sessions, 5);
+
+    // One record per chunk: every session with >1 segment straddles.
+    let single = ChunkedTrace::new(&trace, 1);
+    assert_eq!(single.chunk_count(), 5);
+    let streamed = run(&single, &config).expect("single-record chunks run");
+    assert_eq!(streamed, resident);
+    let sharded = run_parallel(&single, &config, 2).expect("sharded single-record chunks run");
+    assert_eq!(sharded, resident);
+
+    // Same from disk, chunk size 1.
+    let mut path = std::env::temp_dir();
+    path.push(format!("cvtc_straddle_{}.cvtc", std::process::id()));
+    write_trace(&path, &trace, 1).expect("write single-record chunks");
+    let reader = ColumnarReader::open(&path).expect("open");
+    assert_eq!(reader.chunk_count(), 5);
+    assert_eq!(run(&reader, &config).expect("disk replay"), resident);
+    assert_eq!(
+        run_parallel(&reader, &config, 2).expect("sharded disk replay"),
+        resident
+    );
     std::fs::remove_file(&path).ok();
 }

@@ -139,7 +139,7 @@ pub mod prop {
         use crate::strategy::Strategy;
         use crate::test_runner::TestRng;
 
-        /// Element-count bounds for [`vec`].
+        /// Element-count bounds for [`vec()`](fn@vec).
         #[derive(Debug, Clone, Copy)]
         pub struct SizeRange {
             lo: usize,
