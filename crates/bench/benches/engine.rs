@@ -99,6 +99,17 @@ fn engine_streaming_throughput(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("parallel_disk_4", scale_label), |b| {
             b.iter(|| run_parallel(&reader, &config, 4).expect("runs"))
         });
+        // The windowed Oracle from disk: each iteration pays the honest
+        // full cost of a streaming Oracle run — schedule pre-pass spilled
+        // to the on-disk sidecar, then replay through bounded
+        // ScheduleWindows. 10x scale only; the CI smoke gate requires
+        // this row.
+        if scale_label == "10x" {
+            let oracle_config = config.clone().with_strategy(StrategySpec::default_oracle());
+            group.bench_function(BenchmarkId::new("oracle_windowed", scale_label), |b| {
+                b.iter(|| run(&reader, &oracle_config).expect("runs"))
+            });
+        }
         // The neighborhood-major replay of the same workload: re-chunked
         // once at import, then each shard decodes only its own chunks —
         // `parallel_disk_4` vs `parallel_nbhd_major_4` is the decode-work

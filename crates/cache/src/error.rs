@@ -36,6 +36,12 @@ pub enum CacheError {
     /// A strategy requiring an access schedule (Oracle) was built without
     /// one.
     MissingSchedule,
+    /// A windowed schedule's backing store failed or returned corrupt
+    /// data (see [`crate::schedule`]).
+    Schedule {
+        /// What went wrong.
+        reason: String,
+    },
     /// A duplicate placement was attempted.
     DuplicatePlacement {
         /// The segment already placed.
@@ -61,6 +67,9 @@ impl fmt::Display for CacheError {
             CacheError::Stb(e) => write!(f, "set-top box refused operation: {e}"),
             CacheError::MissingSchedule => {
                 write!(f, "oracle strategy requires a future access schedule")
+            }
+            CacheError::Schedule { reason } => {
+                write!(f, "schedule source failure: {reason}")
             }
             CacheError::DuplicatePlacement { segment } => {
                 write!(f, "segment {segment} placed twice")

@@ -168,6 +168,19 @@ pub trait FeedProvider {
     /// including `seq`, at session-start time `now`. Call only after
     /// [`ready`](FeedProvider::ready) returned `true` for `seq`.
     fn sync(&mut self, index: &mut IndexServer, now: SimTime, seq: u64);
+
+    /// When `Some(stride)`, the driver should
+    /// [`sync`](FeedProvider::sync) **every** consumer this provider
+    /// answers for — not just the one whose session is starting — every
+    /// `stride` records, so idle consumers keep their consumption
+    /// cursors (and with them the carrier's reclamation floor) moving.
+    /// The stride is the carrier's reclamation granule (sweeping more
+    /// often cannot unlock more reclaim). Only bounded-retention
+    /// carriers serving several consumers from one driver (the serial
+    /// streaming engine) return `Some`.
+    fn idle_sync_stride(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// [`FeedProvider`] over a fully precomputed [`GlobalFeed`] — the resident
@@ -265,6 +278,14 @@ impl FeedProvider for SharedFeed<'_> {
         let view = self.feed.view_at(self.frontier_cache);
         let cursor = index.sync_feed(&view, now, seq as usize + 1);
         self.feed.note_consumed(index.home().index(), cursor);
+    }
+
+    fn idle_sync_stride(&self) -> Option<u64> {
+        // A provider answering for a single consumer (one shard) syncs it
+        // at every one of its sessions anyway; only the serial streaming
+        // driver, answering for every neighborhood at once, needs to keep
+        // the idle ones' cursors moving.
+        (self.consumers.len() > 1).then(|| self.feed.segment_slots() as u64)
     }
 }
 

@@ -293,6 +293,9 @@ impl IndexServer {
         stbs: &mut S,
     ) -> Result<(), CacheError> {
         let cost = u32::from(self.segmenter.segment_count(length)) * u32::from(self.replication);
+        // Fallible staging first (a windowed Oracle fetches its schedule
+        // here), then the infallible access hook.
+        self.strategy.prepare(now)?;
         let mut ops = std::mem::take(&mut self.ops);
         ops.clear();
         self.strategy.on_access(program, cost, now, &mut ops);
@@ -669,10 +672,11 @@ mod tests {
             })
             .collect();
         let ledger = SlotLedger::new(members, PlacementPolicy::Balanced);
-        let schedule = Arc::new(AccessSchedule::from_events(
-            vec![(t(0), ProgramId::new(0)), (t(10), ProgramId::new(0))],
-            vec![2],
-        ));
+        let schedule =
+            crate::schedule::ScheduleWindow::resident(Arc::new(AccessSchedule::from_events(
+                vec![(t(0), ProgramId::new(0)), (t(10), ProgramId::new(0))],
+                vec![2],
+            )));
         let strategy = StrategySpec::default_oracle()
             .build(ledger.total_slots(), home, Some(schedule))
             .expect("oracle");

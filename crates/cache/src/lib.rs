@@ -38,6 +38,7 @@ pub mod lfu;
 pub mod lru;
 pub mod oracle;
 pub mod placement;
+pub mod schedule;
 pub mod strategy;
 pub mod watermark;
 
@@ -50,5 +51,6 @@ pub use lfu::WindowedLfu;
 pub use lru::Lru;
 pub use oracle::{AccessSchedule, Oracle};
 pub use placement::{PlacementPolicy, SlotLedger};
+pub use schedule::{ResidentSchedules, ScheduleReader, ScheduleSource, ScheduleWindow};
 pub use strategy::{CacheOp, CacheStrategy, FillPolicy, StrategySpec};
 pub use watermark::{FeedProducer, FeedView, WatermarkFeed};

@@ -6,18 +6,26 @@
 //! > an example of ideal cache performance."
 //!
 //! The Oracle slides a look-ahead window over the neighborhood's future
-//! access schedule with two pointers, keeping per-program future counts,
-//! and maintains the same waterline invariant as the LFU. Content appears
-//! on peers the moment it is admitted
-//! ([`FillPolicy::Prefetch`]) — it
-//! is an upper bound, not an implementable policy.
+//! access schedule, keeping per-program future counts, and maintains the
+//! same waterline invariant as the LFU. Content appears on peers the
+//! moment it is admitted ([`FillPolicy::Prefetch`]) — it is an upper
+//! bound, not an implementable policy.
+//!
+//! The future itself is consumed through a
+//! [`ScheduleWindow`]: a fully resident
+//! [`AccessSchedule`] walked zero-copy with two cursors, or a streaming
+//! window over an on-disk schedule whose resident state is bounded by
+//! the look-ahead span (see [`crate::schedule`]). Either carrier feeds
+//! the Oracle the identical event sequence, so decisions are
+//! bit-identical.
 
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
 
 use cablevod_hfc::ids::ProgramId;
 use cablevod_hfc::units::{SimDuration, SimTime};
 
+use crate::error::CacheError;
+use crate::schedule::ScheduleWindow;
 use crate::strategy::{CacheOp, CacheStrategy, FillPolicy};
 
 /// The future accesses of one neighborhood, sorted by time, plus the slot
@@ -31,8 +39,14 @@ pub struct AccessSchedule {
 
 impl AccessSchedule {
     /// Builds a schedule. `costs[p]` is program `p`'s size in slots.
+    ///
+    /// Events arriving already time-ordered (the common case — the
+    /// engine's schedule pre-pass scans the trace chronologically) are
+    /// kept as-is; only genuinely unsorted input pays the sort.
     pub fn from_events(mut events: Vec<(SimTime, ProgramId)>, costs: Vec<u32>) -> Self {
-        events.sort_unstable();
+        if !events.is_sorted() {
+            events.sort_unstable();
+        }
         AccessSchedule { events, costs }
     }
 
@@ -51,6 +65,11 @@ impl AccessSchedule {
         self.costs.get(program.index()).copied().unwrap_or(0)
     }
 
+    /// Number of programs the cost table covers.
+    pub fn cost_count(&self) -> usize {
+        self.costs.len()
+    }
+
     /// The sorted events.
     pub fn events(&self) -> &[(SimTime, ProgramId)] {
         &self.events
@@ -66,9 +85,7 @@ pub struct Oracle {
     capacity: u64,
     used: u64,
     lookahead: SimDuration,
-    schedule: Arc<AccessSchedule>,
-    left: usize,
-    right: usize,
+    window: ScheduleWindow,
     /// future count per program with count > 0 or cached
     future: HashMap<ProgramId, u32>,
     cached_set: HashMap<ProgramId, ()>,
@@ -82,15 +99,13 @@ impl Oracle {
     const MAX_REBALANCE_ROUNDS: u32 = 16;
 
     /// Creates an Oracle with `capacity_slots` capacity looking
-    /// `lookahead` into `schedule`.
-    pub fn new(capacity_slots: u64, lookahead: SimDuration, schedule: Arc<AccessSchedule>) -> Self {
+    /// `lookahead` into the schedule behind `window`.
+    pub fn new(capacity_slots: u64, lookahead: SimDuration, window: ScheduleWindow) -> Self {
         Oracle {
             capacity: capacity_slots,
             used: 0,
             lookahead,
-            schedule,
-            left: 0,
-            right: 0,
+            window,
             future: HashMap::new(),
             cached_set: HashMap::new(),
             cached: BTreeSet::new(),
@@ -101,6 +116,12 @@ impl Oracle {
     /// The look-ahead window length.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
+    }
+
+    /// The schedule window this Oracle slides (retention tests read its
+    /// residency counters).
+    pub fn schedule_window(&self) -> &ScheduleWindow {
+        &self.window
     }
 
     fn score_of(&self, program: ProgramId) -> Score {
@@ -128,25 +149,16 @@ impl Oracle {
         }
     }
 
-    /// Slides the window to `[now, now + lookahead)`.
+    /// Slides the window to `[now, now + lookahead)`. Streaming windows
+    /// must have been prefetched through the horizon
+    /// ([`CacheStrategy::prepare`] does this).
     fn advance(&mut self, now: SimTime) {
         let horizon = now + self.lookahead;
-        let events_len = self.schedule.events().len();
-        while self.right < events_len {
-            let (t, p) = self.schedule.events()[self.right];
-            if t >= horizon {
-                break;
-            }
+        while let Some(p) = self.window.next_entering(horizon) {
             self.bump(p, 1);
-            self.right += 1;
         }
-        while self.left < self.right {
-            let (t, p) = self.schedule.events()[self.left];
-            if t >= now {
-                break;
-            }
+        while let Some(p) = self.window.next_leaving(now) {
             self.bump(p, -1);
-            self.left += 1;
         }
     }
 
@@ -155,7 +167,7 @@ impl Oracle {
         self.candidates.remove(&score);
         self.cached.insert(score);
         self.cached_set.insert(program, ());
-        self.used += u64::from(self.schedule.cost(program));
+        self.used += u64::from(self.window.cost(program));
         ops.push(CacheOp::Admit(program));
     }
 
@@ -163,7 +175,7 @@ impl Oracle {
         let program = score.1;
         self.cached.remove(&score);
         self.cached_set.remove(&program);
-        self.used -= u64::from(self.schedule.cost(program));
+        self.used -= u64::from(self.window.cost(program));
         if score.0 > 0 {
             self.candidates.insert(score);
         }
@@ -180,7 +192,7 @@ impl Oracle {
                 Some(b) => self.candidates.range(..b).next_back().copied(),
             };
             let Some(candidate) = candidate else { break };
-            let cost = u64::from(self.schedule.cost(candidate.1));
+            let cost = u64::from(self.window.cost(candidate.1));
             if cost > self.capacity || cost == 0 {
                 // Unplaceable (oversized or zero-length): skip but keep the
                 // future counts tracked.
@@ -198,7 +210,7 @@ impl Oracle {
                 if victim >= candidate {
                     break;
                 }
-                freed += u64::from(self.schedule.cost(victim.1));
+                freed += u64::from(self.window.cost(victim.1));
                 victims.push(victim);
                 if self.used + cost - freed <= self.capacity {
                     break;
@@ -227,6 +239,12 @@ impl CacheStrategy for Oracle {
         "Oracle"
     }
 
+    fn prepare(&mut self, now: SimTime) -> Result<(), CacheError> {
+        // Stage the schedule through the access's horizon so advancing in
+        // `on_access` is I/O-free (a no-op for resident windows).
+        self.window.prefetch(now + self.lookahead)
+    }
+
     fn on_access(&mut self, _program: ProgramId, _cost: u32, now: SimTime, ops: &mut Vec<CacheOp>) {
         // The access itself is part of the schedule; sliding the window is
         // all the Oracle needs.
@@ -239,7 +257,7 @@ impl CacheStrategy for Oracle {
     }
 
     fn cost_of(&self, program: ProgramId) -> Option<u32> {
-        (program.index() < self.schedule.costs.len()).then(|| self.schedule.cost(program))
+        (program.index() < self.window.cost_count()).then(|| self.window.cost(program))
     }
 
     fn used_slots(&self) -> u64 {
@@ -258,6 +276,7 @@ impl CacheStrategy for Oracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn p(i: u32) -> ProgramId {
         ProgramId::new(i)
@@ -267,11 +286,11 @@ mod tests {
         SimTime::from_secs(secs)
     }
 
-    fn schedule(events: &[(u64, u32)], costs: Vec<u32>) -> Arc<AccessSchedule> {
-        Arc::new(AccessSchedule::from_events(
+    fn schedule(events: &[(u64, u32)], costs: Vec<u32>) -> ScheduleWindow {
+        ScheduleWindow::resident(Arc::new(AccessSchedule::from_events(
             events.iter().map(|&(s, q)| (t(s), p(q))).collect(),
             costs,
-        ))
+        )))
     }
 
     fn day() -> u64 {
@@ -365,6 +384,73 @@ mod tests {
         for i in 0..200 {
             oracle.on_access(p(0), 1, t(i * 5_000), &mut ops);
             assert!(oracle.used_slots() <= oracle.capacity_slots(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn from_events_skips_the_sort_for_ordered_input() {
+        // Already sorted (including a duplicate-time run): the exact input
+        // order must be preserved, not re-sorted.
+        let sorted = vec![(t(1), p(9)), (t(5), p(2)), (t(5), p(7)), (t(9), p(0))];
+        let sched = AccessSchedule::from_events(sorted.clone(), vec![1; 10]);
+        assert_eq!(sched.events(), &sorted[..]);
+
+        // Unsorted input still gets sorted.
+        let unsorted = vec![(t(9), p(0)), (t(1), p(9)), (t(5), p(2))];
+        let sched = AccessSchedule::from_events(unsorted.clone(), vec![1; 10]);
+        let mut expected = unsorted;
+        expected.sort_unstable();
+        assert_eq!(sched.events(), &expected[..]);
+        assert_eq!(sched.cost_count(), 10);
+    }
+
+    /// A window over the shared mock reader (the streaming-window shape
+    /// the engine's sidecar reader has — see
+    /// [`crate::schedule::testing`]).
+    fn streaming(events: &[(u64, u32)], costs: Vec<u32>, batch: usize) -> ScheduleWindow {
+        ScheduleWindow::streaming(
+            Box::new(crate::schedule::testing::BatchReader::over(events, batch)),
+            costs.into(),
+        )
+    }
+
+    #[test]
+    fn streaming_window_decides_identically_to_resident() {
+        let events: Vec<(u64, u32)> = (0..3_000u64)
+            .map(|i| (i * 400, (i * 6101 % 29) as u32))
+            .collect();
+        let costs: Vec<u32> = (0..29).map(|c| 1 + c % 5).collect();
+        for batch in [1usize, 64, 4_096] {
+            let mut resident = Oracle::new(
+                25,
+                SimDuration::from_days(3),
+                schedule(&events, costs.clone()),
+            );
+            let mut windowed = Oracle::new(
+                25,
+                SimDuration::from_days(3),
+                streaming(&events, costs.clone(), batch),
+            );
+            for i in 0..150u64 {
+                let now = t(i * 8_000);
+                let mut ops_a = Vec::new();
+                let mut ops_b = Vec::new();
+                resident.prepare(now).expect("resident prepare");
+                windowed.prepare(now).expect("windowed prepare");
+                resident.on_access(p(0), 1, now, &mut ops_a);
+                windowed.on_access(p(0), 1, now, &mut ops_b);
+                assert_eq!(ops_a, ops_b, "batch {batch}, step {i}");
+                assert_eq!(resident.used_slots(), windowed.used_slots());
+            }
+            // The streaming window never held more than the look-ahead span
+            // (3 days at 400 s spacing = 648 events) plus one batch plus
+            // one access step's backlog (8,000 s / 400 s = 20 events — the
+            // peak is sampled at prefetch, before the trailing edge pops).
+            assert!(
+                windowed.schedule_window().peak_resident_events() <= 648 + 20 + batch,
+                "batch {batch}: peak {}",
+                windowed.schedule_window().peak_resident_events()
+            );
         }
     }
 }

@@ -1,0 +1,563 @@
+//! The windowed schedule seam: how the Oracle sees its future.
+//!
+//! The Oracle (§VI-A) needs the neighborhood's *future* accesses — one
+//! `(time, program)` event per session record. Holding that future fully
+//! resident ([`AccessSchedule`]) is fine when the trace itself is
+//! resident, but it is the one piece of auxiliary state that would grow
+//! with trace length on the out-of-core replay paths. This module is the
+//! seam that makes the carrier pluggable, exactly as
+//! [`FeedProvider`](crate::feed::FeedProvider) did for the popularity
+//! feed:
+//!
+//! * [`ScheduleSource`] — per-run supplier of per-neighborhood windowed
+//!   schedules. [`ResidentSchedules`] wraps prebuilt [`AccessSchedule`]s
+//!   (the resident engine paths); the simulation engine provides an
+//!   on-disk implementation over its schedule sidecar files.
+//! * [`ScheduleWindow`] — what the [`Oracle`](crate::oracle::Oracle)
+//!   actually consumes: a two-edged cursor over one neighborhood's
+//!   time-ordered future events. The **resident** window walks a shared
+//!   [`AccessSchedule`] with two indices (zero copies, the classic hot
+//!   path, untouched). The **streaming** window pulls time-ordered
+//!   batches from a [`ScheduleReader`] and retains only the events
+//!   between the window's trailing edge (`now`) and its leading edge
+//!   (`now + lookahead`): events are buffered when they enter the
+//!   horizon and dropped the moment they fall behind `now`, so resident
+//!   state is O(events inside the look-ahead window + one reader batch),
+//!   never O(trace).
+//! * [`ScheduleReader`] — the pull side of the streaming window: a
+//!   sequential, time-ordered batch iterator over one neighborhood's
+//!   future events (one batch per on-disk sidecar chunk, for the
+//!   engine's implementation).
+//!
+//! # Fallibility: `prepare`, then infallible advancing
+//!
+//! Streaming windows do I/O, and the strategy access hook
+//! ([`CacheStrategy::on_access`](crate::strategy::CacheStrategy::on_access))
+//! is infallible by design. The split:
+//! [`CacheStrategy::prepare`](crate::strategy::CacheStrategy::prepare) —
+//! called by the index server before every access — stages everything the
+//! access will need via [`ScheduleWindow::prefetch`] (the only fallible
+//! step), after which [`next_entering`](ScheduleWindow::next_entering) /
+//! [`next_leaving`](ScheduleWindow::next_leaving) operate on buffered
+//! data only.
+//!
+//! Both window kinds replay the **same event sequence in the same
+//! order**, so a strategy driven through either produces bit-identical
+//! decisions — the engine's streaming-parity property tests pin this
+//! end to end.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
+use cablevod_hfc::units::SimTime;
+
+use crate::error::CacheError;
+use crate::oracle::AccessSchedule;
+
+/// A sequential reader over one neighborhood's future accesses, in
+/// non-decreasing time order.
+///
+/// Implementations deliver events in batches (typically one on-disk
+/// chunk per call) and must make progress: a successful call either
+/// appends at least one event or reports exhaustion.
+pub trait ScheduleReader: fmt::Debug + Send {
+    /// Overwrites `out` with the next time-ordered batch of events.
+    /// Returns `Ok(false)` when the reader is exhausted (`out` is left
+    /// empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::Schedule`] for storage failures or corrupt
+    /// schedule data.
+    fn next_batch(&mut self, out: &mut Vec<(SimTime, ProgramId)>) -> Result<bool, CacheError>;
+}
+
+/// The two window carriers (see the module docs).
+enum WindowState {
+    /// Two indices over a shared, fully resident schedule:
+    /// `events[left..right]` is the current look-ahead window.
+    Resident {
+        schedule: Arc<AccessSchedule>,
+        left: usize,
+        right: usize,
+    },
+    /// A bounded buffer over a streaming reader: `buf[..entered]` is the
+    /// current look-ahead window, `buf[entered..]` is fetched read-ahead
+    /// (the tail of the last batch) that has not crossed the leading
+    /// edge yet.
+    Streaming {
+        reader: Box<dyn ScheduleReader>,
+        costs: Arc<[u32]>,
+        buf: VecDeque<(SimTime, ProgramId)>,
+        entered: usize,
+        /// Largest event time fetched so far: once it reaches the
+        /// horizon, every unfetched event is at or beyond it.
+        fetched_tail: SimTime,
+        exhausted: bool,
+        /// Scratch batch buffer, reused across fetches.
+        batch: Vec<(SimTime, ProgramId)>,
+        /// High-water mark of `buf.len()` — what the retention tests
+        /// assert stays bounded by the look-ahead window.
+        peak_resident: usize,
+    },
+}
+
+impl fmt::Debug for WindowState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WindowState::Resident { left, right, .. } => f
+                .debug_struct("Resident")
+                .field("left", left)
+                .field("right", right)
+                .finish_non_exhaustive(),
+            WindowState::Streaming {
+                entered,
+                buf,
+                exhausted,
+                ..
+            } => f
+                .debug_struct("Streaming")
+                .field("entered", entered)
+                .field("resident", &buf.len())
+                .field("exhausted", exhausted)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// A two-edged cursor over one neighborhood's time-ordered future
+/// accesses (see the module docs). The Oracle slides it forward with
+/// monotonically non-decreasing `now`; edges never move backwards.
+#[derive(Debug)]
+pub struct ScheduleWindow {
+    state: WindowState,
+}
+
+impl ScheduleWindow {
+    /// A zero-copy window over a fully resident schedule.
+    pub fn resident(schedule: Arc<AccessSchedule>) -> Self {
+        ScheduleWindow {
+            state: WindowState::Resident {
+                schedule,
+                left: 0,
+                right: 0,
+            },
+        }
+    }
+
+    /// A bounded window over a streaming reader. `costs[p]` is program
+    /// `p`'s size in slots (the whole catalog — the Oracle is asked for
+    /// costs of programs it has never seen scheduled).
+    pub fn streaming(reader: Box<dyn ScheduleReader>, costs: Arc<[u32]>) -> Self {
+        ScheduleWindow {
+            state: WindowState::Streaming {
+                reader,
+                costs,
+                buf: VecDeque::new(),
+                entered: 0,
+                fetched_tail: SimTime::EPOCH,
+                exhausted: false,
+                batch: Vec::new(),
+                peak_resident: 0,
+            },
+        }
+    }
+
+    /// Stages every event with time below `horizon` into the window's
+    /// buffer (the only fallible step; a no-op on resident windows).
+    /// After it returns, [`next_entering`](ScheduleWindow::next_entering)
+    /// up to the same `horizon` needs no I/O.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reader failures and rejects readers that violate the
+    /// time-ordering contract.
+    pub fn prefetch(&mut self, horizon: SimTime) -> Result<(), CacheError> {
+        let WindowState::Streaming {
+            reader,
+            buf,
+            fetched_tail,
+            exhausted,
+            batch,
+            peak_resident,
+            ..
+        } = &mut self.state
+        else {
+            return Ok(());
+        };
+        while !*exhausted && *fetched_tail < horizon {
+            if !reader.next_batch(batch)? {
+                *exhausted = true;
+                break;
+            }
+            for &(t, p) in batch.iter() {
+                if t < *fetched_tail {
+                    return Err(CacheError::Schedule {
+                        reason: format!(
+                            "schedule reader broke time order: {}s after {}s",
+                            t.as_secs(),
+                            fetched_tail.as_secs()
+                        ),
+                    });
+                }
+                *fetched_tail = t;
+                buf.push_back((t, p));
+            }
+            *peak_resident = (*peak_resident).max(buf.len());
+        }
+        Ok(())
+    }
+
+    /// The next event crossing the window's leading edge (time below
+    /// `horizon`), or `None` when no staged event qualifies. Streaming
+    /// windows must have [`prefetch`](ScheduleWindow::prefetch)ed through
+    /// `horizon` first.
+    pub fn next_entering(&mut self, horizon: SimTime) -> Option<ProgramId> {
+        match &mut self.state {
+            WindowState::Resident {
+                schedule, right, ..
+            } => match schedule.events().get(*right) {
+                Some(&(t, p)) if t < horizon => {
+                    *right += 1;
+                    Some(p)
+                }
+                _ => None,
+            },
+            WindowState::Streaming {
+                buf,
+                entered,
+                exhausted,
+                fetched_tail,
+                ..
+            } => match buf.get(*entered) {
+                Some(&(t, p)) if t < horizon => {
+                    *entered += 1;
+                    Some(p)
+                }
+                Some(_) => None,
+                None => {
+                    debug_assert!(
+                        *exhausted || *fetched_tail >= horizon,
+                        "next_entering past the prefetched horizon"
+                    );
+                    None
+                }
+            },
+        }
+    }
+
+    /// The next event falling behind the window's trailing edge (time
+    /// below `now`), or `None`. Streaming windows drop the event from the
+    /// resident buffer — this is what keeps them bounded.
+    pub fn next_leaving(&mut self, now: SimTime) -> Option<ProgramId> {
+        match &mut self.state {
+            WindowState::Resident {
+                schedule,
+                left,
+                right,
+            } => {
+                if left < right {
+                    let (t, p) = schedule.events()[*left];
+                    if t < now {
+                        *left += 1;
+                        return Some(p);
+                    }
+                }
+                None
+            }
+            WindowState::Streaming { buf, entered, .. } => {
+                if *entered > 0 {
+                    if let Some(&(t, p)) = buf.front() {
+                        if t < now {
+                            buf.pop_front();
+                            *entered -= 1;
+                            return Some(p);
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Slot cost of `program` (0 for ids beyond the cost table).
+    pub fn cost(&self, program: ProgramId) -> u32 {
+        match &self.state {
+            WindowState::Resident { schedule, .. } => schedule.cost(program),
+            WindowState::Streaming { costs, .. } => {
+                costs.get(program.index()).copied().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Number of programs the cost table covers.
+    pub fn cost_count(&self) -> usize {
+        match &self.state {
+            WindowState::Resident { schedule, .. } => schedule.cost_count(),
+            WindowState::Streaming { costs, .. } => costs.len(),
+        }
+    }
+
+    /// Events currently held in the window's own buffer. Zero for
+    /// resident windows — they borrow the shared schedule and buffer
+    /// nothing.
+    pub fn resident_events(&self) -> usize {
+        match &self.state {
+            WindowState::Resident { .. } => 0,
+            WindowState::Streaming { buf, .. } => buf.len(),
+        }
+    }
+
+    /// High-water mark of [`resident_events`](ScheduleWindow::resident_events)
+    /// over the window's lifetime.
+    pub fn peak_resident_events(&self) -> usize {
+        match &self.state {
+            WindowState::Resident { .. } => 0,
+            WindowState::Streaming { peak_resident, .. } => *peak_resident,
+        }
+    }
+}
+
+/// A per-run supplier of windowed schedules, one per neighborhood.
+///
+/// `window` is `&self` and must be callable concurrently — sharded
+/// engines build their neighborhoods' windows from worker threads.
+pub trait ScheduleSource: Sync {
+    /// Builds the windowed schedule for `nbhd`, or `None` when this
+    /// source carries no schedule for it (strategies that need one fail
+    /// construction with [`CacheError::MissingSchedule`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures from on-disk sources.
+    fn window(&self, nbhd: NeighborhoodId) -> Result<Option<ScheduleWindow>, CacheError>;
+}
+
+/// [`ScheduleSource`] over prebuilt resident [`AccessSchedule`]s — the
+/// resident engine paths. Windows are zero-copy cursor pairs over the
+/// shared schedules.
+#[derive(Debug, Clone, Default)]
+pub struct ResidentSchedules {
+    schedules: Vec<Option<Arc<AccessSchedule>>>,
+}
+
+impl ResidentSchedules {
+    /// Wraps prebuilt per-neighborhood schedules (index = dense
+    /// neighborhood index).
+    pub fn new(schedules: Vec<Option<Arc<AccessSchedule>>>) -> Self {
+        ResidentSchedules { schedules }
+    }
+
+    /// A source with no schedule for any of `neighborhoods` — what
+    /// strategies that never consult a schedule run with.
+    pub fn none(neighborhoods: usize) -> Self {
+        ResidentSchedules {
+            schedules: vec![None; neighborhoods],
+        }
+    }
+}
+
+impl ScheduleSource for ResidentSchedules {
+    fn window(&self, nbhd: NeighborhoodId) -> Result<Option<ScheduleWindow>, CacheError> {
+        Ok(self
+            .schedules
+            .get(nbhd.index())
+            .and_then(Clone::clone)
+            .map(ScheduleWindow::resident))
+    }
+}
+
+/// Test support shared by this crate's window-consuming test suites
+/// (here and in [`crate::oracle`]): one mock reader, so the
+/// [`ScheduleReader`] contract is exercised identically everywhere.
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A reader over pre-chunked in-memory batches, for driving
+    /// streaming windows deterministically.
+    #[derive(Debug)]
+    pub(crate) struct BatchReader {
+        batches: Vec<Vec<(SimTime, ProgramId)>>,
+        next: usize,
+    }
+
+    impl BatchReader {
+        /// Chunks `events` (`(secs, program id)` pairs) into
+        /// `batch`-sized time-ordered batches.
+        pub(crate) fn over(events: &[(u64, u32)], batch: usize) -> Self {
+            BatchReader {
+                batches: events
+                    .chunks(batch.max(1))
+                    .map(|c| {
+                        c.iter()
+                            .map(|&(s, q)| (SimTime::from_secs(s), ProgramId::new(q)))
+                            .collect()
+                    })
+                    .collect(),
+                next: 0,
+            }
+        }
+    }
+
+    impl ScheduleReader for BatchReader {
+        fn next_batch(&mut self, out: &mut Vec<(SimTime, ProgramId)>) -> Result<bool, CacheError> {
+            out.clear();
+            match self.batches.get(self.next) {
+                Some(batch) => {
+                    out.extend_from_slice(batch);
+                    self.next += 1;
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testing::BatchReader;
+    use super::*;
+    use cablevod_hfc::units::SimDuration;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn p(i: u32) -> ProgramId {
+        ProgramId::new(i)
+    }
+
+    fn windows_for(events: &[(u64, u32)], costs: Vec<u32>, batch: usize) -> [ScheduleWindow; 2] {
+        let resident = ScheduleWindow::resident(Arc::new(AccessSchedule::from_events(
+            events.iter().map(|&(s, q)| (t(s), p(q))).collect(),
+            costs.clone(),
+        )));
+        let streaming =
+            ScheduleWindow::streaming(Box::new(BatchReader::over(events, batch)), costs.into());
+        [resident, streaming]
+    }
+
+    #[test]
+    fn both_window_kinds_replay_the_same_events() {
+        let events: Vec<(u64, u32)> = (0..500).map(|i| (i * 10, (i % 13) as u32)).collect();
+        let costs: Vec<u32> = (0..13).map(|c| 1 + c % 4).collect();
+        for batch in [1usize, 7, 64, 1_000] {
+            let [mut resident, mut streaming] = windows_for(&events, costs.clone(), batch);
+            // Walk both edges forward in lockstep through a sweep of nows.
+            for step in 0..60u64 {
+                let now = t(step * 100);
+                let horizon = now + SimDuration::from_secs(1_000);
+                streaming.prefetch(horizon).expect("prefetch");
+                loop {
+                    let a = resident.next_entering(horizon);
+                    let b = streaming.next_entering(horizon);
+                    assert_eq!(a, b, "entering at step {step}, batch {batch}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                loop {
+                    let a = resident.next_leaving(now);
+                    let b = streaming.next_leaving(now);
+                    assert_eq!(a, b, "leaving at step {step}, batch {batch}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            assert_eq!(resident.cost(p(3)), streaming.cost(p(3)));
+            assert_eq!(resident.cost_count(), streaming.cost_count());
+        }
+    }
+
+    #[test]
+    fn streaming_window_residency_is_bounded_by_the_lookahead() {
+        // 30 "days" of events, 100 per day, against a 3-day look-ahead:
+        // the streaming window must never hold more than the events
+        // inside the look-ahead span plus one read-ahead batch.
+        let day = 86_400u64;
+        let per_day = 100u64;
+        let events: Vec<(u64, u32)> = (0..30 * per_day)
+            .map(|i| (i * (day / per_day), (i % 31) as u32))
+            .collect();
+        let batch = 64usize;
+        let mut window = ScheduleWindow::streaming(
+            Box::new(BatchReader::over(&events, batch)),
+            vec![1u32; 31].into(),
+        );
+        let lookahead = SimDuration::from_days(3);
+        for step in 0..300u64 {
+            let now = t(step * (day / 10));
+            let horizon = now + lookahead;
+            window.prefetch(horizon).expect("prefetch");
+            while window.next_entering(horizon).is_some() {}
+            while window.next_leaving(now).is_some() {}
+            assert!(
+                window.resident_events() <= 3 * per_day as usize + batch,
+                "window leaked at step {step}: {} resident events",
+                window.resident_events()
+            );
+        }
+        // The peak is sampled at prefetch time, before the trailing edge
+        // pops the step's backlog, so it carries one step's events (10) on
+        // top of the window span.
+        assert!(window.peak_resident_events() <= 3 * per_day as usize + batch + 10);
+        assert!(
+            window.peak_resident_events() < events.len() / 2,
+            "peak {} should be far below the {}-event schedule",
+            window.peak_resident_events(),
+            events.len()
+        );
+    }
+
+    #[test]
+    fn resident_window_buffers_nothing() {
+        let [mut resident, _] = windows_for(&[(0, 0), (10, 1)], vec![1, 1], 8);
+        resident.prefetch(t(100)).expect("no-op");
+        while resident.next_entering(t(100)).is_some() {}
+        assert_eq!(resident.resident_events(), 0);
+        assert_eq!(resident.peak_resident_events(), 0);
+    }
+
+    #[test]
+    fn out_of_order_readers_are_rejected() {
+        #[derive(Debug)]
+        struct Backwards(usize);
+        impl ScheduleReader for Backwards {
+            fn next_batch(
+                &mut self,
+                out: &mut Vec<(SimTime, ProgramId)>,
+            ) -> Result<bool, CacheError> {
+                out.clear();
+                out.push((t(100 - 50 * self.0 as u64), p(0)));
+                self.0 += 1;
+                Ok(true)
+            }
+        }
+        let mut window = ScheduleWindow::streaming(Box::new(Backwards(0)), vec![1].into());
+        let err = window.prefetch(t(10_000)).unwrap_err();
+        assert!(matches!(err, CacheError::Schedule { .. }), "{err}");
+    }
+
+    #[test]
+    fn resident_source_hands_out_per_neighborhood_windows() {
+        let sched = Arc::new(AccessSchedule::from_events(vec![(t(5), p(1))], vec![2, 3]));
+        let source = ResidentSchedules::new(vec![None, Some(sched)]);
+        assert!(source.window(NeighborhoodId::new(0)).expect("ok").is_none());
+        let mut w = source
+            .window(NeighborhoodId::new(1))
+            .expect("ok")
+            .expect("present");
+        assert_eq!(w.cost(p(1)), 3);
+        assert_eq!(w.next_entering(t(10)), Some(p(1)));
+        // Out-of-range neighborhoods have no schedule rather than panicking.
+        assert!(source.window(NeighborhoodId::new(9)).expect("ok").is_none());
+        // The no-schedule source never yields a window.
+        let none = ResidentSchedules::none(3);
+        assert!(none.window(NeighborhoodId::new(2)).expect("ok").is_none());
+    }
+}

@@ -13,7 +13,6 @@
 //! (`DESIGN.md §5`).
 
 use std::fmt;
-use std::sync::Arc;
 
 use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
 use cablevod_hfc::units::{SimDuration, SimTime};
@@ -23,7 +22,8 @@ use crate::error::CacheError;
 use crate::feed::{FeedEvents, GlobalLfu};
 use crate::lfu::WindowedLfu;
 use crate::lru::Lru;
-use crate::oracle::{AccessSchedule, Oracle};
+use crate::oracle::Oracle;
+use crate::schedule::ScheduleWindow;
 
 /// An admission/eviction decision emitted by a strategy.
 ///
@@ -58,6 +58,20 @@ pub enum FillPolicy {
 pub trait CacheStrategy: fmt::Debug + Send {
     /// Short human-readable name ("LRU", "LFU", ...).
     fn name(&self) -> &'static str;
+
+    /// Stages everything an access at `now` will need — the one fallible
+    /// hook in the access path. The index server calls it immediately
+    /// before [`on_access`](CacheStrategy::on_access); strategies with
+    /// out-of-core auxiliary state (the windowed Oracle's on-disk
+    /// schedule) do their I/O here so the access hook itself stays
+    /// infallible. The default is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage failures from out-of-core auxiliary state.
+    fn prepare(&mut self, _now: SimTime) -> Result<(), CacheError> {
+        Ok(())
+    }
 
     /// Observes one program access in this neighborhood and appends any
     /// admissions/evictions to `ops`. `cost` is the program's size in
@@ -190,7 +204,10 @@ impl StrategySpec {
 
     /// Instantiates the strategy for a neighborhood with
     /// `capacity_slots` total slots. Oracle strategies need the
-    /// neighborhood's future [`AccessSchedule`].
+    /// neighborhood's future accesses as a
+    /// [`ScheduleWindow`] — resident or
+    /// streaming, obtained from a
+    /// [`ScheduleSource`](crate::schedule::ScheduleSource).
     ///
     /// # Errors
     ///
@@ -200,7 +217,7 @@ impl StrategySpec {
         &self,
         capacity_slots: u64,
         home: NeighborhoodId,
-        schedule: Option<Arc<AccessSchedule>>,
+        schedule: Option<ScheduleWindow>,
     ) -> Result<Box<dyn CacheStrategy>, CacheError> {
         Ok(match *self {
             StrategySpec::NoCache => Box::new(NoCache),
@@ -241,6 +258,7 @@ impl StrategySpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn no_cache_never_admits() {
@@ -282,7 +300,9 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, CacheError::MissingSchedule));
 
-        let schedule = Arc::new(AccessSchedule::from_events(Vec::new(), Vec::new()));
+        let schedule = ScheduleWindow::resident(Arc::new(
+            crate::oracle::AccessSchedule::from_events(Vec::new(), Vec::new()),
+        ));
         let s = StrategySpec::default_oracle()
             .build(10, NeighborhoodId::new(0), Some(schedule))
             .expect("schedule provided");

@@ -128,6 +128,13 @@ impl WatermarkFeed {
         self.capacity
     }
 
+    /// Sequence numbers per segment — the reclamation granule. Consumers
+    /// that pace periodic cursor updates (the engine's idle sweep) derive
+    /// their stride from this, so the two granules cannot drift apart.
+    pub fn segment_slots(&self) -> usize {
+        self.seg_slots
+    }
+
     /// The segment the slot for `seq` lives in, extending the live window
     /// forward as needed (never backward: a reclaimed slot is gone).
     ///

@@ -355,6 +355,17 @@ pub(super) struct SessionDriver<'a, P, F, R> {
     /// Set when any sibling shard failed; checked at every step entry so
     /// parked shards unblock into an orderly bail-out.
     abort: Option<&'a AtomicBool>,
+    /// When `Some(stride)`, this driver periodically syncs **every**
+    /// index it holds against the feed, so neighborhoods between (or
+    /// without) sessions keep their consumption cursors — and with them
+    /// the feed's reclamation floor — moving. The stride comes from the
+    /// carrier itself (its reclamation granule — see
+    /// [`FeedProvider::idle_sync_stride`]), so the sweep cadence and the
+    /// reclaim cadence cannot drift apart. Only the serial streaming
+    /// driver gets `Some`.
+    idle_sync: Option<u64>,
+    /// Next global record index at which to run an idle sweep.
+    next_idle_sync: u64,
 }
 
 impl<'a, P, F, R> SessionDriver<'a, P, F, R>
@@ -374,6 +385,10 @@ where
         segmenter: Segmenter,
         abort: Option<&'a AtomicBool>,
     ) -> Self {
+        let idle_sync = feed
+            .as_ref()
+            .and_then(FeedProvider::idle_sync_stride)
+            .filter(|_| indexes.len() > 1);
         SessionDriver {
             supply,
             feed,
@@ -386,6 +401,8 @@ where
             config,
             segmenter,
             abort,
+            idle_sync,
+            next_idle_sync: idle_sync.unwrap_or(0),
         }
     }
 
@@ -415,10 +432,30 @@ where
             };
 
             if take_record {
-                let (_, gidx) = staged.expect("record chosen");
+                let (start, gidx) = staged.expect("record chosen");
                 if let Some(feed) = self.feed.as_mut() {
                     if !feed.ready(gidx) {
                         return Ok(Step::Blocked { progressed });
+                    }
+                }
+                if let Some(stride) = self.idle_sync {
+                    if gidx >= self.next_idle_sync {
+                        // Idle sweep: sync every neighborhood — not just
+                        // the one starting a session — against the
+                        // published prefix. A neighborhood with no record
+                        // before `gidx` would otherwise hold its
+                        // consumption cursor (and the feed's reclamation
+                        // floor) at its last session, or at zero forever
+                        // if it has none; an eager sync consumes exactly
+                        // the prefix its own next session would consume
+                        // first anyway, so results are bit-identical (the
+                        // streaming-parity property tests pin this) while
+                        // live feed slots stay O(stride), not O(trace).
+                        self.next_idle_sync = gidx + stride;
+                        let feed = self.feed.as_mut().expect("idle sync implies a feed");
+                        for index in &mut self.indexes {
+                            feed.sync(index, start, gidx);
+                        }
                     }
                 }
                 let session = self.supply.take();

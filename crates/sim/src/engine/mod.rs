@@ -39,6 +39,12 @@
 //!        └─► SegmentPlant        (lifecycle.rs, shard.rs — whose bytes get
 //!              Topology            accounted: the whole plant, or)
 //!              ShardPlant          (one neighborhood's isolated slice)
+//!        │ its index servers are built from
+//!        ▼
+//!  ScheduleSource                (schedule.rs glue; cablevod_cache::schedule
+//!        ResidentSchedules        — how the Oracle sees its future: resident
+//!        SpilledSchedules           zero-copy windows, or bounded windows
+//!                                   over the on-disk schedule sidecar)
 //!  ───────────────────────────────────────────────────────────────────────
 //!        │ results flow into
 //!        ▼
@@ -98,6 +104,31 @@
 //! cursor back and the carrier reclaims fully consumed segments (see
 //! [`cablevod_cache::watermark`]).
 //!
+//! Idle-neighborhood retention: the serial streaming driver answers for
+//! every neighborhood's feed cursor at once, and a neighborhood between
+//! (or without) sessions never syncs on its own — its stalled cursor
+//! would floor the carrier's reclamation and pin the whole retained
+//! window. The driver therefore runs an **idle sweep** every
+//! reclamation-segment's worth of records: it syncs every index against
+//! the published prefix, which consumes exactly what each neighborhood's
+//! next session would consume first anyway (so results stay
+//! bit-identical) and keeps live feed slots O(sweep stride + visibility
+//! lag), not O(trace).
+//!
+//! # Windowed Oracle schedules
+//!
+//! Oracle is inherently offline — it needs the whole future — but the
+//! future no longer needs to be resident. Streaming runs spill the
+//! per-neighborhood `(time, program)` schedules to an on-disk **schedule
+//! sidecar** ([`cablevod_trace::schedule`]) during the single pre-pass
+//! scan they already perform (matched neighborhood-major sources scan
+//! run by run; everything else merges to global time order), then replay
+//! them through [`ScheduleWindow`]s whose resident state is bounded by
+//! the look-ahead span plus one sidecar chunk. Resident runs keep
+//! zero-copy windows over in-memory [`AccessSchedule`]s — the hot path
+//! is untouched. Either carrier feeds the Oracle the identical event
+//! sequence, so reports stay bit-identical (see the `schedule` submodule).
+//!
 //! Whichever path runs, the report is **bit-identical** — property tests
 //! enforce `run == run_parallel == streaming run == streaming
 //! run_parallel` across strategies, chunk sizes, chunk layouts and shard
@@ -106,6 +137,7 @@
 mod feed;
 mod lifecycle;
 mod report;
+mod schedule;
 mod shard;
 mod stream;
 
@@ -115,7 +147,8 @@ mod tests;
 use std::sync::Arc;
 
 use cablevod_cache::{
-    AccessSchedule, IndexServer, PlacementPolicy, SharedFeed, SlotLedger, WatermarkFeed,
+    AccessSchedule, IndexServer, PlacementPolicy, ScheduleWindow, SharedFeed, SlotLedger,
+    WatermarkFeed,
 };
 use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId};
 use cablevod_hfc::segment::Segmenter;
@@ -132,6 +165,7 @@ use crate::report::SimReport;
 use feed::build_feed;
 use lifecycle::{session_ctx, SessionCtx, SessionDriver, UserMap};
 use report::assemble_serial_report;
+use schedule::{scan_runs, spill_from_scan, ScheduleSupply, SidecarSpill};
 use stream::{ResidentSupply, StreamSupply};
 
 /// Runs one simulation of the workload in `source` under `config` and
@@ -277,16 +311,19 @@ fn schedules_from_events(
 }
 
 /// Builds the per-neighborhood Oracle schedules from a resident record
-/// slice (empty for strategies that do not need them).
+/// slice (a no-schedule supply for strategies that do not need them).
+/// The scan walks the records in trace order, so each neighborhood's
+/// event list arrives pre-sorted and
+/// [`AccessSchedule::from_events`] skips its sort.
 fn build_schedules(
     records: &[SessionRecord],
     catalog: &ProgramCatalog,
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
-) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
+) -> Result<ScheduleSupply, SimError> {
     if !config.strategy().needs_schedule() {
-        return Ok(vec![None; topo.neighborhood_count()]);
+        return Ok(ScheduleSupply::none(topo.neighborhood_count()));
     }
     let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
     for r in records {
@@ -294,33 +331,9 @@ fn build_schedules(
         per_nbhd[nbhd.index()].push((r.start, r.program));
     }
     let costs = schedule_costs(catalog, config, segmenter);
-    Ok(schedules_from_events(per_nbhd, &costs))
-}
-
-/// Builds Oracle schedules with one streaming pass over the source.
-///
-/// Oracle is inherently offline — it needs the whole future — so this is
-/// the one strategy whose auxiliary state still grows with trace length
-/// (one `(time, program)` pair per record); all per-record *simulation*
-/// state stays bounded. [`AccessSchedule::from_events`] sorts, so the
-/// scan order (and with it the source's chunk layout) is irrelevant.
-fn schedules_from_scan<S: TraceSource + ?Sized>(
-    source: &S,
-    topo: &Topology,
-    config: &SimConfig,
-    segmenter: &Segmenter,
-) -> Result<Vec<Option<Arc<AccessSchedule>>>, SimError> {
-    let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
-    let mut buf = Vec::new();
-    for chunk in 0..source.chunk_count() {
-        source.read_chunk(chunk, &mut buf)?;
-        for r in &buf {
-            let nbhd = topo.neighborhood_of_user(r.user)?;
-            per_nbhd[nbhd.index()].push((r.start, r.program));
-        }
-    }
-    let costs = schedule_costs(source.catalog(), config, segmenter);
-    Ok(schedules_from_events(per_nbhd, &costs))
+    Ok(ScheduleSupply::Resident(
+        cablevod_cache::ResidentSchedules::new(schedules_from_events(per_nbhd, &costs)),
+    ))
 }
 
 /// Builds the index server for neighborhood `n`. Shared by every driver so
@@ -331,7 +344,7 @@ fn build_index(
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
-    schedule: Option<Arc<AccessSchedule>>,
+    schedule: Option<ScheduleWindow>,
 ) -> Result<IndexServer, SimError> {
     let nominal = config.stream_rate() * config.segment_len();
     let id = NeighborhoodId::new(n as u32);
@@ -365,17 +378,15 @@ fn build_index(
     Ok(index)
 }
 
-/// Builds every neighborhood's index server.
+/// Builds every neighborhood's index server from a schedule supply.
 fn build_indexes(
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
-    schedules: Vec<Option<Arc<AccessSchedule>>>,
+    schedules: &ScheduleSupply,
 ) -> Result<Vec<IndexServer>, SimError> {
-    schedules
-        .into_iter()
-        .enumerate()
-        .map(|(n, schedule)| build_index(n, topo, config, segmenter, schedule))
+    (0..topo.neighborhood_count())
+        .map(|n| build_index(n, topo, config, segmenter, schedules.window(n)?))
         .collect()
 }
 
@@ -395,7 +406,7 @@ fn run_resident<S: TraceSource + ?Sized>(
     let ctxs = precompute_sessions(records, catalog, &users, &segmenter)?;
     let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
     let feed = build_feed(records, &ctxs, config, &segmenter);
-    let indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+    let indexes = build_indexes(&topo, config, &segmenter, &schedules)?;
 
     let supply = ResidentSupply::new(records, &ctxs, None);
     let provider = feed.as_ref().map(cablevod_cache::PrecomputedFeed::new);
@@ -425,23 +436,35 @@ fn serial_runs<S: TraceSource + ?Sized>(source: &S) -> Vec<Vec<u32>> {
 
 /// The serial driver over a chunked source: same event order as
 /// [`run_resident`], with records staged chunk by chunk, contexts computed
-/// at ingestion, and the feed carried by a single-producer watermark feed
-/// (bounded retention for free — see [`feed`]).
+/// at ingestion, Oracle schedules spilled to a windowed on-disk sidecar
+/// (see [`schedule`]), and the feed carried by a single-producer watermark
+/// feed (bounded retention — see [`feed`]).
 fn run_streaming<S: TraceSource + ?Sized>(
     source: &S,
     config: &SimConfig,
 ) -> Result<SimReport, SimError> {
+    Ok(run_streaming_observed(source, config)?.0)
+}
+
+/// [`run_streaming`] plus retention observability: also returns the
+/// watermark feed's peak live slot count (`None` when the strategy takes
+/// no feed), which the idle-neighborhood regression test asserts stays
+/// bounded.
+fn run_streaming_observed<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+) -> Result<(SimReport, Option<usize>), SimError> {
     config.validate()?;
     let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
 
     let mut topo = build_topology(source, config)?;
     let nbhd_count = topo.neighborhood_count();
     let schedules = if config.strategy().needs_schedule() {
-        schedules_from_scan(source, &topo, config, &segmenter)?
+        ScheduleSupply::Spilled(spill_from_scan(source, &topo, config, &segmenter)?)
     } else {
-        vec![None; nbhd_count]
+        ScheduleSupply::none(nbhd_count)
     };
-    let indexes = build_indexes(&topo, config, &segmenter, schedules)?;
+    let indexes = build_indexes(&topo, config, &segmenter, &schedules)?;
     let users = UserMap::from_topology(&topo);
 
     let runs = serial_runs(source);
@@ -463,21 +486,23 @@ fn run_streaming<S: TraceSource + ?Sized>(
     );
     driver.run()?;
     let (_, indexes, counters) = driver.into_parts();
+    let peak_feed_slots = wfeed.as_ref().map(WatermarkFeed::peak_live_slots);
 
     let days = source.days().max(1);
     let warmup = config.warmup_days().min(days - 1);
-    Ok(assemble_serial_report(
-        &topo, &indexes, counters, days, warmup,
+    Ok((
+        assemble_serial_report(&topo, &indexes, counters, days, warmup),
+        peak_feed_slots,
     ))
 }
 
 /// The per-shard streaming plan: which chunk runs each shard merges, the
-/// Oracle schedules (when needed), and whether supplies must filter
+/// Oracle schedule supply (when needed), and whether supplies must filter
 /// records by neighborhood.
 struct StreamPlan {
     /// `shard_runs[n]` — the gidx-sorted chunk runs shard `n` merges.
     shard_runs: Vec<Vec<Vec<u32>>>,
-    schedules: Vec<Option<Arc<AccessSchedule>>>,
+    schedules: ScheduleSupply,
     /// Whether chunks can contain foreign records (false only on the
     /// matched neighborhood-major fast path, where a chunk's records all
     /// belong to its one shard).
@@ -496,7 +521,8 @@ struct StreamPlan {
 ///   disagrees with the configured neighborhood size).
 ///
 /// Oracle schedules ride along on the same scan when the strategy needs
-/// them.
+/// them, spilled straight to the windowed on-disk sidecar (see
+/// [`schedule`]) — the pre-pass holds no per-record state in memory.
 fn shard_plans<S: TraceSource + ?Sized>(
     source: &S,
     topo: &Topology,
@@ -519,9 +545,9 @@ fn shard_plans<S: TraceSource + ?Sized>(
             .map(|chunks| vec![chunks.clone()])
             .collect();
         let schedules = if needs_schedule {
-            schedules_from_scan(source, topo, config, segmenter)?
+            ScheduleSupply::Spilled(spill_from_scan(source, topo, config, segmenter)?)
         } else {
-            vec![None; nbhd_count]
+            ScheduleSupply::none(nbhd_count)
         };
         return Ok(StreamPlan {
             shard_runs,
@@ -532,33 +558,41 @@ fn shard_plans<S: TraceSource + ?Sized>(
 
     let group_lists = serial_runs(source);
     let mut shard_runs: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); group_lists.len()]; nbhd_count];
-    let mut sched_events: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); nbhd_count];
-    let mut buf = Vec::new();
-    let mut seen = vec![u32::MAX; nbhd_count];
-    for (g, chunks) in group_lists.iter().enumerate() {
-        for &chunk in chunks {
-            source.read_chunk(chunk as usize, &mut buf)?;
-            for r in &buf {
-                let n = topo.neighborhood_of_user(r.user)?.index();
-                if seen[n] != chunk {
-                    seen[n] = chunk;
-                    shard_runs[n][g].push(chunk);
-                }
-                if needs_schedule {
-                    sched_events[n].push((r.start, r.program));
+    let schedules = if needs_schedule {
+        // One merged-order scan builds the pruned chunk runs AND spills
+        // the schedules (the sidecar needs per-neighborhood time order,
+        // which only the merge provides when the source's grouping
+        // disagrees with the configured neighborhood size).
+        let costs = schedule_costs(source.catalog(), config, segmenter);
+        let mut spill = SidecarSpill::create(nbhd_count, costs)?;
+        scan_runs(source, &group_lists, true, |g, chunk, rec| {
+            let n = topo.neighborhood_of_user(rec.user)?.index();
+            if shard_runs[n][g].last() != Some(&chunk) {
+                shard_runs[n][g].push(chunk);
+            }
+            spill.push(n as u32, rec.start, rec.program)
+        })?;
+        ScheduleSupply::Spilled(spill.into_schedules()?)
+    } else {
+        let mut buf = Vec::new();
+        let mut seen = vec![u32::MAX; nbhd_count];
+        for (g, chunks) in group_lists.iter().enumerate() {
+            for &chunk in chunks {
+                source.read_chunk(chunk as usize, &mut buf)?;
+                for r in &buf {
+                    let n = topo.neighborhood_of_user(r.user)?.index();
+                    if seen[n] != chunk {
+                        seen[n] = chunk;
+                        shard_runs[n][g].push(chunk);
+                    }
                 }
             }
         }
-    }
+        ScheduleSupply::none(nbhd_count)
+    };
     for runs in &mut shard_runs {
         runs.retain(|run| !run.is_empty());
     }
-    let schedules = if needs_schedule {
-        let costs = schedule_costs(source.catalog(), config, segmenter);
-        schedules_from_events(sched_events, &costs)
-    } else {
-        vec![None; nbhd_count]
-    };
     Ok(StreamPlan {
         shard_runs,
         schedules,

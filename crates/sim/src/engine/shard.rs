@@ -198,7 +198,7 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
     }
 
     let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
-        let index = build_index(n, &topo, config, &segmenter, schedules[n].clone())?;
+        let index = build_index(n, &topo, config, &segmenter, schedules.window(n)?)?;
         let plant = ShardPlant::build(n, &topo, config, &positions)?;
         let supply = ResidentSupply::new(records, &ctxs, Some(&shard_records[n]));
         let mut driver = SessionDriver::new(
@@ -327,7 +327,7 @@ fn drive_worker<'a, S: TraceSource + ?Sized>(
     let mut tasks: Vec<(usize, ShardDriver<'a, S>)> = Vec::new();
     for nbhd in (w..nbhd_count).step_by(stride) {
         let built = (|| {
-            let index = build_index(nbhd, topo, config, &segmenter, plan.schedules[nbhd].clone())?;
+            let index = build_index(nbhd, topo, config, &segmenter, plan.schedules.window(nbhd)?)?;
             let plant = ShardPlant::build(nbhd, topo, config, positions)?;
             let supply = StreamSupply::new(
                 source,

@@ -109,7 +109,7 @@ pub(super) struct ChunkRun<'a, S: TraceSource + ?Sized> {
 }
 
 impl<'a, S: TraceSource + ?Sized> ChunkRun<'a, S> {
-    fn new(source: &'a S, chunks: &'a [u32]) -> Self {
+    pub(super) fn new(source: &'a S, chunks: &'a [u32]) -> Self {
         ChunkRun {
             source,
             chunks,
@@ -120,7 +120,7 @@ impl<'a, S: TraceSource + ?Sized> ChunkRun<'a, S> {
     }
 
     /// The run's head record, decoding forward as needed; `None` at end.
-    fn head(&mut self) -> Result<Option<(u64, SessionRecord)>, SimError> {
+    pub(super) fn head(&mut self) -> Result<Option<(u64, SessionRecord)>, SimError> {
         while self.pos == self.buf.len() {
             if self.decode_next()?.is_none() {
                 return Ok(None);
@@ -129,8 +129,14 @@ impl<'a, S: TraceSource + ?Sized> ChunkRun<'a, S> {
         Ok(Some(self.buf[self.pos]))
     }
 
-    fn pop_head(&mut self) {
+    pub(super) fn pop_head(&mut self) {
         self.pos += 1;
+    }
+
+    /// The chunk id the current head was decoded from. Only valid after
+    /// [`head`](ChunkRun::head) returned `Some`.
+    pub(super) fn head_chunk(&self) -> u32 {
+        self.chunks[self.next - 1]
     }
 
     /// Decodes the run's next chunk into the internal buffer (batch

@@ -308,6 +308,119 @@ fn active_sessions_reuse_freed_slots() {
     assert_eq!(slab.get(b).0, r1, "other slot untouched");
 }
 
+/// The ROADMAP "idle-neighborhood feed retention" item: a session-less
+/// neighborhood must not pin the serial streaming feed's retained window.
+/// The driver's idle sweep keeps every consumption cursor moving, so live
+/// feed slots stay O(sweep stride), not O(trace), on a 100k-event stream
+/// with one idle neighborhood.
+#[test]
+fn idle_neighborhood_does_not_pin_the_streaming_feed() {
+    use cablevod_trace::catalog::{ProgramCatalog, ProgramInfo};
+    use cablevod_trace::rechunk::neighborhood_groups;
+    use cablevod_trace::record::SessionRecord;
+
+    let users = 150u32;
+    let nbhd_size = 50u32;
+    // Users of neighborhood 1 (under the same §V-B shuffle the engine
+    // uses) never appear in the workload.
+    let groups = neighborhood_groups(users, nbhd_size).expect("groups");
+    let active: Vec<u32> = (0..users).filter(|&u| groups[u as usize] != 1).collect();
+    assert!(active.len() < users as usize, "one neighborhood is idle");
+
+    let programs = 40u32;
+    let catalog: ProgramCatalog = (0..programs)
+        .map(|_| ProgramInfo {
+            length: SimDuration::from_hours(1),
+            introduced_day: 0,
+        })
+        .collect();
+    let total = 100_000u64;
+    let records: Vec<SessionRecord> = (0..total)
+        .map(|i| {
+            SessionRecord::new(
+                UserId::new(active[i as usize % active.len()]),
+                ProgramId::new((i % u64::from(programs)) as u32),
+                SimTime::from_secs(i),
+                SimDuration::from_secs(60),
+            )
+        })
+        .collect();
+    let trace = Trace::new(records, catalog, users, 2).expect("valid trace");
+
+    let config = SimConfig::paper_default()
+        .with_neighborhood_size(nbhd_size)
+        .with_per_peer_storage(DataSize::from_gigabytes(1))
+        .with_warmup_days(0)
+        .with_strategy(StrategySpec::GlobalLfu {
+            history: SimDuration::from_days(1),
+            lag: SimDuration::ZERO,
+        });
+
+    let source = ChunkedTrace::new(&trace, 1_024);
+    let (report, peak) = run_streaming_observed(&source, &config).expect("streaming runs");
+    let peak = peak.expect("global LFU consumes the feed");
+    // Without the idle sweep, neighborhood 1's cursor floors reclamation
+    // at zero and every one of the 100k slots stays live. With it, the
+    // floor trails the head by at most the sweep stride plus segment
+    // rounding.
+    assert!(
+        peak <= 8 * cablevod_cache::watermark::DEFAULT_SEGMENT_SLOTS,
+        "idle neighborhood pinned the feed: {peak} live slots for a {total}-event stream"
+    );
+    // The sweep must not change results.
+    assert_eq!(report, run(&trace, &config).expect("resident runs"));
+}
+
+/// Spilled schedule lifecycle: the sidecar exists while windows read it,
+/// feeds them the spilled events, and is removed when the last reference
+/// drops.
+#[test]
+fn schedule_spill_cleans_up_its_sidecar() {
+    use super::schedule::SidecarSpill;
+    use cablevod_cache::ScheduleSource;
+    use cablevod_hfc::ids::NeighborhoodId;
+
+    let mut spill = SidecarSpill::create(2, vec![3, 5]).expect("create");
+    for i in 0..10u64 {
+        spill
+            .push(
+                (i % 2) as u32,
+                SimTime::from_secs(i * 10),
+                ProgramId::new((i % 2) as u32),
+            )
+            .expect("push");
+    }
+    let schedules = spill.into_schedules().expect("finish");
+    let path = schedules.spill_path();
+    assert!(path.exists(), "sidecar exists while schedules are live");
+
+    let mut window = schedules
+        .window(NeighborhoodId::new(0))
+        .expect("window")
+        .expect("spilled sources always carry a schedule");
+    window
+        .prefetch(SimTime::from_secs(1_000))
+        .expect("prefetch");
+    let mut seen = 0;
+    while window.next_entering(SimTime::from_secs(1_000)).is_some() {
+        seen += 1;
+    }
+    assert_eq!(seen, 5, "neighborhood 0 reads exactly its events");
+    assert_eq!(
+        window.cost(ProgramId::new(1)),
+        5,
+        "costs ride in the sidecar"
+    );
+    assert!(
+        schedules.decode_stats().chunks > 0,
+        "sidecar reads are counted"
+    );
+
+    drop(window);
+    drop(schedules);
+    assert!(!path.exists(), "sidecar removed with the last reference");
+}
+
 #[test]
 fn active_sessions_bound_allocation_by_concurrency() {
     // Churning insert/remove pairs must keep the slab at the concurrency

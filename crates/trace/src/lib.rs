@@ -41,6 +41,7 @@ pub mod io;
 pub mod rechunk;
 pub mod record;
 pub mod scale;
+pub mod schedule;
 pub mod source;
 pub mod synth;
 
@@ -51,5 +52,6 @@ pub use error::TraceError;
 pub use fingerprint::WorkloadFingerprint;
 pub use rechunk::rechunk_by_neighborhood;
 pub use record::{SessionRecord, Trace};
+pub use schedule::{ScheduleSidecarReader, ScheduleSidecarWriter};
 pub use source::{ChunkedTrace, DecodeStats, NeighborhoodLayout, TraceSource};
 pub use synth::{generate, SynthConfig};

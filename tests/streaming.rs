@@ -75,6 +75,35 @@ proptest! {
         }
     }
 
+    /// The streaming-Oracle parity property: the windowed on-disk
+    /// schedule path (sidecar spill + bounded `ScheduleWindow`s) is
+    /// bit-identical to the resident Oracle across serial/parallel,
+    /// chunk sizes and shard counts. Oracle is pinned — the general
+    /// sweeps above only sample it — because it is the one strategy
+    /// whose auxiliary state takes a different carrier when streaming.
+    #[test]
+    fn oracle_windowed_replay_equals_resident_oracle(
+        users in 60u32..220,
+        nbhd in 25u32..120,
+        gb in 1u64..5,
+        seed in 0u64..500,
+    ) {
+        let trace = generate(&tiny_config(users, 30, 3, seed));
+        let config = config_for(nbhd, gb, StrategySpec::default_oracle());
+        let resident = run(&trace, &config).expect("resident oracle runs");
+        let neighborhoods = users.div_ceil(nbhd) as usize;
+        for chunk in chunk_sizes(trace.len()) {
+            let source = ChunkedTrace::new(&trace, chunk);
+            let streamed = run(&source, &config).expect("windowed serial oracle runs");
+            prop_assert_eq!(&streamed, &resident, "serial, chunk {}", chunk);
+            for threads in [1, 2, neighborhoods] {
+                let sharded =
+                    run_parallel(&source, &config, threads).expect("windowed sharded oracle runs");
+                prop_assert_eq!(&sharded, &resident, "chunk {}, threads {}", chunk, threads);
+            }
+        }
+    }
+
     /// Sharded streaming replay (watermark-ordered feed included) equals
     /// the serial resident engine across strategies, chunk sizes and
     /// shard-pool sizes.
@@ -210,6 +239,54 @@ fn neighborhood_major_sharded_run_decodes_each_chunk_once() {
          neighborhood-major removes exactly this amplification",
         tm_decodes.chunks,
         tm_reader.chunk_count()
+    );
+    std::fs::remove_file(&tm).ok();
+    std::fs::remove_file(&nm).ok();
+}
+
+/// Streaming Oracle decode accounting: the schedule pre-pass goes through
+/// the source's counted chunk API, so `decode_stats` reports pre-pass +
+/// replay — an Oracle run reads the file exactly twice, serial time-major
+/// and matched-sharded neighborhood-major alike. (Guards against the
+/// pre-pass silently under-reporting in the out_of_core example's decode
+/// counters.)
+#[test]
+fn oracle_streaming_decode_counts_include_the_schedule_pre_pass() {
+    let trace: Trace = generate(&tiny_config(300, 40, 4, 17));
+    let mut tm = std::env::temp_dir();
+    tm.push(format!("cvtc_oracle_decode_tm_{}.cvtc", std::process::id()));
+    let mut nm = std::env::temp_dir();
+    nm.push(format!("cvtc_oracle_decode_nm_{}.cvtc", std::process::id()));
+    write_trace(&tm, &trace, 64).expect("write time-major");
+    let tm_reader = ColumnarReader::open(&tm).expect("open time-major");
+    rechunk_by_neighborhood(&tm_reader, &nm, 50, 64).expect("rechunk");
+    let nm_reader = ColumnarReader::open(&nm).expect("open neighborhood-major");
+
+    let config = config_for(50, 2, StrategySpec::default_oracle());
+    let resident = run(&trace, &config).expect("resident oracle runs");
+
+    // Serial time-major: one pre-pass scan + one replay scan.
+    let before = tm_reader.decode_stats();
+    let report = run(&tm_reader, &config).expect("serial oracle replay");
+    assert_eq!(report, resident);
+    let delta = tm_reader.decode_stats() - before;
+    assert_eq!(
+        delta.chunks,
+        2 * tm_reader.chunk_count() as u64,
+        "schedule pre-pass + replay must both be counted"
+    );
+
+    // Matched-sharded neighborhood-major: the pre-pass spills run by run
+    // (each chunk once) and the replay hands each shard its own chunks
+    // (each chunk once) — 2x the file, same as serial.
+    let before = nm_reader.decode_stats();
+    let report = run_parallel(&nm_reader, &config, 3).expect("matched sharded oracle replay");
+    assert_eq!(report, resident);
+    let delta = nm_reader.decode_stats() - before;
+    assert_eq!(
+        delta.chunks,
+        2 * nm_reader.chunk_count() as u64,
+        "matched sharded oracle reads the file exactly twice"
     );
     std::fs::remove_file(&tm).ok();
     std::fs::remove_file(&nm).ok();
