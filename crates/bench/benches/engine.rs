@@ -2,6 +2,12 @@
 //! strategy (serial, sharded-parallel, and out-of-core streaming from a
 //! columnar disk trace), plus workload generation and trace scaling.
 //!
+//! Rows run through the [`Simulation`] builder — the public front door —
+//! and the `engine` group carries a `direct_run` / `builder_overhead`
+//! pair on identical inputs: the two rows agreeing is the standing proof
+//! that the facade adds no measurable per-run cost over calling
+//! `engine::run` directly.
+//!
 //! Set `BENCH_JSON=BENCH_engine.json` to append one JSON line per
 //! measurement — CI uses this to track the serial-vs-parallel throughput
 //! trajectory.
@@ -11,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cablevod_bench::bench_trace;
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
-use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_sim::{run, SimConfig, Simulation};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
 use cablevod_trace::scale;
@@ -34,8 +40,31 @@ fn engine_throughput(c: &mut Criterion) {
         ("oracle", StrategySpec::default_oracle()),
     ] {
         let config = base.clone().with_strategy(spec);
-        group.bench_function(name, |b| b.iter(|| run(trace, &config).expect("runs")));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                Simulation::over(trace)
+                    .config(config.clone())
+                    .run()
+                    .expect("runs")
+            })
+        });
     }
+    // The facade-overhead pair: identical workload and config, one row
+    // through the raw engine entry point, one through the builder
+    // (including its telemetry probes). The smoke gate requires the
+    // builder row; the two agreeing is the no-overhead proof.
+    let config = base.clone();
+    group.bench_function("direct_run", |b| {
+        b.iter(|| run(trace, &config).expect("runs"))
+    });
+    group.bench_function("builder_overhead", |b| {
+        b.iter(|| {
+            Simulation::over(trace)
+                .config(config.clone())
+                .run()
+                .expect("runs")
+        })
+    });
     group.finish();
 }
 
@@ -53,7 +82,13 @@ fn engine_parallel_throughput(c: &mut Criterion) {
         .with_warmup_days(3);
     for threads in [1usize, 2, 4, 8] {
         group.bench_function(BenchmarkId::new("threads", threads), |b| {
-            b.iter(|| run_parallel(trace, &config, threads).expect("runs"))
+            b.iter(|| {
+                Simulation::over(trace)
+                    .config(config.clone())
+                    .threads(threads)
+                    .run()
+                    .expect("runs")
+            })
         });
     }
     group.finish();
@@ -94,10 +129,21 @@ fn engine_streaming_throughput(c: &mut Criterion) {
         group.sample_size(10);
         group.throughput(Throughput::Elements(reader.record_count()));
         group.bench_function(BenchmarkId::new("serial_disk", scale_label), |b| {
-            b.iter(|| run(&reader, &config).expect("runs"))
+            b.iter(|| {
+                Simulation::over(&reader)
+                    .config(config.clone())
+                    .run()
+                    .expect("runs")
+            })
         });
         group.bench_function(BenchmarkId::new("parallel_disk_4", scale_label), |b| {
-            b.iter(|| run_parallel(&reader, &config, 4).expect("runs"))
+            b.iter(|| {
+                Simulation::over(&reader)
+                    .config(config.clone())
+                    .threads(4)
+                    .run()
+                    .expect("runs")
+            })
         });
         // The windowed Oracle from disk: each iteration pays the honest
         // full cost of a streaming Oracle run — schedule pre-pass spilled
@@ -107,7 +153,12 @@ fn engine_streaming_throughput(c: &mut Criterion) {
         if scale_label == "10x" {
             let oracle_config = config.clone().with_strategy(StrategySpec::default_oracle());
             group.bench_function(BenchmarkId::new("oracle_windowed", scale_label), |b| {
-                b.iter(|| run(&reader, &oracle_config).expect("runs"))
+                b.iter(|| {
+                    Simulation::over(&reader)
+                        .config(oracle_config.clone())
+                        .run()
+                        .expect("runs")
+                })
             });
         }
         // The neighborhood-major replay of the same workload: re-chunked
@@ -126,7 +177,15 @@ fn engine_streaming_throughput(c: &mut Criterion) {
         let nm_reader = ColumnarReader::open(&nm_path).expect("rechunked file opens");
         group.bench_function(
             BenchmarkId::new("parallel_nbhd_major_4", scale_label),
-            |b| b.iter(|| run_parallel(&nm_reader, &config, 4).expect("runs")),
+            |b| {
+                b.iter(|| {
+                    Simulation::over(&nm_reader)
+                        .config(config.clone())
+                        .threads(4)
+                        .run()
+                        .expect("runs")
+                })
+            },
         );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(&nm_path).ok();

@@ -2,7 +2,7 @@
 // DESIGN.md §3 for the targets).
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::{BitRate, DataSize, SimDuration};
-use cablevod_sim::{baseline, run, SimConfig};
+use cablevod_sim::{baseline, SimConfig, Simulation};
 use cablevod_trace::record::Trace;
 use cablevod_trace::synth::{generate, SynthConfig};
 
@@ -74,7 +74,11 @@ fn main() {
             if prefetch {
                 config = config.with_fill_override(cablevod_cache::FillPolicy::Prefetch);
             }
-            let r = run(&trace, &config).expect("runs");
+            let r = Simulation::over(&trace)
+                .config(config)
+                .run()
+                .expect("runs")
+                .report;
             let reqs = r.cache.requests() as f64;
             println!(
                 "  {gb}GB {} fill={}: {:.2} Gb/s ({:.0}%) | hit {:.1}% uncached {:.1}% cold {:.1}% busy {:.1}% | adm {} evict {}",

@@ -1,0 +1,120 @@
+//! `cablevod-scenario` — run any experiment from a declarative spec file.
+//!
+//! ```text
+//! cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]
+//! ```
+//!
+//! Loads a [`Scenario`] spec (format documented in
+//! `cablevod_sim::scenario`), executes it with the built-in strategy
+//! registry, and prints **one JSON object per job** to stdout followed by
+//! a final `{"done":true,...}` line — machine-parseable, so CI (and any
+//! downstream harness) can assert on the sweep without knowing the
+//! experiment:
+//!
+//! ```text
+//! {"scenario":"smoke","series":"LFU","point":"1GB","strategy":"LFU","threads":1,
+//!  "sessions":1234,"segment_requests":5678,"peak_gbps":1.234,"q05_gbps":...,
+//!  "q95_gbps":...,"hit_rate":0.42,"wall_ms":12,"decoded_chunks":0,
+//!  "decoded_bytes":0,"peak_rss_kb":53600}
+//! {"scenario":"smoke","done":true,"jobs":6}
+//! ```
+//!
+//! * `--out FILE` additionally writes the same lines to `FILE`;
+//! * `--print-spec` parses the file, prints its canonical re-rendered
+//!   spec ([`Scenario::to_spec_string`]) and exits — a round-trip checker
+//!   for hand-written specs.
+
+use cablevod_sim::{Scenario, ScenarioOutcome};
+
+/// Minimal JSON string escaping for labels (quotes and backslashes).
+fn json_escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn outcome_json(scenario: &str, o: &ScenarioOutcome) -> String {
+    let report = o.report();
+    let t = &o.outcome.telemetry;
+    format!(
+        "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"strategy\":\"{}\",\
+         \"threads\":{},\"sessions\":{},\"segment_requests\":{},\"peak_gbps\":{:.6},\
+         \"q05_gbps\":{:.6},\"q95_gbps\":{:.6},\"hit_rate\":{:.6},\"wall_ms\":{},\
+         \"decoded_chunks\":{},\"decoded_bytes\":{},\"peak_rss_kb\":{}}}",
+        json_escape(scenario),
+        json_escape(&o.series),
+        json_escape(&o.point),
+        json_escape(&t.strategy),
+        t.threads,
+        report.sessions,
+        report.segment_requests,
+        report.server_peak.mean.as_gbps(),
+        report.server_peak.q05.as_gbps(),
+        report.server_peak.q95.as_gbps(),
+        report.hit_rate(),
+        t.wall.as_millis(),
+        t.decode.chunks,
+        t.decode.bytes,
+        t.peak_rss_kb
+            .map_or("null".to_string(), |kb| kb.to_string()),
+    )
+}
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("cablevod-scenario: {message}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let mut spec_path = None;
+    let mut out_path = None;
+    let mut print_spec = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a value"))),
+            "--print-spec" => print_spec = true,
+            "--help" | "-h" => {
+                println!("usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]");
+                return;
+            }
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other.to_string())
+            }
+            other => fail(format!("unknown argument {other:?}")),
+        }
+    }
+    let spec_path = spec_path
+        .unwrap_or_else(|| fail("usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]"));
+
+    let scenario = Scenario::load(&spec_path).unwrap_or_else(|e| fail(e));
+    if print_spec {
+        match scenario.to_spec_string() {
+            Ok(text) => print!("{text}"),
+            Err(e) => fail(e),
+        }
+        return;
+    }
+
+    let outcomes = scenario.execute().unwrap_or_else(|e| fail(e));
+    let mut lines: Vec<String> = outcomes
+        .iter()
+        .map(|o| outcome_json(&scenario.name, o))
+        .collect();
+    lines.push(format!(
+        "{{\"scenario\":\"{}\",\"done\":true,\"jobs\":{}}}",
+        json_escape(&scenario.name),
+        outcomes.len()
+    ));
+    let body = lines.join("\n");
+    println!("{body}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{body}\n"))
+            .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+    }
+}

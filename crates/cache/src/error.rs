@@ -47,6 +47,12 @@ pub enum CacheError {
         /// The segment already placed.
         segment: SegmentId,
     },
+    /// A strategy name resolved against neither the registry nor the
+    /// built-in spec grammar (see [`crate::registry`]).
+    UnknownStrategy {
+        /// The unresolvable name.
+        name: String,
+    },
 }
 
 impl fmt::Display for CacheError {
@@ -73,6 +79,12 @@ impl fmt::Display for CacheError {
             }
             CacheError::DuplicatePlacement { segment } => {
                 write!(f, "segment {segment} placed twice")
+            }
+            CacheError::UnknownStrategy { name } => {
+                write!(
+                    f,
+                    "unknown cache strategy {name:?} (not registered, and not a built-in spec)"
+                )
             }
         }
     }

@@ -7,8 +7,11 @@
 //! * [`index`] — the index server: request resolution (hit/miss flows of
 //!   Figs 4–5), placement bookkeeping, capture-on-broadcast fill;
 //! * [`placement`] — load-balanced (or random / first-fit) slot placement;
-//! * [`strategy`] — the [`strategy::CacheStrategy`] abstraction and
-//!   [`strategy::StrategySpec`] selection;
+//! * [`strategy`] — the [`strategy::CacheStrategy`] abstraction, the open
+//!   [`strategy::StrategyFactory`] construction seam, and the declarative
+//!   [`strategy::StrategySpec`] selection of the built-ins;
+//! * [`registry`] — the by-name [`registry::StrategyRegistry`] through
+//!   which out-of-tree strategies join the simulator;
 //! * [`lru`], [`lfu`], [`oracle`], [`feed`] — the paper's LRU, windowed
 //!   LFU, Oracle, and global-popularity LFU variants.
 //!
@@ -38,6 +41,7 @@ pub mod lfu;
 pub mod lru;
 pub mod oracle;
 pub mod placement;
+pub mod registry;
 pub mod schedule;
 pub mod strategy;
 pub mod watermark;
@@ -51,6 +55,10 @@ pub use lfu::WindowedLfu;
 pub use lru::Lru;
 pub use oracle::{AccessSchedule, Oracle};
 pub use placement::{PlacementPolicy, SlotLedger};
+pub use registry::StrategyRegistry;
 pub use schedule::{ResidentSchedules, ScheduleReader, ScheduleSource, ScheduleWindow};
-pub use strategy::{CacheOp, CacheStrategy, FillPolicy, StrategySpec};
+pub use strategy::{
+    CacheOp, CacheStrategy, FillPolicy, GlobalLfuFactory, LfuFactory, LruFactory, NoCacheFactory,
+    OracleFactory, StrategyContext, StrategyFactory, StrategySpec,
+};
 pub use watermark::{FeedProducer, FeedView, WatermarkFeed};

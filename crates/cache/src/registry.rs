@@ -1,0 +1,175 @@
+//! The open strategy registry: name → [`StrategyFactory`] resolution.
+//!
+//! [`StrategyRegistry`] is how out-of-tree cache strategies become
+//! first-class citizens of the simulator without touching this crate's
+//! [`StrategySpec`] enum: implement
+//! [`StrategyFactory`] for your policy, register
+//! it under a name, and select it by that name from the `Simulation`
+//! builder or a scenario spec file. The paper's built-in strategies are
+//! pre-registered by [`StrategyRegistry::builtin`] under their compact
+//! names (`no-cache`, `lru`, `lfu`, `global-lfu`, `oracle`), and
+//! [`StrategyRegistry::resolve`] additionally understands the full
+//! parameterized [`StrategySpec::parse`] grammar (`lfu:3d`,
+//! `oracle:36h`, ...), so registration is only ever needed for custom
+//! policies.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cablevod_cache::{LruFactory, StrategyRegistry};
+//!
+//! let mut registry = StrategyRegistry::builtin();
+//! // A "prior-storing" policy could register its own factory here; the
+//! // built-in LRU factory stands in for the example.
+//! registry.register("prior-storing", Arc::new(LruFactory));
+//! assert!(registry.resolve("prior-storing").is_ok());
+//! assert!(registry.resolve("lfu:3d").is_ok()); // spec grammar fallback
+//! assert!(registry.resolve("no-such-policy").is_err());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::error::CacheError;
+use crate::strategy::{StrategyFactory, StrategySpec};
+
+/// A by-name collection of [`StrategyFactory`]s (see the module docs).
+#[derive(Clone)]
+pub struct StrategyRegistry {
+    factories: BTreeMap<String, Arc<dyn StrategyFactory>>,
+}
+
+impl StrategyRegistry {
+    /// A registry with no entries (resolution still falls back to the
+    /// [`StrategySpec::parse`] grammar).
+    pub fn empty() -> Self {
+        StrategyRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// A registry holding the paper's strategies under their compact
+    /// names with default parameters: `no-cache`, `lru`, `lfu` (7-day
+    /// history), `global-lfu` (7-day history, 30-minute lag), `oracle`
+    /// (3-day look-ahead).
+    pub fn builtin() -> Self {
+        let mut registry = StrategyRegistry::empty();
+        for name in ["no-cache", "lru", "lfu", "global-lfu", "oracle"] {
+            let spec = StrategySpec::parse(name).expect("built-in names parse");
+            registry.register(name, spec.factory());
+        }
+        registry
+    }
+
+    /// Registers `factory` under `name`, returning the factory it
+    /// replaced (last registration wins).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: Arc<dyn StrategyFactory>,
+    ) -> Option<Arc<dyn StrategyFactory>> {
+        self.factories.insert(name.into(), factory)
+    }
+
+    /// Registers the built-in factory of `spec` under `name` — a
+    /// convenience for giving a parameterized built-in a stable alias.
+    pub fn register_spec(
+        &mut self,
+        name: impl Into<String>,
+        spec: StrategySpec,
+    ) -> Option<Arc<dyn StrategyFactory>> {
+        self.register(name, spec.factory())
+    }
+
+    /// The factory registered under exactly `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn StrategyFactory>> {
+        self.factories.get(name).cloned()
+    }
+
+    /// Resolves `name` to a factory: an exact registry entry first, then
+    /// the [`StrategySpec::parse`] grammar (so `lfu:3d` works without
+    /// registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownStrategy`] when neither resolves.
+    pub fn resolve(&self, name: &str) -> Result<Arc<dyn StrategyFactory>, CacheError> {
+        if let Some(factory) = self.get(name) {
+            return Ok(factory);
+        }
+        StrategySpec::parse(name).map(|spec| spec.factory())
+    }
+
+    /// The registered names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+}
+
+impl Default for StrategyRegistry {
+    fn default() -> Self {
+        StrategyRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for StrategyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StrategyRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{LruFactory, StrategyContext};
+    use cablevod_hfc::ids::NeighborhoodId;
+
+    #[test]
+    fn builtin_names_resolve_and_build() {
+        let registry = StrategyRegistry::builtin();
+        for (name, label) in [
+            ("no-cache", "No cache"),
+            ("lru", "LRU"),
+            ("lfu", "LFU"),
+            ("global-lfu", "Global LFU"),
+            ("oracle", "Oracle"),
+        ] {
+            let factory = registry.resolve(name).expect("built-in resolves");
+            assert_eq!(factory.name(), label);
+            if !factory.needs_schedule() {
+                let strategy = factory
+                    .build(StrategyContext {
+                        capacity_slots: 10,
+                        home: NeighborhoodId::new(0),
+                        schedule: None,
+                    })
+                    .expect("builds");
+                assert_eq!(strategy.name(), label);
+            }
+        }
+    }
+
+    #[test]
+    fn parameterized_specs_resolve_without_registration() {
+        let registry = StrategyRegistry::empty();
+        let factory = registry.resolve("lfu:3d").expect("grammar fallback");
+        assert_eq!(factory.name(), "LFU");
+        let err = registry.resolve("prior-storing").unwrap_err();
+        assert!(matches!(err, CacheError::UnknownStrategy { .. }));
+    }
+
+    #[test]
+    fn registration_shadows_and_reports_replacement() {
+        let mut registry = StrategyRegistry::empty();
+        assert!(registry.register("mine", Arc::new(LruFactory)).is_none());
+        assert!(registry
+            .register_spec("mine", StrategySpec::default_lfu())
+            .is_some());
+        assert_eq!(registry.resolve("mine").expect("resolves").name(), "LFU");
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["mine"]);
+    }
+}

@@ -11,8 +11,30 @@
 //! and physical placement exactly consistent (no fragmentation), at the
 //! cost of charging a program's final runt segment as a full one
 //! (`DESIGN.md §5`).
+//!
+//! # The open factory interface
+//!
+//! Strategies are *instantiated* through the [`StrategyFactory`] trait:
+//! the engine hands each neighborhood's [`StrategyContext`] (its slot
+//! capacity, identity, and — when the factory declares
+//! [`needs_schedule`](StrategyFactory::needs_schedule) — its future access
+//! schedule) to a factory and gets a boxed [`CacheStrategy`] back. The
+//! paper's strategies ship as built-in factories ([`NoCacheFactory`],
+//! [`LruFactory`], [`LfuFactory`], [`GlobalLfuFactory`],
+//! [`OracleFactory`]); [`StrategySpec`] is the declarative, serializable
+//! selection of those built-ins, and [`StrategySpec::factory`] maps each
+//! variant onto its factory. Out-of-tree strategies (prior-storing
+//! servers, admission control — the paper's follow-up directions)
+//! implement [`StrategyFactory`] and register by name in a
+//! [`StrategyRegistry`](crate::registry::StrategyRegistry): the replay
+//! engine never needs to know the strategy's type, only the two
+//! capability bits ([`needs_feed`](StrategyFactory::needs_feed) /
+//! [`needs_schedule`](StrategyFactory::needs_schedule)) that decide
+//! whether the global popularity feed and the Oracle schedule pipeline
+//! are wired up for the run.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cablevod_hfc::ids::{NeighborhoodId, ProgramId};
 use cablevod_hfc::units::{SimDuration, SimTime};
@@ -209,6 +231,10 @@ impl StrategySpec {
     /// streaming, obtained from a
     /// [`ScheduleSource`](crate::schedule::ScheduleSource).
     ///
+    /// This is a convenience over [`StrategySpec::factory`] — the closed
+    /// per-variant construction lives in the built-in factories, behind
+    /// the same [`StrategyFactory`] interface out-of-tree strategies use.
+    ///
     /// # Errors
     ///
     /// Returns [`CacheError::MissingSchedule`] for
@@ -219,18 +245,22 @@ impl StrategySpec {
         home: NeighborhoodId,
         schedule: Option<ScheduleWindow>,
     ) -> Result<Box<dyn CacheStrategy>, CacheError> {
-        Ok(match *self {
-            StrategySpec::NoCache => Box::new(NoCache),
-            StrategySpec::Lru => Box::new(Lru::new(capacity_slots)),
-            StrategySpec::Lfu { history } => Box::new(WindowedLfu::new(capacity_slots, history)),
-            StrategySpec::GlobalLfu { history, lag } => {
-                Box::new(GlobalLfu::new(capacity_slots, history, lag, home))
-            }
-            StrategySpec::Oracle { lookahead } => {
-                let schedule = schedule.ok_or(CacheError::MissingSchedule)?;
-                Box::new(Oracle::new(capacity_slots, lookahead, schedule))
-            }
+        self.factory().build(StrategyContext {
+            capacity_slots,
+            home,
+            schedule,
         })
+    }
+
+    /// The built-in factory for this spec's variant.
+    pub fn factory(&self) -> Arc<dyn StrategyFactory> {
+        match *self {
+            StrategySpec::NoCache => Arc::new(NoCacheFactory),
+            StrategySpec::Lru => Arc::new(LruFactory),
+            StrategySpec::Lfu { history } => Arc::new(LfuFactory { history }),
+            StrategySpec::GlobalLfu { history, lag } => Arc::new(GlobalLfuFactory { history, lag }),
+            StrategySpec::Oracle { lookahead } => Arc::new(OracleFactory { lookahead }),
+        }
     }
 
     /// Whether this strategy consumes the system-wide access feed.
@@ -252,6 +282,236 @@ impl StrategySpec {
             StrategySpec::GlobalLfu { .. } => "Global LFU",
             StrategySpec::Oracle { .. } => "Oracle",
         }
+    }
+
+    /// The compact textual form used by scenario spec files:
+    /// `no-cache`, `lru`, `lfu:7d`, `global-lfu:7d:30m`, `oracle:3d`
+    /// (durations print the largest exact unit of d/h/m/s).
+    /// [`StrategySpec::parse`] is the inverse.
+    pub fn compact(&self) -> String {
+        match *self {
+            StrategySpec::NoCache => "no-cache".into(),
+            StrategySpec::Lru => "lru".into(),
+            StrategySpec::Lfu { history } => format!("lfu:{}", fmt_duration(history)),
+            StrategySpec::GlobalLfu { history, lag } => {
+                format!("global-lfu:{}:{}", fmt_duration(history), fmt_duration(lag))
+            }
+            StrategySpec::Oracle { lookahead } => format!("oracle:{}", fmt_duration(lookahead)),
+        }
+    }
+
+    /// Parses the compact form produced by [`StrategySpec::compact`].
+    /// Parameters may be omitted: `lfu` is [`StrategySpec::default_lfu`],
+    /// `oracle` is [`StrategySpec::default_oracle`], and `global-lfu`
+    /// defaults to a 7-day history with a 30-minute lag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::UnknownStrategy`] for unknown names or
+    /// malformed parameters.
+    pub fn parse(text: &str) -> Result<StrategySpec, CacheError> {
+        let unknown = || CacheError::UnknownStrategy { name: text.into() };
+        let mut parts = text.split(':');
+        let head = parts.next().unwrap_or_default();
+        let mut duration = |default: SimDuration| match parts.next() {
+            None => Ok(default),
+            Some(p) => parse_duration(p).ok_or_else(unknown),
+        };
+        let spec = match head {
+            "no-cache" => StrategySpec::NoCache,
+            "lru" => StrategySpec::Lru,
+            "lfu" => StrategySpec::Lfu {
+                history: duration(SimDuration::from_days(7))?,
+            },
+            "global-lfu" => StrategySpec::GlobalLfu {
+                history: duration(SimDuration::from_days(7))?,
+                lag: duration(SimDuration::from_minutes(30))?,
+            },
+            "oracle" => StrategySpec::Oracle {
+                lookahead: duration(SimDuration::from_days(3))?,
+            },
+            _ => return Err(unknown()),
+        };
+        if parts.next().is_some() {
+            return Err(unknown());
+        }
+        Ok(spec)
+    }
+}
+
+/// Formats a duration as its largest exact unit (`3d`, `12h`, `30m`,
+/// `45s`; zero is `0s`).
+fn fmt_duration(d: SimDuration) -> String {
+    let secs = d.as_secs();
+    if secs == 0 {
+        "0s".into()
+    } else if secs.is_multiple_of(86_400) {
+        format!("{}d", secs / 86_400)
+    } else if secs.is_multiple_of(3_600) {
+        format!("{}h", secs / 3_600)
+    } else if secs.is_multiple_of(60) {
+        format!("{}m", secs / 60)
+    } else {
+        format!("{secs}s")
+    }
+}
+
+/// Parses `<n>[dhms]` (a bare number is seconds).
+fn parse_duration(text: &str) -> Option<SimDuration> {
+    let (digits, unit) = match text.char_indices().last()? {
+        (i, c) if c.is_ascii_alphabetic() => (&text[..i], &text[i..]),
+        _ => (text, "s"),
+    };
+    let n: u64 = digits.parse().ok()?;
+    Some(match unit {
+        "d" => SimDuration::from_days(n),
+        "h" => SimDuration::from_hours(n),
+        "m" => SimDuration::from_minutes(n),
+        "s" => SimDuration::from_secs(n),
+        _ => return None,
+    })
+}
+
+/// Everything the engine provides when instantiating a strategy for one
+/// neighborhood.
+#[derive(Debug)]
+pub struct StrategyContext {
+    /// Total slot capacity of the neighborhood's cooperative cache.
+    pub capacity_slots: u64,
+    /// The neighborhood this strategy instance serves.
+    pub home: NeighborhoodId,
+    /// The neighborhood's future access schedule. The engine supplies it
+    /// only when the factory declares
+    /// [`needs_schedule`](StrategyFactory::needs_schedule).
+    pub schedule: Option<ScheduleWindow>,
+}
+
+/// An open constructor of [`CacheStrategy`] instances — the seam that
+/// lets new caching/admission policies slot into the engine without
+/// touching the replay core or the [`StrategySpec`] enum (see the module
+/// docs).
+///
+/// A factory is instantiated once per *run* and called once per
+/// *neighborhood*; it carries the strategy's parameters (history lengths,
+/// admission thresholds, ...) itself.
+pub trait StrategyFactory: fmt::Debug + Send + Sync {
+    /// Human-readable strategy name, used in reports and telemetry.
+    fn name(&self) -> &str;
+
+    /// Whether built strategies consume the system-wide access feed
+    /// (see [`CacheStrategy::sync_global`]). When `true` the engine wires
+    /// up the global popularity feed carrier for the run.
+    fn needs_feed(&self) -> bool {
+        false
+    }
+
+    /// Whether built strategies need a future access schedule. When
+    /// `true` the engine computes (or spills, on streaming runs) the
+    /// per-neighborhood schedules and passes each as
+    /// [`StrategyContext::schedule`].
+    fn needs_schedule(&self) -> bool {
+        false
+    }
+
+    /// Builds the strategy instance for one neighborhood.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] when the context is unusable (e.g.
+    /// [`CacheError::MissingSchedule`] when a required schedule is
+    /// absent).
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError>;
+}
+
+/// Built-in factory for [`StrategySpec::NoCache`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoCacheFactory;
+
+impl StrategyFactory for NoCacheFactory {
+    fn name(&self) -> &str {
+        "No cache"
+    }
+    fn build(&self, _ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(NoCache))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::Lru`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LruFactory;
+
+impl StrategyFactory for LruFactory {
+    fn name(&self) -> &str {
+        "LRU"
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(Lru::new(ctx.capacity_slots)))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::Lfu`].
+#[derive(Debug, Clone, Copy)]
+pub struct LfuFactory {
+    /// History window N.
+    pub history: SimDuration,
+}
+
+impl StrategyFactory for LfuFactory {
+    fn name(&self) -> &str {
+        "LFU"
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(WindowedLfu::new(ctx.capacity_slots, self.history)))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::GlobalLfu`].
+#[derive(Debug, Clone, Copy)]
+pub struct GlobalLfuFactory {
+    /// History window N.
+    pub history: SimDuration,
+    /// Batching delay for remote accesses.
+    pub lag: SimDuration,
+}
+
+impl StrategyFactory for GlobalLfuFactory {
+    fn name(&self) -> &str {
+        "Global LFU"
+    }
+    fn needs_feed(&self) -> bool {
+        true
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(GlobalLfu::new(
+            ctx.capacity_slots,
+            self.history,
+            self.lag,
+            ctx.home,
+        )))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::Oracle`].
+#[derive(Debug, Clone, Copy)]
+pub struct OracleFactory {
+    /// Future window.
+    pub lookahead: SimDuration,
+}
+
+impl StrategyFactory for OracleFactory {
+    fn name(&self) -> &str {
+        "Oracle"
+    }
+    fn needs_schedule(&self) -> bool {
+        true
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        let schedule = ctx.schedule.ok_or(CacheError::MissingSchedule)?;
+        Ok(Box::new(Oracle::new(
+            ctx.capacity_slots,
+            self.lookahead,
+            schedule,
+        )))
     }
 }
 
@@ -291,6 +551,57 @@ mod tests {
             assert_eq!(s.name(), name);
             assert_eq!(spec.label(), name);
         }
+    }
+
+    #[test]
+    fn factories_mirror_spec_capabilities() {
+        for spec in [
+            StrategySpec::NoCache,
+            StrategySpec::Lru,
+            StrategySpec::default_lfu(),
+            StrategySpec::GlobalLfu {
+                history: SimDuration::from_days(3),
+                lag: SimDuration::from_minutes(30),
+            },
+            StrategySpec::default_oracle(),
+        ] {
+            let factory = spec.factory();
+            assert_eq!(factory.name(), spec.label());
+            assert_eq!(factory.needs_feed(), spec.needs_feed());
+            assert_eq!(factory.needs_schedule(), spec.needs_schedule());
+        }
+    }
+
+    #[test]
+    fn compact_round_trips_every_variant() {
+        for spec in [
+            StrategySpec::NoCache,
+            StrategySpec::Lru,
+            StrategySpec::Lfu {
+                history: SimDuration::from_hours(36),
+            },
+            StrategySpec::GlobalLfu {
+                history: SimDuration::from_days(7),
+                lag: SimDuration::from_secs(45),
+            },
+            StrategySpec::Oracle {
+                lookahead: SimDuration::ZERO,
+            },
+        ] {
+            let text = spec.compact();
+            assert_eq!(StrategySpec::parse(&text).expect("parses"), spec, "{text}");
+        }
+        assert_eq!(
+            StrategySpec::parse("lfu").expect("bare lfu"),
+            StrategySpec::default_lfu()
+        );
+        assert_eq!(
+            StrategySpec::parse("oracle").expect("bare oracle"),
+            StrategySpec::default_oracle()
+        );
+        assert!(StrategySpec::parse("arc").is_err());
+        assert!(StrategySpec::parse("lfu:sevendays").is_err());
+        assert!(StrategySpec::parse("lru:1d:2d").is_err());
     }
 
     #[test]

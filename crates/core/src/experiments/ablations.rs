@@ -1,28 +1,26 @@
 //! Ablations of the design choices `DESIGN.md §4` calls out (A1–A5).
 //!
 //! These go beyond the paper: each isolates one mechanism of the system
-//! and quantifies its contribution on the default workload.
+//! and quantifies its contribution on the default workload. Every
+//! ablation is a [`Scenario`] whose series/points axes patch exactly the
+//! mechanism under study.
 
 use cablevod_cache::{FillPolicy, PlacementPolicy};
 use cablevod_hfc::units::SimDuration;
-use cablevod_sim::{run_sweep, SimConfig, SimError};
+use cablevod_sim::{AxisPoint, ConfigPatch, Scenario, SimConfig, SimError};
 use cablevod_trace::record::Trace;
 
-use crate::experiments::default_warmup;
+use crate::experiments::{busy_miss_pct, default_warmup, push_peak_rows};
 use crate::figure::{Figure, FigureRow};
 
 fn base(trace: &Trace) -> SimConfig {
     SimConfig::paper_default().with_warmup_days(default_warmup(trace))
 }
 
-fn push_row(fig: &mut Figure, series: &str, x: String, report: &cablevod_sim::SimReport) {
-    fig.push(FigureRow::with_bars(
-        series,
-        x,
-        report.server_peak.mean.as_gbps(),
-        report.server_peak.q05.as_gbps(),
-        report.server_peak.q95.as_gbps(),
-    ));
+/// The prefetch-fill base every ablation except A1 uses (A1 is *about*
+/// the fill policy).
+fn prefetch_base(trace: &Trace) -> SimConfig {
+    base(trace).with_fill_override(FillPolicy::Prefetch)
 }
 
 /// A1 — fill policy: capture-on-broadcast (the deployable mechanism of
@@ -40,31 +38,60 @@ pub fn ablation_fill_mode(trace: &Trace) -> Result<Figure, SimError> {
         "Per-peer storage",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for gb in [1u64, 10] {
-        let storage = cablevod_hfc::units::DataSize::from_gigabytes(gb);
-        jobs.push((
-            ("capture-on-broadcast", gb),
-            base(trace)
-                .with_per_peer_storage(storage)
-                .with_fill_override(FillPolicy::OnBroadcast),
-        ));
-        jobs.push((
-            ("proactive push", gb),
-            base(trace)
-                .with_per_peer_storage(storage)
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
-    for ((series, gb), result) in run_sweep(trace, &jobs) {
-        push_row(&mut fig, series, format!("{gb} GB"), &result?);
-    }
+    let scenario = Scenario::provided("a1-fill", base(trace))
+        .with_series(vec![
+            AxisPoint::new("capture-on-broadcast")
+                .with_patch(ConfigPatch::default().with_fill(FillPolicy::OnBroadcast)),
+            AxisPoint::new("proactive push")
+                .with_patch(ConfigPatch::default().with_fill(FillPolicy::Prefetch)),
+        ])
+        .with_points(
+            [1u64, 10]
+                .into_iter()
+                .map(|gb| {
+                    AxisPoint::new(format!("{gb} GB")).with_patch(
+                        ConfigPatch::default().with_per_peer_storage(
+                            cablevod_hfc::units::DataSize::from_gigabytes(gb),
+                        ),
+                    )
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note(
         "capture-on-broadcast charges the server for the first post-admission broadcast of \
          every segment; push materializes contents at recomputation time without server cost \
          (the paper's implicit model — compare Fig 8)",
     );
     Ok(fig)
+}
+
+/// Runs a single-knob ablation sweep and pushes the standard
+/// server-load + busy-miss rows for each point.
+fn knob_ablation(
+    trace: &Trace,
+    name: &str,
+    base: SimConfig,
+    points: Vec<AxisPoint>,
+    fig: &mut Figure,
+) -> Result<(), SimError> {
+    let scenario = Scenario::provided(name, base).with_points(points);
+    for outcome in scenario.execute_on(trace)? {
+        let peak = &outcome.report().server_peak;
+        fig.push(FigureRow::with_bars(
+            "server load",
+            outcome.point.clone(),
+            peak.mean.as_gbps(),
+            peak.q05.as_gbps(),
+            peak.q95.as_gbps(),
+        ));
+        fig.push(FigureRow::point(
+            "busy-miss %",
+            outcome.point.clone(),
+            busy_miss_pct(&outcome),
+        ));
+    }
+    Ok(())
 }
 
 /// A2 — the two-stream STB limit (§V-C): 1, 2 (paper), 4 and effectively
@@ -80,26 +107,18 @@ pub fn ablation_stream_slots(trace: &Trace) -> Result<Figure, SimError> {
         "Stream slots per STB",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for slots in [1u8, 2, 4, u8::MAX] {
-        jobs.push((
-            slots,
-            base(trace)
-                .with_stream_slots(slots)
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
-    for (slots, result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        let label = if slots == u8::MAX {
-            "unlimited".to_string()
-        } else {
-            slots.to_string()
-        };
-        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
-        push_row(&mut fig, "server load", label.clone(), &report);
-        fig.push(FigureRow::point("busy-miss %", label, busy * 100.0));
-    }
+    let points = [1u8, 2, 4, u8::MAX]
+        .into_iter()
+        .map(|slots| {
+            let label = if slots == u8::MAX {
+                "unlimited".to_string()
+            } else {
+                slots.to_string()
+            };
+            AxisPoint::new(label).with_patch(ConfigPatch::default().with_stream_slots(slots))
+        })
+        .collect();
+    knob_ablation(trace, "a2-slots", prefetch_base(trace), points, &mut fig)?;
     fig.note("paper fixes 2 slots; the delta to 'unlimited' is the entire slot-contention cost");
     Ok(fig)
 }
@@ -118,25 +137,15 @@ pub fn ablation_segment_length(trace: &Trace) -> Result<Figure, SimError> {
         "Segment length",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for minutes in [1u64, 5, 10] {
-        jobs.push((
-            minutes,
-            base(trace)
-                .with_segment_len(SimDuration::from_minutes(minutes))
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
-    for (minutes, result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
-        push_row(&mut fig, "server load", format!("{minutes} min"), &report);
-        fig.push(FigureRow::point(
-            "busy-miss %",
-            format!("{minutes} min"),
-            busy * 100.0,
-        ));
-    }
+    let points = [1u64, 5, 10]
+        .into_iter()
+        .map(|minutes| {
+            AxisPoint::new(format!("{minutes} min")).with_patch(
+                ConfigPatch::default().with_segment_len(SimDuration::from_minutes(minutes)),
+            )
+        })
+        .collect();
+    knob_ablation(trace, "a3-segment", prefetch_base(trace), points, &mut fig)?;
     fig.note("paper uses 5-minute segments");
     Ok(fig)
 }
@@ -155,29 +164,23 @@ pub fn ablation_placement(trace: &Trace) -> Result<Figure, SimError> {
         "Placement",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for (name, policy) in [
+    let points = [
         ("balanced (paper)", PlacementPolicy::Balanced),
         ("random", PlacementPolicy::Random { seed: 7 }),
         ("first-fit", PlacementPolicy::FirstFit),
-    ] {
-        jobs.push((
-            name,
-            base(trace)
-                .with_placement(policy)
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
-    for (name, result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
-        push_row(&mut fig, "server load", name.to_string(), &report);
-        fig.push(FigureRow::point(
-            "busy-miss %",
-            name.to_string(),
-            busy * 100.0,
-        ));
-    }
+    ]
+    .into_iter()
+    .map(|(name, policy)| {
+        AxisPoint::new(name).with_patch(ConfigPatch::default().with_placement(policy))
+    })
+    .collect();
+    knob_ablation(
+        trace,
+        "a4-placement",
+        prefetch_base(trace),
+        points,
+        &mut fig,
+    )?;
     fig.note("paper: 'the index server places data to balance load'");
     Ok(fig)
 }
@@ -195,25 +198,20 @@ pub fn ablation_replication(trace: &Trace) -> Result<Figure, SimError> {
         "Copies",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for replication in [1u8, 2] {
-        jobs.push((
-            replication,
-            base(trace)
-                .with_replication(replication)
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
-    for (replication, result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        let busy = report.cache.miss_peer_busy as f64 / report.cache.requests().max(1) as f64;
-        push_row(&mut fig, "server load", format!("{replication}"), &report);
-        fig.push(FigureRow::point(
-            "busy-miss %",
-            format!("{replication}"),
-            busy * 100.0,
-        ));
-    }
+    let points = [1u8, 2]
+        .into_iter()
+        .map(|replication| {
+            AxisPoint::new(format!("{replication}"))
+                .with_patch(ConfigPatch::default().with_replication(replication))
+        })
+        .collect();
+    knob_ablation(
+        trace,
+        "a5-replication",
+        prefetch_base(trace),
+        points,
+        &mut fig,
+    )?;
     fig.note("paper stores a single copy; busy misses are rare enough that replication mostly costs capacity");
     Ok(fig)
 }

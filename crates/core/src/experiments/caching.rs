@@ -6,14 +6,19 @@
 //! (`FillPolicy::Prefetch`; the deployable capture-on-broadcast variant is
 //! quantified separately by
 //! [`ablation_fill_mode`](crate::experiments::ablation_fill_mode)).
+//!
+//! Each figure is a declarative [`Scenario`] — a strategy *series* axis
+//! crossed with a config *points* axis — handed to the generic executor;
+//! the functions here only describe the sweep and map the labelled
+//! outcomes onto figure rows.
 
 use cablevod_cache::{FillPolicy, StrategySpec};
 use cablevod_hfc::units::{DataSize, SimDuration};
-use cablevod_sim::{run_sweep, SimConfig, SimError};
+use cablevod_sim::{AxisPoint, ConfigPatch, Scenario, SimConfig, SimError};
 use cablevod_trace::record::Trace;
 
-use crate::experiments::default_warmup;
-use crate::figure::{Figure, FigureRow};
+use crate::experiments::{default_warmup, push_peak_rows};
+use crate::figure::Figure;
 
 fn paper_config(trace: &Trace) -> SimConfig {
     SimConfig::paper_default()
@@ -21,17 +26,14 @@ fn paper_config(trace: &Trace) -> SimConfig {
         .with_fill_override(FillPolicy::Prefetch)
 }
 
-/// A labelled strategy constructor used by the caching experiments.
-type NamedStrategy = (&'static str, fn() -> StrategySpec);
-
-const STRATEGIES: [NamedStrategy; 3] = [
-    (
-        "Oracle",
-        StrategySpec::default_oracle as fn() -> StrategySpec,
-    ),
-    ("LFU", StrategySpec::default_lfu),
-    ("LRU", || StrategySpec::Lru),
-];
+/// The Oracle/LFU/LRU series the caching figures sweep.
+fn strategy_series() -> Vec<AxisPoint> {
+    vec![
+        AxisPoint::new("Oracle").with_strategy(StrategySpec::default_oracle()),
+        AxisPoint::new("LFU").with_strategy(StrategySpec::default_lfu()),
+        AxisPoint::new("LRU").with_strategy(StrategySpec::Lru),
+    ]
+}
 
 /// Fig 8 — server load vs total cache size, neighborhood fixed at 1,000
 /// peers, per-peer storage swept over 1/3/5/10 GB (⇒ 1/3/5/10 TB total).
@@ -46,27 +48,19 @@ pub fn fig08(trace: &Trace) -> Result<Figure, SimError> {
         "Total cache size",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for gb in [1u64, 3, 5, 10] {
-        for (name, spec) in STRATEGIES {
-            jobs.push((
-                (name, gb),
-                paper_config(trace)
-                    .with_per_peer_storage(DataSize::from_gigabytes(gb))
-                    .with_strategy(spec()),
-            ));
-        }
-    }
-    for ((name, gb), result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        fig.push(FigureRow::with_bars(
-            name,
-            format!("{gb} TB"),
-            report.server_peak.mean.as_gbps(),
-            report.server_peak.q05.as_gbps(),
-            report.server_peak.q95.as_gbps(),
-        ));
-    }
+    let scenario = Scenario::provided("fig08", paper_config(trace))
+        .with_series(strategy_series())
+        .with_points(
+            [1u64, 3, 5, 10]
+                .into_iter()
+                .map(|gb| {
+                    AxisPoint::new(format!("{gb} TB")).with_patch(
+                        ConfigPatch::default().with_per_peer_storage(DataSize::from_gigabytes(gb)),
+                    )
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note("paper: no cache 17 Gb/s; 1 TB ≈ 10 Gb/s (35% saving); 10 TB ≈ 2.1 Gb/s (88%)");
     fig.note("paper: Oracle ≤ LFU ≤ LRU, differences largest at small caches");
     Ok(fig)
@@ -85,27 +79,18 @@ pub fn fig09(trace: &Trace) -> Result<Figure, SimError> {
         "Total cache size",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for peers in [100u32, 300, 500, 1_000] {
-        for (name, spec) in STRATEGIES {
-            jobs.push((
-                (name, peers / 100),
-                paper_config(trace)
-                    .with_neighborhood_size(peers)
-                    .with_strategy(spec()),
-            ));
-        }
-    }
-    for ((name, tb), result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        fig.push(FigureRow::with_bars(
-            name,
-            format!("{tb} TB"),
-            report.server_peak.mean.as_gbps(),
-            report.server_peak.q05.as_gbps(),
-            report.server_peak.q95.as_gbps(),
-        ));
-    }
+    let scenario = Scenario::provided("fig09", paper_config(trace))
+        .with_series(strategy_series())
+        .with_points(
+            [100u32, 300, 500, 1_000]
+                .into_iter()
+                .map(|peers| {
+                    AxisPoint::new(format!("{} TB", peers / 100))
+                        .with_patch(ConfigPatch::default().with_neighborhood_size(peers))
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note("paper: same trend as Fig 8 — total cache size is what matters");
     Ok(fig)
 }
@@ -124,28 +109,21 @@ pub fn fig10(trace: &Trace) -> Result<Figure, SimError> {
         "Neighborhood size",
         "Average server rate, peak hours (Gb/s)",
     );
-    let mut jobs = Vec::new();
-    for (peers, gb) in [(100u32, 10u64), (500, 2), (1_000, 1)] {
-        for (name, spec) in STRATEGIES {
-            jobs.push((
-                (name, peers),
-                paper_config(trace)
-                    .with_neighborhood_size(peers)
-                    .with_per_peer_storage(DataSize::from_gigabytes(gb))
-                    .with_strategy(spec()),
-            ));
-        }
-    }
-    for ((name, peers), result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        fig.push(FigureRow::with_bars(
-            name,
-            format!("{peers}"),
-            report.server_peak.mean.as_gbps(),
-            report.server_peak.q05.as_gbps(),
-            report.server_peak.q95.as_gbps(),
-        ));
-    }
+    let scenario = Scenario::provided("fig10", paper_config(trace))
+        .with_series(strategy_series())
+        .with_points(
+            [(100u32, 10u64), (500, 2), (1_000, 1)]
+                .into_iter()
+                .map(|(peers, gb)| {
+                    AxisPoint::new(format!("{peers}")).with_patch(
+                        ConfigPatch::default()
+                            .with_neighborhood_size(peers)
+                            .with_per_peer_storage(DataSize::from_gigabytes(gb)),
+                    )
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note("paper: LFU improves with neighborhood size at fixed total cache (more usage data)");
     Ok(fig)
 }
@@ -167,27 +145,22 @@ pub fn fig11(trace: &Trace) -> Result<Figure, SimError> {
     let base = paper_config(trace)
         .with_neighborhood_size(500)
         .with_per_peer_storage(DataSize::from_gigabytes(4));
-    let mut jobs = Vec::new();
-    for days in 0u64..=12 {
-        let strategy = if days == 0 {
-            StrategySpec::Lru
-        } else {
-            StrategySpec::Lfu {
-                history: SimDuration::from_days(days),
-            }
-        };
-        jobs.push((days, base.clone().with_strategy(strategy)));
-    }
-    for (days, result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        fig.push(FigureRow::with_bars(
-            "LFU",
-            format!("{days}"),
-            report.server_peak.mean.as_gbps(),
-            report.server_peak.q05.as_gbps(),
-            report.server_peak.q95.as_gbps(),
-        ));
-    }
+    let scenario = Scenario::provided("fig11", base)
+        .with_series(vec![AxisPoint::new("LFU")])
+        .with_points(
+            (0u64..=12)
+                .map(|days| {
+                    AxisPoint::new(format!("{days}")).with_strategy(if days == 0 {
+                        StrategySpec::Lru
+                    } else {
+                        StrategySpec::Lfu {
+                            history: SimDuration::from_days(days),
+                        }
+                    })
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note("paper: flat up to ~24 h, significant gains to one week, taper beyond (stale data)");
     Ok(fig)
 }
@@ -207,51 +180,34 @@ pub fn fig13(trace: &Trace) -> Result<Figure, SimError> {
         "Average server rate, peak hours (Gb/s)",
     );
     let history = SimDuration::from_days(7);
-    let feeds: [(&str, StrategySpec); 4] = [
-        (
-            "Global",
-            StrategySpec::GlobalLfu {
-                history,
-                lag: SimDuration::ZERO,
-            },
-        ),
-        (
-            "Global, 30 minute lag",
-            StrategySpec::GlobalLfu {
-                history,
-                lag: SimDuration::from_minutes(30),
-            },
-        ),
-        (
-            "Global, 2 hour lag",
-            StrategySpec::GlobalLfu {
-                history,
-                lag: SimDuration::from_hours(2),
-            },
-        ),
-        ("Local", StrategySpec::Lfu { history }),
+    let series = vec![
+        AxisPoint::new("Global").with_strategy(StrategySpec::GlobalLfu {
+            history,
+            lag: SimDuration::ZERO,
+        }),
+        AxisPoint::new("Global, 30 minute lag").with_strategy(StrategySpec::GlobalLfu {
+            history,
+            lag: SimDuration::from_minutes(30),
+        }),
+        AxisPoint::new("Global, 2 hour lag").with_strategy(StrategySpec::GlobalLfu {
+            history,
+            lag: SimDuration::from_hours(2),
+        }),
+        AxisPoint::new("Local").with_strategy(StrategySpec::Lfu { history }),
     ];
-    let mut jobs = Vec::new();
-    for gb in [1u64, 3, 5, 10] {
-        for (name, spec) in feeds {
-            jobs.push((
-                (name, gb),
-                paper_config(trace)
-                    .with_per_peer_storage(DataSize::from_gigabytes(gb))
-                    .with_strategy(spec),
-            ));
-        }
-    }
-    for ((name, gb), result) in run_sweep(trace, &jobs) {
-        let report = result?;
-        fig.push(FigureRow::with_bars(
-            name,
-            format!("{gb} GB"),
-            report.server_peak.mean.as_gbps(),
-            report.server_peak.q05.as_gbps(),
-            report.server_peak.q95.as_gbps(),
-        ));
-    }
+    let scenario = Scenario::provided("fig13", paper_config(trace))
+        .with_series(series)
+        .with_points(
+            [1u64, 3, 5, 10]
+                .into_iter()
+                .map(|gb| {
+                    AxisPoint::new(format!("{gb} GB")).with_patch(
+                        ConfigPatch::default().with_per_peer_storage(DataSize::from_gigabytes(gb)),
+                    )
+                })
+                .collect(),
+        );
+    push_peak_rows(&mut fig, &scenario.execute_on(trace)?);
     fig.note("paper: global knowledge helps, lag reduces the help, all effects small");
     Ok(fig)
 }

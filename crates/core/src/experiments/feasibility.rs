@@ -1,7 +1,7 @@
 //! Feasibility of the coax tier (Fig 14, §VI-B).
 
 use cablevod_cache::FillPolicy;
-use cablevod_sim::{run_sweep, SimConfig, SimError};
+use cablevod_sim::{AxisPoint, ConfigPatch, Scenario, SimConfig, SimError};
 use cablevod_trace::record::Trace;
 
 use crate::experiments::default_warmup;
@@ -23,23 +23,26 @@ pub fn fig14(trace: &Trace) -> Result<Figure, SimError> {
         "Neighborhood size",
         "Coax traffic, peak hours (Mb/s)",
     );
-    let mut jobs = Vec::new();
-    for peers in [200u32, 400, 600, 800, 1_000] {
-        jobs.push((
-            peers,
-            SimConfig::paper_default()
-                .with_neighborhood_size(peers)
-                .with_warmup_days(default_warmup(trace))
-                .with_fill_override(FillPolicy::Prefetch),
-        ));
-    }
+    let base = SimConfig::paper_default()
+        .with_warmup_days(default_warmup(trace))
+        .with_fill_override(FillPolicy::Prefetch);
+    let sizes = [200u32, 400, 600, 800, 1_000];
+    let scenario = Scenario::provided("fig14", base).with_points(
+        sizes
+            .into_iter()
+            .map(|peers| {
+                AxisPoint::new(format!("{peers}"))
+                    .with_patch(ConfigPatch::default().with_neighborhood_size(peers))
+            })
+            .collect(),
+    );
     let mut linear_check = Vec::new();
-    for (peers, result) in run_sweep(trace, &jobs) {
-        let report = result?;
+    for (peers, outcome) in sizes.into_iter().zip(scenario.execute_on(trace)?) {
+        let report = outcome.report();
         let stats = &report.coax_peak;
         fig.push(FigureRow::with_bars(
             "coax",
-            format!("{peers}"),
+            outcome.point.clone(),
             stats.mean.as_mbps(),
             stats.q05.as_mbps(),
             stats.q95.as_mbps(),

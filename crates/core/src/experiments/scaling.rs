@@ -4,14 +4,23 @@
 //! event with a 1–60 s jitter; catalog copies spread each event uniformly
 //! over the replicas of its program. Configuration: 1,000-peer
 //! neighborhoods, 10 GB per peer, LFU.
+//!
+//! Every cell of the grid is a [`Scenario`] point carrying its own
+//! [`SourceSpec::Scaled`] source, swept at width 1: the scaled trace is
+//! **built inside the cell's job and dropped when the job finishes**, so
+//! the sweep holds exactly one scaled trace at a time — never the whole
+//! grid. (This replaced the old `run_sweep_traces` API, whose callers
+//! pre-built every scaled trace and held them all resident for the
+//! sweep's lifetime; widen the sweep with
+//! [`Scenario::with_sweep_width`] only when memory allows one scaled
+//! trace per in-flight worker.)
 
 use cablevod_cache::FillPolicy;
 use cablevod_hfc::units::BitRate;
-use cablevod_sim::{baseline, run, SimConfig, SimError};
-use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
+use cablevod_sim::{baseline, AxisPoint, Scenario, SimConfig, SimError, SourceSpec};
+use cablevod_trace::columnar::DEFAULT_CHUNK_SIZE;
 use cablevod_trace::record::Trace;
-use cablevod_trace::scale;
-use cablevod_trace::synth::{generate_to_disk, SynthConfig};
+use cablevod_trace::synth::SynthConfig;
 
 use crate::experiments::default_warmup;
 use crate::figure::{Figure, FigureRow};
@@ -23,9 +32,12 @@ const SCALE_SEED: u64 = 0x5CA1ED;
 /// `(population factor, catalog factor, peak Gb/s, q05, q95)`.
 pub type GridCell = (u32, u32, f64, f64, f64);
 
-/// Runs the population × catalog grid. Traces are generated and simulated
-/// one cell at a time to bound memory (a 5×5 cell holds up to five times
-/// the base trace).
+/// Runs the population × catalog grid as one scenario whose points each
+/// carry a [`SourceSpec::Scaled`] source, swept one cell at a time: each
+/// cell's scaled trace lives only inside its own job (a 5×5 cell holds
+/// up to five times the base trace — briefly, and never more than one
+/// cell's worth at once, preserving the sweep's historical memory
+/// bound).
 ///
 /// Returns one [`GridCell`] — `(population factor, catalog factor, peak
 /// Gb/s, q05, q95)` — per cell, in row-major order.
@@ -41,24 +53,40 @@ pub fn scaling_grid(
     let config = SimConfig::paper_default()
         .with_warmup_days(default_warmup(trace))
         .with_fill_override(FillPolicy::Prefetch);
-    let mut cells = Vec::new();
+    let mut factors = Vec::new();
+    let mut points = Vec::new();
     for &pop in populations {
         for &cat in catalogs {
-            let scaled =
-                scale::scale(trace, pop, cat, SCALE_SEED).map_err(|e| SimError::Config {
-                    reason: format!("trace scaling failed: {e}"),
-                })?;
-            let report = run(&scaled, &config)?;
-            cells.push((
-                pop,
-                cat,
-                report.server_peak.mean.as_gbps(),
-                report.server_peak.q05.as_gbps(),
-                report.server_peak.q95.as_gbps(),
-            ));
+            factors.push((pop, cat));
+            points.push(
+                AxisPoint::new(format!("x{pop}/x{cat}")).with_source(SourceSpec::Scaled {
+                    population: pop,
+                    catalog: cat,
+                    seed: SCALE_SEED,
+                }),
+            );
         }
     }
-    Ok(cells)
+    let outcomes = Scenario::provided("scaling-grid", config)
+        .with_points(points)
+        // Width 1: at most one scaled trace (up to 5x the base) resident
+        // at a time, matching the old cell-by-cell loop's memory bound.
+        .with_sweep_width(1)
+        .execute_on(trace)?;
+    Ok(factors
+        .into_iter()
+        .zip(outcomes)
+        .map(|((pop, cat), outcome)| {
+            let peak = &outcome.report().server_peak;
+            (
+                pop,
+                cat,
+                peak.mean.as_gbps(),
+                peak.q05.as_gbps(),
+                peak.q95.as_gbps(),
+            )
+        })
+        .collect())
 }
 
 /// One out-of-core scaling measurement: `(population factor, sessions
@@ -67,14 +95,18 @@ pub type OutOfCoreCell = (u32, u64, f64, f64);
 
 /// The scaling experiment **driven from disk**: for each population
 /// factor, a workload of `factor x base.users` is generated straight to a
-/// columnar file (never materialized in memory) and replayed through the
-/// streaming engine, so the population axis is bounded by disk, not RAM —
-/// the regime the paper's metro-scale feasibility argument (§V) actually
-/// lives in.
+/// temporary columnar file (never materialized in memory) and replayed
+/// through the streaming engine, so the population axis is bounded by
+/// disk, not RAM — the regime the paper's metro-scale feasibility
+/// argument (§V) actually lives in.
 ///
-/// Files are written inside `dir` and removed after each cell; peak
-/// resident memory stays bounded by chunk size plus session concurrency
-/// no matter the factor.
+/// Each factor is a scenario point with its own
+/// [`SourceSpec::SynthDisk`] source, swept at width 1: the file is
+/// written (to the process temp dir — set `TMPDIR` to relocate it)
+/// inside the cell's job and removed when the job's source drops, so at
+/// most one factor's file exists at a time and peak resident memory
+/// stays bounded by chunk size plus session concurrency no matter the
+/// factor.
 ///
 /// # Errors
 ///
@@ -83,35 +115,38 @@ pub fn out_of_core_scaling(
     base: &SynthConfig,
     factors: &[u32],
     config: &SimConfig,
-    dir: &std::path::Path,
 ) -> Result<Vec<OutOfCoreCell>, SimError> {
-    let mut cells = Vec::with_capacity(factors.len());
-    for &factor in factors {
-        let synth = SynthConfig {
-            users: base.users * factor,
-            ..base.clone()
-        };
-        let path = dir.join(format!(
-            "cvtc_scaling_{}_x{factor}.cvtc",
-            std::process::id()
-        ));
-        generate_to_disk(&synth, &path, DEFAULT_CHUNK_SIZE)?;
-        let result = (|| {
-            let reader = ColumnarReader::open(&path)?;
-            let started = std::time::Instant::now();
-            let report = run(&reader, config)?;
-            let elapsed = started.elapsed().as_secs_f64().max(f64::EPSILON);
-            Ok::<_, SimError>((
+    let points = factors
+        .iter()
+        .map(|&factor| {
+            AxisPoint::new(format!("x{factor}")).with_source(SourceSpec::SynthDisk {
+                synth: SynthConfig {
+                    users: base.users * factor,
+                    ..base.clone()
+                },
+                chunk_records: DEFAULT_CHUNK_SIZE,
+            })
+        })
+        .collect();
+    // Every point brings its own disk-backed source, so the scenario
+    // itself needs no workload; width 1 keeps one generated file on disk
+    // at a time.
+    let outcomes = Scenario::new("out-of-core-scaling", SourceSpec::Provided, config.clone())
+        .with_points(points)
+        .with_sweep_width(1)
+        .execute()?;
+    Ok(factors
+        .iter()
+        .zip(outcomes)
+        .map(|(&factor, outcome)| {
+            (
                 factor,
-                report.sessions,
-                report.sessions as f64 / elapsed,
-                report.server_peak.mean.as_gbps(),
-            ))
-        })();
-        std::fs::remove_file(&path).ok();
-        cells.push(result?);
-    }
-    Ok(cells)
+                outcome.report().sessions,
+                outcome.outcome.sessions_per_sec(),
+                outcome.report().server_peak.mean.as_gbps(),
+            )
+        })
+        .collect())
 }
 
 /// Fig 15 — server load under multiplicative increases of both the user
@@ -271,7 +306,7 @@ pub fn fig16c(trace: &Trace) -> Result<Figure, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cablevod_trace::synth::{generate, SynthConfig};
+    use cablevod_trace::synth::generate;
 
     fn smoke() -> Trace {
         generate(&SynthConfig {
@@ -320,8 +355,7 @@ mod tests {
         let config = SimConfig::paper_default()
             .with_neighborhood_size(150)
             .with_warmup_days(1);
-        let cells = out_of_core_scaling(&base, &[1, 3], &config, &std::env::temp_dir())
-            .expect("disk-driven scaling runs");
+        let cells = out_of_core_scaling(&base, &[1, 3], &config).expect("disk-driven scaling runs");
         assert_eq!(cells.len(), 2);
         assert_eq!(cells[0].0, 1);
         assert_eq!(cells[1].0, 3);

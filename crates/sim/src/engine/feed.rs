@@ -18,7 +18,7 @@
 //!   every sync reports the strategy's cursor back so the carrier keeps
 //!   its memory O(unconsumed window) instead of O(trace).
 
-use cablevod_cache::GlobalFeed;
+use cablevod_cache::{GlobalFeed, StrategyFactory};
 use cablevod_hfc::segment::Segmenter;
 use cablevod_trace::record::SessionRecord;
 
@@ -33,8 +33,9 @@ pub(super) fn build_feed(
     ctxs: &[SessionCtx],
     config: &SimConfig,
     segmenter: &Segmenter,
+    strategy: &dyn StrategyFactory,
 ) -> Option<GlobalFeed> {
-    config.strategy().needs_feed().then(|| {
+    strategy.needs_feed().then(|| {
         let mut feed = GlobalFeed::new();
         for (rec, ctx) in records.iter().zip(ctxs) {
             feed.publish(feed_event(rec, ctx, config, segmenter));

@@ -148,7 +148,7 @@ use std::sync::Arc;
 
 use cablevod_cache::{
     AccessSchedule, IndexServer, PlacementPolicy, ScheduleWindow, SharedFeed, SlotLedger,
-    WatermarkFeed,
+    StrategyContext, StrategyFactory, WatermarkFeed,
 };
 use cablevod_hfc::ids::{NeighborhoodId, PeerId, ProgramId};
 use cablevod_hfc::segment::Segmenter;
@@ -201,10 +201,21 @@ use stream::{ResidentSupply, StreamSupply};
 /// # Ok::<(), cablevod_sim::SimError>(())
 /// ```
 pub fn run<S: TraceSource + ?Sized>(source: &S, config: &SimConfig) -> Result<SimReport, SimError> {
+    run_with(source, config, config.strategy().factory().as_ref())
+}
+
+/// [`run`] with an explicit strategy factory — the entry the
+/// [`Simulation`](crate::Simulation) builder uses so registry-resolved
+/// (out-of-tree) strategies ride the same drivers as the built-ins.
+pub(crate) fn run_with<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+    strategy: &dyn StrategyFactory,
+) -> Result<SimReport, SimError> {
     check_record_count(source)?;
     match source.resident_records() {
-        Some(records) => run_resident(records, source, config),
-        None => run_streaming(source, config),
+        Some(records) => run_resident(records, source, config, strategy),
+        None => run_streaming(source, config, strategy),
     }
 }
 
@@ -237,10 +248,25 @@ pub fn run_parallel<S: TraceSource + ?Sized>(
     config: &SimConfig,
     threads: usize,
 ) -> Result<SimReport, SimError> {
+    run_parallel_with(
+        source,
+        config,
+        config.strategy().factory().as_ref(),
+        threads,
+    )
+}
+
+/// [`run_parallel`] with an explicit strategy factory (see [`run_with`]).
+pub(crate) fn run_parallel_with<S: TraceSource + ?Sized>(
+    source: &S,
+    config: &SimConfig,
+    strategy: &dyn StrategyFactory,
+    threads: usize,
+) -> Result<SimReport, SimError> {
     check_record_count(source)?;
     match source.resident_records() {
-        Some(records) => shard::run_parallel_resident(records, source, config, threads),
-        None => shard::run_parallel_streaming(source, config, threads),
+        Some(records) => shard::run_parallel_resident(records, source, config, strategy, threads),
+        None => shard::run_parallel_streaming(source, config, strategy, threads),
     }
 }
 
@@ -321,8 +347,9 @@ fn build_schedules(
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
+    strategy: &dyn StrategyFactory,
 ) -> Result<ScheduleSupply, SimError> {
-    if !config.strategy().needs_schedule() {
+    if !strategy.needs_schedule() {
         return Ok(ScheduleSupply::none(topo.neighborhood_count()));
     }
     let mut per_nbhd: Vec<Vec<(SimTime, ProgramId)>> = vec![Vec::new(); topo.neighborhood_count()];
@@ -345,6 +372,7 @@ fn build_index(
     config: &SimConfig,
     segmenter: &Segmenter,
     schedule: Option<ScheduleWindow>,
+    strategy: &dyn StrategyFactory,
 ) -> Result<IndexServer, SimError> {
     let nominal = config.stream_rate() * config.segment_len();
     let id = NeighborhoodId::new(n as u32);
@@ -367,9 +395,11 @@ fn build_index(
         other => other,
     };
     let ledger = SlotLedger::new(members, placement);
-    let strategy = config
-        .strategy()
-        .build(ledger.total_slots(), id, schedule)?;
+    let strategy = strategy.build(StrategyContext {
+        capacity_slots: ledger.total_slots(),
+        home: id,
+        schedule,
+    })?;
     let mut index =
         IndexServer::with_replication(id, strategy, *segmenter, ledger, config.replication());
     if let Some(fill) = config.fill_override() {
@@ -384,9 +414,10 @@ fn build_indexes(
     config: &SimConfig,
     segmenter: &Segmenter,
     schedules: &ScheduleSupply,
+    strategy: &dyn StrategyFactory,
 ) -> Result<Vec<IndexServer>, SimError> {
     (0..topo.neighborhood_count())
-        .map(|n| build_index(n, topo, config, segmenter, schedules.window(n)?))
+        .map(|n| build_index(n, topo, config, segmenter, schedules.window(n)?, strategy))
         .collect()
 }
 
@@ -396,6 +427,7 @@ fn run_resident<S: TraceSource + ?Sized>(
     records: &[SessionRecord],
     source: &S,
     config: &SimConfig,
+    strategy: &dyn StrategyFactory,
 ) -> Result<SimReport, SimError> {
     config.validate()?;
     let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
@@ -404,9 +436,9 @@ fn run_resident<S: TraceSource + ?Sized>(
     let mut topo = build_topology(source, config)?;
     let users = UserMap::from_topology(&topo);
     let ctxs = precompute_sessions(records, catalog, &users, &segmenter)?;
-    let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
-    let feed = build_feed(records, &ctxs, config, &segmenter);
-    let indexes = build_indexes(&topo, config, &segmenter, &schedules)?;
+    let schedules = build_schedules(records, catalog, &topo, config, &segmenter, strategy)?;
+    let feed = build_feed(records, &ctxs, config, &segmenter, strategy);
+    let indexes = build_indexes(&topo, config, &segmenter, &schedules, strategy)?;
 
     let supply = ResidentSupply::new(records, &ctxs, None);
     let provider = feed.as_ref().map(cablevod_cache::PrecomputedFeed::new);
@@ -442,8 +474,9 @@ fn serial_runs<S: TraceSource + ?Sized>(source: &S) -> Vec<Vec<u32>> {
 fn run_streaming<S: TraceSource + ?Sized>(
     source: &S,
     config: &SimConfig,
+    strategy: &dyn StrategyFactory,
 ) -> Result<SimReport, SimError> {
-    Ok(run_streaming_observed(source, config)?.0)
+    Ok(run_streaming_observed(source, config, strategy)?.0)
 }
 
 /// [`run_streaming`] plus retention observability: also returns the
@@ -453,23 +486,23 @@ fn run_streaming<S: TraceSource + ?Sized>(
 fn run_streaming_observed<S: TraceSource + ?Sized>(
     source: &S,
     config: &SimConfig,
+    strategy: &dyn StrategyFactory,
 ) -> Result<(SimReport, Option<usize>), SimError> {
     config.validate()?;
     let segmenter = Segmenter::new(config.segment_len(), config.stream_rate());
 
     let mut topo = build_topology(source, config)?;
     let nbhd_count = topo.neighborhood_count();
-    let schedules = if config.strategy().needs_schedule() {
+    let schedules = if strategy.needs_schedule() {
         ScheduleSupply::Spilled(spill_from_scan(source, &topo, config, &segmenter)?)
     } else {
         ScheduleSupply::none(nbhd_count)
     };
-    let indexes = build_indexes(&topo, config, &segmenter, &schedules)?;
+    let indexes = build_indexes(&topo, config, &segmenter, &schedules, strategy)?;
     let users = UserMap::from_topology(&topo);
 
     let runs = serial_runs(source);
-    let wfeed = config
-        .strategy()
+    let wfeed = strategy
         .needs_feed()
         .then(|| WatermarkFeed::new(source.record_count(), 1, nbhd_count));
     let provider = wfeed.as_ref().map(|f| SharedFeed::new(f, 0, 0..nbhd_count));
@@ -528,9 +561,10 @@ fn shard_plans<S: TraceSource + ?Sized>(
     topo: &Topology,
     config: &SimConfig,
     segmenter: &Segmenter,
+    strategy: &dyn StrategyFactory,
 ) -> Result<StreamPlan, SimError> {
     let nbhd_count = topo.neighborhood_count();
-    let needs_schedule = config.strategy().needs_schedule();
+    let needs_schedule = strategy.needs_schedule();
     let matched = source.neighborhood_layout().is_some_and(|layout| {
         layout.neighborhood_size == config.neighborhood_size() && layout.chunks.len() == nbhd_count
     });

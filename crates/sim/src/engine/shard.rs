@@ -19,7 +19,7 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use cablevod_cache::{IndexStats, SharedFeed, WatermarkFeed};
+use cablevod_cache::{IndexStats, SharedFeed, StrategyFactory, WatermarkFeed};
 use cablevod_hfc::coax::CoaxNetwork;
 use cablevod_hfc::ids::{NeighborhoodId, PeerId};
 use cablevod_hfc::meter::RateMeter;
@@ -175,6 +175,7 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
     records: &[SessionRecord],
     source: &S,
     config: &SimConfig,
+    strategy: &dyn StrategyFactory,
     threads: usize,
 ) -> Result<SimReport, SimError> {
     config.validate()?;
@@ -187,8 +188,8 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
     let users = UserMap::from_topology(&topo);
 
     let ctxs = precompute_sessions(records, catalog, &users, &segmenter)?;
-    let schedules = build_schedules(records, catalog, &topo, config, &segmenter)?;
-    let feed = build_feed(records, &ctxs, config, &segmenter);
+    let schedules = build_schedules(records, catalog, &topo, config, &segmenter, strategy)?;
+    let feed = build_feed(records, &ctxs, config, &segmenter, strategy);
     let positions = topo.local_positions();
 
     let nbhd_count = topo.neighborhood_count();
@@ -198,7 +199,7 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
     }
 
     let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
-        let index = build_index(n, &topo, config, &segmenter, schedules.window(n)?)?;
+        let index = build_index(n, &topo, config, &segmenter, schedules.window(n)?, strategy)?;
         let plant = ShardPlant::build(n, &topo, config, &positions)?;
         let supply = ResidentSupply::new(records, &ctxs, Some(&shard_records[n]));
         let mut driver = SessionDriver::new(
@@ -226,6 +227,7 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
 pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
     source: &S,
     config: &SimConfig,
+    strategy: &dyn StrategyFactory,
     threads: usize,
 ) -> Result<SimReport, SimError> {
     config.validate()?;
@@ -234,10 +236,9 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
     let topo = build_topology(source, config)?;
     let nbhd_count = topo.neighborhood_count();
 
-    let plan = shard_plans(source, &topo, config, &segmenter)?;
+    let plan = shard_plans(source, &topo, config, &segmenter, strategy)?;
     let users = UserMap::from_topology(&topo);
-    let feed = config
-        .strategy()
+    let feed = strategy
         .needs_feed()
         .then(|| WatermarkFeed::new(total, nbhd_count, nbhd_count));
     let positions = topo.local_positions();
@@ -259,8 +260,8 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
                     let segmenter = &segmenter;
                     scope.spawn(move || {
                         drive_worker(
-                            w, threads, nbhd_count, source, topo, users, config, *segmenter, plan,
-                            positions, feed, aborted,
+                            w, threads, nbhd_count, source, topo, users, config, strategy,
+                            *segmenter, plan, positions, feed, aborted,
                         )
                     })
                 })
@@ -317,6 +318,7 @@ fn drive_worker<'a, S: TraceSource + ?Sized>(
     topo: &'a Topology,
     users: &'a UserMap,
     config: &'a SimConfig,
+    strategy: &'a dyn StrategyFactory,
     segmenter: Segmenter,
     plan: &'a super::StreamPlan,
     positions: &'a [u32],
@@ -327,7 +329,14 @@ fn drive_worker<'a, S: TraceSource + ?Sized>(
     let mut tasks: Vec<(usize, ShardDriver<'a, S>)> = Vec::new();
     for nbhd in (w..nbhd_count).step_by(stride) {
         let built = (|| {
-            let index = build_index(nbhd, topo, config, &segmenter, plan.schedules.window(nbhd)?)?;
+            let index = build_index(
+                nbhd,
+                topo,
+                config,
+                &segmenter,
+                plan.schedules.window(nbhd)?,
+                strategy,
+            )?;
             let plant = ShardPlant::build(nbhd, topo, config, positions)?;
             let supply = StreamSupply::new(
                 source,

@@ -357,7 +357,9 @@ fn idle_neighborhood_does_not_pin_the_streaming_feed() {
         });
 
     let source = ChunkedTrace::new(&trace, 1_024);
-    let (report, peak) = run_streaming_observed(&source, &config).expect("streaming runs");
+    let factory = config.strategy().factory();
+    let (report, peak) =
+        run_streaming_observed(&source, &config, factory.as_ref()).expect("streaming runs");
     let peak = peak.expect("global LFU consumes the feed");
     // Without the idle sweep, neighborhood 1's cursor floors reclamation
     // at zero and every one of the 100k slots stays live. With it, the

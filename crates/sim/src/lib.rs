@@ -1,35 +1,57 @@
 //! # cablevod-sim — the trace-driven discrete-event simulator
 //!
 //! Reimplements the evaluation machinery of §V of *"Deploying
-//! Video-on-Demand Services on Cable Networks"*:
+//! Video-on-Demand Services on Cable Networks"*, behind **one front
+//! door**:
 //!
-//! * [`engine`] — the discrete-event simulation: session records drive
-//!   segment-granularity requests against per-neighborhood cooperative
-//!   caches, with exact byte accounting on the server, fiber and coax;
-//!   [`engine::run`] is the serial reference path, [`engine::run_parallel`]
-//!   the sharded per-neighborhood path with bit-identical reports;
-//! * [`config`] — the swept parameters (neighborhood size, per-peer
-//!   storage, strategy, slots, segment length, placement, replication);
-//! * [`report`] — measured results (peak server rate with 5 %/95 %
-//!   quantiles, coax statistics, hit/miss breakdown);
+//! * [`Simulation`] — the builder every run goes through:
+//!   `Simulation::over(source).config(cfg).threads(n).run()` composes the
+//!   serial or sharded driver over a resident or streaming
+//!   [`TraceSource`](cablevod_trace::source::TraceSource) and returns a
+//!   [`RunOutcome`] — the measured [`SimReport`] plus [`simulation::
+//!   RunTelemetry`] (wall time, trace decode work, peak RSS). Out-of-tree
+//!   cache strategies register on the builder by name through the open
+//!   [`StrategyFactory`](cablevod_cache::StrategyFactory) /
+//!   [`StrategyRegistry`](cablevod_cache::StrategyRegistry) interface;
+//! * [`Scenario`] — a serializable description of a whole experiment
+//!   (trace source, base config, series/point sweep axes, thread policy)
+//!   with a generic executor; spec files round-trip through
+//!   [`Scenario::to_spec_string`] and drive the `cablevod-scenario`
+//!   binary end-to-end;
+//! * [`engine`] — the discrete-event core behind the facade: session
+//!   records drive segment-granularity requests against per-neighborhood
+//!   cooperative caches with exact byte accounting; [`engine::run`] /
+//!   [`engine::run_parallel`] remain as thin direct entry points, and the
+//!   builder produces **bit-identical** reports to them (property-tested);
+//! * [`config`] / [`report`] — the swept parameters and measured results;
 //! * [`baseline`] — the no-cache centralized service and the
 //!   headend-cache equivalence transform;
 //! * [`multicast`] — the §IV-A "why not multicast" bounds;
-//! * [`runner`] — parallel parameter sweeps.
+//! * [`runner`] — the parameter-sweep pool ([`run_sweep`]).
 //!
 //! # Examples
 //!
 //! ```
-//! use cablevod_sim::{run, SimConfig};
+//! use cablevod_sim::{Scenario, Simulation, SimConfig, SourceSpec};
 //! use cablevod_trace::synth::{generate, SynthConfig};
 //!
-//! let trace = generate(&SynthConfig { users: 300, programs: 60, days: 3,
-//!     ..SynthConfig::smoke_test() });
+//! let synth = SynthConfig { users: 300, programs: 60, days: 3,
+//!     ..SynthConfig::smoke_test() };
 //! let config = SimConfig::paper_default()
 //!     .with_neighborhood_size(100)
 //!     .with_warmup_days(1);
-//! let report = run(&trace, &config)?;
-//! println!("peak server load: {}", report.server_peak.mean);
+//!
+//! // One run through the front door, with telemetry:
+//! let trace = generate(&synth);
+//! let outcome = Simulation::over(&trace).config(config.clone()).run()?;
+//! println!("peak server load: {} in {:?}",
+//!     outcome.report.server_peak.mean, outcome.telemetry.wall);
+//!
+//! // The same run as a declarative, serializable scenario:
+//! let scenario = Scenario::new("quickstart", SourceSpec::Synth(synth), config);
+//! let spec_text = scenario.to_spec_string()?;            // runnable by cablevod-scenario
+//! assert_eq!(Scenario::from_spec_str(&spec_text)?, scenario);
+//! assert_eq!(scenario.execute()?[0].report(), &outcome.report);
 //! # Ok::<(), cablevod_sim::SimError>(())
 //! ```
 
@@ -43,10 +65,16 @@ pub mod error;
 pub mod multicast;
 pub mod report;
 pub mod runner;
+pub mod scenario;
+pub mod simulation;
 
 pub use config::SimConfig;
 pub use engine::{run, run_parallel};
 pub use error::SimError;
 pub use multicast::MulticastStats;
 pub use report::SimReport;
-pub use runner::{run_sweep, run_sweep_traces};
+pub use runner::run_sweep;
+pub use scenario::{
+    AxisPoint, ConfigPatch, OwnedSource, Scenario, ScenarioOutcome, SourceSpec, StrategyRef,
+};
+pub use simulation::{peak_rss_kb, RunOutcome, RunTelemetry, Simulation, ThreadPolicy};

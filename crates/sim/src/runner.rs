@@ -2,9 +2,10 @@
 //!
 //! Two layers of parallelism share one primitive:
 //!
-//! * [`run_sweep`] / [`run_sweep_traces`] execute *independent simulation
-//!   runs* (one per parameter point) on all available cores, the way every
-//!   evaluation figure consumes the engine;
+//! * [`run_sweep`] (and the [`Scenario`](crate::Scenario) executor built
+//!   on the same pool) execute *independent simulation runs* (one per
+//!   parameter point) on all available cores, the way every evaluation
+//!   figure consumes the engine;
 //! * [`crate::engine::run_parallel`] executes *one simulation* by sharding
 //!   it per neighborhood and scheduling the shards over a worker pool.
 //!
@@ -12,10 +13,16 @@
 //! `job(i)` for every index exactly once and returns results in input
 //! order, so output ordering is deterministic no matter which worker ran
 //! which job.
+//!
+//! The old `run_sweep_traces` (a sweep where every job carried its own
+//! pre-built resident trace) is gone: sweeps over distinct workloads are
+//! now [`Scenario`](crate::Scenario) points with per-point
+//! [`SourceSpec`](crate::SourceSpec)s, so each job *builds* its trace
+//! inside the job and drops it on completion instead of the caller
+//! holding every variant resident for the sweep's whole lifetime.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use cablevod_trace::record::Trace;
 use cablevod_trace::source::TraceSource;
 
 use crate::config::SimConfig;
@@ -88,7 +95,7 @@ pub(crate) fn default_threads() -> usize {
 /// results in input order.
 ///
 /// Generic over [`TraceSource`], so a sweep can run against a resident
-/// [`Trace`] or replay an on-disk columnar file without each job holding
+/// [`Trace`](cablevod_trace::record::Trace) or replay an on-disk columnar file without each job holding
 /// the full record vector.
 pub fn run_sweep<L: Clone + Send + Sync, S: TraceSource + ?Sized>(
     source: &S,
@@ -98,21 +105,6 @@ pub fn run_sweep<L: Clone + Send + Sync, S: TraceSource + ?Sized>(
     jobs.iter()
         .zip(results)
         .map(|((label, _), result)| (label.clone(), result))
-        .collect()
-}
-
-/// Like [`run_sweep`] but each job carries its own trace (the scaling
-/// experiments of Figs 15–16 simulate differently-scaled traces).
-pub fn run_sweep_traces<L: Clone + Send + Sync>(
-    jobs: &[(L, Trace, SimConfig)],
-) -> Vec<(L, Result<SimReport, SimError>)> {
-    let results = run_indexed(jobs.len(), default_threads(), |i| {
-        let (_, trace, config) = &jobs[i];
-        run(trace, config)
-    });
-    jobs.iter()
-        .zip(results)
-        .map(|((label, _, _), result)| (label.clone(), result))
         .collect()
 }
 

@@ -11,9 +11,10 @@
 //! counters show the pre-pass (2x the file) and its peak RSS tracks the
 //! look-ahead window instead of the trace length.
 //!
-//! Prints sessions/sec, chunk-decode counts and decoded bytes for each
-//! replay, and the process peak RSS (`VmHWM` from `/proc/self/status`),
-//! the number that stays bounded as the trace file grows.
+//! Every replay goes through the [`Simulation`] front door: sessions/sec,
+//! chunk-decode counts, decoded bytes and the process peak RSS (`VmHWM`)
+//! all come from the built-in [`RunOutcome`] telemetry — this example
+//! consumes the numbers, it no longer implements the probes.
 //!
 //! ```text
 //! cargo run --release --example out_of_core
@@ -23,18 +24,26 @@ use std::time::Instant;
 
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
-use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_sim::{RunOutcome, SimConfig, Simulation};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
-use cablevod_trace::source::{DecodeStats, TraceSource};
+use cablevod_trace::source::TraceSource;
 use cablevod_trace::synth::{generate_to_disk, SynthConfig};
 
-/// Peak resident set of this process in kilobytes, from the kernel's
-/// `VmHWM` line (Linux; `None` elsewhere).
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line.split_whitespace().nth(1)?.parse().ok()
+/// Renders one outcome's telemetry: throughput, decode work, peak RSS.
+fn telemetry_line(outcome: &RunOutcome) -> String {
+    let t = &outcome.telemetry;
+    let rss = t
+        .peak_rss_kb
+        .map(|kb| format!("{:.1} MiB", kb as f64 / 1024.0))
+        .unwrap_or_else(|| "n/a".into());
+    format!(
+        "{:?} ({:.0} sessions/s; {} chunk decodes, {:.1} MiB decoded; peak RSS {rss})",
+        t.wall,
+        outcome.sessions_per_sec(),
+        t.decode.chunks,
+        t.decode.bytes as f64 / (1024.0 * 1024.0),
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,46 +67,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let reader = ColumnarReader::open(&path)?;
-    let sessions = reader.record_count();
     let config = SimConfig::paper_default()
         .with_neighborhood_size(500)
         .with_per_peer_storage(DataSize::from_gigabytes(2))
         .with_warmup_days(3);
     println!(
-        "workload: {sessions} sessions / {} users in {} chunks of {} records",
+        "workload: {} sessions / {} users in {} chunks of {} records",
+        reader.record_count(),
         reader.user_count(),
         reader.chunk_count(),
         reader.chunk_size(),
     );
 
-    let decode_line = |delta: DecodeStats| {
-        format!(
-            "{} chunk decodes, {:.1} MiB decoded",
-            delta.chunks,
-            delta.bytes as f64 / (1024.0 * 1024.0)
-        )
-    };
-
-    let before = reader.decode_stats();
-    let t0 = Instant::now();
-    let serial = run(&reader, &config)?;
-    let elapsed = t0.elapsed();
-    println!(
-        "streaming serial: {elapsed:?} ({:.0} sessions/s; {})",
-        sessions as f64 / elapsed.as_secs_f64(),
-        decode_line(reader.decode_stats() - before),
-    );
+    let serial = Simulation::over(&reader).config(config.clone()).run()?;
+    println!("streaming serial: {}", telemetry_line(&serial));
 
     for threads in [2usize, 4] {
-        let before = reader.decode_stats();
-        let t0 = Instant::now();
-        let sharded = run_parallel(&reader, &config, threads)?;
-        let elapsed = t0.elapsed();
-        assert_eq!(sharded, serial, "sharded replay must be bit-identical");
+        let sharded = Simulation::over(&reader)
+            .config(config.clone())
+            .threads(threads)
+            .run()?;
+        assert_eq!(
+            sharded.report, serial.report,
+            "sharded replay must be bit-identical"
+        );
         println!(
-            "streaming sharded x{threads}: {elapsed:?} ({:.0} sessions/s, bit-identical; {})",
-            sessions as f64 / elapsed.as_secs_f64(),
-            decode_line(reader.decode_stats() - before),
+            "streaming sharded x{threads}: {} (bit-identical)",
+            telemetry_line(&sharded)
         );
     }
 
@@ -107,7 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     nm_path.push(format!("cvtc_out_of_core_nm_{}.cvtc", std::process::id()));
     let t0 = Instant::now();
     // Cap the import chunk size so the re-chunker's per-group buffers stay
-    // inside a fixed budget — the peak-RSS print below covers this pass too.
+    // inside a fixed budget — the peak-RSS telemetry covers this pass too.
     let import_chunk = import_chunk_size(reader.user_count(), 500, DEFAULT_CHUNK_SIZE, 64 << 20);
     rechunk_by_neighborhood(&reader, &nm_path, 500, import_chunk)?;
     println!(
@@ -116,18 +112,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let nm_reader = ColumnarReader::open(&nm_path)?;
     for threads in [2usize, 4] {
-        let before = nm_reader.decode_stats();
-        let t0 = Instant::now();
-        let sharded = run_parallel(&nm_reader, &config, threads)?;
-        let elapsed = t0.elapsed();
+        let sharded = Simulation::over(&nm_reader)
+            .config(config.clone())
+            .threads(threads)
+            .run()?;
         assert_eq!(
-            sharded, serial,
+            sharded.report, serial.report,
             "neighborhood-major replay must be bit-identical"
         );
         println!(
-            "nbhd-major sharded x{threads}: {elapsed:?} ({:.0} sessions/s, bit-identical; {})",
-            sessions as f64 / elapsed.as_secs_f64(),
-            decode_line(nm_reader.decode_stats() - before),
+            "nbhd-major sharded x{threads}: {} (bit-identical)",
+            telemetry_line(&sharded)
         );
     }
     std::fs::remove_file(&nm_path).ok();
@@ -143,23 +138,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("lfu", StrategySpec::default_lfu()),
         ("oracle", StrategySpec::default_oracle()),
     ] {
-        let strategy_config = config.clone().with_strategy(spec);
-        let before = reader.decode_stats();
-        let t0 = Instant::now();
-        let report = run(&reader, &strategy_config)?;
-        let elapsed = t0.elapsed();
-        let rss = peak_rss_kb()
-            .map(|kb| format!("{:.1} MiB", kb as f64 / 1024.0))
-            .unwrap_or_else(|| "n/a".into());
+        let outcome = Simulation::over(&reader)
+            .config(config.clone())
+            .strategy(spec)
+            .run()?;
         println!(
-            "  {label:>6}: {elapsed:?} ({:.0} sessions/s; {}; hit rate {:.1}%; peak RSS {rss})",
-            sessions as f64 / elapsed.as_secs_f64(),
-            decode_line(reader.decode_stats() - before),
-            report.hit_rate() * 100.0,
+            "  {label:>6}: {}; hit rate {:.1}%",
+            telemetry_line(&outcome),
+            outcome.report.hit_rate() * 100.0,
         );
     }
 
-    match peak_rss_kb() {
+    match cablevod_sim::peak_rss_kb() {
         Some(kb) => println!(
             "peak RSS: {:.1} MiB for a {:.1} MiB trace file (bounded by chunk + session \
              concurrency, not trace length)",
@@ -169,7 +159,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None => println!("peak RSS: unavailable (no /proc/self/status)"),
     }
 
-    println!("\n{serial}");
+    println!("\n{}", serial.report);
     std::fs::remove_file(&path).ok();
     Ok(())
 }

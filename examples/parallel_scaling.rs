@@ -1,6 +1,9 @@
 //! Sharded-engine scaling scenario: the Criterion bench workload scaled to
 //! 10x its user count (15,000 users, ~200k sessions), simulated serially
-//! and with the per-neighborhood sharded engine at several worker counts.
+//! and with the per-neighborhood sharded engine at several worker counts,
+//! all through the [`Simulation`] front door — wall time, throughput and
+//! peak RSS come from the built-in [`RunOutcome`] telemetry instead of
+//! hand-rolled timers.
 //!
 //! The sharded path must produce a bit-identical report — this example
 //! asserts it — while shard memory stays bounded by the largest
@@ -10,10 +13,8 @@
 //! cargo run --release --example parallel_scaling
 //! ```
 
-use std::time::Instant;
-
 use cablevod_hfc::units::DataSize;
-use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_sim::{SimConfig, Simulation};
 use cablevod_trace::synth::{generate, SynthConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,25 +37,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         config.neighborhood_size(),
     );
 
-    let t0 = Instant::now();
-    let serial = run(&trace, &config)?;
-    let serial_elapsed = t0.elapsed();
-    let rate = trace.len() as f64 / serial_elapsed.as_secs_f64();
-    println!("serial reference: {serial_elapsed:?} ({rate:.0} sessions/s)");
+    let serial = Simulation::over(&trace).config(config.clone()).run()?;
+    println!(
+        "serial reference: {:?} ({:.0} sessions/s)",
+        serial.telemetry.wall,
+        serial.sessions_per_sec()
+    );
 
     for threads in [1usize, 2, 4, 8] {
-        let t0 = Instant::now();
-        let parallel = run_parallel(&trace, &config, threads)?;
-        let elapsed = t0.elapsed();
-        assert_eq!(parallel, serial, "sharded report must be bit-identical");
-        let rate = trace.len() as f64 / elapsed.as_secs_f64();
+        let parallel = Simulation::over(&trace)
+            .config(config.clone())
+            .threads(threads)
+            .run()?;
+        assert_eq!(
+            parallel.report, serial.report,
+            "sharded report must be bit-identical"
+        );
         println!(
-            "sharded x{threads}: {elapsed:?} ({rate:.0} sessions/s, {:.2}x vs serial, \
-             bit-identical)",
-            serial_elapsed.as_secs_f64() / elapsed.as_secs_f64()
+            "sharded x{threads}: {:?} ({:.0} sessions/s, {:.2}x vs serial, bit-identical)",
+            parallel.telemetry.wall,
+            parallel.sessions_per_sec(),
+            serial.telemetry.wall.as_secs_f64() / parallel.telemetry.wall.as_secs_f64()
         );
     }
 
-    println!("\n{serial}");
+    if let Some(kb) = serial.telemetry.peak_rss_kb {
+        println!("peak RSS: {:.1} MiB", kb as f64 / 1024.0);
+    }
+    println!("\n{}", serial.report);
     Ok(())
 }
