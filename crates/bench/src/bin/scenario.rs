@@ -41,10 +41,14 @@ fn json_escape(text: &str) -> String {
 fn outcome_json(scenario: &str, o: &ScenarioOutcome) -> String {
     let report = o.report();
     let t = &o.outcome.telemetry;
+    // Degradation counters are zero (not null) on healthy runs so the
+    // schema is fixed either way.
+    let deg = report.degradation.as_ref();
     format!(
         "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"strategy\":\"{}\",\
          \"threads\":{},\"sessions\":{},\"segment_requests\":{},\"peak_gbps\":{:.6},\
-         \"q05_gbps\":{:.6},\"q95_gbps\":{:.6},\"hit_rate\":{:.6},\"wall_ms\":{},\
+         \"q05_gbps\":{:.6},\"q95_gbps\":{:.6},\"hit_rate\":{:.6},\
+         \"blocked_sessions\":{},\"interrupted_sessions\":{},\"retries\":{},\"wall_ms\":{},\
          \"decoded_chunks\":{},\"decoded_bytes\":{},\"peak_rss_kb\":{}}}",
         json_escape(scenario),
         json_escape(&o.series),
@@ -57,6 +61,9 @@ fn outcome_json(scenario: &str, o: &ScenarioOutcome) -> String {
         report.server_peak.q05.as_gbps(),
         report.server_peak.q95.as_gbps(),
         report.hit_rate(),
+        deg.map_or(0, |d| d.blocked_sessions),
+        deg.map_or(0, |d| d.interrupted_sessions),
+        deg.map_or(0, |d| d.retries),
         t.wall.as_millis(),
         t.decode.chunks,
         t.decode.bytes,

@@ -57,6 +57,12 @@ pub enum HfcError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A fault plan contained an empty/inverted window or an
+    /// out-of-range derate.
+    InvalidFaultPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for HfcError {
@@ -84,6 +90,7 @@ impl fmt::Display for HfcError {
                 write!(f, "unknown neighborhood id {neighborhood}")
             }
             HfcError::InvalidTopology { reason } => write!(f, "invalid topology: {reason}"),
+            HfcError::InvalidFaultPlan { reason } => write!(f, "invalid fault plan: {reason}"),
         }
     }
 }

@@ -1,0 +1,426 @@
+//! Deterministic fault injection for the cable plant.
+//!
+//! Real HFC plants are not perfect: amplifier cascades fail, fiber nodes
+//! drop off mid-stream, and QAM channels degrade during maintenance or
+//! ingress. A [`FaultPlan`] describes such a degraded plant as a set of
+//! **timed, replayable events** — segment/fiber-node outages and coax
+//! capacity derating, each with an explicit start and recovery time —
+//! that the simulation engine overlays on the plant without touching the
+//! physical model itself.
+//!
+//! Two properties make plans safe for the engine's bit-identity
+//! contract:
+//!
+//! * **Determinism** — a plan is plain data. [`FaultPlan::seeded`]
+//!   expands a seed into explicit events *once*, eagerly, via the
+//!   vendored [`rand`] generator; after construction no randomness
+//!   remains, so serial and sharded replays see the very same faults.
+//! * **Neighborhood locality** — every event is scoped to one
+//!   neighborhood (or to the whole plant, which is equivalent to every
+//!   neighborhood at once). [`FaultPlan::timeline`] projects the plan
+//!   onto one neighborhood, which is the unit the sharded engine
+//!   isolates, so no fault ever couples two shards.
+//!
+//! Plans are normalized at construction (events sorted by start, end,
+//! scope, kind), so two plans describing the same faults compare and
+//! serialize identically regardless of declaration order.
+
+use rand::{Rng, SeedableRng, StdRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::HfcError;
+use crate::ids::NeighborhoodId;
+use crate::units::{SimDuration, SimTime};
+
+/// Full capacity, in permille (the derate scale's fixed point).
+pub const FULL_CAPACITY_PERMILLE: u16 = 1_000;
+
+/// What one fault event does to its scope while active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The fiber node / coax segment is down: no segment can be served
+    /// and, under enforcing admission, in-flight sessions are
+    /// interrupted.
+    Outage,
+    /// The coax channel budget is reduced to `permille`/1000 of its
+    /// healthy capacity (e.g. `500` = half capacity). Valid range is
+    /// `1..=999`: zero is an outage, 1000 a no-op.
+    Derate {
+        /// Remaining capacity in permille of the healthy budget.
+        permille: u16,
+    },
+}
+
+/// One timed fault: a kind, a scope, and a `[start, end)` active window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// The neighborhood affected; `None` means the whole plant.
+    pub scope: Option<NeighborhoodId>,
+    /// When the fault begins (inclusive).
+    pub start: SimTime,
+    /// When the fault recovers (exclusive); must be after `start`.
+    pub end: SimTime,
+    /// What the fault does while active.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether this event applies to `nbhd` (direct scope or plant-wide).
+    fn affects(&self, nbhd: NeighborhoodId) -> bool {
+        self.scope.is_none_or(|s| s == nbhd)
+    }
+
+    /// Normalization sort key: start, end, plant-wide before scoped,
+    /// kind last.
+    fn sort_key(&self) -> (u64, u64, i64, FaultKind) {
+        (
+            self.start.as_secs(),
+            self.end.as_secs(),
+            self.scope.map_or(-1, |s| i64::from(s.value())),
+            self.kind,
+        )
+    }
+}
+
+/// A validated, normalized set of [`FaultEvent`]s (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use cablevod_hfc::fault::{FaultEvent, FaultKind, FaultPlan};
+/// use cablevod_hfc::ids::NeighborhoodId;
+/// use cablevod_hfc::units::SimTime;
+///
+/// let plan = FaultPlan::new(vec![FaultEvent {
+///     scope: Some(NeighborhoodId::new(2)),
+///     start: SimTime::from_secs(3_600),
+///     end: SimTime::from_secs(7_200),
+///     kind: FaultKind::Outage,
+/// }])?;
+/// let timeline = plan.timeline(NeighborhoodId::new(2));
+/// assert_eq!(
+///     timeline.outage_at(SimTime::from_secs(4_000)),
+///     Some(SimTime::from_secs(7_200)),
+/// );
+/// assert!(plan.timeline(NeighborhoodId::new(0)).is_empty());
+/// # Ok::<(), cablevod_hfc::HfcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The healthy plant: no faults. This is the configuration default,
+    /// so existing runs are untouched.
+    pub fn empty() -> Self {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// Builds a plan from explicit events, validating and normalizing
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HfcError::InvalidFaultPlan`] when an event's window is
+    /// empty or inverted, or a derate's permille is outside `1..=999`.
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<Self, HfcError> {
+        for ev in &events {
+            if ev.start >= ev.end {
+                return Err(HfcError::InvalidFaultPlan {
+                    reason: format!(
+                        "fault window [{}s, {}s) is empty",
+                        ev.start.as_secs(),
+                        ev.end.as_secs()
+                    ),
+                });
+            }
+            if let FaultKind::Derate { permille } = ev.kind {
+                if permille == 0 || permille >= FULL_CAPACITY_PERMILLE {
+                    return Err(HfcError::InvalidFaultPlan {
+                        reason: format!(
+                            "derate permille {permille} outside 1..=999 \
+                             (0 is an outage, 1000 a no-op)"
+                        ),
+                    });
+                }
+            }
+        }
+        events.sort_by_key(FaultEvent::sort_key);
+        Ok(FaultPlan { events })
+    }
+
+    /// Expands `seed` into an explicit plan: `outages` node outages
+    /// (5–60 minutes each) and `derates` capacity deratings (1–6 hours
+    /// at 250–750 permille), uniformly placed over `neighborhoods` and
+    /// the `horizon`. Expansion is eager and deterministic — the
+    /// returned plan is plain data and replays identically everywhere.
+    pub fn seeded(
+        seed: u64,
+        neighborhoods: u32,
+        horizon: SimDuration,
+        outages: u32,
+        derates: u32,
+    ) -> Self {
+        let horizon = horizon.as_secs();
+        if neighborhoods == 0 || horizon < 2 {
+            return FaultPlan::empty();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity((outages + derates) as usize);
+        // Draw order is part of the format: outages first, then derates,
+        // each as (neighborhood, start, duration[, permille]).
+        for _ in 0..outages {
+            let nbhd = rng.random_range(0..neighborhoods);
+            let dur = rng.random_range(300u64..=3_600).min(horizon - 1);
+            let start = rng.random_range(0..horizon - dur);
+            events.push(FaultEvent {
+                scope: Some(NeighborhoodId::new(nbhd)),
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(start + dur),
+                kind: FaultKind::Outage,
+            });
+        }
+        for _ in 0..derates {
+            let nbhd = rng.random_range(0..neighborhoods);
+            let dur = rng.random_range(3_600u64..=21_600).min(horizon - 1);
+            let start = rng.random_range(0..horizon - dur);
+            let permille = rng.random_range(250u16..=750);
+            events.push(FaultEvent {
+                scope: Some(NeighborhoodId::new(nbhd)),
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(start + dur),
+                kind: FaultKind::Derate { permille },
+            });
+        }
+        FaultPlan::new(events).expect("seeded events are valid by construction")
+    }
+
+    /// Whether the plan has no events (the healthy plant).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The normalized events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Projects the plan onto one neighborhood: the events affecting it
+    /// (scoped or plant-wide), compiled into query-ready interval sets.
+    pub fn timeline(&self, nbhd: NeighborhoodId) -> FaultTimeline {
+        let mut outages: Vec<(u64, u64)> = Vec::new();
+        let mut derates: Vec<(u64, u64, u16)> = Vec::new();
+        for ev in self.events.iter().filter(|ev| ev.affects(nbhd)) {
+            let span = (ev.start.as_secs(), ev.end.as_secs());
+            match ev.kind {
+                FaultKind::Outage => outages.push(span),
+                FaultKind::Derate { permille } => derates.push((span.0, span.1, permille)),
+            }
+        }
+        // Merge overlapping outages into disjoint, sorted intervals so
+        // point queries can binary-search.
+        outages.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(outages.len());
+        for (start, end) in outages {
+            match merged.last_mut() {
+                Some(last) if start <= last.1 => last.1 = last.1.max(end),
+                _ => merged.push((start, end)),
+            }
+        }
+        FaultTimeline {
+            outages: merged,
+            derates,
+        }
+    }
+}
+
+/// One neighborhood's view of a [`FaultPlan`]: disjoint outage intervals
+/// and (possibly overlapping) derate intervals, each `[start, end)` in
+/// simulation seconds.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTimeline {
+    outages: Vec<(u64, u64)>,
+    derates: Vec<(u64, u64, u16)>,
+}
+
+impl FaultTimeline {
+    /// Whether no fault ever touches this neighborhood.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty() && self.derates.is_empty()
+    }
+
+    /// If an outage is active at `t`, the time it recovers.
+    pub fn outage_at(&self, t: SimTime) -> Option<SimTime> {
+        let t = t.as_secs();
+        let i = self.outages.partition_point(|&(_, end)| end <= t);
+        self.outages
+            .get(i)
+            .filter(|&&(start, _)| start <= t)
+            .map(|&(_, end)| SimTime::from_secs(end))
+    }
+
+    /// Remaining coax capacity at `t` in permille of the healthy budget:
+    /// 1000 when no derate is active, otherwise the most severe (lowest)
+    /// active derate. An active outage reads as zero.
+    pub fn capacity_permille_at(&self, t: SimTime) -> u16 {
+        if self.outage_at(t).is_some() {
+            return 0;
+        }
+        let secs = t.as_secs();
+        self.derates
+            .iter()
+            .filter(|&&(start, end, _)| start <= secs && secs < end)
+            .map(|&(_, _, permille)| permille)
+            .min()
+            .unwrap_or(FULL_CAPACITY_PERMILLE)
+    }
+
+    /// Recovery instants of the merged outage intervals, in time order
+    /// (one per disjoint outage), for time-to-recover measurement.
+    pub fn outage_ends(&self) -> impl Iterator<Item = SimTime> + '_ {
+        self.outages.iter().map(|&(_, end)| SimTime::from_secs(end))
+    }
+
+    /// Total seconds this neighborhood spends in outage (merged, so
+    /// overlapping events are not double-counted).
+    pub fn outage_secs(&self) -> u64 {
+        self.outages.iter().map(|&(start, end)| end - start).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nb(i: u32) -> NeighborhoodId {
+        NeighborhoodId::new(i)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    fn outage(scope: Option<u32>, start: u64, end: u64) -> FaultEvent {
+        FaultEvent {
+            scope: scope.map(NeighborhoodId::new),
+            start: t(start),
+            end: t(end),
+            kind: FaultKind::Outage,
+        }
+    }
+
+    fn derate(scope: Option<u32>, start: u64, end: u64, permille: u16) -> FaultEvent {
+        FaultEvent {
+            scope: scope.map(NeighborhoodId::new),
+            start: t(start),
+            end: t(end),
+            kind: FaultKind::Derate { permille },
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_the_healthy_plant() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        let tl = plan.timeline(nb(0));
+        assert!(tl.is_empty());
+        assert_eq!(tl.outage_at(t(0)), None);
+        assert_eq!(tl.capacity_permille_at(t(0)), FULL_CAPACITY_PERMILLE);
+        assert_eq!(tl.outage_secs(), 0);
+    }
+
+    #[test]
+    fn invalid_events_are_rejected() {
+        let err = FaultPlan::new(vec![outage(Some(0), 100, 100)]).unwrap_err();
+        assert!(matches!(err, HfcError::InvalidFaultPlan { .. }), "{err}");
+        assert!(FaultPlan::new(vec![outage(Some(0), 100, 50)]).is_err());
+        assert!(FaultPlan::new(vec![derate(Some(0), 0, 10, 0)]).is_err());
+        assert!(FaultPlan::new(vec![derate(Some(0), 0, 10, 1_000)]).is_err());
+        assert!(FaultPlan::new(vec![derate(Some(0), 0, 10, 999)]).is_ok());
+    }
+
+    #[test]
+    fn normalization_makes_declaration_order_irrelevant() {
+        let a = FaultPlan::new(vec![
+            outage(Some(1), 200, 300),
+            derate(None, 0, 100, 500),
+            outage(Some(0), 200, 300),
+        ])
+        .expect("valid");
+        let b = FaultPlan::new(vec![
+            outage(Some(0), 200, 300),
+            outage(Some(1), 200, 300),
+            derate(None, 0, 100, 500),
+        ])
+        .expect("valid");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timelines_scope_events_and_merge_outages() {
+        let plan = FaultPlan::new(vec![
+            outage(Some(1), 100, 200),
+            outage(Some(1), 150, 400),
+            outage(None, 1_000, 1_100),
+            derate(Some(1), 50, 500, 600),
+            derate(Some(2), 0, 10, 300),
+        ])
+        .expect("valid");
+
+        let tl = plan.timeline(nb(1));
+        // [100,200) and [150,400) merge into [100,400).
+        assert_eq!(tl.outage_at(t(99)), None);
+        assert_eq!(tl.outage_at(t(100)), Some(t(400)));
+        assert_eq!(tl.outage_at(t(399)), Some(t(400)));
+        assert_eq!(tl.outage_at(t(400)), None);
+        assert_eq!(tl.outage_at(t(1_050)), Some(t(1_100)), "plant-wide applies");
+        assert_eq!(tl.outage_secs(), 300 + 100);
+        assert_eq!(tl.outage_ends().collect::<Vec<_>>(), vec![t(400), t(1_100)]);
+        // Derate active outside the outage; outage reads as zero.
+        assert_eq!(tl.capacity_permille_at(t(60)), 600);
+        assert_eq!(tl.capacity_permille_at(t(150)), 0, "outage wins");
+        assert_eq!(tl.capacity_permille_at(t(450)), 600);
+        assert_eq!(tl.capacity_permille_at(t(500)), FULL_CAPACITY_PERMILLE);
+
+        // Neighborhood 0 only sees the plant-wide outage.
+        let tl0 = plan.timeline(nb(0));
+        assert_eq!(tl0.outage_at(t(150)), None);
+        assert_eq!(tl0.outage_at(t(1_000)), Some(t(1_100)));
+        assert_eq!(tl0.capacity_permille_at(t(60)), FULL_CAPACITY_PERMILLE);
+    }
+
+    #[test]
+    fn overlapping_derates_take_the_most_severe() {
+        let plan = FaultPlan::new(vec![
+            derate(Some(0), 0, 100, 700),
+            derate(Some(0), 50, 150, 400),
+        ])
+        .expect("valid");
+        let tl = plan.timeline(nb(0));
+        assert_eq!(tl.capacity_permille_at(t(25)), 700);
+        assert_eq!(tl.capacity_permille_at(t(75)), 400);
+        assert_eq!(tl.capacity_permille_at(t(125)), 400);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_valid() {
+        let horizon = SimDuration::from_days(28);
+        let a = FaultPlan::seeded(42, 5, horizon, 20, 5);
+        let b = FaultPlan::seeded(42, 5, horizon, 20, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.events().len(), 25);
+        let c = FaultPlan::seeded(43, 5, horizon, 20, 5);
+        assert_ne!(a, c, "different seeds differ");
+        for ev in a.events() {
+            assert!(ev.start < ev.end);
+            assert!(ev.end.as_secs() <= horizon.as_secs());
+            assert!(ev.scope.is_some());
+            if let FaultKind::Derate { permille } = ev.kind {
+                assert!((250..=750).contains(&permille));
+            }
+        }
+        assert!(FaultPlan::seeded(1, 0, horizon, 5, 5).is_empty());
+        assert!(FaultPlan::seeded(1, 5, SimDuration::ZERO, 5, 5).is_empty());
+    }
+}

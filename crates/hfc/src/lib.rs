@@ -37,6 +37,7 @@
 pub mod channels;
 pub mod coax;
 pub mod error;
+pub mod fault;
 pub mod fiber;
 pub mod ids;
 pub mod meter;
@@ -47,6 +48,7 @@ pub mod units;
 
 pub use channels::ChannelPlan;
 pub use error::HfcError;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline};
 pub use ids::{NeighborhoodId, PeerId, ProgramId, SegmentId, UserId};
 pub use meter::{RateMeter, RateStats};
 pub use segment::Segmenter;

@@ -4,10 +4,86 @@ use serde::{Deserialize, Serialize};
 
 use cablevod_cache::{FillPolicy, PlacementPolicy, StrategySpec};
 use cablevod_hfc::coax::CoaxSpec;
+use cablevod_hfc::fault::FaultPlan;
 use cablevod_hfc::stb::{DEFAULT_CONTRIBUTION, DEFAULT_STREAM_SLOTS};
 use cablevod_hfc::units::{BitRate, DataSize, SimDuration};
 
 use crate::error::SimError;
+
+/// What the engine does when a session arrives while its neighborhood's
+/// plant is down or its channel budget is exhausted.
+///
+/// The paper's figures model a perfect broadcast plant, so the default
+/// keeps their semantics: over-limit traffic is **counted**, never
+/// blocked, and reports stay bit-identical to earlier versions.
+/// [`Enforcing`](AdmissionMode::Enforcing) turns the same checks into
+/// real admission control for degraded-plant studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum AdmissionMode {
+    /// Measure violations (blocked-worthy starts, interruption-worthy
+    /// continuations) without altering any session's trajectory. The
+    /// default; with an empty [`FaultPlan`] this is byte-identical to
+    /// the pre-fault engine.
+    #[default]
+    Counting,
+    /// Enforce the plant: sessions arriving during an outage or against
+    /// an exhausted channel budget retry with bounded exponential
+    /// backoff and are blocked when retries run out; in-flight sessions
+    /// hit by an outage are interrupted.
+    Enforcing,
+}
+
+/// Bounded exponential backoff for set-top boxes whose session was
+/// refused admission: retry `k` waits `base_backoff * 2^k`, and after
+/// `max_retries` refusals the session is blocked for good.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    max_retries: u8,
+    base_backoff: SimDuration,
+}
+
+impl RetryPolicy {
+    /// The default STB firmware behavior: 3 retries starting at 30 s
+    /// (30 s, 60 s, 120 s).
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: SimDuration::from_secs(30),
+        }
+    }
+
+    /// Builds a policy; `max_retries == 0` disables retrying (refused
+    /// sessions are blocked immediately).
+    pub fn new(max_retries: u8, base_backoff: SimDuration) -> Self {
+        RetryPolicy {
+            max_retries,
+            base_backoff,
+        }
+    }
+
+    /// Maximum retry attempts per session.
+    pub fn max_retries(&self) -> u8 {
+        self.max_retries
+    }
+
+    /// Backoff before the first retry.
+    pub fn base_backoff(&self) -> SimDuration {
+        self.base_backoff
+    }
+
+    /// The wait before retry number `attempt` (0-based):
+    /// `base_backoff * 2^attempt`, saturating.
+    pub fn backoff(&self, attempt: u8) -> SimDuration {
+        let factor = 1u64.checked_shl(u32::from(attempt)).unwrap_or(u64::MAX);
+        SimDuration::from_secs(self.base_backoff.as_secs().saturating_mul(factor))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_default()
+    }
+}
 
 /// All knobs of one simulation run. Defaults are the paper's baseline
 /// configuration: 1,000-subscriber neighborhoods, 10 GB per peer, two
@@ -39,6 +115,9 @@ pub struct SimConfig {
     coax_spec: CoaxSpec,
     replication: u8,
     fill_override: Option<FillPolicy>,
+    faults: FaultPlan,
+    admission: AdmissionMode,
+    retry: RetryPolicy,
 }
 
 impl SimConfig {
@@ -56,6 +135,9 @@ impl SimConfig {
             coax_spec: CoaxSpec::paper_default(),
             replication: 1,
             fill_override: None,
+            faults: FaultPlan::empty(),
+            admission: AdmissionMode::Counting,
+            retry: RetryPolicy::paper_default(),
         }
     }
 
@@ -194,6 +276,46 @@ impl SimConfig {
         self.fill_override
     }
 
+    /// Sets the fault plan the run overlays on the plant (see the crate
+    /// docs, *Fault model*). The default is [`FaultPlan::empty`] — a
+    /// healthy plant.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the admission mode. The default, [`AdmissionMode::Counting`],
+    /// preserves the paper's counted-not-blocked semantics exactly.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionMode) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Sets the retry/backoff policy used under
+    /// [`AdmissionMode::Enforcing`].
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The fault plan overlaid on the plant.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The admission mode.
+    pub fn admission(&self) -> AdmissionMode {
+        self.admission
+    }
+
+    /// The retry/backoff policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// Total cache capacity of a full-size neighborhood under this config.
     pub fn neighborhood_cache_capacity(&self) -> DataSize {
         self.per_peer_storage * u64::from(self.neighborhood_size)
@@ -223,6 +345,11 @@ impl SimConfig {
         if self.replication == 0 {
             return Err(SimError::Config {
                 reason: "replication must be at least 1".into(),
+            });
+        }
+        if self.retry.max_retries() > 0 && self.retry.base_backoff().as_secs() == 0 {
+            return Err(SimError::Config {
+                reason: "retry base backoff must be positive when retries are enabled".into(),
             });
         }
         Ok(())

@@ -39,9 +39,19 @@ use cablevod_trace::record::SessionRecord;
 use crate::config::SimConfig;
 use crate::error::SimError;
 
+use super::fault::{AdmissionControl, Verdict};
+
 /// Error reason used when a shard bails out because a sibling failed; the
 /// merge prefers the sibling's real error over this sentinel.
 pub(super) const ABORTED: &str = "aborted after a failure in another shard";
+
+/// Sentinel segment index marking a retry event on the continuation heap
+/// (a refused session's backoff re-attempt, not a segment request). Real
+/// segment indices never reach it — a program would need 2^16 segments —
+/// and it sorts after every real segment at the same `(time, gidx)`, in
+/// both the serial and the sharded heap, so retry ordering is
+/// deterministic across drivers.
+pub(super) const RETRY_SEG: u16 = u16::MAX;
 
 /// The immutable user → plant mapping sessions are contextualized
 /// against: who lives where. An owned snapshot of
@@ -187,11 +197,24 @@ pub(super) trait SegmentPlant {
         end: SimTime,
         size: cablevod_hfc::units::DataSize,
     ) -> Result<(), SimError>;
+
+    /// The plant's admission control, when a fault plan or enforcing
+    /// admission is active. The default — a bare plant — exposes none,
+    /// and the lifecycle takes its original (pre-fault, byte-identical)
+    /// path. Overridden by [`FaultingPlant`](super::fault::FaultingPlant),
+    /// which every entry driver wraps its plant in.
+    fn admission(&mut self) -> Option<&mut AdmissionControl> {
+        None
+    }
 }
 
 impl<P: SegmentPlant + ?Sized> SegmentPlant for &mut P {
     fn stbs(&mut self) -> &mut dyn StbStore {
         (**self).stbs()
+    }
+
+    fn admission(&mut self) -> Option<&mut AdmissionControl> {
+        (**self).admission()
     }
 
     fn record_miss(
@@ -279,33 +302,74 @@ pub(super) trait RecordSupply<F: FeedProvider> {
     fn take(&mut self) -> PendingSession;
 }
 
+/// One slab entry: the session plus its admission bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSlot {
+    rec: SessionRecord,
+    ctx: SessionCtx,
+    /// Backoff retries this session has spent (enforcing admission).
+    retries: u8,
+    /// Whether a counting-mode would-interrupt was already tallied, so
+    /// a session streaming through an outage is counted once.
+    outage_noted: bool,
+}
+
 /// Slab of in-flight sessions: the driver retains only records whose
 /// continuation events are still in the heap, keyed by a reusable slot id
 /// carried alongside the heap entry (the slot never participates in event
 /// ordering — heap keys stay `(time, global index, segment)`).
 #[derive(Debug, Default)]
 pub(super) struct ActiveSessions {
-    slots: Vec<(SessionRecord, SessionCtx)>,
+    slots: Vec<ActiveSlot>,
     free: Vec<u32>,
 }
 
 impl ActiveSessions {
     pub(super) fn insert(&mut self, rec: SessionRecord, ctx: SessionCtx) -> u32 {
+        let entry = ActiveSlot {
+            rec,
+            ctx,
+            retries: 0,
+            outage_noted: false,
+        };
         if let Some(slot) = self.free.pop() {
-            self.slots[slot as usize] = (rec, ctx);
+            self.slots[slot as usize] = entry;
             slot
         } else {
-            self.slots.push((rec, ctx));
+            self.slots.push(entry);
             (self.slots.len() - 1) as u32
         }
     }
 
     pub(super) fn get(&self, slot: u32) -> (SessionRecord, SessionCtx) {
-        self.slots[slot as usize]
+        let entry = &self.slots[slot as usize];
+        (entry.rec, entry.ctx)
     }
 
     pub(super) fn remove(&mut self, slot: u32) {
         self.free.push(slot);
+    }
+
+    /// Retries this session has spent so far.
+    fn retries(&self, slot: u32) -> u8 {
+        self.slots[slot as usize].retries
+    }
+
+    fn bump_retries(&mut self, slot: u32) {
+        self.slots[slot as usize].retries += 1;
+    }
+
+    /// Shifts the session's start to its admitted-after-retry time, so
+    /// segment scheduling runs from when playback actually began.
+    fn shift_start(&mut self, slot: u32, start: SimTime) {
+        self.slots[slot as usize].rec.start = start;
+    }
+
+    /// Marks the session's would-interrupt as tallied; `true` the first
+    /// time.
+    fn note_outage(&mut self, slot: u32) -> bool {
+        let entry = &mut self.slots[slot as usize];
+        !std::mem::replace(&mut entry.outage_noted, true)
     }
 
     /// Slots ever allocated (high-water mark of concurrent sessions).
@@ -461,13 +525,21 @@ where
                 let session = self.supply.take();
                 self.start_session(&session)?;
             } else {
-                let Reverse((_, gidx, seg_idx, slot)) =
+                let Reverse((at, gidx, seg_idx, slot)) =
                     self.heap.pop().expect("peeked entry exists");
-                let (rec, ctx) = self.active.get(slot);
-                let cont = self.process_segment(&rec, &ctx, seg_idx)?;
-                match cont {
-                    Some((t, seg)) => self.heap.push(Reverse((t, gidx, seg, slot))),
-                    None => self.active.remove(slot),
+                if seg_idx == RETRY_SEG {
+                    self.retry_session(at, gidx, slot)?;
+                } else {
+                    let (rec, ctx) = self.active.get(slot);
+                    if self.interrupt(ctx.nbhd, at, slot) {
+                        self.active.remove(slot);
+                    } else {
+                        let cont = self.process_segment(&rec, &ctx, seg_idx)?;
+                        match cont {
+                            Some((t, seg)) => self.heap.push(Reverse((t, gidx, seg, slot))),
+                            None => self.active.remove(slot),
+                        }
+                    }
                 }
             }
             progressed = true;
@@ -489,13 +561,39 @@ where
         }
     }
 
-    /// Handles one session start: viewer slot accounting, feed sync,
-    /// strategy update, and the first segment request.
+    /// Handles one session start: admission, viewer slot accounting, feed
+    /// sync, strategy update, and the first segment request.
     fn start_session(&mut self, session: &PendingSession) -> Result<(), SimError> {
         let PendingSession { gidx, rec, ctx } = session;
         self.counters.sessions += 1;
-        let index_at = (ctx.nbhd - self.index_base) as usize;
+        let verdict = match self.plant.admission() {
+            Some(ctl) => ctl.try_admit(ctx.nbhd, rec.start, rec.start + ctx.watched, 0),
+            None => Verdict::Admit,
+        };
+        match verdict {
+            Verdict::Admit => self.admit_session(*gidx, rec, ctx),
+            Verdict::Retry { at } => {
+                // The request itself still drives the feed and the
+                // strategy's popularity at its original time — only
+                // playback waits for the backoff.
+                self.publish_access(*gidx, rec, ctx)?;
+                let slot = self.active.insert(*rec, *ctx);
+                self.active.bump_retries(slot);
+                self.heap.push(Reverse((at, *gidx as u32, RETRY_SEG, slot)));
+                Ok(())
+            }
+            Verdict::Blocked => self.publish_access(*gidx, rec, ctx),
+        }
+    }
 
+    /// The admitted-session path: the whole pre-fault lifecycle, byte
+    /// for byte.
+    fn admit_session(
+        &mut self,
+        gidx: u64,
+        rec: &SessionRecord,
+        ctx: &SessionCtx,
+    ) -> Result<(), SimError> {
         // The viewer's own playback occupies one of its slots for the
         // whole session; playback is never blocked, overcommit is counted
         // (DESIGN.md §5).
@@ -505,11 +603,34 @@ where
             self.counters.viewer_overcommits += 1;
         }
 
+        self.publish_access(gidx, rec, ctx)?;
+
+        if ctx.watched.as_secs() > 0 {
+            if let Some((t, seg)) = self.process_segment(rec, ctx, ctx.first_seg)? {
+                let slot = self.active.insert(*rec, *ctx);
+                self.heap.push(Reverse((t, gidx as u32, seg, slot)));
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes one access: feed consumption up to the record and the
+    /// strategy's popularity update, at the record's own time. Fired
+    /// exactly once per trace record — whether, and whenever, the
+    /// session is admitted — so popularity stays request-driven and
+    /// independent of the admission outcome.
+    fn publish_access(
+        &mut self,
+        gidx: u64,
+        rec: &SessionRecord,
+        ctx: &SessionCtx,
+    ) -> Result<(), SimError> {
+        let index_at = (ctx.nbhd - self.index_base) as usize;
         if let Some(feed) = self.feed.as_mut() {
             // Events up to and including this record are published (see
             // the module docs on feed exactness); the provider bounds
             // consumption accordingly.
-            feed.sync(&mut self.indexes[index_at], rec.start, *gidx);
+            feed.sync(&mut self.indexes[index_at], rec.start, gidx);
         }
         self.indexes[index_at].on_program_access(
             rec.program,
@@ -517,14 +638,77 @@ where
             rec.start,
             self.plant.stbs(),
         )?;
+        Ok(())
+    }
 
-        if ctx.watched.as_secs() > 0 {
-            if let Some((t, seg)) = self.process_segment(rec, ctx, ctx.first_seg)? {
-                let slot = self.active.insert(*rec, *ctx);
-                self.heap.push(Reverse((t, *gidx as u32, seg, slot)));
+    /// Handles one backoff retry: re-attempts admission with the
+    /// session's spent retries; on success, playback starts now (the
+    /// session's start shifts to the admitted time, the watched program
+    /// span is unchanged).
+    fn retry_session(&mut self, at: SimTime, gidx: u32, slot: u32) -> Result<(), SimError> {
+        let (_, ctx) = self.active.get(slot);
+        let retries = self.active.retries(slot);
+        let ctl = self
+            .plant
+            .admission()
+            .expect("retry events exist only under admission control");
+        match ctl.try_admit(ctx.nbhd, at, at + ctx.watched, retries) {
+            Verdict::Admit => {
+                self.active.shift_start(slot, at);
+                let (rec, ctx) = self.active.get(slot);
+                let stb = self.plant.stbs().stb_mut(ctx.home)?;
+                stb.start_stream_unchecked(rec.start, rec.start + ctx.watched);
+                if stb.is_overcommitted(rec.start) {
+                    self.counters.viewer_overcommits += 1;
+                }
+                // No publish_access here: the request already drove the
+                // feed and popularity at its original time.
+                let cont = if ctx.watched.as_secs() > 0 {
+                    self.process_segment(&rec, &ctx, ctx.first_seg)?
+                } else {
+                    None
+                };
+                match cont {
+                    Some((t, seg)) => self.heap.push(Reverse((t, gidx, seg, slot))),
+                    None => self.active.remove(slot),
+                }
+                Ok(())
+            }
+            Verdict::Retry { at } => {
+                self.active.bump_retries(slot);
+                self.heap.push(Reverse((at, gidx, RETRY_SEG, slot)));
+                Ok(())
+            }
+            Verdict::Blocked => {
+                self.active.remove(slot);
+                Ok(())
             }
         }
-        Ok(())
+    }
+
+    /// Degraded-plant check for one continuation event. Under enforcing
+    /// admission an active outage drops the session (returns `true`);
+    /// under counting it tallies the would-interrupt once per session
+    /// and lets playback continue. Interrupted sessions keep their
+    /// viewer-STB slot and channel occupancy until their nominal end —
+    /// both are pruned lazily by end time, a deliberate simplification
+    /// documented in the crate's fault model.
+    fn interrupt(&mut self, nbhd: u32, at: SimTime, slot: u32) -> bool {
+        let Some(ctl) = self.plant.admission() else {
+            return false;
+        };
+        if !ctl.outage_now(nbhd, at) {
+            return false;
+        }
+        if ctl.enforcing() {
+            ctl.tally_interrupt(nbhd);
+            true
+        } else {
+            if self.active.note_outage(slot) {
+                ctl.tally_interrupt(nbhd);
+            }
+            false
+        }
     }
 
     /// Resolves one segment request and returns the session's next one.

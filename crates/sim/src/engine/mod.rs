@@ -134,6 +134,7 @@
 //! run_parallel` across strategies, chunk sizes, chunk layouts and shard
 //! counts.
 
+mod fault;
 mod feed;
 mod lifecycle;
 mod report;
@@ -162,6 +163,7 @@ use crate::config::SimConfig;
 use crate::error::SimError;
 use crate::report::SimReport;
 
+use fault::FaultingPlant;
 use feed::build_feed;
 use lifecycle::{session_ctx, SessionCtx, SessionDriver, UserMap};
 use report::assemble_serial_report;
@@ -442,16 +444,23 @@ fn run_resident<S: TraceSource + ?Sized>(
 
     let supply = ResidentSupply::new(records, &ctxs, None);
     let provider = feed.as_ref().map(cablevod_cache::PrecomputedFeed::new);
-    let mut driver = SessionDriver::new(
-        supply, provider, &mut topo, indexes, 0, config, segmenter, None,
-    );
+    let nbhd_count = topo.neighborhood_count();
+    let plant = FaultingPlant::new(&mut topo, config, 0, nbhd_count);
+    let mut driver =
+        SessionDriver::new(supply, provider, plant, indexes, 0, config, segmenter, None);
     driver.run()?;
-    let (_, indexes, counters) = driver.into_parts();
+    let (plant, indexes, counters) = driver.into_parts();
+    let (_, degradation) = plant.into_parts();
 
     let days = source.days().max(1);
     let warmup = config.warmup_days().min(days - 1);
     Ok(assemble_serial_report(
-        &topo, &indexes, counters, days, warmup,
+        &topo,
+        &indexes,
+        counters,
+        days,
+        warmup,
+        degradation,
     ))
 }
 
@@ -514,17 +523,18 @@ fn run_streaming_observed<S: TraceSource + ?Sized>(
         config,
         segmenter,
     );
-    let mut driver = SessionDriver::new(
-        supply, provider, &mut topo, indexes, 0, config, segmenter, None,
-    );
+    let plant = FaultingPlant::new(&mut topo, config, 0, nbhd_count);
+    let mut driver =
+        SessionDriver::new(supply, provider, plant, indexes, 0, config, segmenter, None);
     driver.run()?;
-    let (_, indexes, counters) = driver.into_parts();
+    let (plant, indexes, counters) = driver.into_parts();
+    let (_, degradation) = plant.into_parts();
     let peak_feed_slots = wfeed.as_ref().map(WatermarkFeed::peak_live_slots);
 
     let days = source.days().max(1);
     let warmup = config.warmup_days().min(days - 1);
     Ok((
-        assemble_serial_report(&topo, &indexes, counters, days, warmup),
+        assemble_serial_report(&topo, &indexes, counters, days, warmup, degradation),
         peak_feed_slots,
     ))
 }

@@ -8,7 +8,7 @@ use cablevod_hfc::topology::Topology;
 use super::lifecycle::EngineCounters;
 use super::shard::ShardOutcome;
 use crate::error::SimError;
-use crate::report::SimReport;
+use crate::report::{DegradationReport, NeighborhoodDegradation, SimReport};
 
 /// Assembles the serial report from the whole-plant topology and indexes.
 pub(super) fn assemble_serial_report(
@@ -17,6 +17,7 @@ pub(super) fn assemble_serial_report(
     counters: EngineCounters,
     days: u64,
     warmup: u64,
+    degradation: Option<DegradationReport>,
 ) -> SimReport {
     let server_peak = topo.server().peak_stats(warmup, days);
     let server_hourly = topo.server().meter().hourly_profile();
@@ -46,6 +47,7 @@ pub(super) fn assemble_serial_report(
         sessions: counters.sessions,
         segment_requests: counters.segment_requests,
         viewer_overcommits: counters.viewer_overcommits,
+        degradation,
         measured_from_day: warmup,
         measured_to_day: days,
     }
@@ -67,9 +69,22 @@ pub(super) fn merge_outcomes(
     let mut coax_per_neighborhood = Vec::with_capacity(nbhd_count);
     let mut cache = IndexStats::default();
     let mut counters = EngineCounters::default();
+    // Shards agree on whether admission control ran (it is a pure function
+    // of the shared config), so this is `Some` for all shards or none.
+    let mut degradation: Option<(Vec<NeighborhoodDegradation>, Vec<u64>)> = None;
     for outcome in outcomes {
         let shard = outcome?;
         server.merge(&shard.server);
+        if let Some(deg) = shard.degradation {
+            let (nbhds, hist) = degradation.get_or_insert_with(|| (Vec::new(), Vec::new()));
+            nbhds.extend(deg.per_neighborhood);
+            if hist.len() < deg.retry_histogram.len() {
+                hist.resize(deg.retry_histogram.len(), 0);
+            }
+            for (slot, count) in hist.iter_mut().zip(&deg.retry_histogram) {
+                *slot += count;
+            }
+        }
         let stats = shard.coax.peak_stats(warmup, days);
         coax_per_neighborhood.push(stats.mean);
         coax_samples.extend(shard.coax.meter().window_samples(
@@ -91,6 +106,7 @@ pub(super) fn merge_outcomes(
         sessions: counters.sessions,
         segment_requests: counters.segment_requests,
         viewer_overcommits: counters.viewer_overcommits,
+        degradation: degradation.map(|(nbhds, hist)| DegradationReport::from_parts(nbhds, hist)),
         measured_from_day: warmup,
         measured_to_day: days,
     })

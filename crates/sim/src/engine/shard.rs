@@ -30,6 +30,7 @@ use cablevod_hfc::units::SimTime;
 use cablevod_trace::record::SessionRecord;
 use cablevod_trace::source::TraceSource;
 
+use super::fault::FaultingPlant;
 use super::feed::build_feed;
 use super::lifecycle::{EngineCounters, SegmentPlant, SessionDriver, Step, UserMap, ABORTED};
 use super::report::merge_outcomes;
@@ -37,7 +38,7 @@ use super::stream::{ResidentSupply, StreamSupply};
 use super::{build_index, build_schedules, build_topology, precompute_sessions, shard_plans};
 use crate::config::SimConfig;
 use crate::error::SimError;
-use crate::report::SimReport;
+use crate::report::{DegradationReport, SimReport};
 use crate::runner;
 
 /// One neighborhood's set-top boxes, addressed by global [`PeerId`]
@@ -149,20 +150,26 @@ pub(super) struct ShardOutcome {
     pub(super) server: RateMeter,
     pub(super) stats: IndexStats,
     pub(super) counters: EngineCounters,
+    /// This shard's one-neighborhood degradation section, `None` exactly
+    /// when the serial engine's would be (default counting admission over
+    /// an empty fault plan).
+    pub(super) degradation: Option<DegradationReport>,
 }
 
 impl ShardOutcome {
-    fn from_driver<F, R>(driver: SessionDriver<'_, ShardPlant<'_>, F, R>) -> Self
+    fn from_driver<F, R>(driver: SessionDriver<'_, FaultingPlant<ShardPlant<'_>>, F, R>) -> Self
     where
         F: cablevod_cache::FeedProvider,
         R: super::lifecycle::RecordSupply<F>,
     {
         let (plant, indexes, counters) = driver.into_parts();
+        let (plant, degradation) = plant.into_parts();
         ShardOutcome {
             coax: plant.coax,
             server: plant.server,
             stats: *indexes[0].stats(),
             counters,
+            degradation,
         }
     }
 }
@@ -200,7 +207,12 @@ pub(super) fn run_parallel_resident<S: TraceSource + ?Sized>(
 
     let outcomes = runner::run_indexed(nbhd_count, threads, |n| {
         let index = build_index(n, &topo, config, &segmenter, schedules.window(n)?, strategy)?;
-        let plant = ShardPlant::build(n, &topo, config, &positions)?;
+        let plant = FaultingPlant::new(
+            ShardPlant::build(n, &topo, config, &positions)?,
+            config,
+            n as u32,
+            1,
+        );
         let supply = ResidentSupply::new(records, &ctxs, Some(&shard_records[n]));
         let mut driver = SessionDriver::new(
             supply,
@@ -304,7 +316,8 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
 }
 
 /// The shard drivers of the streaming sharded path.
-type ShardDriver<'a, S> = SessionDriver<'a, ShardPlant<'a>, SharedFeed<'a>, StreamSupply<'a, S>>;
+type ShardDriver<'a, S> =
+    SessionDriver<'a, FaultingPlant<ShardPlant<'a>>, SharedFeed<'a>, StreamSupply<'a, S>>;
 
 /// Drives the shard tasks assigned to worker `w` (neighborhoods `w`,
 /// `w + stride`, ...), round-robin, yielding the CPU only when every
@@ -337,7 +350,12 @@ fn drive_worker<'a, S: TraceSource + ?Sized>(
                 plan.schedules.window(nbhd)?,
                 strategy,
             )?;
-            let plant = ShardPlant::build(nbhd, topo, config, positions)?;
+            let plant = FaultingPlant::new(
+                ShardPlant::build(nbhd, topo, config, positions)?,
+                config,
+                nbhd as u32,
+                1,
+            );
             let supply = StreamSupply::new(
                 source,
                 plan.shard_runs[nbhd].iter().map(Vec::as_slice),

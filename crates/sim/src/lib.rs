@@ -29,6 +29,40 @@
 //! * [`multicast`] — the §IV-A "why not multicast" bounds;
 //! * [`runner`] — the parameter-sweep pool ([`run_sweep`]).
 //!
+//! # Fault model
+//!
+//! The paper's evaluation assumes a perfect plant; this crate can also
+//! degrade it deterministically. A [`FaultPlan`] is a set of timed
+//! [`FaultEvent`]s — segment/fiber-node **outages** and coax capacity
+//! **derates** (a remaining-capacity permille), each scoped to one
+//! neighborhood or plant-wide, active over a half-open `[start, end)`
+//! window. Plans are normalized at construction (events sorted by a total
+//! key), so declaration order never matters, and [`FaultPlan::seeded`]
+//! expands a seed into a reproducible random plan; the same plan replayed
+//! serial vs. sharded and resident vs. streaming yields **bit-identical**
+//! reports, degradation section included, because every fault decision is
+//! a pure function of per-neighborhood state at event timestamps.
+//!
+//! What a refused admission *does* depends on [`AdmissionMode`]:
+//!
+//! * **Counting** (default) — the refusal-worthy start or interruption is
+//!   tallied in [`SimReport::degradation`] but the session proceeds
+//!   exactly as on a healthy plant, so all pre-fault figures stay
+//!   bit-identical. With an empty plan the degradation section is `None`
+//!   and reports are byte-for-byte the same as before faults existed.
+//! * **Enforcing** — a session that hits an outage or an exhausted
+//!   channel budget is refused: the set-top box retries with bounded
+//!   exponential backoff ([`RetryPolicy`]) and is **blocked** when
+//!   retries run out; sessions in flight when their neighborhood's
+//!   segment goes down are **interrupted** (dropped at the next segment
+//!   boundary). Popularity stays request-driven: refused sessions still
+//!   count as demand at their original request time.
+//!
+//! The consequences land in [`DegradationReport`]: blocked/interrupted
+//! totals, a retries-before-admission histogram, and per-neighborhood
+//! outage seconds plus time-to-recover (lag from each outage's end to the
+//! first admitted session).
+//!
 //! # Examples
 //!
 //! ```
@@ -68,11 +102,12 @@ pub mod runner;
 pub mod scenario;
 pub mod simulation;
 
-pub use config::SimConfig;
+pub use cablevod_hfc::fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline};
+pub use config::{AdmissionMode, RetryPolicy, SimConfig};
 pub use engine::{run, run_parallel};
 pub use error::SimError;
 pub use multicast::MulticastStats;
-pub use report::SimReport;
+pub use report::{DegradationReport, NeighborhoodDegradation, SimReport};
 pub use runner::run_sweep;
 pub use scenario::{
     AxisPoint, ConfigPatch, OwnedSource, Scenario, ScenarioOutcome, SourceSpec, StrategyRef,

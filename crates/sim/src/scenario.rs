@@ -51,6 +51,15 @@
 //! neighborhood_size = 100
 //! per_peer_storage_gb = 2
 //! warmup_days = 1
+//! admission = enforcing       # counting (default) | enforcing; also an axis key
+//! retry = 3x30s               # <max_retries>x<base_backoff_secs>s; also an axis key
+//!
+//! [faults]                    # optional degraded-plant plan (crate-level "Fault model" docs):
+//! outage = start=3600 end=5400 nbhd=2      # seconds; omit nbhd= for plant-wide
+//! derate = start=0 end=86400 permille=500 nbhd=0
+//! seeded = seed=42 neighborhoods=4 outages=3 derates=2 horizon_days=3
+//!                             # seeded entries expand to explicit events at parse
+//!                             # time, so a re-rendered spec lists them explicitly
 //!
 //! [series]                    # one labelled axis entry per line:
 //! LRU = strategy=lru          #   label = key=value ...  [| source key=value ...]
@@ -77,7 +86,9 @@ use cablevod_cache::{
     FillPolicy, PlacementPolicy, StrategyFactory, StrategyRegistry, StrategySpec,
 };
 use cablevod_hfc::coax::CoaxSpec;
-use cablevod_hfc::units::{BitRate, DataSize, SimDuration};
+use cablevod_hfc::fault::{FaultEvent, FaultKind, FaultPlan};
+use cablevod_hfc::ids::NeighborhoodId;
+use cablevod_hfc::units::{BitRate, DataSize, SimDuration, SimTime};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::io as trace_io;
 use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
@@ -87,7 +98,7 @@ use cablevod_trace::source::TraceSource;
 use cablevod_trace::synth::{generate, generate_to_disk, SynthConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::config::SimConfig;
+use crate::config::{AdmissionMode, RetryPolicy, SimConfig};
 use crate::error::SimError;
 use crate::runner::{default_threads, run_indexed};
 use crate::simulation::{RunOutcome, Simulation, ThreadPolicy};
@@ -199,6 +210,10 @@ pub struct ConfigPatch {
     pub placement: Option<PlacementPolicy>,
     /// Overrides the fill policy ([`SimConfig::with_fill_override`]).
     pub fill: Option<FillPolicy>,
+    /// Overrides [`SimConfig::admission`].
+    pub admission: Option<AdmissionMode>,
+    /// Overrides [`SimConfig::retry`].
+    pub retry: Option<RetryPolicy>,
 }
 
 macro_rules! patch_setters {
@@ -233,6 +248,10 @@ patch_setters! {
     with_placement: placement, PlacementPolicy,
     /// Sets the fill-policy override.
     with_fill: fill, FillPolicy,
+    /// Sets the admission-mode override.
+    with_admission: admission, AdmissionMode,
+    /// Sets the retry-policy override.
+    with_retry: retry, RetryPolicy,
 }
 
 impl ConfigPatch {
@@ -261,6 +280,12 @@ impl ConfigPatch {
         }
         if let Some(v) = self.fill {
             base = base.with_fill_override(v);
+        }
+        if let Some(v) = self.admission {
+            base = base.with_admission(v);
+        }
+        if let Some(v) = self.retry {
+            base = base.with_retry(v);
         }
         base
     }
@@ -1013,6 +1038,12 @@ fn axis_rhs(point: &AxisPoint) -> Result<String, SimError> {
     if let Some(v) = p.fill {
         pairs.push(("fill".into(), fill_string(Some(v)).to_string()));
     }
+    if let Some(v) = p.admission {
+        pairs.push(("admission".into(), admission_string(v).to_string()));
+    }
+    if let Some(v) = p.retry {
+        pairs.push(("retry".into(), retry_string(v)));
+    }
     let mut rhs = kv_pairs_string(&pairs);
     if let Some(source) = &point.source {
         let source_pairs = source_kv(source)?;
@@ -1054,6 +1085,8 @@ fn parse_axis_entry(label: &str, rhs: &str) -> Result<AxisPoint, SimError> {
             "replication" => point.patch.replication = Some(value.parse().map_err(|_| bad())?),
             "placement" => point.patch.placement = Some(parse_placement(&value)?),
             "fill" => point.patch.fill = parse_fill(&value)?,
+            "admission" => point.patch.admission = Some(parse_admission(&value)?),
+            "retry" => point.patch.retry = Some(parse_retry(&value)?),
             _ => return Err(bad()),
         }
     }
@@ -1061,6 +1094,116 @@ fn parse_axis_entry(label: &str, rhs: &str) -> Result<AxisPoint, SimError> {
         point.source = Some(parse_source(&parse_kv_pairs(text)?)?);
     }
     Ok(point)
+}
+
+fn admission_string(mode: AdmissionMode) -> &'static str {
+    match mode {
+        AdmissionMode::Counting => "counting",
+        AdmissionMode::Enforcing => "enforcing",
+    }
+}
+
+fn parse_admission(text: &str) -> Result<AdmissionMode, SimError> {
+    match text {
+        "counting" => Ok(AdmissionMode::Counting),
+        "enforcing" => Ok(AdmissionMode::Enforcing),
+        other => Err(config_err(format!("unknown admission mode {other:?}"))),
+    }
+}
+
+/// `3x30s` — three retries, 30-second base backoff.
+fn retry_string(retry: RetryPolicy) -> String {
+    format!(
+        "{}x{}s",
+        retry.max_retries(),
+        retry.base_backoff().as_secs()
+    )
+}
+
+fn parse_retry(text: &str) -> Result<RetryPolicy, SimError> {
+    let bad = || config_err(format!("bad retry policy {text:?} (expected e.g. 3x30s)"));
+    let (max, backoff) = text.split_once('x').ok_or_else(bad)?;
+    let secs = backoff.strip_suffix('s').ok_or_else(bad)?;
+    Ok(RetryPolicy::new(
+        max.parse().map_err(|_| bad())?,
+        SimDuration::from_secs(secs.parse().map_err(|_| bad())?),
+    ))
+}
+
+/// Renders one fault event as a `[faults]` line (sans trailing newline).
+fn fault_event_line(event: &FaultEvent) -> String {
+    let mut line = match event.kind {
+        FaultKind::Outage => format!(
+            "outage = start={} end={}",
+            event.start.as_secs(),
+            event.end.as_secs()
+        ),
+        FaultKind::Derate { permille } => format!(
+            "derate = start={} end={} permille={permille}",
+            event.start.as_secs(),
+            event.end.as_secs()
+        ),
+    };
+    if let Some(nbhd) = event.scope {
+        let _ = write!(line, " nbhd={}", nbhd.value());
+    }
+    line
+}
+
+/// Parses one `[faults]` line into explicit events (a `seeded` entry
+/// expands eagerly, so parsed plans are always plain timed events).
+fn parse_fault_entry(key: &str, value: &str) -> Result<Vec<FaultEvent>, SimError> {
+    let pairs = parse_kv_pairs(value)?;
+    let get = |name: &str| {
+        pairs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    let num = |name: &str| -> Result<u64, SimError> {
+        get(name)
+            .ok_or_else(|| config_err(format!("fault entry missing {name}=")))?
+            .parse()
+            .map_err(|_| config_err(format!("bad fault field {name}")))
+    };
+    match key {
+        "outage" | "derate" => {
+            let kind = if key == "outage" {
+                FaultKind::Outage
+            } else {
+                FaultKind::Derate {
+                    permille: num("permille")?
+                        .try_into()
+                        .map_err(|_| config_err("bad fault field permille".into()))?,
+                }
+            };
+            Ok(vec![FaultEvent {
+                scope: get("nbhd")
+                    .map(|v| {
+                        v.parse()
+                            .map(NeighborhoodId::new)
+                            .map_err(|_| config_err("bad fault field nbhd".into()))
+                    })
+                    .transpose()?,
+                start: SimTime::from_secs(num("start")?),
+                end: SimTime::from_secs(num("end")?),
+                kind,
+            }])
+        }
+        "seeded" => {
+            let neighborhoods = u32::try_from(num("neighborhoods")?)
+                .map_err(|_| config_err("bad fault field neighborhoods".into()))?;
+            let plan = FaultPlan::seeded(
+                num("seed")?,
+                neighborhoods,
+                SimDuration::from_days(num("horizon_days")?),
+                num("outages")? as u32,
+                num("derates")? as u32,
+            );
+            Ok(plan.events().to_vec())
+        }
+        other => Err(config_err(format!("unknown fault entry {other:?}"))),
+    }
 }
 
 fn threads_string(threads: ThreadPolicy) -> String {
@@ -1140,6 +1283,14 @@ impl Scenario {
         let _ = writeln!(out, "replication = {}", c.replication());
         let _ = writeln!(out, "placement = {}", placement_string(c.placement()));
         let _ = writeln!(out, "fill = {}", fill_string(c.fill_override()));
+        let _ = writeln!(out, "admission = {}", admission_string(c.admission()));
+        let _ = writeln!(out, "retry = {}", retry_string(c.retry()));
+        if !c.faults().is_empty() {
+            let _ = writeln!(out, "\n[faults]");
+            for event in c.faults().events() {
+                let _ = writeln!(out, "{}", fault_event_line(event));
+            }
+        }
         for (header, axis) in [("series", &self.series), ("points", &self.points)] {
             if axis.is_empty() {
                 continue;
@@ -1163,6 +1314,7 @@ impl Scenario {
         let mut section = String::new();
         let mut source_pairs: Vec<(String, String)> = Vec::new();
         let mut fill = None;
+        let mut fault_events: Vec<FaultEvent> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -1171,7 +1323,7 @@ impl Scenario {
             let err = |reason: String| config_err(format!("spec line {}: {reason}", lineno + 1));
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
-                if !["source", "config", "series", "points"].contains(&section.as_str()) {
+                if !["source", "config", "faults", "series", "points"].contains(&section.as_str()) {
                     return Err(err(format!("unknown section [{section}]")));
                 }
                 continue;
@@ -1227,9 +1379,12 @@ impl Scenario {
                             fill = parse_fill(value)?;
                             c.clone()
                         }
+                        "admission" => c.clone().with_admission(parse_admission(value)?),
+                        "retry" => c.clone().with_retry(parse_retry(value)?),
                         other => return Err(err(format!("unknown config key {other:?}"))),
                     };
                 }
+                "faults" => fault_events.extend(parse_fault_entry(key, value)?),
                 "series" => scenario.series.push(parse_axis_entry(key, value)?),
                 "points" => scenario.points.push(parse_axis_entry(key, value)?),
                 _ => unreachable!("sections are validated on entry"),
@@ -1237,6 +1392,9 @@ impl Scenario {
         }
         if let Some(fill) = fill {
             scenario.base = scenario.base.with_fill_override(fill);
+        }
+        if !fault_events.is_empty() {
+            scenario.base = scenario.base.with_faults(FaultPlan::new(fault_events)?);
         }
         if !source_pairs.is_empty() {
             scenario.source = parse_source(&source_pairs)?;

@@ -31,7 +31,7 @@
 //!   of `S` shards decodes nearly every chunk and a run costs ~`S × file`
 //!   decode work.
 //!
-//! # Format specification (version 2)
+//! # Format specification (version 3)
 //!
 //! All integers are **little-endian**, packed with no padding.
 //!
@@ -44,7 +44,7 @@
 //! | chunk 0 columns |
 //! | chunk 1 columns |
 //! | ...             |
-//! | chunk directory |  40 * chunk_count bytes, at header.directory_offset
+//! | chunk directory |  44 * chunk_count bytes, at header.directory_offset
 //! +-----------------+
 //! ```
 //!
@@ -53,7 +53,7 @@
 //! | offset | size | field             | notes                              |
 //! |-------:|-----:|-------------------|------------------------------------|
 //! |      0 |    4 | magic             | `b"CVTC"`                          |
-//! |      4 |    4 | version           | `u32` = 2                          |
+//! |      4 |    4 | version           | `u32` = 3                          |
 //! |      8 |    4 | user_count        | `u32`, dense ids `0..user_count`   |
 //! |     12 |    8 | days              | `u64` nominal trace length         |
 //! |     20 |    8 | record_count      | `u64` total records                |
@@ -89,7 +89,7 @@
 //! layout gets for free (`first_index + position`) and the
 //! neighborhood-major layout must store.
 //!
-//! ## Chunk directory (40 bytes per chunk)
+//! ## Chunk directory (44 bytes per chunk)
 //!
 //! | field            | type  | meaning                                        |
 //! |------------------|-------|------------------------------------------------|
@@ -99,6 +99,12 @@
 //! | first_start_secs | `u64` | start of the chunk's first (earliest) record   |
 //! | watermark_secs   | `u64` | start of the chunk's last record               |
 //! | group            | `u32` | neighborhood group (`u32::MAX` for time-major) |
+//! | crc              | `u32` | CRC-32 (IEEE) of the chunk's column bytes      |
+//!
+//! The checksum covers exactly the `n * record_bytes` column bytes at
+//! `file_offset` and is verified on every chunk fetch, so a flipped bit
+//! anywhere in a chunk fails as a [`TraceError::Format`] naming the
+//! chunk instead of decoding into a silently wrong record.
 //!
 //! Ordering invariants (writer-enforced, reader-validated):
 //!
@@ -133,6 +139,7 @@ use cablevod_hfc::ids::{ProgramId, UserId};
 use cablevod_hfc::units::{SimDuration, SimTime};
 
 use crate::catalog::{ProgramCatalog, ProgramInfo};
+use crate::checksum::{crc32, Crc32};
 use crate::error::TraceError;
 use crate::record::{SessionRecord, Trace};
 use crate::source::{DecodeStats, NeighborhoodLayout, TraceSource};
@@ -140,14 +147,14 @@ use crate::source::{DecodeStats, NeighborhoodLayout, TraceSource};
 /// The four magic bytes opening every columnar trace file.
 pub const MAGIC: [u8; 4] = *b"CVTC";
 /// The format version this module writes and reads.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 /// Default records per chunk: 64 Ki records ≈ 1.5 MiB of columns — large
 /// enough to amortize syscalls, small enough that a reader's resident set
 /// stays a rounding error next to the simulation state.
 pub const DEFAULT_CHUNK_SIZE: u32 = 65_536;
 
 const HEADER_LEN: u64 = 52;
-const DIR_ENTRY_LEN: usize = 40;
+const DIR_ENTRY_LEN: usize = 44;
 const CATALOG_ENTRY_LEN: usize = 16;
 const BYTES_PER_RECORD: usize = 24;
 const BYTES_PER_RECORD_INDEXED: usize = 32;
@@ -206,6 +213,8 @@ pub struct ChunkMeta {
     pub watermark: SimTime,
     /// Neighborhood group (`None` for time-major chunks).
     pub group: Option<u32>,
+    /// CRC-32 of the chunk's column bytes, verified on every fetch.
+    pub crc: u32,
 }
 
 /// One in-progress chunk's column buffers plus per-group ordering state.
@@ -487,6 +496,35 @@ impl ColumnarWriter {
             return Ok(());
         }
         let indexed = matches!(self.layout, ChunkLayout::NeighborhoodMajor { .. });
+        // The checksum runs over the exact byte sequence the chunk puts on
+        // disk: columns in write order, little-endian.
+        let mut crc = Crc32::new();
+        for &u in &buf.users {
+            crc.update(&u.to_le_bytes());
+            self.out.write_all(&u.to_le_bytes())?;
+        }
+        for &p in &buf.programs {
+            crc.update(&p.to_le_bytes());
+            self.out.write_all(&p.to_le_bytes())?;
+        }
+        for &s in &buf.starts {
+            crc.update(&s.to_le_bytes());
+            self.out.write_all(&s.to_le_bytes())?;
+        }
+        for &d in &buf.durations {
+            crc.update(&d.to_le_bytes());
+            self.out.write_all(&d.to_le_bytes())?;
+        }
+        for &o in &buf.offsets {
+            crc.update(&o.to_le_bytes());
+            self.out.write_all(&o.to_le_bytes())?;
+        }
+        if indexed {
+            for &g in &buf.gseqs {
+                crc.update(&g.to_le_bytes());
+                self.out.write_all(&g.to_le_bytes())?;
+            }
+        }
         self.directory.push(ChunkMeta {
             file_offset: self.next_offset,
             record_count: n as u32,
@@ -494,27 +532,8 @@ impl ColumnarWriter {
             first_start: SimTime::from_secs(buf.starts[0]),
             watermark: SimTime::from_secs(buf.starts[n - 1]),
             group: indexed.then_some(group as u32),
+            crc: crc.finish(),
         });
-        for &u in &buf.users {
-            self.out.write_all(&u.to_le_bytes())?;
-        }
-        for &p in &buf.programs {
-            self.out.write_all(&p.to_le_bytes())?;
-        }
-        for &s in &buf.starts {
-            self.out.write_all(&s.to_le_bytes())?;
-        }
-        for &d in &buf.durations {
-            self.out.write_all(&d.to_le_bytes())?;
-        }
-        for &o in &buf.offsets {
-            self.out.write_all(&o.to_le_bytes())?;
-        }
-        if indexed {
-            for &g in &buf.gseqs {
-                self.out.write_all(&g.to_le_bytes())?;
-            }
-        }
         self.next_offset += (n * self.layout.record_bytes()) as u64;
         buf.users.clear();
         buf.programs.clear();
@@ -547,6 +566,7 @@ impl ColumnarWriter {
                 .write_all(&meta.watermark.as_secs().to_le_bytes())?;
             self.out
                 .write_all(&meta.group.unwrap_or(NO_GROUP).to_le_bytes())?;
+            self.out.write_all(&meta.crc.to_le_bytes())?;
         }
         self.out.flush()?;
 
@@ -771,6 +791,7 @@ impl ColumnarReader {
             let first_start = read_u64(file)?;
             let watermark = read_u64(file)?;
             let group_tag = read_u32(file)?;
+            let crc = read_u32(file)?;
             let group = match layout {
                 ChunkLayout::TimeMajor => {
                     if group_tag != NO_GROUP {
@@ -835,6 +856,7 @@ impl ColumnarReader {
                 first_start: SimTime::from_secs(first_start),
                 watermark: SimTime::from_secs(watermark),
                 group: matches!(layout, ChunkLayout::NeighborhoodMajor { .. }).then_some(group_tag),
+                crc,
             });
         }
         if covered != record_count {
@@ -908,6 +930,14 @@ impl ColumnarReader {
         let n = meta.record_count as usize;
         let mut bytes = vec![0u8; n * self.layout.record_bytes()];
         self.read_at(&mut bytes, meta.file_offset)?;
+        let computed = crc32(&bytes);
+        if computed != meta.crc {
+            return Err(format_err(format!(
+                "chunk {chunk} failed checksum verification \
+                 (stored {:#010x}, computed {computed:#010x})",
+                meta.crc
+            )));
+        }
         self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
         self.bytes_decoded
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);

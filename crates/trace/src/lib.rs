@@ -32,6 +32,7 @@
 
 pub mod analyze;
 pub mod catalog;
+pub mod checksum;
 pub mod columnar;
 pub mod dist;
 pub mod ecdf;

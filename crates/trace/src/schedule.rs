@@ -69,7 +69,7 @@
 //! | time_secs  | `u64`   | 8                 |
 //! | program    | `u32`   | 4                 |
 //!
-//! ## Chunk directory (32 bytes per chunk)
+//! ## Chunk directory (36 bytes per chunk)
 //!
 //! | field        | type  | meaning                                  |
 //! |--------------|-------|------------------------------------------|
@@ -78,6 +78,12 @@
 //! | neighborhood | `u32` | the one neighborhood this chunk belongs to |
 //! | first_time   | `u64` | time of the chunk's first (earliest) event |
 //! | last_time    | `u64` | time of the chunk's last event           |
+//! | crc          | `u32` | CRC-32 (IEEE) of the chunk's column bytes |
+//!
+//! The checksum covers exactly the `n * 12` column bytes at
+//! `file_offset` and is verified on every chunk read, so corruption
+//! fails as a [`TraceError::Format`] naming the chunk instead of
+//! decoding into a silently wrong broadcast schedule.
 //!
 //! Ordering invariants (writer-enforced, reader-validated): within each
 //! neighborhood, event times are non-decreasing within a chunk **and**
@@ -116,13 +122,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use cablevod_hfc::ids::ProgramId;
 use cablevod_hfc::units::SimTime;
 
+use crate::checksum::{crc32, Crc32};
 use crate::error::TraceError;
 use crate::source::DecodeStats;
 
 /// The four magic bytes opening every schedule sidecar file.
 pub const MAGIC: [u8; 4] = *b"CVSC";
 /// The format version this module writes and reads.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 /// Default events per chunk: 4 Ki events = 48 KiB of columns — small
 /// enough that a serial run holding one in-flight chunk *per
 /// neighborhood's window* stays a rounding error, large enough to
@@ -130,7 +137,7 @@ pub const VERSION: u32 = 1;
 pub const DEFAULT_EVENTS_PER_CHUNK: u32 = 4_096;
 
 const HEADER_LEN: u64 = 40;
-const DIR_ENTRY_LEN: usize = 32;
+const DIR_ENTRY_LEN: usize = 36;
 const BYTES_PER_EVENT: usize = 12;
 /// Writer buffers below this many events per chunk stop being worth a
 /// positioned read; [`events_per_chunk`] floors here.
@@ -169,6 +176,8 @@ pub struct ScheduleChunkMeta {
     /// Time of the chunk's last event; every event in this
     /// neighborhood's later chunks is at or after this.
     pub last_time: SimTime,
+    /// CRC-32 of the chunk's column bytes, verified on every read.
+    pub crc: u32,
 }
 
 /// One in-progress chunk's column buffers.
@@ -304,19 +313,25 @@ impl ScheduleSidecarWriter {
         if n == 0 {
             return Ok(());
         }
+        // The checksum runs over the exact byte sequence the chunk puts
+        // on disk: the times column then the programs column.
+        let mut crc = Crc32::new();
+        for &t in &buf.times {
+            crc.update(&t.to_le_bytes());
+            self.out.write_all(&t.to_le_bytes())?;
+        }
+        for &p in &buf.programs {
+            crc.update(&p.to_le_bytes());
+            self.out.write_all(&p.to_le_bytes())?;
+        }
         self.directory.push(ScheduleChunkMeta {
             file_offset: self.next_offset,
             event_count: n as u32,
             neighborhood: neighborhood as u32,
             first_time: SimTime::from_secs(buf.times[0]),
             last_time: SimTime::from_secs(buf.times[n - 1]),
+            crc: crc.finish(),
         });
-        for &t in &buf.times {
-            self.out.write_all(&t.to_le_bytes())?;
-        }
-        for &p in &buf.programs {
-            self.out.write_all(&p.to_le_bytes())?;
-        }
         self.next_offset += (n * BYTES_PER_EVENT) as u64;
         buf.times.clear();
         buf.programs.clear();
@@ -343,6 +358,7 @@ impl ScheduleSidecarWriter {
                 .write_all(&meta.first_time.as_secs().to_le_bytes())?;
             self.out
                 .write_all(&meta.last_time.as_secs().to_le_bytes())?;
+            self.out.write_all(&meta.crc.to_le_bytes())?;
         }
         self.out.flush()?;
 
@@ -465,6 +481,7 @@ impl ScheduleSidecarReader {
             let neighborhood = read_u32(&mut file)?;
             let first_time = read_u64(&mut file)?;
             let chunk_last = read_u64(&mut file)?;
+            let crc = read_u32(&mut file)?;
             if neighborhood >= neighborhood_count {
                 return Err(format_err(format!(
                     "chunk {c} claims neighborhood {neighborhood}, file has {neighborhood_count}"
@@ -492,6 +509,7 @@ impl ScheduleSidecarReader {
                 neighborhood,
                 first_time: SimTime::from_secs(first_time),
                 last_time: SimTime::from_secs(chunk_last),
+                crc,
             });
         }
         if covered != event_count {
@@ -586,6 +604,14 @@ impl ScheduleSidecarReader {
         let n = meta.event_count as usize;
         let mut bytes = vec![0u8; n * BYTES_PER_EVENT];
         self.read_at(&mut bytes, meta.file_offset)?;
+        let computed = crc32(&bytes);
+        if computed != meta.crc {
+            return Err(format_err(format!(
+                "schedule chunk {chunk} failed checksum verification \
+                 (stored {:#010x}, computed {computed:#010x})",
+                meta.crc
+            )));
+        }
         self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
         self.bytes_decoded
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
