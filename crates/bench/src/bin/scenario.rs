@@ -2,14 +2,16 @@
 //!
 //! ```text
 //! cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]
+//!                   [--checkpoint FILE] [--resume] [--keep-going]
+//!                   [--job-retry NxBASE] [--job-timeout SECS]
 //! ```
 //!
 //! Loads a [`Scenario`] spec (format documented in
-//! `cablevod_sim::scenario`), executes it with the built-in strategy
-//! registry, and prints **one JSON object per job** to stdout followed by
-//! a final `{"done":true,...}` line — machine-parseable, so CI (and any
-//! downstream harness) can assert on the sweep without knowing the
-//! experiment:
+//! `cablevod_sim::scenario`), executes it through the crash-safe grid
+//! executor with the built-in strategy registry, and prints **one JSON
+//! object per cell** to stdout followed by a final `{"done":true,...}`
+//! line — machine-parseable, so CI (and any downstream harness) can
+//! assert on the sweep without knowing the experiment:
 //!
 //! ```text
 //! {"scenario":"smoke","series":"LFU","point":"1GB","strategy":"LFU","threads":1,
@@ -19,12 +21,38 @@
 //! {"scenario":"smoke","done":true,"jobs":6}
 //! ```
 //!
+//! One human-readable status line per finished cell goes to stderr
+//! (`[3/6] LFU x 1GB: ok`), so long grids show progress without
+//! polluting the machine-readable stream.
+//!
 //! * `--out FILE` additionally writes the same lines to `FILE`;
 //! * `--print-spec` parses the file, prints its canonical re-rendered
 //!   spec ([`Scenario::to_spec_string`]) and exits — a round-trip checker
-//!   for hand-written specs.
+//!   for hand-written specs;
+//! * `--checkpoint FILE` journals every completed cell to `FILE` (CRC-
+//!   framed JSONL, see the scenario module's "Crash safety & resume"
+//!   docs). With a checkpoint the per-cell lines drop the
+//!   nondeterministic telemetry fields (`wall_ms`, `decoded_chunks`,
+//!   `decoded_bytes`, `peak_rss_kb`), so an interrupted run resumed with
+//!   `--resume` produces output **byte-identical** to an uninterrupted
+//!   one;
+//! * `--resume` replays cells already journaled in `--checkpoint` and
+//!   runs only the missing ones;
+//! * `--keep-going` finishes the remaining cells after a cell fails
+//!   (default: stop scheduling new cells on the first failure);
+//! * `--job-retry NxBASE` retries a failed cell up to `N` more times
+//!   with doubling backoff from `BASE` (e.g. `2x500ms`, `3x5s`);
+//! * `--job-timeout SECS` fails any single attempt that runs longer.
+//!
+//! A run with any failed or skipped cell exits nonzero; the failed cells
+//! are named (with their errors) in a `failed_cells` array on the final
+//! line.
 
-use cablevod_sim::{Scenario, ScenarioOutcome};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use cablevod_cache::StrategyRegistry;
+use cablevod_sim::{CellOutcome, CellResult, JobRetry, ResilienceOptions, RunOutcome, Scenario};
 
 /// Minimal JSON string escaping for labels (quotes and backslashes).
 fn json_escape(text: &str) -> String {
@@ -38,21 +66,28 @@ fn json_escape(text: &str) -> String {
         .collect()
 }
 
-fn outcome_json(scenario: &str, o: &ScenarioOutcome) -> String {
-    let report = o.report();
-    let t = &o.outcome.telemetry;
+/// The per-cell result line. With `deterministic` (any `--checkpoint`
+/// run) the nondeterministic telemetry tail is omitted so interrupted
+/// and uninterrupted runs compare byte-for-byte.
+fn completed_json(
+    scenario: &str,
+    cell: &CellOutcome,
+    o: &RunOutcome,
+    deterministic: bool,
+) -> String {
+    let report = &o.report;
+    let t = &o.telemetry;
     // Degradation counters are zero (not null) on healthy runs so the
     // schema is fixed either way.
     let deg = report.degradation.as_ref();
-    format!(
+    let head = format!(
         "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"strategy\":\"{}\",\
          \"threads\":{},\"sessions\":{},\"segment_requests\":{},\"peak_gbps\":{:.6},\
          \"q05_gbps\":{:.6},\"q95_gbps\":{:.6},\"hit_rate\":{:.6},\
-         \"blocked_sessions\":{},\"interrupted_sessions\":{},\"retries\":{},\"wall_ms\":{},\
-         \"decoded_chunks\":{},\"decoded_bytes\":{},\"peak_rss_kb\":{}}}",
+         \"blocked_sessions\":{},\"interrupted_sessions\":{},\"retries\":{}",
         json_escape(scenario),
-        json_escape(&o.series),
-        json_escape(&o.point),
+        json_escape(&cell.series),
+        json_escape(&cell.point),
         json_escape(&t.strategy),
         t.threads,
         report.sessions,
@@ -64,12 +99,56 @@ fn outcome_json(scenario: &str, o: &ScenarioOutcome) -> String {
         deg.map_or(0, |d| d.blocked_sessions),
         deg.map_or(0, |d| d.interrupted_sessions),
         deg.map_or(0, |d| d.retries),
-        t.wall.as_millis(),
-        t.decode.chunks,
-        t.decode.bytes,
-        t.peak_rss_kb
-            .map_or("null".to_string(), |kb| kb.to_string()),
-    )
+    );
+    if deterministic {
+        format!("{head}}}")
+    } else {
+        format!(
+            "{head},\"wall_ms\":{},\"decoded_chunks\":{},\"decoded_bytes\":{},\"peak_rss_kb\":{}}}",
+            t.wall.as_millis(),
+            t.decode.chunks,
+            t.decode.bytes,
+            t.peak_rss_kb
+                .map_or("null".to_string(), |kb| kb.to_string()),
+        )
+    }
+}
+
+fn cell_json(scenario: &str, cell: &CellOutcome, deterministic: bool) -> String {
+    match &cell.result {
+        CellResult::Completed { outcome, .. } => {
+            completed_json(scenario, cell, outcome, deterministic)
+        }
+        CellResult::Failed { error, .. } => format!(
+            "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"failed\":true,\
+             \"error\":\"{}\"}}",
+            json_escape(scenario),
+            json_escape(&cell.series),
+            json_escape(&cell.point),
+            json_escape(error),
+        ),
+        CellResult::Skipped => format!(
+            "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"skipped\":true}}",
+            json_escape(scenario),
+            json_escape(&cell.series),
+            json_escape(&cell.point),
+        ),
+    }
+}
+
+/// Parses `NxBASE` (e.g. `2x500ms`, `3x5s`) into a [`JobRetry`].
+fn parse_job_retry(text: &str) -> Result<JobRetry, String> {
+    let err = || format!("--job-retry wants NxBASE (e.g. 3x5s, 2x500ms), got {text:?}");
+    let (count, base) = text.split_once('x').ok_or_else(err)?;
+    let count: u8 = count.parse().map_err(|_| err())?;
+    let base = if let Some(ms) = base.strip_suffix("ms") {
+        Duration::from_millis(ms.parse().map_err(|_| err())?)
+    } else if let Some(secs) = base.strip_suffix('s') {
+        Duration::from_secs(secs.parse().map_err(|_| err())?)
+    } else {
+        return Err(err());
+    };
+    Ok(JobRetry::new(count, base))
 }
 
 fn fail(message: impl std::fmt::Display) -> ! {
@@ -77,17 +156,46 @@ fn fail(message: impl std::fmt::Display) -> ! {
     std::process::exit(1);
 }
 
+const USAGE: &str = "usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec] \
+                     [--checkpoint FILE] [--resume] [--keep-going] \
+                     [--job-retry NxBASE] [--job-timeout SECS]";
+
 fn main() {
     let mut spec_path = None;
     let mut out_path = None;
     let mut print_spec = false;
+    let mut options = ResilienceOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a value"))),
             "--print-spec" => print_spec = true,
+            "--checkpoint" => {
+                options.checkpoint = Some(
+                    args.next()
+                        .unwrap_or_else(|| fail("--checkpoint needs a path"))
+                        .into(),
+                )
+            }
+            "--resume" => options.resume = true,
+            "--keep-going" => options.keep_going = true,
+            "--job-retry" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--job-retry needs NxBASE"));
+                options.retry = parse_job_retry(&value).unwrap_or_else(|e| fail(e));
+            }
+            "--job-timeout" => {
+                let value = args
+                    .next()
+                    .unwrap_or_else(|| fail("--job-timeout needs seconds"));
+                let secs: u64 = value.parse().unwrap_or_else(|_| {
+                    fail(format!("--job-timeout wants seconds, got {value:?}"))
+                });
+                options.timeout = Some(Duration::from_secs(secs));
+            }
             "--help" | "-h" => {
-                println!("usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]");
+                println!("{USAGE}");
                 return;
             }
             other if spec_path.is_none() && !other.starts_with('-') => {
@@ -96,8 +204,10 @@ fn main() {
             other => fail(format!("unknown argument {other:?}")),
         }
     }
-    let spec_path = spec_path
-        .unwrap_or_else(|| fail("usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]"));
+    let spec_path = spec_path.unwrap_or_else(|| fail(USAGE));
+    if options.resume && options.checkpoint.is_none() {
+        fail("--resume needs --checkpoint");
+    }
 
     let scenario = Scenario::load(&spec_path).unwrap_or_else(|e| fail(e));
     if print_spec {
@@ -108,20 +218,71 @@ fn main() {
         return;
     }
 
-    let outcomes = scenario.execute().unwrap_or_else(|e| fail(e));
-    let mut lines: Vec<String> = outcomes
+    let deterministic = options.checkpoint.is_some();
+    let registry = StrategyRegistry::builtin();
+    let finished = AtomicUsize::new(0);
+    let total = scenario.job_count();
+    let progress = |cell: &CellOutcome| {
+        let k = finished.fetch_add(1, Ordering::SeqCst) + 1;
+        let status = match &cell.result {
+            CellResult::Completed { replayed: true, .. } => "replayed".to_string(),
+            CellResult::Completed { attempts, .. } if *attempts > 1 => {
+                format!("ok after {attempts} attempts")
+            }
+            CellResult::Completed { .. } => "ok".to_string(),
+            CellResult::Failed { error, attempts } => {
+                format!("FAILED after {attempts} attempt(s): {error}")
+            }
+            CellResult::Skipped => "skipped".to_string(),
+        };
+        eprintln!("[{k}/{total}] {} x {}: {status}", cell.series, cell.point);
+    };
+    let grid = scenario
+        .execute_resilient(&registry, &options, &progress)
+        .unwrap_or_else(|e| fail(e));
+
+    let mut lines: Vec<String> = grid
+        .cells
         .iter()
-        .map(|o| outcome_json(&scenario.name, o))
+        .map(|cell| cell_json(&scenario.name, cell, deterministic))
         .collect();
-    lines.push(format!(
-        "{{\"scenario\":\"{}\",\"done\":true,\"jobs\":{}}}",
+    let failed: Vec<&CellOutcome> = grid.failed().collect();
+    let mut done = format!(
+        "{{\"scenario\":\"{}\",\"done\":true,\"jobs\":{}",
         json_escape(&scenario.name),
-        outcomes.len()
-    ));
+        grid.cells.len()
+    );
+    if !failed.is_empty() {
+        let named: Vec<String> = failed
+            .iter()
+            .map(|cell| {
+                let error = match &cell.result {
+                    CellResult::Failed { error, .. } => error.as_str(),
+                    _ => unreachable!("failed() yields only Failed cells"),
+                };
+                format!(
+                    "{{\"series\":\"{}\",\"point\":\"{}\",\"error\":\"{}\"}}",
+                    json_escape(&cell.series),
+                    json_escape(&cell.point),
+                    json_escape(error),
+                )
+            })
+            .collect();
+        done.push_str(&format!(
+            ",\"failed\":{},\"failed_cells\":[{}]",
+            failed.len(),
+            named.join(",")
+        ));
+    }
+    done.push('}');
+    lines.push(done);
     let body = lines.join("\n");
     println!("{body}");
     if let Some(path) = out_path {
         std::fs::write(&path, format!("{body}\n"))
             .unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+    }
+    if !grid.is_complete() {
+        std::process::exit(1);
     }
 }

@@ -17,7 +17,12 @@
 //!   (trace source, base config, series/point sweep axes, thread policy)
 //!   with a generic executor; spec files round-trip through
 //!   [`Scenario::to_spec_string`] and drive the `cablevod-scenario`
-//!   binary end-to-end;
+//!   binary end-to-end. [`Scenario::execute_resilient`] is the
+//!   crash-safe executor: per-cell `catch_unwind` isolation, bounded
+//!   retry, per-attempt timeouts, and a CRC-framed checkpoint journal
+//!   ([`CheckpointJournal`]) that lets a killed grid resume to a
+//!   byte-identical final report (see the
+//!   [`scenario`] module's "Crash safety & resume" section);
 //! * [`engine`] — the discrete-event core behind the facade: session
 //!   records drive segment-granularity requests against per-neighborhood
 //!   cooperative caches with exact byte accounting; [`engine::run`] /
@@ -110,6 +115,8 @@ pub use multicast::MulticastStats;
 pub use report::{DegradationReport, NeighborhoodDegradation, SimReport};
 pub use runner::run_sweep;
 pub use scenario::{
-    AxisPoint, ConfigPatch, OwnedSource, Scenario, ScenarioOutcome, SourceSpec, StrategyRef,
+    AxisPoint, CellKey, CellOutcome, CellRecord, CellResult, CheckpointJournal, ConfigPatch,
+    GridOutcome, JobRetry, JournalHeader, OwnedSource, ResilienceOptions, Scenario,
+    ScenarioOutcome, SourceSpec, StrategyRef,
 };
 pub use simulation::{peak_rss_kb, RunOutcome, RunTelemetry, Simulation, ThreadPolicy};

@@ -74,6 +74,48 @@
 //! cannot express (a custom coax envelope, exotic synth-generator
 //! parameters) make [`Scenario::to_spec_string`] fail rather than
 //! silently drop them — such scenarios stay programmatic.
+//!
+//! # Crash safety & resume
+//!
+//! [`Scenario::execute_resilient`] (the [`resilient`] submodule, driving
+//! the `cablevod-scenario` `--checkpoint`/`--resume` flags) makes a grid
+//! survive panics, stragglers, and hard kills:
+//!
+//! * **Cell-identity contract** — every job is one *cell* of the
+//!   point-major cross product, identified by a stable, hashable
+//!   [`CellKey`] `{point, series}`: indices into [`Scenario::points`] /
+//!   [`Scenario::series`] in declaration order (implicit axes count as
+//!   one entry at index 0). Cell `(p, s)` is job number
+//!   `p * series_len + s`, and this mapping is part of the spec format's
+//!   compatibility surface — reordering axis entries changes cell
+//!   identities (and the spec fingerprint with them).
+//! * **Journal record format** — the checkpoint journal is JSONL: one
+//!   `CVJ1 <crc32-hex> <json>` line per record, a header first (scenario
+//!   name, [`Scenario::fingerprint`], cell count), then one record per
+//!   *completed* cell carrying its integer-exact
+//!   [`SimReport`](crate::SimReport). The CRC-32 (same polynomial as the
+//!   columnar trace format) covers the JSON body bytes.
+//! * **CRC coverage & the torn-tail rule** — the journal is published by
+//!   write-temp-then-rename so it is always absent or valid; on load, a
+//!   corrupt *final* record (torn or bit-flipped tail) is detected and
+//!   dropped — never trusted — while corruption *before* a valid record
+//!   fails the whole load. Details in [`checkpoint`].
+//! * **Isolation, retry, timeout** — each cell runs under
+//!   `catch_unwind`, so one panicking job poisons only its own cell;
+//!   failed cells retry with bounded exponential backoff
+//!   ([`JobRetry`], the executor-level mirror of the plant-level
+//!   [`RetryPolicy`]); an optional per-attempt wall-clock timeout marks
+//!   stragglers as failed. Cells that exhaust retries are reported in
+//!   the [`GridOutcome`] (and as `failed_cells` by the binary) while the
+//!   rest of the grid completes.
+//!
+//! Because every report field is an exact integer, a resumed grid's
+//! final report is **byte-identical** to an uninterrupted run — replayed
+//! cells skip their jobs entirely, including [`SourceSpec::Scaled`]
+//! trace builds.
+
+pub mod checkpoint;
+pub mod resilient;
 
 use std::fmt::Write as _;
 use std::fs::File;
@@ -102,6 +144,9 @@ use crate::config::{AdmissionMode, RetryPolicy, SimConfig};
 use crate::error::SimError;
 use crate::runner::{default_threads, run_indexed};
 use crate::simulation::{RunOutcome, Simulation, ThreadPolicy};
+
+pub use checkpoint::{CellKey, CellRecord, CheckpointJournal, JournalHeader};
+pub use resilient::{CellOutcome, CellResult, GridOutcome, JobRetry, ResilienceOptions};
 
 /// A serializable description of a whole experiment (see module docs).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -506,13 +551,15 @@ impl ScenarioOutcome {
     }
 }
 
-/// One resolved job of the cross product.
-struct Job {
-    series: String,
-    point: String,
-    config: SimConfig,
-    factory: Arc<dyn StrategyFactory>,
-    source: Option<SourceSpec>,
+/// One resolved job of the cross product, tagged with its stable cell
+/// identity (see the module docs' cell-identity contract).
+pub(crate) struct Job {
+    pub(crate) cell: CellKey,
+    pub(crate) series: String,
+    pub(crate) point: String,
+    pub(crate) config: SimConfig,
+    pub(crate) factory: Arc<dyn StrategyFactory>,
+    pub(crate) source: Option<SourceSpec>,
 }
 
 impl Scenario {
@@ -617,17 +664,12 @@ impl Scenario {
         self.execute_inner(Some((trace, Some(trace))), registry)
     }
 
-    /// Resolves the cross product into jobs and runs them (see the
-    /// module docs for scheduling). `shared` is the scenario-level
-    /// workload — the source every job without an override replays, plus
-    /// its resident view when [`SourceSpec::Scaled`] overrides need a
-    /// base; `None` when the scenario source is [`SourceSpec::Provided`]
-    /// and nothing was provided.
-    fn execute_inner(
-        &self,
-        shared: Option<(&dyn TraceSource, Option<&Trace>)>,
-        registry: &StrategyRegistry,
-    ) -> Result<Vec<ScenarioOutcome>, SimError> {
+    /// Resolves the point-major cross product into concrete jobs — the
+    /// single source of truth for cell identity and ordering: job `i` is
+    /// cell `(i / series_len, i % series_len)`, shared by the plain and
+    /// the resilient executor so journaled cells always replay into the
+    /// same grid slot.
+    pub(crate) fn resolved_jobs(&self, registry: &StrategyRegistry) -> Result<Vec<Job>, SimError> {
         let implicit_series = [AxisPoint::new(self.base.strategy().label())];
         let implicit_point = [AxisPoint::new("default")];
         let series: &[AxisPoint] = if self.series.is_empty() {
@@ -642,8 +684,8 @@ impl Scenario {
         };
 
         let mut jobs = Vec::with_capacity(series.len() * points.len());
-        for point in points {
-            for entry in series {
+        for (point_idx, point) in points.iter().enumerate() {
+            for (series_idx, entry) in series.iter().enumerate() {
                 let mut config = point.patch.apply(entry.patch.apply(self.base.clone()));
                 let strategy_ref = point.strategy.as_ref().or(entry.strategy.as_ref());
                 let factory = match strategy_ref {
@@ -655,6 +697,10 @@ impl Scenario {
                     Some(StrategyRef::Named(name)) => registry.resolve(name)?,
                 };
                 jobs.push(Job {
+                    cell: CellKey {
+                        point: point_idx as u32,
+                        series: series_idx as u32,
+                    },
                     series: entry.label.clone(),
                     point: point.label.clone(),
                     config,
@@ -663,6 +709,34 @@ impl Scenario {
                 });
             }
         }
+        Ok(jobs)
+    }
+
+    /// The number of grid cells this scenario resolves to: `points x
+    /// series`, with empty axes counting as one implicit entry.
+    pub fn job_count(&self) -> usize {
+        self.points.len().max(1) * self.series.len().max(1)
+    }
+
+    /// A stable identity of this scenario description: the CRC-32 of its
+    /// canonical spec rendering (or of its debug form for scenarios the
+    /// spec format cannot express). Two scenarios with equal fingerprints
+    /// have the same grid shape, cell identities, and per-cell
+    /// configuration — which is what lets a checkpoint journal refuse to
+    /// resume under a different spec.
+    pub fn fingerprint(&self) -> u32 {
+        let text = self
+            .to_spec_string()
+            .unwrap_or_else(|_| format!("{self:?}"));
+        cablevod_trace::checksum::crc32(text.as_bytes())
+    }
+
+    fn execute_inner(
+        &self,
+        shared: Option<(&dyn TraceSource, Option<&Trace>)>,
+        registry: &StrategyRegistry,
+    ) -> Result<Vec<ScenarioOutcome>, SimError> {
+        let jobs = self.resolved_jobs(registry)?;
 
         let run_job = |job: &Job| -> Result<RunOutcome, SimError> {
             let sim = |source: &dyn TraceSource| {
@@ -1320,7 +1394,22 @@ impl Scenario {
             if line.is_empty() {
                 continue;
             }
-            let err = |reason: String| config_err(format!("spec line {}: {reason}", lineno + 1));
+            // Every parse failure names the offending line — number AND
+            // text — so a typo deep in a fault plan or an axis override
+            // is a one-glance fix.
+            let err = |reason: String| {
+                config_err(format!(
+                    "spec line {}: {reason} (line: {:?})",
+                    lineno + 1,
+                    raw.trim()
+                ))
+            };
+            let at_line = |e: SimError| {
+                err(match e {
+                    SimError::Config { reason } => reason,
+                    other => other.to_string(),
+                })
+            };
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
                 section = name.trim().to_string();
                 if !["source", "config", "faults", "series", "points"].contains(&section.as_str()) {
@@ -1331,11 +1420,11 @@ impl Scenario {
             let (key, value) = line
                 .split_once('=')
                 .map(|(k, v)| (k.trim(), v.trim()))
-                .ok_or_else(|| err(format!("expected key = value, got {line:?}")))?;
+                .ok_or_else(|| err("expected key = value".into()))?;
             match section.as_str() {
                 "" => match key {
                     "name" => scenario.name = value.to_string(),
-                    "threads" => scenario.threads = parse_threads(value)?,
+                    "threads" => scenario.threads = parse_threads(value).map_err(at_line)?,
                     "sweep_width" => {
                         scenario.sweep_width = Some(
                             value
@@ -1352,7 +1441,9 @@ impl Scenario {
                     let bad = || err(format!("bad config value {key} = {value:?}"));
                     let c = &mut scenario.base;
                     *c = match key {
-                        "strategy" => c.clone().with_strategy(StrategySpec::parse(value)?),
+                        "strategy" => c.clone().with_strategy(
+                            StrategySpec::parse(value).map_err(|e| at_line(e.into()))?,
+                        ),
                         "neighborhood_size" => c
                             .clone()
                             .with_neighborhood_size(value.parse().map_err(|_| bad())?),
@@ -1374,19 +1465,27 @@ impl Scenario {
                         "replication" => c
                             .clone()
                             .with_replication(value.parse().map_err(|_| bad())?),
-                        "placement" => c.clone().with_placement(parse_placement(value)?),
+                        "placement" => c
+                            .clone()
+                            .with_placement(parse_placement(value).map_err(at_line)?),
                         "fill" => {
-                            fill = parse_fill(value)?;
+                            fill = parse_fill(value).map_err(at_line)?;
                             c.clone()
                         }
-                        "admission" => c.clone().with_admission(parse_admission(value)?),
-                        "retry" => c.clone().with_retry(parse_retry(value)?),
+                        "admission" => c
+                            .clone()
+                            .with_admission(parse_admission(value).map_err(at_line)?),
+                        "retry" => c.clone().with_retry(parse_retry(value).map_err(at_line)?),
                         other => return Err(err(format!("unknown config key {other:?}"))),
                     };
                 }
-                "faults" => fault_events.extend(parse_fault_entry(key, value)?),
-                "series" => scenario.series.push(parse_axis_entry(key, value)?),
-                "points" => scenario.points.push(parse_axis_entry(key, value)?),
+                "faults" => fault_events.extend(parse_fault_entry(key, value).map_err(at_line)?),
+                "series" => scenario
+                    .series
+                    .push(parse_axis_entry(key, value).map_err(at_line)?),
+                "points" => scenario
+                    .points
+                    .push(parse_axis_entry(key, value).map_err(at_line)?),
                 _ => unreachable!("sections are validated on entry"),
             }
         }
@@ -1537,6 +1636,32 @@ mod tests {
     fn provided_sources_cannot_self_materialize() {
         let scenario = Scenario::provided("nope", base_config());
         assert!(scenario.execute().is_err());
+    }
+
+    #[test]
+    fn malformed_fault_entry_names_line_number_and_text() {
+        let spec = "name = broken\n\n[faults]\noutage = start=10 end=never\n";
+        let err = Scenario::from_spec_str(spec).expect_err("bad fault field");
+        let text = err.to_string();
+        assert!(text.contains("spec line 4"), "no line number in: {text}");
+        assert!(
+            text.contains("outage = start=10 end=never"),
+            "no line text in: {text}"
+        );
+        assert!(text.contains("bad fault field end"), "no cause in: {text}");
+    }
+
+    #[test]
+    fn bad_series_override_names_line_number_and_text() {
+        let spec = "name = broken\n\n[series]\nLFU = warmup_days=threeish\n";
+        let err = Scenario::from_spec_str(spec).expect_err("bad axis field");
+        let text = err.to_string();
+        assert!(text.contains("spec line 4"), "no line number in: {text}");
+        assert!(
+            text.contains("LFU = warmup_days=threeish"),
+            "no line text in: {text}"
+        );
+        assert!(text.contains("bad axis field"), "no cause in: {text}");
     }
 
     #[test]

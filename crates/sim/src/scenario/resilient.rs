@@ -1,0 +1,521 @@
+//! The crash-tolerant scenario executor: per-cell panic isolation,
+//! bounded retry with exponential backoff, straggler timeouts, and
+//! checkpoint/resume through [`checkpoint`](super::checkpoint).
+//!
+//! [`Scenario::execute_resilient`] runs the same point-major grid as
+//! [`Scenario::execute`], with the same scheduling shape (serial-engine
+//! cells fan out over up to `sweep_width` workers; sharded-engine cells
+//! run one at a time) — but every cell is a bulkhead:
+//!
+//! * the cell body runs under `catch_unwind`, so a panicking strategy
+//!   factory (or any other job-level panic) fails that one cell instead
+//!   of tearing down the pool;
+//! * a failed attempt retries up to [`JobRetry::max_retries`] times with
+//!   doubling backoff — the executor-level mirror of the plant-level
+//!   [`RetryPolicy`](crate::config::RetryPolicy);
+//! * with a per-attempt timeout, the cell runs on a watchdog thread; an
+//!   attempt that outlives the limit is marked failed and the straggler
+//!   thread is abandoned (it owns clones of everything it touches, so
+//!   abandonment is safe — it just burns its core until done);
+//! * a completed cell is journaled *before* it is reported, so a crash
+//!   after the journal append never re-runs that cell.
+//!
+//! Failure handling is all-or-each: by default the first exhausted cell
+//! stops the grid (cells already in flight finish and are journaled;
+//! unscheduled cells report [`CellResult::Skipped`]); with
+//! `keep_going` every cell gets its chance and the failures are
+//! collected side by side with the completed results in the returned
+//! [`GridOutcome`].
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use cablevod_cache::{StrategyFactory, StrategyRegistry};
+use cablevod_trace::source::TraceSource;
+
+use super::checkpoint::{CellKey, CellRecord, CheckpointJournal, JournalHeader};
+use super::{config_err, Job, OwnedSource, Scenario, SourceSpec};
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::runner::{default_threads, run_indexed};
+use crate::simulation::{RunOutcome, RunTelemetry, Simulation, ThreadPolicy};
+
+/// Bounded exponential backoff for failed *jobs* — the executor-level
+/// mirror of the plant-level
+/// [`RetryPolicy`](crate::config::RetryPolicy): `max_retries` additional
+/// attempts after the first, waiting `base_backoff * 2^attempt` between
+/// them. The default is no retries (panics are usually deterministic;
+/// retry is for flaky environments — disk pressure, OOM-killed
+/// stragglers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobRetry {
+    max_retries: u8,
+    base_backoff: Duration,
+}
+
+impl JobRetry {
+    /// A policy with `max_retries` extra attempts and `base_backoff`
+    /// before the first retry.
+    pub fn new(max_retries: u8, base_backoff: Duration) -> Self {
+        JobRetry {
+            max_retries,
+            base_backoff,
+        }
+    }
+
+    /// No retries: one attempt per cell (the default).
+    pub fn none() -> Self {
+        JobRetry::default()
+    }
+
+    /// Extra attempts after the first.
+    pub fn max_retries(&self) -> u8 {
+        self.max_retries
+    }
+
+    /// Backoff before the first retry.
+    pub fn base_backoff(&self) -> Duration {
+        self.base_backoff
+    }
+
+    /// The wait before retry number `attempt` (zero-based):
+    /// `base * 2^attempt`, saturating.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.base_backoff.saturating_mul(factor)
+    }
+}
+
+/// Knobs of one [`Scenario::execute_resilient`] run.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Journal completed cells here (and replay them on
+    /// [`ResilienceOptions::resume`]). `None` runs without a journal —
+    /// isolation, retry and timeout still apply.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay cells already journaled at
+    /// [`ResilienceOptions::checkpoint`] instead of re-running them. An
+    /// absent journal file starts a fresh run; a journal written by a
+    /// different scenario (fingerprint mismatch) is refused.
+    pub resume: bool,
+    /// Per-cell retry policy.
+    pub retry: JobRetry,
+    /// Per-attempt wall-clock limit; `None` waits forever. Timed-out
+    /// attempts count as failures (and retry, if attempts remain).
+    pub timeout: Option<Duration>,
+    /// Keep running remaining cells after a cell exhausts its retries
+    /// (default: stop scheduling new cells on the first failure).
+    pub keep_going: bool,
+}
+
+/// Terminal state of one grid cell.
+#[derive(Debug, Clone)]
+pub enum CellResult {
+    /// The cell has a report.
+    Completed {
+        /// The cell's run result (telemetry is zeroed for replayed
+        /// cells — nothing ran). Boxed: a full report dwarfs the other
+        /// variants.
+        outcome: Box<RunOutcome>,
+        /// Replayed from the checkpoint journal without running.
+        replayed: bool,
+        /// Live attempts spent (zero for replayed cells).
+        attempts: u32,
+    },
+    /// Every attempt failed; the error text is from the last one.
+    Failed {
+        /// The last attempt's failure (panic message, timeout, or
+        /// simulation error).
+        error: String,
+        /// Attempts spent.
+        attempts: u32,
+    },
+    /// Never scheduled: an earlier cell failed without `keep_going`.
+    Skipped,
+}
+
+/// One cell's identity, labels, and terminal state.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Stable grid identity.
+    pub key: CellKey,
+    /// Series-axis label.
+    pub series: String,
+    /// Point-axis label.
+    pub point: String,
+    /// What happened.
+    pub result: CellResult,
+}
+
+/// Every cell of a resilient grid run, in job (point-major) order.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// Per-cell outcomes, index `i` = cell
+    /// `(i / series_len, i % series_len)`.
+    pub cells: Vec<CellOutcome>,
+}
+
+impl GridOutcome {
+    /// Whether every cell completed (live or replayed).
+    pub fn is_complete(&self) -> bool {
+        self.cells
+            .iter()
+            .all(|cell| matches!(cell.result, CellResult::Completed { .. }))
+    }
+
+    /// Cells that exhausted their retries, in grid order.
+    pub fn failed(&self) -> impl Iterator<Item = &CellOutcome> {
+        self.cells
+            .iter()
+            .filter(|cell| matches!(cell.result, CellResult::Failed { .. }))
+    }
+
+    /// Completed cells with their run outcomes, in grid order.
+    pub fn completed(&self) -> impl Iterator<Item = (&CellOutcome, &RunOutcome)> {
+        self.cells.iter().filter_map(|cell| match &cell.result {
+            CellResult::Completed { outcome, .. } => Some((cell, outcome.as_ref())),
+            _ => None,
+        })
+    }
+}
+
+/// Everything one attempt owns — `'static`, so a timed-out attempt can
+/// be abandoned on its watchdog thread without dangling borrows.
+struct JobParts {
+    cell: CellKey,
+    config: SimConfig,
+    factory: Arc<dyn StrategyFactory>,
+    source: Option<SourceSpec>,
+    shared: Option<Arc<OwnedSource>>,
+    threads: ThreadPolicy,
+}
+
+impl Scenario {
+    /// Executes the grid with per-cell fault isolation and (optionally)
+    /// a checkpoint journal — see the [module docs](self) and the
+    /// crate's "Crash safety & resume" section.
+    ///
+    /// `progress` is called once per cell as it reaches a terminal
+    /// state, from whichever worker finished it (concurrently under a
+    /// parallel sweep).
+    ///
+    /// # Errors
+    ///
+    /// Fails *before running anything* for an unusable journal (corrupt,
+    /// mid-journal damage, or written by a different scenario), an
+    /// unresolvable strategy name, or a [`SourceSpec::Provided`] scenario
+    /// source that a live cell actually needs. Per-cell failures do not
+    /// error: they come back as [`CellResult::Failed`] /
+    /// [`CellResult::Skipped`] in the [`GridOutcome`].
+    pub fn execute_resilient(
+        &self,
+        registry: &StrategyRegistry,
+        options: &ResilienceOptions,
+        progress: &(dyn Fn(&CellOutcome) + Sync),
+    ) -> Result<GridOutcome, SimError> {
+        if options.resume && options.checkpoint.is_none() {
+            return Err(config_err(
+                "resume needs a checkpoint path (set ResilienceOptions::checkpoint)".into(),
+            ));
+        }
+        let jobs = self.resolved_jobs(registry)?;
+        let header = JournalHeader {
+            scenario: self.name.clone(),
+            fingerprint: self.fingerprint(),
+            cells: jobs.len() as u32,
+        };
+
+        let mut replay: BTreeMap<CellKey, CellRecord> = BTreeMap::new();
+        let journal = match &options.checkpoint {
+            None => None,
+            Some(path) if options.resume && path.exists() => {
+                let loaded = CheckpointJournal::load(path)?;
+                if *loaded.header() != header {
+                    return Err(config_err(format!(
+                        "checkpoint {} was written by a different scenario \
+                         (fingerprint {:08x}, this spec is {:08x}) — delete the \
+                         journal or restore the original spec",
+                        path.display(),
+                        loaded.header().fingerprint,
+                        header.fingerprint
+                    )));
+                }
+                for record in loaded.cells() {
+                    let job = jobs
+                        .iter()
+                        .find(|job| job.cell == record.key)
+                        .ok_or_else(|| {
+                            config_err(format!(
+                                "checkpoint {}: cell ({}) is outside the {}-cell grid",
+                                path.display(),
+                                record.key,
+                                jobs.len()
+                            ))
+                        })?;
+                    if job.series != record.series || job.point != record.point {
+                        return Err(config_err(format!(
+                            "checkpoint {}: cell ({}) was {:?} x {:?} when journaled \
+                             but is {:?} x {:?} in this spec",
+                            path.display(),
+                            record.key,
+                            record.series,
+                            record.point,
+                            job.series,
+                            job.point
+                        )));
+                    }
+                    replay.insert(record.key, record.clone());
+                }
+                Some(loaded)
+            }
+            Some(path) => Some(CheckpointJournal::create(path, header)?),
+        };
+
+        // The shared workload is materialized only when a live (non-
+        // replayed) cell needs it — either as its workload outright, or
+        // as the resident base of a `scaled` override — so a fully
+        // journaled resume rebuilds nothing at all.
+        let needs_shared = jobs.iter().any(|job| {
+            !replay.contains_key(&job.cell)
+                && (job.source.is_none() || matches!(job.source, Some(SourceSpec::Scaled { .. })))
+        });
+        let shared: Option<Arc<OwnedSource>> = if needs_shared {
+            if matches!(self.source, SourceSpec::Provided) {
+                return Err(config_err(
+                    "a `provided` source has no workload of its own: \
+                     run it through Scenario::execute_on, or give every \
+                     axis point its own source"
+                        .into(),
+                ));
+            }
+            Some(Arc::new(self.source.materialize(None)?))
+        } else {
+            None
+        };
+
+        let width = match self.threads.worker_count() {
+            // Serial engine: fan cells over the sweep pool.
+            None => self
+                .sweep_width
+                .unwrap_or_else(default_threads)
+                .clamp(1, jobs.len().max(1)),
+            // Sharded engine: cells one at a time, each owns the pool.
+            Some(_) => 1,
+        };
+        let concurrent_shared = width > 1;
+        let journal = journal.map(Mutex::new);
+        let stop = AtomicBool::new(false);
+
+        let run_cell = |i: usize| -> CellOutcome {
+            let job = &jobs[i];
+            let result = run_one_cell(
+                job,
+                &replay,
+                shared.clone(),
+                self.threads,
+                options,
+                &journal,
+                &stop,
+                concurrent_shared,
+            );
+            let outcome = CellOutcome {
+                key: job.cell,
+                series: job.series.clone(),
+                point: job.point.clone(),
+                result,
+            };
+            progress(&outcome);
+            outcome
+        };
+        let cells = if concurrent_shared {
+            run_indexed(jobs.len(), width, run_cell)
+        } else {
+            (0..jobs.len()).map(run_cell).collect()
+        };
+        Ok(GridOutcome { cells })
+    }
+}
+
+/// Builds the [`RunOutcome`] of a journaled cell: the exact report, with
+/// zeroed telemetry (nothing ran on resume).
+fn replay_outcome(record: &CellRecord) -> Box<RunOutcome> {
+    Box::new(RunOutcome {
+        report: record.report.clone(),
+        telemetry: RunTelemetry {
+            wall: Duration::ZERO,
+            decode: Default::default(),
+            peak_rss_kb: None,
+            threads: record.threads as usize,
+            strategy: record.strategy.clone(),
+        },
+    })
+}
+
+/// Drives one cell to a terminal state (replay, attempts loop, journal
+/// append) — the bulkhead around one grid job.
+#[allow(clippy::too_many_arguments)]
+fn run_one_cell(
+    job: &Job,
+    replay: &BTreeMap<CellKey, CellRecord>,
+    shared: Option<Arc<OwnedSource>>,
+    threads: ThreadPolicy,
+    options: &ResilienceOptions,
+    journal: &Option<Mutex<CheckpointJournal>>,
+    stop: &AtomicBool,
+    concurrent_shared: bool,
+) -> CellResult {
+    // Replay wins over the stop flag: journaled cells stay completed
+    // even in a run that fails elsewhere, keeping resume monotone.
+    if let Some(record) = replay.get(&job.cell) {
+        return CellResult::Completed {
+            outcome: replay_outcome(record),
+            replayed: true,
+            attempts: 0,
+        };
+    }
+    if stop.load(Ordering::SeqCst) {
+        return CellResult::Skipped;
+    }
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let parts = JobParts {
+            cell: job.cell,
+            config: job.config.clone(),
+            factory: job.factory.clone(),
+            source: job.source.clone(),
+            shared: shared.clone(),
+            threads,
+        };
+        match run_attempt(parts, options.timeout) {
+            Ok(mut outcome) => {
+                // Same attribution rule as the plain executor: decode
+                // deltas over a source shared by concurrent jobs are not
+                // per-job numbers — report zero, not a wrong value.
+                if concurrent_shared && job.source.is_none() {
+                    outcome.telemetry.decode = Default::default();
+                }
+                if let Some(journal) = journal {
+                    let record = CellRecord {
+                        key: job.cell,
+                        series: job.series.clone(),
+                        point: job.point.clone(),
+                        strategy: outcome.telemetry.strategy.clone(),
+                        threads: outcome.telemetry.threads as u64,
+                        report: outcome.report.clone(),
+                    };
+                    let mut guard = journal.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = guard.append(record) {
+                        // A result that cannot reach the journal fails
+                        // the cell: dropping checkpoint durability
+                        // silently would void the crash-safety contract.
+                        drop(guard);
+                        if !options.keep_going {
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                        return CellResult::Failed {
+                            error: e.to_string(),
+                            attempts,
+                        };
+                    }
+                }
+                return CellResult::Completed {
+                    outcome: Box::new(outcome),
+                    replayed: false,
+                    attempts,
+                };
+            }
+            Err(error) => {
+                if attempts > u32::from(options.retry.max_retries()) {
+                    if !options.keep_going {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    return CellResult::Failed { error, attempts };
+                }
+                std::thread::sleep(options.retry.backoff(attempts - 1));
+            }
+        }
+    }
+}
+
+/// One attempt: inline under `catch_unwind` without a timeout, on an
+/// abandonable watchdog thread with one.
+fn run_attempt(parts: JobParts, timeout: Option<Duration>) -> Result<RunOutcome, String> {
+    let Some(limit) = timeout else {
+        return catch_run(parts);
+    };
+    let (tx, rx) = mpsc::channel();
+    let name = format!("cell-{}x{}", parts.cell.point, parts.cell.series);
+    let handle = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            let _ = tx.send(catch_run(parts));
+        })
+        .map_err(|e| format!("cannot spawn cell worker: {e}"))?;
+    match rx.recv_timeout(limit) {
+        Ok(result) => {
+            let _ = handle.join();
+            result
+        }
+        // The straggler keeps its owned clones alive; we just stop
+        // waiting for it.
+        Err(mpsc::RecvTimeoutError::Timeout) => Err(format!(
+            "cell timed out after {:.1}s (straggler abandoned)",
+            limit.as_secs_f64()
+        )),
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            Err("cell worker exited without a result".into())
+        }
+    }
+}
+
+/// Runs the attempt body, converting panics and errors to strings — the
+/// bulkhead wall itself.
+fn catch_run(parts: JobParts) -> Result<RunOutcome, String> {
+    match catch_unwind(AssertUnwindSafe(|| execute_parts(&parts))) {
+        Ok(result) => result.map_err(|e| e.to_string()),
+        // `&*payload` derefs the box before unsizing: coercing
+        // `&Box<dyn Any>` directly would downcast against the Box, not
+        // the payload inside it.
+        Err(payload) => Err(panic_message(&*payload)),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {text}")
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        format!("job panicked: {text}")
+    } else {
+        "job panicked".into()
+    }
+}
+
+/// The attempt body — the same simulation construction as the plain
+/// executor's `run_job`, over owned parts.
+fn execute_parts(parts: &JobParts) -> Result<RunOutcome, SimError> {
+    let sim = |source: &dyn TraceSource| {
+        Simulation::over(source)
+            .config(parts.config.clone())
+            .strategy_factory(parts.factory.clone())
+            .thread_policy(parts.threads)
+            .run()
+    };
+    match &parts.source {
+        None => {
+            let shared = parts.shared.as_deref().ok_or_else(|| SimError::Config {
+                reason: "a cell without its own source needs the scenario workload".into(),
+            })?;
+            sim(shared.source())
+        }
+        // Materialized inside the attempt, dropped with it — override
+        // sources never outlive their cell.
+        Some(spec) => sim(spec
+            .materialize(parts.shared.as_deref().and_then(OwnedSource::resident))?
+            .source()),
+    }
+}

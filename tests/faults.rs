@@ -163,6 +163,120 @@ fn enforcing_outage_blocks_and_interrupts() {
     assert_eq!(&counted, &healthy);
 }
 
+/// Retry exhaustion inside a long outage: every session whose whole
+/// retry ladder lands in the dark window is counted blocked **exactly
+/// once**, and the retry bookkeeping balances — total retries equal the
+/// full ladder for each blocked session plus the histogram-weighted
+/// retries of the admitted ones, so no retry sentinel is ever dropped,
+/// double-counted, or left behind in the heap.
+#[test]
+fn retry_exhaustion_counts_blocked_once_and_drains_the_heap() {
+    let trace = generate(&tiny_config(180, 30, 3, 17));
+    // Neighborhood 0 dark for a full day: with the paper ladder
+    // (3 retries at +30/+90/+210s cumulative) every session requesting
+    // more than 210s before the outage ends exhausts inside the window.
+    let plan = FaultPlan::new(vec![FaultEvent {
+        scope: Some(NeighborhoodId::new(0)),
+        start: SimTime::from_secs(86_400 + 43_200),
+        end: SimTime::from_secs(2 * 86_400 + 43_200),
+        kind: FaultKind::Outage,
+    }])
+    .expect("valid plan");
+    let retry = RetryPolicy::paper_default();
+    let config = base_config()
+        .with_faults(plan)
+        .with_admission(AdmissionMode::Enforcing)
+        .with_retry(retry);
+
+    let report = run(&trace, &config).expect("enforcing run");
+    let deg = report.degradation.as_ref().expect("degradation section");
+    assert!(deg.blocked_sessions > 0, "day-long outage must block");
+
+    // The balance invariant: a blocked session spends the whole ladder
+    // (max_retries attempts); an admitted session that needed i retries
+    // lands in histogram bucket i. Any sentinel left in the heap, any
+    // session blocked twice, or any lost retry breaks this equality.
+    let ladder = u64::from(retry.max_retries());
+    let admitted_retries: u64 = deg
+        .retry_histogram
+        .iter()
+        .enumerate()
+        .map(|(bucket, count)| bucket as u64 * count)
+        .sum();
+    assert_eq!(
+        deg.retries,
+        deg.blocked_sessions * ladder + admitted_retries,
+        "retry ledger must balance: {} blocked x {ladder} + {admitted_retries} admitted-after-retry",
+        deg.blocked_sessions
+    );
+
+    // Blocked sessions are counted in exactly one neighborhood, once.
+    let per_nbhd_blocked: u64 = deg
+        .per_neighborhood
+        .iter()
+        .map(|n| n.blocked_sessions)
+        .sum();
+    assert_eq!(per_nbhd_blocked, deg.blocked_sessions);
+    assert_eq!(
+        deg.per_neighborhood[0].blocked_sessions,
+        deg.blocked_sessions
+    );
+
+    // Heap hygiene is driver-independent: sharded and streaming drivers
+    // drain the same retry heap to the same report, bit for bit.
+    let sharded = run_parallel(&trace, &config, 3).expect("sharded run");
+    assert_eq!(sharded, report);
+}
+
+/// An outage extending past the end of the trace: sessions near the end
+/// retry beyond the final request, and those still-pending sentinels
+/// must drain cleanly — the run terminates with each such session
+/// blocked exactly once, never admitted after the horizon.
+#[test]
+fn outage_past_trace_end_still_drains_pending_retries() {
+    let trace = generate(&tiny_config(180, 30, 3, 17));
+    // Dark from day-2 noon to day 5 — far past the 3-day trace.
+    let plan = FaultPlan::new(vec![FaultEvent {
+        scope: Some(NeighborhoodId::new(0)),
+        start: SimTime::from_secs(86_400 + 43_200),
+        end: SimTime::from_secs(5 * 86_400),
+        kind: FaultKind::Outage,
+    }])
+    .expect("valid plan");
+    let retry = RetryPolicy::paper_default();
+    let config = base_config()
+        .with_faults(plan)
+        .with_admission(AdmissionMode::Enforcing)
+        .with_retry(retry);
+
+    let report = run(&trace, &config).expect("run terminates");
+    let deg = report.degradation.as_ref().expect("degradation section");
+    // Every affected start is blocked: the outage never lifts within the
+    // trace, so no retry can ever succeed in neighborhood 0.
+    assert!(deg.blocked_sessions > 0);
+    assert_eq!(
+        deg.per_neighborhood[0].blocked_sessions,
+        deg.blocked_sessions
+    );
+    assert_eq!(
+        deg.per_neighborhood[0].recoveries_measured, 0,
+        "an outage that outlives the trace has no recovery to measure"
+    );
+    let admitted_retries: u64 = deg
+        .retry_histogram
+        .iter()
+        .enumerate()
+        .map(|(bucket, count)| bucket as u64 * count)
+        .sum();
+    assert_eq!(
+        deg.retries,
+        deg.blocked_sessions * u64::from(retry.max_retries()) + admitted_retries,
+        "pending sentinels past the horizon still resolve exactly once"
+    );
+    let sharded = run_parallel(&trace, &config, 3).expect("sharded run");
+    assert_eq!(sharded, report);
+}
+
 /// The default configuration (counting mode, empty plan) produces no
 /// degradation section at all — pre-fault reports are untouched.
 #[test]
