@@ -19,7 +19,7 @@ use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
 use cablevod_sim::{run, SimConfig, Simulation};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
-use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
+use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood, rechunk_multi_index};
 use cablevod_trace::scale;
 use cablevod_trace::source::TraceSource;
 use cablevod_trace::synth::{generate, generate_to_disk, SynthConfig};
@@ -193,6 +193,113 @@ fn engine_streaming_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// The chunk-decode layer in isolation, on a 50x-class on-disk workload:
+/// every chunk of the file fetched and column-decoded through each
+/// backing. `mmap_decode` borrows column bytes straight out of the
+/// mapping and validates each chunk's CRC once (the per-chunk memo);
+/// `pread_decode` is the portable fallback — a buffered positioned read
+/// plus CRC per fetch. The pair is the zero-copy win with no simulation
+/// work in the numerator.
+fn chunk_decode_throughput(c: &mut Criterion) {
+    let mut path = std::env::temp_dir();
+    path.push(format!("cvtc_bench_decode_{}.cvtc", std::process::id()));
+    generate_to_disk(
+        &SynthConfig {
+            users: 75_000,
+            programs: 400,
+            days: 6,
+            ..SynthConfig::powerinfo()
+        },
+        &path,
+        DEFAULT_CHUNK_SIZE,
+    )
+    .expect("disk workload generated");
+
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    let sweep = |reader: &ColumnarReader| {
+        let mut buf = Vec::new();
+        let mut records = 0u64;
+        for chunk in 0..reader.chunk_count() {
+            reader.read_chunk(chunk, &mut buf).expect("chunk decodes");
+            records += buf.len() as u64;
+        }
+        assert_eq!(records, reader.record_count(), "full file decoded");
+    };
+    let mmap_reader = ColumnarReader::open(&path).expect("mmap-backed open");
+    group.throughput(Throughput::Elements(mmap_reader.record_count()));
+    group.bench_function("mmap_decode", |b| b.iter(|| sweep(&mmap_reader)));
+    let pread_reader = ColumnarReader::open_pread(&path).expect("pread-backed open");
+    group.bench_function("pread_decode", |b| b.iter(|| sweep(&pread_reader)));
+    group.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Neighborhood-size sweeps over one on-disk workload (10x scale): the
+/// multi-index file serves **every** swept size through its own chunk
+/// index (sharded fast path, each chunk decoded once per cell run), while
+/// the single-index file — rechunked for just one of the sizes, the
+/// pre-multi-index workflow — serves the foreign size through the pruned
+/// global merge. `sweep_fastpath` vs `sweep_merge` is the wall-clock win
+/// of carrying per-size indexes over shared columns.
+fn engine_sweep_throughput(c: &mut Criterion) {
+    const SIZES: [u32; 2] = [300, 500];
+    let mut path = std::env::temp_dir();
+    path.push(format!("cvtc_bench_sweep_{}.cvtc", std::process::id()));
+    generate_to_disk(
+        &SynthConfig {
+            users: 15_000,
+            programs: 400,
+            days: 6,
+            ..SynthConfig::powerinfo()
+        },
+        &path,
+        DEFAULT_CHUNK_SIZE,
+    )
+    .expect("disk workload generated");
+    let reader = ColumnarReader::open(&path).expect("columnar file opens");
+    let import_chunk =
+        import_chunk_size(reader.user_count(), SIZES[0], DEFAULT_CHUNK_SIZE, 64 << 20);
+    let mut multi_path = std::env::temp_dir();
+    multi_path.push(format!("cvtc_bench_sweep_mi_{}.cvtc", std::process::id()));
+    rechunk_multi_index(&reader, &multi_path, &SIZES, import_chunk).expect("multi-index rechunk");
+    let mut single_path = std::env::temp_dir();
+    single_path.push(format!("cvtc_bench_sweep_si_{}.cvtc", std::process::id()));
+    rechunk_by_neighborhood(&reader, &single_path, SIZES[1], import_chunk)
+        .expect("single-index rechunk");
+    let multi_reader = ColumnarReader::open(&multi_path).expect("multi-index opens");
+    let single_reader = ColumnarReader::open(&single_path).expect("single-index opens");
+
+    let mut group = c.benchmark_group("engine_sweep");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(
+        reader.record_count() * SIZES.len() as u64,
+    ));
+    let base = SimConfig::paper_default()
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3);
+    let sweep = |source: &ColumnarReader, expect_fast: &[bool]| {
+        for (&size, &fast) in SIZES.iter().zip(expect_fast) {
+            let outcome = Simulation::over(source)
+                .config(base.clone().with_neighborhood_size(size))
+                .threads(4)
+                .run()
+                .expect("sweep cell runs");
+            assert_eq!(outcome.telemetry.fastpath, fast, "size {size}");
+        }
+    };
+    group.bench_function("sweep_fastpath", |b| {
+        b.iter(|| sweep(&multi_reader, &[true, true]))
+    });
+    group.bench_function("sweep_merge", |b| {
+        b.iter(|| sweep(&single_reader, &[false, true]))
+    });
+    group.finish();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&multi_path).ok();
+    std::fs::remove_file(&single_path).ok();
+}
+
 fn workload_generation(c: &mut Criterion) {
     let config = SynthConfig {
         users: 1_500,
@@ -219,6 +326,8 @@ criterion_group!(
     engine_throughput,
     engine_parallel_throughput,
     engine_streaming_throughput,
+    chunk_decode_throughput,
+    engine_sweep_throughput,
     workload_generation
 );
 criterion_main!(benches);

@@ -17,13 +17,15 @@
 //! {"scenario":"smoke","series":"LFU","point":"1GB","strategy":"LFU","threads":1,
 //!  "sessions":1234,"segment_requests":5678,"peak_gbps":1.234,"q05_gbps":...,
 //!  "q95_gbps":...,"hit_rate":0.42,"wall_ms":12,"decoded_chunks":0,
-//!  "decoded_bytes":0,"peak_rss_kb":53600}
+//!  "decoded_bytes":0,"peak_rss_kb":53600,"fastpath":false}
 //! {"scenario":"smoke","done":true,"jobs":6}
 //! ```
 //!
 //! One human-readable status line per finished cell goes to stderr
-//! (`[3/6] LFU x 1GB: ok`), so long grids show progress without
-//! polluting the machine-readable stream.
+//! (`[3/6] LFU x 1GB: ok (5807 sessions/s)` — with `, fastpath`
+//! appended when a streaming cell replayed through a matching
+//! neighborhood index), so long grids show per-cell progress and
+//! throughput without polluting the machine-readable stream.
 //!
 //! * `--out FILE` additionally writes the same lines to `FILE`;
 //! * `--print-spec` parses the file, prints its canonical re-rendered
@@ -33,7 +35,7 @@
 //!   framed JSONL, see the scenario module's "Crash safety & resume"
 //!   docs). With a checkpoint the per-cell lines drop the
 //!   nondeterministic telemetry fields (`wall_ms`, `decoded_chunks`,
-//!   `decoded_bytes`, `peak_rss_kb`), so an interrupted run resumed with
+//!   `decoded_bytes`, `peak_rss_kb`, `fastpath`), so an interrupted run resumed with
 //!   `--resume` produces output **byte-identical** to an uninterrupted
 //!   one;
 //! * `--resume` replays cells already journaled in `--checkpoint` and
@@ -103,13 +105,19 @@ fn completed_json(
     if deterministic {
         format!("{head}}}")
     } else {
+        // `fastpath` rides in the nondeterministic tail: whether the
+        // decode-once index matched is a property of the run setup, not
+        // of the results, and checkpoint-mode output must stay byte-
+        // comparable between fast-path and merge-path runs.
         format!(
-            "{head},\"wall_ms\":{},\"decoded_chunks\":{},\"decoded_bytes\":{},\"peak_rss_kb\":{}}}",
+            "{head},\"wall_ms\":{},\"decoded_chunks\":{},\"decoded_bytes\":{},\
+             \"peak_rss_kb\":{},\"fastpath\":{}}}",
             t.wall.as_millis(),
             t.decode.chunks,
             t.decode.bytes,
             t.peak_rss_kb
                 .map_or("null".to_string(), |kb| kb.to_string()),
+            t.fastpath,
         )
     }
 }
@@ -226,10 +234,26 @@ fn main() {
         let k = finished.fetch_add(1, Ordering::SeqCst) + 1;
         let status = match &cell.result {
             CellResult::Completed { replayed: true, .. } => "replayed".to_string(),
-            CellResult::Completed { attempts, .. } if *attempts > 1 => {
-                format!("ok after {attempts} attempts")
+            CellResult::Completed {
+                outcome,
+                attempts,
+                replayed: false,
+            } => {
+                // Per-cell throughput (and the streaming fast-path marker)
+                // go to stderr, not the JSON stream: rates are wall-clock
+                // noise, and checkpoint-mode stdout must stay byte-stable.
+                let ok = if *attempts > 1 {
+                    format!("ok after {attempts} attempts")
+                } else {
+                    "ok".to_string()
+                };
+                let fast = if outcome.telemetry.fastpath {
+                    ", fastpath"
+                } else {
+                    ""
+                };
+                format!("{ok} ({:.0} sessions/s{fast})", outcome.sessions_per_sec())
             }
-            CellResult::Completed { .. } => "ok".to_string(),
             CellResult::Failed { error, attempts } => {
                 format!("FAILED after {attempts} attempt(s): {error}")
             }

@@ -125,6 +125,7 @@ pub fn out_of_core_scaling(
                     ..base.clone()
                 },
                 chunk_records: DEFAULT_CHUNK_SIZE,
+                rechunk: Vec::new(),
             })
         })
         .collect();

@@ -87,9 +87,12 @@ impl TopologyConfig {
         self
     }
 
-    /// Overrides the base placement seed. The effective seed always mixes in
-    /// the neighborhood size so that placement is a pure function of
-    /// `(base seed, neighborhood size)`, as §V-B requires.
+    /// Overrides the base placement seed. The seed alone determines one
+    /// shared subscriber permutation; every neighborhood size slices that
+    /// same permutation into consecutive runs, so placement stays a pure
+    /// function of `(base seed, neighborhood size)` as §V-B requires while
+    /// partitions at different sizes nest along one global order (the
+    /// property multi-index trace files rely on).
     #[must_use]
     pub fn with_placement_seed(mut self, seed: u64) -> Self {
         self.placement_seed = seed;
@@ -187,9 +190,15 @@ impl Topology {
     /// Builds the plant: one STB per subscriber, subscribers shuffled
     /// uniformly at random into neighborhoods of the configured size.
     ///
-    /// The shuffle seed depends only on the configured base seed and the
-    /// neighborhood size, so two simulations with the same neighborhood size
-    /// see identical placements regardless of other parameters (§V-B).
+    /// The shuffle depends only on the configured base seed — every
+    /// neighborhood size slices the *same* subscriber permutation into
+    /// consecutive runs. Two simulations with the same neighborhood size see
+    /// identical placements regardless of other parameters (§V-B), and
+    /// partitions at different sizes agree on the underlying subscriber
+    /// order: the users of any neighborhood at size `a` span at most
+    /// `ceil(a/b) + 1` neighborhoods at size `b`, which is what lets one
+    /// neighborhood-major trace file carry chunk indexes for several
+    /// candidate sizes at once.
     ///
     /// # Errors
     ///
@@ -219,8 +228,7 @@ impl Topology {
             .collect();
 
         let mut order: Vec<u32> = (0..config.subscribers).collect();
-        let seed = config.placement_seed ^ (u64::from(config.neighborhood_size) << 20);
-        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        order.shuffle(&mut StdRng::seed_from_u64(config.placement_seed));
 
         let mut neighborhoods = Vec::new();
         let mut peer_neighborhood = vec![NeighborhoodId::new(0); n];

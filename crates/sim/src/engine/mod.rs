@@ -272,6 +272,33 @@ pub(crate) fn run_parallel_with<S: TraceSource + ?Sized>(
     }
 }
 
+/// The source's chunk-index layout for `config`'s neighborhood size, if
+/// it covers all `nbhd_count` groups — the **sweep fast path**: sharded
+/// streaming replays read each shard's cell runs straight from the index
+/// (no pre-pass scan, no filtering) and Oracle spills can skip the global
+/// merge when every group is a single run.
+fn fastpath_layout<'s, S: TraceSource + ?Sized>(
+    source: &'s S,
+    config: &SimConfig,
+    nbhd_count: usize,
+) -> Option<&'s cablevod_trace::source::NeighborhoodLayout> {
+    source
+        .neighborhood_layout_for(config.neighborhood_size())
+        .filter(|layout| layout.group_count() == nbhd_count)
+}
+
+/// Whether a streaming replay of `source` under `config` hits the sweep
+/// fast path (see [`fastpath_layout`]; the neighborhood count mirrors
+/// [`Topology::build`]'s `ceil(users / size)`). Surfaced by the
+/// [`Simulation`](crate::Simulation) builder as
+/// [`RunTelemetry::fastpath`](crate::RunTelemetry).
+pub(crate) fn streaming_fastpath<S: TraceSource + ?Sized>(source: &S, config: &SimConfig) -> bool {
+    let nbhd_count = u64::from(source.user_count())
+        .div_ceil(u64::from(config.neighborhood_size().max(1)))
+        .max(1) as usize;
+    fastpath_layout(source, config, nbhd_count).is_some()
+}
+
 /// Session indices ride in `u32` heap entries on every path (resident and
 /// streaming), so traces beyond 2^32 records are rejected up front rather
 /// than silently wrapping.
@@ -465,12 +492,12 @@ fn run_resident<S: TraceSource + ?Sized>(
 }
 
 /// The chunk runs a **serial** streaming replay merges: one run over all
-/// chunks for time-major sources, one run per group for
-/// neighborhood-major sources (any group size — the sequence-number merge
-/// restores global order).
+/// chunks for time-major sources, one run per placement cell for
+/// neighborhood-major sources (any group size — each cell run is
+/// gidx-ascending and the sequence-number merge restores global order).
 fn serial_runs<S: TraceSource + ?Sized>(source: &S) -> Vec<Vec<u32>> {
     match source.neighborhood_layout() {
-        Some(layout) => layout.chunks.clone(),
+        Some(layout) => layout.runs.iter().flatten().cloned().collect(),
         None => vec![(0..source.chunk_count() as u32).collect()],
     }
 }
@@ -575,19 +602,12 @@ fn shard_plans<S: TraceSource + ?Sized>(
 ) -> Result<StreamPlan, SimError> {
     let nbhd_count = topo.neighborhood_count();
     let needs_schedule = strategy.needs_schedule();
-    let matched = source.neighborhood_layout().is_some_and(|layout| {
-        layout.neighborhood_size == config.neighborhood_size() && layout.chunks.len() == nbhd_count
-    });
 
-    if matched {
-        let layout = source
-            .neighborhood_layout()
-            .expect("matched implies layout");
-        let shard_runs = layout
-            .chunks
-            .iter()
-            .map(|chunks| vec![chunks.clone()])
-            .collect();
+    if let Some(layout) = fastpath_layout(source, config, nbhd_count) {
+        // Each shard merges its group's cell runs straight from the
+        // file's chunk index (a single-index file has one run per group;
+        // a multi-index file may have several, one per placement cell).
+        let shard_runs = layout.runs.clone();
         let schedules = if needs_schedule {
             ScheduleSupply::Spilled(spill_from_scan(source, topo, config, segmenter)?)
         } else {

@@ -291,12 +291,13 @@ pub(super) fn spill_from_scan<S: TraceSource + ?Sized>(
     let costs = super::schedule_costs(source.catalog(), config, segmenter);
     let mut spill = SidecarSpill::create(topo.neighborhood_count(), costs)?;
     let runs = super::serial_runs(source);
-    // Matched neighborhood-major runs are already per-neighborhood
-    // time-ordered run by run; everything else merges to global order.
-    let matched = source.neighborhood_layout().is_some_and(|layout| {
-        layout.neighborhood_size == config.neighborhood_size()
-            && layout.chunks.len() == topo.neighborhood_count()
-    });
+    // A matched neighborhood-major source with one run per group is
+    // already per-neighborhood time-ordered run by run; everything else —
+    // including matched multi-index sources whose groups span several
+    // placement cells, whose runs interleave in time — merges to global
+    // order.
+    let matched = super::fastpath_layout(source, config, topo.neighborhood_count())
+        .is_some_and(|layout| layout.single_run_per_group());
     scan_runs(source, &runs, !matched, |_, _, rec| {
         let nbhd = topo.neighborhood_of_user(rec.user)?;
         spill.push(nbhd.index() as u32, rec.start, rec.program)

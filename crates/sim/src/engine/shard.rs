@@ -16,6 +16,12 @@
 //!   ([`drive_worker`]), parked whenever the watermark frontier has not
 //!   reached the record they must start next, so any worker count is
 //!   deadlock-free (see the frontier-liveness note in [`super`]).
+//!
+//! Both drivers size their worker sets from the process-wide permit
+//! ledger in [`runner`], so a sharded run composes with a concurrently
+//! executing sweep instead of oversubscribing the machine (and the
+//! caller's own thread always drives, so a dry ledger just means a
+//! single-worker run).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -256,13 +262,22 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
     let positions = topo.local_positions();
     let aborted = AtomicBool::new(false);
 
-    let threads = threads.clamp(1, nbhd_count);
+    // Workers beyond the caller come from the shared ledger
+    // ([`runner::take_permits`]): a sharded job started while a sweep
+    // holds the machine begins with fewer workers instead of
+    // oversubscribing, and each permit returns the moment its worker's
+    // shards drain. Shard tasks cannot migrate between workers, so the
+    // split is fixed at entry; the caller always drives stripe 0.
+    let permits = runner::take_permits(threads.clamp(1, nbhd_count) - 1);
+    let workers = 1 + permits.len();
     let mut collected: Vec<Option<Result<ShardOutcome, SimError>>> =
         (0..nbhd_count).map(|_| None).collect();
     let worker_results: Vec<Vec<(usize, Result<ShardOutcome, SimError>)>> =
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
+            let handles: Vec<_> = permits
+                .into_iter()
+                .zip(1..workers)
+                .map(|(permit, w)| {
                     let topo = &topo;
                     let plan = &plan;
                     let users = &users;
@@ -271,17 +286,36 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
                     let aborted = &aborted;
                     let segmenter = &segmenter;
                     scope.spawn(move || {
-                        drive_worker(
-                            w, threads, nbhd_count, source, topo, users, config, strategy,
+                        let results = drive_worker(
+                            w, workers, nbhd_count, source, topo, users, config, strategy,
                             *segmenter, plan, positions, feed, aborted,
-                        )
+                        );
+                        drop(permit);
+                        results
                     })
                 })
                 .collect();
-            handles
+            let mine = drive_worker(
+                0,
+                workers,
+                nbhd_count,
+                source,
+                &topo,
+                &users,
+                config,
+                strategy,
+                segmenter,
+                &plan,
+                &positions,
+                feed.as_ref(),
+                &aborted,
+            );
+            let mut all: Vec<_> = handles
                 .into_iter()
                 .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
+                .collect();
+            all.push(mine);
+            all
         });
     for (nbhd, result) in worker_results.into_iter().flatten() {
         collected[nbhd] = Some(result);

@@ -19,18 +19,22 @@
 //!
 //! One merge shape covers every streaming path:
 //!
-//! | path                                   | runs                    | filter |
-//! |----------------------------------------|-------------------------|--------|
-//! | serial, time-major source              | 1 (all chunks)          | no     |
-//! | serial, neighborhood-major source      | 1 per group             | no     |
-//! | shard, time-major source               | 1 (runtime chunk index) | yes    |
-//! | shard, matching neighborhood-major     | 1 (its group's chunks)  | no     |
-//! | shard, mismatched neighborhood-major   | 1 per group (pruned)    | yes    |
+//! | path                                   | runs                     | filter |
+//! |----------------------------------------|--------------------------|--------|
+//! | serial, time-major source              | 1 (all chunks)           | no     |
+//! | serial, neighborhood-major source      | 1 per placement cell     | no     |
+//! | shard, time-major source               | 1 (runtime chunk index)  | yes    |
+//! | shard, matching neighborhood-major     | its group's cells (≥ 1)  | no     |
+//! | shard, mismatched neighborhood-major   | 1 per cell (pruned)      | yes    |
 //!
-//! A single-run supply degenerates to plain sequential streaming with no
-//! merge overhead; the multi-run merge does a linear min-scan over run
-//! heads per record (run counts are neighborhood-group counts — tens to a
-//! few hundred — and only the fallback paths pay it).
+//! A *placement cell* is the finest partition a multi-index source
+//! carries — the intersection of its per-size groupings (a single-index
+//! file has one cell per group). A shard whose group is exactly one cell
+//! runs the single-run fast path; a group spanning several cells merges
+//! just those cells' runs. A single-run supply degenerates to plain
+//! sequential streaming with no merge overhead; the multi-run merge does
+//! a linear min-scan over run heads per record (run counts are cell
+//! counts — tens to a few hundred — and only the merge paths pay it).
 
 use std::collections::VecDeque;
 

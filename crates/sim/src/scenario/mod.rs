@@ -133,7 +133,7 @@ use cablevod_hfc::ids::NeighborhoodId;
 use cablevod_hfc::units::{BitRate, DataSize, SimDuration, SimTime};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::io as trace_io;
-use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood};
+use cablevod_trace::rechunk::{import_chunk_size, rechunk_multi_index};
 use cablevod_trace::record::Trace;
 use cablevod_trace::scale;
 use cablevod_trace::source::TraceSource;
@@ -353,15 +353,25 @@ pub enum SourceSpec {
         synth: SynthConfig,
         /// Records per columnar chunk.
         chunk_records: u32,
+        /// Neighborhood sizes to re-chunk the generated file
+        /// neighborhood-major for (empty: replay time-major). Several
+        /// sizes produce one multi-index file whose per-size indexes let
+        /// a neighborhood-size sweep hit the decode-once fast path at
+        /// every listed size.
+        rechunk: Vec<u32>,
     },
     /// An existing columnar `.cvtc` file.
     Columnar {
         /// File path.
         path: String,
-        /// Re-chunk neighborhood-major at this neighborhood size into a
-        /// temporary file before replay (import-time optimization for
-        /// sharded runs).
-        rechunk: Option<u32>,
+        /// Re-chunk neighborhood-major at these neighborhood sizes into
+        /// a temporary file before replay (import-time optimization for
+        /// sharded runs; empty: replay the file as-is). Several sizes
+        /// produce one multi-index file — the spec form is
+        /// `rechunk=60,100` — so a neighborhood-size sweep over exactly
+        /// those sizes streams the shared columns through the fast path
+        /// instead of the merge fallback.
+        rechunk: Vec<u32>,
     },
     /// CSV record + catalog files (the PowerInfo import shape).
     Csv {
@@ -398,6 +408,19 @@ static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 fn temp_path(tag: &str) -> PathBuf {
     let n = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
     std::env::temp_dir().join(format!("cvsc_{tag}_{}_{n}.cvtc", std::process::id()))
+}
+
+/// Re-chunks `reader` neighborhood-major into a fresh temp file carrying
+/// one chunk index per size in `sizes` (see
+/// [`rechunk_multi_index`]). With the simulator's aligned placement the
+/// finest size has the most cells, so it drives the per-cell buffer
+/// budget.
+fn rechunk_to_temp(reader: &ColumnarReader, sizes: &[u32]) -> Result<TempFile, SimError> {
+    let nm = temp_path("rechunk");
+    let finest = sizes.iter().copied().min().unwrap_or(1);
+    let chunk = import_chunk_size(reader.user_count(), finest, DEFAULT_CHUNK_SIZE, 64 << 20);
+    rechunk_multi_index(reader, &nm, sizes, chunk)?;
+    Ok(TempFile(nm))
 }
 
 /// A materialized [`SourceSpec`]: owns the trace (or the open reader plus
@@ -478,30 +501,24 @@ impl SourceSpec {
             SourceSpec::SynthDisk {
                 synth,
                 chunk_records,
+                rechunk,
             } => {
                 let path = temp_path("synth");
                 generate_to_disk(synth, &path, *chunk_records)?;
-                let temp = vec![TempFile(path)];
-                let reader = ColumnarReader::open(&temp[0].0)?;
+                let mut temp = vec![TempFile(path)];
+                if !rechunk.is_empty() {
+                    let reader = ColumnarReader::open(&temp[0].0)?;
+                    temp.push(rechunk_to_temp(&reader, rechunk)?);
+                }
+                let reader = ColumnarReader::open(&temp.last().expect("non-empty").0)?;
                 Ok(OwnedSource::columnar(reader, temp))
             }
-            SourceSpec::Columnar {
-                path,
-                rechunk: None,
-            } => Ok(OwnedSource::columnar(
-                ColumnarReader::open(Path::new(path))?,
-                Vec::new(),
-            )),
-            SourceSpec::Columnar {
-                path,
-                rechunk: Some(size),
-            } => {
+            SourceSpec::Columnar { path, rechunk } if rechunk.is_empty() => Ok(
+                OwnedSource::columnar(ColumnarReader::open(Path::new(path))?, Vec::new()),
+            ),
+            SourceSpec::Columnar { path, rechunk } => {
                 let reader = ColumnarReader::open(Path::new(path))?;
-                let nm = temp_path("rechunk");
-                let chunk =
-                    import_chunk_size(reader.user_count(), *size, DEFAULT_CHUNK_SIZE, 64 << 20);
-                rechunk_by_neighborhood(&reader, &nm, *size, chunk)?;
-                let temp = vec![TempFile(nm)];
+                let temp = vec![rechunk_to_temp(&reader, rechunk)?];
                 let reader = ColumnarReader::open(&temp[0].0)?;
                 Ok(OwnedSource::columnar(reader, temp))
             }
@@ -764,21 +781,18 @@ impl Scenario {
             }
         };
 
+        // Every cell — serial or sharded engine — is an independent job
+        // on the shared pool. A sharded cell's own workers draw from the
+        // same process-wide ledger as the sweep (see [`crate::runner`]),
+        // so small cells pack around a big sharded job instead of the
+        // sweep serializing behind it.
         let width = self
             .sweep_width
             .unwrap_or_else(default_threads)
             .clamp(1, jobs.len().max(1));
-        let (results, concurrent_shared): (Vec<Result<RunOutcome, SimError>>, bool) =
-            match self.threads.worker_count() {
-                // Serial engine runs: fan the independent jobs over up to
-                // `width` workers.
-                None => (
-                    run_indexed(jobs.len(), width, |i| run_job(&jobs[i])),
-                    width > 1,
-                ),
-                // Sharded engine runs own the pool: run jobs one at a time.
-                Some(_) => (jobs.iter().map(run_job).collect(), false),
-            };
+        let results: Vec<Result<RunOutcome, SimError>> =
+            run_indexed(jobs.len(), width, |i| run_job(&jobs[i]));
+        let concurrent_shared = width > 1;
 
         jobs.into_iter()
             .zip(results)
@@ -955,7 +969,7 @@ fn parse_synth(pairs: &[(String, String)]) -> Result<SynthConfig, SimError> {
     for (key, value) in pairs {
         let bad = || config_err(format!("bad synth field {key} = {value:?}"));
         match key.as_str() {
-            "preset" | "kind" | "chunk_records" => {}
+            "preset" | "kind" | "chunk_records" | "rechunk" => {}
             "users" => config.users = value.parse().map_err(|_| bad())?,
             "programs" => config.programs = value.parse().map_err(|_| bad())?,
             "days" => config.days = value.parse().map_err(|_| bad())?,
@@ -981,16 +995,20 @@ fn source_kv(source: &SourceSpec) -> Result<Vec<(String, String)>, SimError> {
         SourceSpec::SynthDisk {
             synth,
             chunk_records,
+            rechunk,
         } => {
             out.push(("kind".into(), "synth-disk".into()));
             synth_kv(synth, &mut out)?;
             out.push(("chunk_records".into(), chunk_records.to_string()));
+            if !rechunk.is_empty() {
+                out.push(("rechunk".into(), rechunk_value(rechunk)));
+            }
         }
         SourceSpec::Columnar { path, rechunk } => {
             out.push(("kind".into(), "columnar".into()));
             out.push(("path".into(), path.clone()));
-            if let Some(size) = rechunk {
-                out.push(("rechunk".into(), size.to_string()));
+            if !rechunk.is_empty() {
+                out.push(("rechunk".into(), rechunk_value(rechunk)));
             }
         }
         SourceSpec::Csv { records, catalog } => {
@@ -1010,6 +1028,29 @@ fn source_kv(source: &SourceSpec) -> Result<Vec<(String, String)>, SimError> {
         }
     }
     Ok(out)
+}
+
+/// Joins rechunk sizes into the spec form `60,100` — a single size
+/// serializes exactly as the old scalar field did, so pre-multi-index
+/// spec files and their fingerprints are unchanged.
+fn rechunk_value(sizes: &[u32]) -> String {
+    sizes
+        .iter()
+        .map(u32::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses `60` or `60,100` into a rechunk size list.
+fn parse_rechunk(value: &str) -> Result<Vec<u32>, SimError> {
+    value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| config_err(format!("bad rechunk size {v:?}")))
+        })
+        .collect()
 }
 
 fn parse_source(pairs: &[(String, String)]) -> Result<SourceSpec, SimError> {
@@ -1038,12 +1079,17 @@ fn parse_source(pairs: &[(String, String)]) -> Result<SourceSpec, SimError> {
                     .map_err(|_| config_err("bad chunk_records".into()))?,
                 None => DEFAULT_CHUNK_SIZE,
             },
+            rechunk: get("rechunk")
+                .map(parse_rechunk)
+                .transpose()?
+                .unwrap_or_default(),
         }),
         "columnar" => Ok(SourceSpec::Columnar {
             path: require("path")?.to_string(),
             rechunk: get("rechunk")
-                .map(|v| v.parse().map_err(|_| config_err("bad rechunk size".into())))
-                .transpose()?,
+                .map(parse_rechunk)
+                .transpose()?
+                .unwrap_or_default(),
         }),
         "csv" => Ok(SourceSpec::Csv {
             records: require("records")?.to_string(),
@@ -1696,6 +1742,42 @@ mod tests {
         let text = scenario.to_spec_string().expect("serializes");
         let parsed = Scenario::from_spec_str(&text).expect("parses");
         assert_eq!(parsed, scenario, "spec text:\n{text}");
+    }
+
+    #[test]
+    fn spec_round_trips_multi_size_rechunk() {
+        let scenario = Scenario::new(
+            "rechunk-sweep",
+            SourceSpec::SynthDisk {
+                synth: smoke_synth(),
+                chunk_records: 256,
+                rechunk: vec![60, 100],
+            },
+            base_config(),
+        )
+        .with_points(vec![
+            AxisPoint::new("N60").with_patch(ConfigPatch::default().with_neighborhood_size(60)),
+            AxisPoint::new("N100").with_patch(ConfigPatch::default().with_neighborhood_size(100)),
+        ]);
+        let text = scenario.to_spec_string().expect("serializes");
+        assert!(text.contains("rechunk = 60,100"), "spec text:\n{text}");
+        let parsed = Scenario::from_spec_str(&text).expect("parses");
+        assert_eq!(parsed, scenario, "spec text:\n{text}");
+
+        // A single size must serialize exactly as the pre-multi-index
+        // scalar form did, so existing checkpoint fingerprints hold.
+        let columnar = Scenario::new(
+            "rechunk-columnar",
+            SourceSpec::Columnar {
+                path: "trace.cvtc".into(),
+                rechunk: vec![80],
+            },
+            base_config(),
+        );
+        let text = columnar.to_spec_string().expect("serializes");
+        assert!(text.contains("rechunk = 80\n"), "spec text:\n{text}");
+        let parsed = Scenario::from_spec_str(&text).expect("parses");
+        assert_eq!(parsed, columnar, "spec text:\n{text}");
     }
 
     #[test]

@@ -3,9 +3,9 @@
 //! checkpoint/resume through [`checkpoint`](super::checkpoint).
 //!
 //! [`Scenario::execute_resilient`] runs the same point-major grid as
-//! [`Scenario::execute`], with the same scheduling shape (serial-engine
-//! cells fan out over up to `sweep_width` workers; sharded-engine cells
-//! run one at a time) — but every cell is a bulkhead:
+//! [`Scenario::execute`], with the same scheduling shape (cells fan out
+//! over up to `sweep_width` workers of the shared pool, sharded-engine
+//! cells included) — but every cell is a bulkhead:
 //!
 //! * the cell body runs under `catch_unwind`, so a panicking strategy
 //!   factory (or any other job-level panic) fails that one cell instead
@@ -297,15 +297,14 @@ impl Scenario {
             None
         };
 
-        let width = match self.threads.worker_count() {
-            // Serial engine: fan cells over the sweep pool.
-            None => self
-                .sweep_width
-                .unwrap_or_else(default_threads)
-                .clamp(1, jobs.len().max(1)),
-            // Sharded engine: cells one at a time, each owns the pool.
-            Some(_) => 1,
-        };
+        // Same scheduling shape as `Scenario::execute`: every cell —
+        // serial or sharded engine — fans out over the shared pool, with
+        // sharded cells drawing their own workers from the same
+        // process-wide ledger (see [`crate::runner`]).
+        let width = self
+            .sweep_width
+            .unwrap_or_else(default_threads)
+            .clamp(1, jobs.len().max(1));
         let concurrent_shared = width > 1;
         let journal = journal.map(Mutex::new);
         let stop = AtomicBool::new(false);
@@ -351,6 +350,7 @@ fn replay_outcome(record: &CellRecord) -> Box<RunOutcome> {
             peak_rss_kb: None,
             threads: record.threads as usize,
             strategy: record.strategy.clone(),
+            fastpath: false,
         },
     })
 }

@@ -96,6 +96,12 @@ pub struct RunTelemetry {
     pub threads: usize,
     /// Resolved strategy name ([`StrategyFactory::name`]).
     pub strategy: String,
+    /// Whether the source carried a per-neighborhood chunk index matching
+    /// the configured neighborhood size — the sweep fast path, where
+    /// sharded streaming replays read each shard's chunks straight from
+    /// the index with no pre-pass scan or filtering. Always `false` for
+    /// resident sources (they decode no chunks).
+    pub fastpath: bool,
 }
 
 /// A [`SimReport`] bundled with its [`RunTelemetry`].
@@ -242,6 +248,8 @@ impl<'a, S: TraceSource + ?Sized> Simulation<'a, S> {
             Some(n) => engine::run_parallel_with(self.source, &self.config, factory.as_ref(), n)?,
         };
         let wall = started.elapsed();
+        let fastpath = self.source.resident_records().is_none()
+            && engine::streaming_fastpath(self.source, &self.config);
         Ok(RunOutcome {
             report,
             telemetry: RunTelemetry {
@@ -250,6 +258,7 @@ impl<'a, S: TraceSource + ?Sized> Simulation<'a, S> {
                 peak_rss_kb: peak_rss_kb(),
                 threads: workers.unwrap_or(1),
                 strategy: factory.name().to_string(),
+                fastpath,
             },
         })
     }

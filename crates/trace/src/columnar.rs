@@ -20,18 +20,34 @@
 //!   (CSV conversion, synthetic generation straight to disk) and serial
 //!   replay.
 //! * **Neighborhood-major**: each chunk holds records of exactly **one
-//!   neighborhood group** (the deterministic §V-B user shuffle for a
-//!   declared neighborhood size — see [`crate::rechunk`]), in global
-//!   order within the group, with every record's **global sequence
-//!   number** stored in an extra column. The directory tags each chunk
-//!   with its group, and the reader exposes the per-neighborhood chunk
-//!   index as a [`NeighborhoodLayout`]. A sharded streaming replay whose
+//!   placement cell** (see below), in global order within the cell, with
+//!   every record's **global sequence number** stored in an extra column.
+//!   The directory tags each chunk with its primary neighborhood group,
+//!   and the reader exposes the per-neighborhood chunk index as a
+//!   [`NeighborhoodLayout`]. A sharded streaming replay whose
 //!   neighborhood size matches then decodes each chunk exactly once — in
 //!   the time-major layout users are shuffled across every chunk, so each
 //!   of `S` shards decodes nearly every chunk and a run costs ~`S × file`
 //!   decode work.
 //!
-//! # Format specification (version 3)
+//! # Multi-index files (version 4)
+//!
+//! A neighborhood-major file can carry chunk indexes for **several
+//! candidate neighborhood sizes** over one shared set of columns, so a
+//! neighborhood-size *sweep* fast-paths every point instead of only the
+//! import size. The neighborhood partition at every size slices the same
+//! §V-B subscriber permutation (see `cablevod_hfc::topology`), so the
+//! partitions nest: cutting the permutation at the union of all carried
+//! sizes' group boundaries yields **placement cells** — for each carried
+//! size, every cell lies inside exactly one group. Chunks hold one cell's
+//! records each; the directory's `group` field is the chunk's **primary**
+//! (header-size) group, and one *index table* per additional carried size
+//! maps every chunk to its group at that size. The reader exposes one
+//! [`NeighborhoodLayout`] per carried size (primary first). A
+//! single-index file is the degenerate case: one cell per group, no
+//! index tables.
+//!
+//! # Format specification (version 4)
 //!
 //! All integers are **little-endian**, packed with no padding.
 //!
@@ -39,21 +55,22 @@
 //!
 //! ```text
 //! +-----------------+
-//! | header          |  fixed 52 bytes
+//! | header          |  fixed 56 bytes
 //! | catalog         |  4 + 16 * program_count bytes
 //! | chunk 0 columns |
 //! | chunk 1 columns |
 //! | ...             |
 //! | chunk directory |  44 * chunk_count bytes, at header.directory_offset
+//! | index tables    |  index_count tables of 4 + 4 * chunk_count bytes  |
 //! +-----------------+
 //! ```
 //!
-//! ## Header (52 bytes)
+//! ## Header (56 bytes)
 //!
 //! | offset | size | field             | notes                              |
 //! |-------:|-----:|-------------------|------------------------------------|
 //! |      0 |    4 | magic             | `b"CVTC"`                          |
-//! |      4 |    4 | version           | `u32` = 3                          |
+//! |      4 |    4 | version           | `u32` = 4                          |
 //! |      8 |    4 | user_count        | `u32`, dense ids `0..user_count`   |
 //! |     12 |    8 | days              | `u64` nominal trace length         |
 //! |     20 |    8 | record_count      | `u64` total records                |
@@ -61,8 +78,19 @@
 //! |     32 |    4 | chunk_count       | `u32`                              |
 //! |     36 |    8 | directory_offset  | `u64` file offset of the directory |
 //! |     44 |    4 | layout            | `u32`: 0 = time-major, 1 = neighborhood-major |
-//! |     48 |    4 | neighborhood_size | `u32` group parameter (0 for time-major) |
+//! |     48 |    4 | neighborhood_size | `u32` primary group parameter (0 for time-major) |
+//! |     52 |    4 | index_count       | `u32` extra index tables after the directory (0 for time-major) |
 //! |
+//! ## Index tables
+//!
+//! Only neighborhood-major files carry them, directly after the
+//! directory: `index_count` tables of `size: u32` (a carried
+//! neighborhood size, distinct from the primary and from each other)
+//! followed by `chunk_count` `u32` group tags — chunk `c`'s neighborhood
+//! group when the users are partitioned at `size`. The primary size's
+//! chunk→group mapping lives in the directory itself; extra tables add
+//! the other carried sizes.
+//!
 //! ## Catalog
 //!
 //! `program_count: u32`, then per program (dense ids in order):
@@ -98,7 +126,7 @@
 //! | first_index      | `u64` | global sequence number of the chunk's first record |
 //! | first_start_secs | `u64` | start of the chunk's first (earliest) record   |
 //! | watermark_secs   | `u64` | start of the chunk's last record               |
-//! | group            | `u32` | neighborhood group (`u32::MAX` for time-major) |
+//! | group            | `u32` | primary neighborhood group (`u32::MAX` for time-major) |
 //! | crc              | `u32` | CRC-32 (IEEE) of the chunk's column bytes      |
 //!
 //! The checksum covers exactly the `n * record_bytes` column bytes at
@@ -112,10 +140,34 @@
 //!   ended) and starts are non-decreasing across the whole file, so a
 //!   consumer that replayed chunks `0..k` has seen every event strictly
 //!   before `directory[k].watermark_secs`;
-//! * **neighborhood-major**: the same two invariants hold **per group**
-//!   (`first_index` strictly ascending, `first_start` at or after the
-//!   group's previous watermark); chunks of different groups may
-//!   interleave freely in the file.
+//! * **neighborhood-major**: the same two invariants hold **per cell**
+//!   (a chunk's cell is its tag tuple across the directory and every
+//!   index table): `first_index` strictly ascending, `first_start` at or
+//!   after the cell's previous watermark. Chunks of different cells —
+//!   including cells of the same primary group — may interleave freely
+//!   in the file; consumers needing one group's records in global order
+//!   merge its cells' chunk runs by sequence number.
+//!
+//! # Chunk fetch: mmap with a pread fallback
+//!
+//! [`ColumnarReader::open`] maps the whole file read-only (`mmap`,
+//! `MAP_PRIVATE`) on Unix and serves chunk fetches as **borrowed slices**
+//! of the mapping — no per-fetch allocation, syscall, or copy. When
+//! mapping is unavailable (non-Unix builds, an empty file, or a kernel
+//! that refuses the mapping) the reader transparently falls back to
+//! positioned reads (`pread`) into a scratch buffer;
+//! [`ColumnarReader::open_pread`] forces that portable path (benches use
+//! it as the comparison baseline). CRC validation is mandatory on both
+//! paths; on the mmap path each chunk's verification result is memoized
+//! (a once-per-chunk bitmap), so re-fetching a chunk skips the CRC scan
+//! but a corrupt chunk keeps failing with the same checksum error on
+//! every fetch. Caveat: the mapping reflects the file at open time the
+//! same way a held file descriptor does, but an external writer
+//! *truncating* the file mid-run turns page access into `SIGBUS` rather
+//! than a read error — the same class of externally-induced failure as
+//! unlinking a file mid-`pread`, and out of scope for the format's
+//! corruption guarantees (which cover *content*, via the CRC, on both
+//! paths).
 //!
 //! # Examples
 //!
@@ -147,13 +199,13 @@ use crate::source::{DecodeStats, NeighborhoodLayout, TraceSource};
 /// The four magic bytes opening every columnar trace file.
 pub const MAGIC: [u8; 4] = *b"CVTC";
 /// The format version this module writes and reads.
-pub const VERSION: u32 = 3;
+pub const VERSION: u32 = 4;
 /// Default records per chunk: 64 Ki records ≈ 1.5 MiB of columns — large
 /// enough to amortize syscalls, small enough that a reader's resident set
 /// stays a rounding error next to the simulation state.
 pub const DEFAULT_CHUNK_SIZE: u32 = 65_536;
 
-const HEADER_LEN: u64 = 52;
+const HEADER_LEN: u64 = 56;
 const DIR_ENTRY_LEN: usize = 44;
 const CATALOG_ENTRY_LEN: usize = 16;
 const BYTES_PER_RECORD: usize = 24;
@@ -235,8 +287,18 @@ struct ChunkBuf {
     any: bool,
 }
 
+/// Neighborhood-major writer setup computed by
+/// [`ColumnarWriter::create_multi_index`].
+#[derive(Debug)]
+struct NmSetup {
+    primary_size: u32,
+    extra_sizes: Vec<u32>,
+    cell_of_user: Vec<u32>,
+    cell_tags: Vec<Vec<u32>>,
+}
+
 /// Streaming writer: records go to disk chunk by chunk; nothing but the
-/// in-progress chunk buffers (one per neighborhood group for the
+/// in-progress chunk buffers (one per placement cell for the
 /// neighborhood-major layout) and the (small) directory is ever resident.
 ///
 /// Call [`ColumnarWriter::push`] for every record in global order — or
@@ -251,9 +313,17 @@ pub struct ColumnarWriter {
     program_count: u32,
     chunk_size: u32,
     layout: ChunkLayout,
-    /// Group of each user (empty for time-major: everything is group 0 of
-    /// a single buffer).
-    group_of_user: Vec<u32>,
+    /// Placement cell of each user (empty for time-major: everything goes
+    /// through cell 0's single buffer).
+    cell_of_user: Vec<u32>,
+    /// Per-cell group tags across the carried indexes, primary size
+    /// first (empty for time-major).
+    cell_tags: Vec<Vec<u32>>,
+    /// Carried neighborhood sizes beyond the primary.
+    extra_sizes: Vec<u32>,
+    /// Per-chunk group tags for the extra indexes (one row per directory
+    /// entry, one tag per extra size).
+    extra_tags: Vec<Vec<u32>>,
     bufs: Vec<ChunkBuf>,
     directory: Vec<ChunkMeta>,
     next_offset: u64,
@@ -276,7 +346,7 @@ impl ColumnarWriter {
         days: u64,
         chunk_size: u32,
     ) -> Result<Self, TraceError> {
-        Self::create_with_groups(path, catalog, user_count, days, chunk_size, None)
+        Self::create_inner(path, catalog, user_count, days, chunk_size, None)
     }
 
     /// Creates `path` with the neighborhood-major layout for
@@ -299,48 +369,117 @@ impl ColumnarWriter {
         neighborhood_size: u32,
         group_of_user: Vec<u32>,
     ) -> Result<Self, TraceError> {
-        if group_of_user.len() != user_count as usize {
-            return Err(format_err(format!(
-                "group table covers {} users, file declares {user_count}",
-                group_of_user.len()
-            )));
-        }
-        Self::create_with_groups(
+        Self::create_multi_index(
             path,
             catalog,
             user_count,
             days,
             chunk_size,
-            Some((neighborhood_size, group_of_user)),
+            vec![(neighborhood_size, group_of_user)],
         )
     }
 
-    fn create_with_groups(
+    /// Creates `path` with the neighborhood-major layout carrying one
+    /// chunk index per `(neighborhood size, group table)` entry — the
+    /// first entry is the primary index (the header's declared size).
+    /// Chunks are partitioned by placement cell (the users agreeing on
+    /// their group under *every* carried index), so each index's groups
+    /// are unions of whole chunks.
+    ///
+    /// The carried partitions should slice one shared user permutation
+    /// (the [`cablevod_hfc::topology`] placement contract, surfaced by
+    /// [`rechunk::neighborhood_groups`](crate::rechunk::neighborhood_groups));
+    /// unrelated partitions still produce a correct file, just with as
+    /// many cells as users in the worst case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Format`] for a zero `chunk_size`, no
+    /// indexes, duplicate or zero sizes, or a group table that does not
+    /// cover `user_count`, and propagates I/O failures.
+    pub fn create_multi_index(
         path: impl AsRef<Path>,
         catalog: &ProgramCatalog,
         user_count: u32,
         days: u64,
         chunk_size: u32,
-        groups: Option<(u32, Vec<u32>)>,
+        indexes: Vec<(u32, Vec<u32>)>,
+    ) -> Result<Self, TraceError> {
+        if indexes.is_empty() {
+            return Err(format_err(
+                "a neighborhood-major file needs at least one chunk index",
+            ));
+        }
+        for (i, (size, table)) in indexes.iter().enumerate() {
+            if *size == 0 {
+                return Err(format_err("neighborhood size must be at least 1"));
+            }
+            if indexes[..i].iter().any(|(s, _)| s == size) {
+                return Err(format_err(format!(
+                    "duplicate chunk index for neighborhood size {size}"
+                )));
+            }
+            if table.len() != user_count as usize {
+                return Err(format_err(format!(
+                    "group table covers {} users, file declares {user_count}",
+                    table.len()
+                )));
+            }
+        }
+        // Partition users into cells: one per distinct group tuple.
+        let mut cell_ids: std::collections::HashMap<Vec<u32>, u32> =
+            std::collections::HashMap::new();
+        let mut cell_tags: Vec<Vec<u32>> = Vec::new();
+        let mut cell_of_user = Vec::with_capacity(user_count as usize);
+        for u in 0..user_count as usize {
+            let key: Vec<u32> = indexes.iter().map(|(_, table)| table[u]).collect();
+            let next = cell_tags.len() as u32;
+            let id = *cell_ids.entry(key.clone()).or_insert_with(|| {
+                cell_tags.push(key);
+                next
+            });
+            cell_of_user.push(id);
+        }
+        let primary_size = indexes[0].0;
+        let extra_sizes: Vec<u32> = indexes[1..].iter().map(|(size, _)| *size).collect();
+        Self::create_inner(
+            path,
+            catalog,
+            user_count,
+            days,
+            chunk_size,
+            Some(NmSetup {
+                primary_size,
+                extra_sizes,
+                cell_of_user,
+                cell_tags,
+            }),
+        )
+    }
+
+    fn create_inner(
+        path: impl AsRef<Path>,
+        catalog: &ProgramCatalog,
+        user_count: u32,
+        days: u64,
+        chunk_size: u32,
+        nm: Option<NmSetup>,
     ) -> Result<Self, TraceError> {
         if chunk_size == 0 {
             return Err(format_err("chunk size must be at least 1 record"));
         }
-        let (layout, group_of_user) = match groups {
-            None => (ChunkLayout::TimeMajor, Vec::new()),
-            Some((neighborhood_size, table)) => {
-                if neighborhood_size == 0 {
-                    return Err(format_err("neighborhood size must be at least 1"));
-                }
-                (ChunkLayout::NeighborhoodMajor { neighborhood_size }, table)
-            }
+        let (layout, cell_of_user, cell_tags, extra_sizes) = match nm {
+            None => (ChunkLayout::TimeMajor, Vec::new(), Vec::new(), Vec::new()),
+            Some(setup) => (
+                ChunkLayout::NeighborhoodMajor {
+                    neighborhood_size: setup.primary_size,
+                },
+                setup.cell_of_user,
+                setup.cell_tags,
+                setup.extra_sizes,
+            ),
         };
-        let group_count = match layout {
-            ChunkLayout::TimeMajor => 1,
-            ChunkLayout::NeighborhoodMajor { .. } => {
-                group_of_user.iter().max().map_or(1, |&g| g as usize + 1)
-            }
-        };
+        let cell_count = cell_tags.len().max(1);
 
         let file = File::create(path)?;
         let mut out = BufWriter::with_capacity(1 << 16, file);
@@ -360,6 +499,7 @@ impl ColumnarWriter {
         out.write_all(&0u64.to_le_bytes())?; // directory_offset
         out.write_all(&layout_tag.to_le_bytes())?;
         out.write_all(&group_param.to_le_bytes())?;
+        out.write_all(&(extra_sizes.len() as u32).to_le_bytes())?;
 
         out.write_all(&(catalog.len() as u32).to_le_bytes())?;
         for (_, info) in catalog.iter() {
@@ -374,8 +514,11 @@ impl ColumnarWriter {
             program_count: catalog.len() as u32,
             chunk_size,
             layout,
-            group_of_user,
-            bufs: (0..group_count).map(|_| ChunkBuf::default()).collect(),
+            cell_of_user,
+            cell_tags,
+            extra_sizes,
+            extra_tags: Vec::new(),
+            bufs: (0..cell_count).map(|_| ChunkBuf::default()).collect(),
             directory: Vec::new(),
             next_offset,
             record_count: 0,
@@ -413,7 +556,7 @@ impl ColumnarWriter {
         if rec.user.value() >= self.user_count {
             return Err(TraceError::DanglingUser { user: rec.user });
         }
-        let group = match self.layout {
+        let cell = match self.layout {
             ChunkLayout::TimeMajor => {
                 if gseq != self.next_gseq {
                     return Err(format_err(format!(
@@ -424,10 +567,10 @@ impl ColumnarWriter {
                 }
                 0
             }
-            ChunkLayout::NeighborhoodMajor { .. } => self.group_of_user[rec.user.index()] as usize,
+            ChunkLayout::NeighborhoodMajor { .. } => self.cell_of_user[rec.user.index()] as usize,
         };
         let start = rec.start.as_secs();
-        let buf = &mut self.bufs[group];
+        let buf = &mut self.bufs[cell];
         if buf.any && start < buf.last_start {
             return Err(format_err(format!(
                 "records must be written in start order within a group: {start}s after {}s",
@@ -446,7 +589,7 @@ impl ColumnarWriter {
             .map_err(|_| format_err("seek offset overflows the 32-bit column"))?;
 
         let indexed = matches!(self.layout, ChunkLayout::NeighborhoodMajor { .. });
-        let buf = &mut self.bufs[group];
+        let buf = &mut self.bufs[cell];
         if buf.users.is_empty() {
             buf.first_gseq = gseq;
         }
@@ -464,8 +607,8 @@ impl ColumnarWriter {
         self.record_count += 1;
         self.next_gseq = self.next_gseq.max(gseq + 1);
 
-        if self.bufs[group].users.len() == self.chunk_size as usize {
-            self.flush_group(group)?;
+        if self.bufs[cell].users.len() == self.chunk_size as usize {
+            self.flush_cell(cell)?;
         }
         Ok(())
     }
@@ -489,8 +632,8 @@ impl ColumnarWriter {
         self.record_count
     }
 
-    fn flush_group(&mut self, group: usize) -> Result<(), TraceError> {
-        let buf = &mut self.bufs[group];
+    fn flush_cell(&mut self, cell: usize) -> Result<(), TraceError> {
+        let buf = &mut self.bufs[cell];
         let n = buf.users.len();
         if n == 0 {
             return Ok(());
@@ -531,9 +674,12 @@ impl ColumnarWriter {
             first_index: buf.first_gseq,
             first_start: SimTime::from_secs(buf.starts[0]),
             watermark: SimTime::from_secs(buf.starts[n - 1]),
-            group: indexed.then_some(group as u32),
+            group: indexed.then(|| self.cell_tags[cell][0]),
             crc: crc.finish(),
         });
+        if indexed {
+            self.extra_tags.push(self.cell_tags[cell][1..].to_vec());
+        }
         self.next_offset += (n * self.layout.record_bytes()) as u64;
         buf.users.clear();
         buf.programs.clear();
@@ -544,16 +690,16 @@ impl ColumnarWriter {
         Ok(())
     }
 
-    /// Flushes the tail chunks (one per group still holding records),
-    /// writes the directory, and patches the header counts, completing
-    /// the file.
+    /// Flushes the tail chunks (one per placement cell still holding
+    /// records), writes the directory and index tables, and patches the
+    /// header counts, completing the file.
     ///
     /// # Errors
     ///
     /// Propagates I/O failures.
     pub fn finish(mut self) -> Result<(), TraceError> {
-        for group in 0..self.bufs.len() {
-            self.flush_group(group)?;
+        for cell in 0..self.bufs.len() {
+            self.flush_cell(cell)?;
         }
         let directory_offset = self.next_offset;
         for meta in &self.directory {
@@ -567,6 +713,12 @@ impl ColumnarWriter {
             self.out
                 .write_all(&meta.group.unwrap_or(NO_GROUP).to_le_bytes())?;
             self.out.write_all(&meta.crc.to_le_bytes())?;
+        }
+        for (i, &size) in self.extra_sizes.iter().enumerate() {
+            self.out.write_all(&size.to_le_bytes())?;
+            for row in &self.extra_tags {
+                self.out.write_all(&row[i].to_le_bytes())?;
+            }
         }
         self.out.flush()?;
 
@@ -603,14 +755,124 @@ pub fn write_trace(
     writer.finish()
 }
 
+/// Read-only whole-file memory mapping, kept dependency-free by
+/// declaring the two libc entry points directly (the build environment
+/// vendors stand-ins and cannot grow a `libc`/`memmap` dependency).
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod mmap {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::raw::c_int;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    /// An owned `PROT_READ`/`MAP_PRIVATE` mapping of a whole file,
+    /// unmapped on drop.
+    #[derive(Debug)]
+    pub(super) struct Mmap {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // The mapping is read-only and owned: sharing `&Mmap` across threads
+    // is sharing `&[u8]`.
+    unsafe impl Send for Mmap {}
+    unsafe impl Sync for Mmap {}
+
+    impl Mmap {
+        /// Maps `len` bytes of `file` read-only; `None` when the file is
+        /// empty, too large for the address space, or the kernel refuses
+        /// the mapping (the caller falls back to positioned reads).
+        pub(super) fn map(file: &File, len: u64) -> Option<Mmap> {
+            let len = usize::try_from(len).ok().filter(|&l| l > 0)?;
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            // MAP_FAILED is (void*)-1.
+            if ptr as isize == -1 {
+                return None;
+            }
+            Some(Mmap { ptr, len })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            // Sound: the mapping is valid for `len` bytes until `munmap`
+            // in drop, and nothing writes through it (PROT_READ).
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mmap {
+        fn drop(&mut self) {
+            unsafe { munmap(self.ptr, self.len) };
+        }
+    }
+}
+
+/// One chunk's raw column bytes: borrowed straight from the mapping on
+/// the mmap path, an owned scratch buffer on the pread path.
+enum ChunkData<'a> {
+    Borrowed(&'a [u8]),
+    Owned(Vec<u8>),
+}
+
+impl std::ops::Deref for ChunkData<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        match self {
+            ChunkData::Borrowed(b) => b,
+            ChunkData::Owned(v) => v,
+        }
+    }
+}
+
+/// How chunk bytes reach the decoder (see the module docs).
+#[derive(Debug)]
+enum Backing {
+    /// Positioned reads into a scratch buffer — the portable fallback.
+    Pread,
+    /// Whole-file mapping; `verified` is a per-chunk bitmap memoizing
+    /// successful CRC checks so a re-fetched chunk skips the scan
+    /// (corrupt chunks never set their bit and keep failing).
+    #[cfg(unix)]
+    Mmap {
+        map: mmap::Mmap,
+        verified: Box<[AtomicU64]>,
+    },
+}
+
 /// Reader over a columnar trace file: the header, catalog and chunk
-/// directory live in memory; record columns are read one chunk at a time.
-///
-/// Chunks are fetched with positioned reads (`pread`), so one reader can
-/// serve many shard workers concurrently through a shared reference. The
-/// reader counts every chunk decode (chunks and bytes) in
-/// [`TraceSource::decode_stats`], which is how the engine's decode-work
-/// regression tests observe I/O amplification.
+/// directory live in memory; record columns are decoded one chunk at a
+/// time, borrowed zero-copy from a whole-file memory mapping where the
+/// platform allows it and fetched with positioned reads (`pread`)
+/// otherwise (see the module docs for the selection and fallback rules).
+/// Either way one reader can serve many shard workers concurrently
+/// through a shared reference. The reader counts every chunk decode
+/// (chunks and bytes) in [`TraceSource::decode_stats`], which is how the
+/// engine's decode-work regression tests observe I/O amplification.
 #[derive(Debug)]
 pub struct ColumnarReader {
     file: File,
@@ -623,7 +885,8 @@ pub struct ColumnarReader {
     chunk_size: u32,
     layout: ChunkLayout,
     directory: Vec<ChunkMeta>,
-    neighborhood_layout: Option<NeighborhoodLayout>,
+    layouts: Vec<NeighborhoodLayout>,
+    backing: Backing,
     chunks_decoded: AtomicU64,
     bytes_decoded: AtomicU64,
 }
@@ -643,14 +906,31 @@ fn read_u64(r: &mut impl Read) -> Result<u64, TraceError> {
 }
 
 impl ColumnarReader {
-    /// Opens and validates `path`: magic, version, directory shape and
-    /// per-group index/watermark ordering.
+    /// Opens and validates `path`: magic, version, directory shape,
+    /// index tables, and per-cell index/watermark ordering. Selects the
+    /// zero-copy mmap backing when the platform provides one, falling
+    /// back to positioned reads (see the module docs).
     ///
     /// # Errors
     ///
     /// Returns [`TraceError::Format`] for corrupt or foreign files and
     /// propagates I/O failures.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::open_inner(path, true)
+    }
+
+    /// Opens `path` like [`open`](ColumnarReader::open) but forces the
+    /// portable positioned-read (`pread`) backing — the baseline the
+    /// mmap path is benchmarked against.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open`](ColumnarReader::open).
+    pub fn open_pread(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Self::open_inner(path, false)
+    }
+
+    fn open_inner(path: impl AsRef<Path>, allow_mmap: bool) -> Result<Self, TraceError> {
         let mut file = File::open(path)?;
         if read_array::<4>(&mut file)? != MAGIC {
             return Err(format_err("bad magic: not a columnar trace file"));
@@ -669,6 +949,7 @@ impl ColumnarReader {
         let directory_offset = read_u64(&mut file)?;
         let layout_tag = read_u32(&mut file)?;
         let group_param = read_u32(&mut file)?;
+        let index_count = read_u32(&mut file)?;
         if record_count == u64::MAX || directory_offset == 0 {
             return Err(format_err(
                 "unfinished file: the writer never reached finish()",
@@ -685,6 +966,11 @@ impl ColumnarReader {
             },
             (tag, _) => return Err(format_err(format!("unknown chunk layout tag {tag}"))),
         };
+        if index_count != 0 && matches!(layout, ChunkLayout::TimeMajor) {
+            return Err(format_err(format!(
+                "time-major file carries {index_count} index tables"
+            )));
+        }
         // Every size field is untrusted: bound it against the physical
         // file length before it sizes an allocation, so a corrupt header
         // yields a Format error rather than an OOM abort.
@@ -694,12 +980,15 @@ impl ColumnarReader {
                 "header claims {record_count} records, more than the file can hold"
             )));
         }
-        if directory_offset
-            .checked_add(u64::from(chunk_count) * DIR_ENTRY_LEN as u64)
+        let tail_len = (u64::from(chunk_count) * DIR_ENTRY_LEN as u64)
+            .checked_add(u64::from(index_count) * (4 + 4 * u64::from(chunk_count)));
+        if tail_len
+            .and_then(|t| directory_offset.checked_add(t))
             .is_none_or(|end| end > file_len)
         {
             return Err(format_err(format!(
-                "directory ({chunk_count} chunks at offset {directory_offset}) exceeds the file"
+                "directory ({chunk_count} chunks, {index_count} index tables at offset \
+                 {directory_offset}) exceeds the file"
             )));
         }
 
@@ -728,22 +1017,15 @@ impl ColumnarReader {
             record_count,
             directory_offset,
         )?;
-        let neighborhood_layout = match layout {
-            ChunkLayout::TimeMajor => None,
-            ChunkLayout::NeighborhoodMajor { neighborhood_size } => {
-                let groups = (u64::from(user_count))
-                    .div_ceil(u64::from(neighborhood_size))
-                    .max(1);
-                let mut chunks: Vec<Vec<u32>> = vec![Vec::new(); groups as usize];
-                for (c, meta) in directory.iter().enumerate() {
-                    let g = meta.group.expect("neighborhood-major chunks are grouped");
-                    chunks[g as usize].push(c as u32);
-                }
-                Some(NeighborhoodLayout {
-                    neighborhood_size,
-                    chunks,
-                })
-            }
+        let extra_indexes =
+            Self::read_index_tables(&mut file, index_count, chunk_count, layout, user_count)?;
+        let layouts =
+            Self::validate_cells_and_build_layouts(layout, user_count, &directory, &extra_indexes)?;
+
+        let backing = if allow_mmap {
+            Self::mmap_backing(&file, file_len, directory.len())
+        } else {
+            Backing::Pread
         };
 
         Ok(ColumnarReader {
@@ -757,10 +1039,39 @@ impl ColumnarReader {
             chunk_size,
             layout,
             directory,
-            neighborhood_layout,
+            layouts,
+            backing,
             chunks_decoded: AtomicU64::new(0),
             bytes_decoded: AtomicU64::new(0),
         })
+    }
+
+    #[cfg(unix)]
+    fn mmap_backing(file: &File, file_len: u64, chunk_count: usize) -> Backing {
+        match mmap::Mmap::map(file, file_len) {
+            Some(map) => Backing::Mmap {
+                map,
+                verified: (0..chunk_count.div_ceil(64))
+                    .map(|_| AtomicU64::new(0))
+                    .collect(),
+            },
+            None => Backing::Pread,
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn mmap_backing(_file: &File, _file_len: u64, _chunk_count: usize) -> Backing {
+        Backing::Pread
+    }
+
+    /// Whether chunk fetches borrow zero-copy from a memory mapping
+    /// (`false` means the portable pread fallback is active).
+    pub fn uses_mmap(&self) -> bool {
+        match self.backing {
+            Backing::Pread => false,
+            #[cfg(unix)]
+            Backing::Mmap { .. } => true,
+        }
     }
 
     fn read_directory(
@@ -778,10 +1089,12 @@ impl ColumnarReader {
                 .max(1)
                 as usize,
         };
-        // Per-group continuation state: expected next index (dense for
-        // time-major) or last seen index+watermark (neighborhood-major).
-        let mut next_index = vec![0u64; group_count];
-        let mut last_watermark = vec![0u64; group_count];
+        // Time-major continuation state (dense indexes, one global
+        // timeline). Neighborhood-major cross-chunk ordering is per cell
+        // and needs the index tables, so it is validated afterwards in
+        // `validate_cells_and_build_layouts`.
+        let mut next_index = 0u64;
+        let mut last_watermark = 0u64;
         let mut covered = 0u64;
         let mut directory = Vec::with_capacity(chunk_count as usize);
         for c in 0..chunk_count {
@@ -792,38 +1105,32 @@ impl ColumnarReader {
             let watermark = read_u64(file)?;
             let group_tag = read_u32(file)?;
             let crc = read_u32(file)?;
-            let group = match layout {
+            match layout {
                 ChunkLayout::TimeMajor => {
                     if group_tag != NO_GROUP {
                         return Err(format_err(format!(
                             "time-major chunk {c} carries group tag {group_tag}"
                         )));
                     }
-                    if first_index != next_index[0] {
+                    if first_index != next_index {
                         return Err(format_err(format!(
-                            "chunk {c} starts at record {first_index}, expected {}",
-                            next_index[0]
+                            "chunk {c} starts at record {first_index}, expected {next_index}"
                         )));
                     }
-                    next_index[0] = first_index + u64::from(records);
-                    0usize
+                    next_index = first_index + u64::from(records);
+                    if first_start < last_watermark {
+                        return Err(format_err(format!("chunk {c} breaks time ordering")));
+                    }
+                    last_watermark = watermark;
                 }
                 ChunkLayout::NeighborhoodMajor { .. } => {
-                    let g = group_tag as usize;
-                    if g >= group_count {
+                    if group_tag as usize >= group_count {
                         return Err(format_err(format!(
                             "chunk {c} claims group {group_tag}, file has {group_count} groups"
                         )));
                     }
-                    if first_index < next_index[g] {
-                        return Err(format_err(format!(
-                            "chunk {c} regresses group {g}'s sequence numbers"
-                        )));
-                    }
-                    next_index[g] = first_index + u64::from(records);
-                    g
                 }
-            };
+            }
             // Sequence numbers are global record indices: a chunk whose
             // span leaves `0..record_count` is corrupt, and catching it
             // here keeps a crafted first_index from sizing allocations or
@@ -836,7 +1143,7 @@ impl ColumnarReader {
                     "chunk {c} spans sequence numbers beyond the {record_count} records on file"
                 )));
             }
-            if first_start < last_watermark[group] || watermark < first_start {
+            if watermark < first_start {
                 return Err(format_err(format!("chunk {c} breaks time ordering")));
             }
             if file_offset
@@ -848,7 +1155,6 @@ impl ColumnarReader {
                 )));
             }
             covered += u64::from(records);
-            last_watermark[group] = watermark;
             directory.push(ChunkMeta {
                 file_offset,
                 record_count: records,
@@ -865,6 +1171,153 @@ impl ColumnarReader {
             )));
         }
         Ok(directory)
+    }
+
+    /// Reads the extra index tables after the directory: per table a
+    /// carried neighborhood size and one group tag per chunk.
+    fn read_index_tables(
+        file: &mut File,
+        index_count: u32,
+        chunk_count: u32,
+        layout: ChunkLayout,
+        user_count: u32,
+    ) -> Result<Vec<(u32, Vec<u32>)>, TraceError> {
+        let mut tables: Vec<(u32, Vec<u32>)> = Vec::with_capacity(index_count as usize);
+        let primary = match layout {
+            ChunkLayout::TimeMajor => return Ok(tables),
+            ChunkLayout::NeighborhoodMajor { neighborhood_size } => neighborhood_size,
+        };
+        for t in 0..index_count {
+            let size = read_u32(file)?;
+            if size == 0 {
+                return Err(format_err(format!("index table {t} carries size zero")));
+            }
+            if size == primary || tables.iter().any(|(s, _)| *s == size) {
+                return Err(format_err(format!(
+                    "index table {t} repeats neighborhood size {size}"
+                )));
+            }
+            let groups = u64::from(user_count).div_ceil(u64::from(size)).max(1);
+            let mut tags = Vec::with_capacity(chunk_count as usize);
+            for c in 0..chunk_count {
+                let tag = read_u32(file)?;
+                if u64::from(tag) >= groups {
+                    return Err(format_err(format!(
+                        "index table {t} tags chunk {c} with group {tag}, \
+                         size {size} has {groups} groups"
+                    )));
+                }
+                tags.push(tag);
+            }
+            tables.push((size, tags));
+        }
+        Ok(tables)
+    }
+
+    /// Validates neighborhood-major cross-chunk ordering per placement
+    /// cell (a chunk's cell is its tag tuple across the directory and
+    /// every index table) and builds one [`NeighborhoodLayout`] per
+    /// carried size, primary first. Time-major files get no layouts.
+    fn validate_cells_and_build_layouts(
+        layout: ChunkLayout,
+        user_count: u32,
+        directory: &[ChunkMeta],
+        extra_indexes: &[(u32, Vec<u32>)],
+    ) -> Result<Vec<NeighborhoodLayout>, TraceError> {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+
+        let primary_size = match layout {
+            ChunkLayout::TimeMajor => return Ok(Vec::new()),
+            ChunkLayout::NeighborhoodMajor { neighborhood_size } => neighborhood_size,
+        };
+
+        // Assign cell ids by tag tuple (first-seen order) while checking
+        // that each cell's chunks keep ascending sequence numbers and
+        // non-regressing start times in file order.
+        let mut cell_ids: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut cell_state: Vec<(u64, u64)> = Vec::new(); // (next_index, last_watermark)
+        let mut chunk_cell: Vec<u32> = Vec::with_capacity(directory.len());
+        for (c, meta) in directory.iter().enumerate() {
+            let mut key = Vec::with_capacity(1 + extra_indexes.len());
+            key.push(meta.group.expect("neighborhood-major chunks are grouped"));
+            for (_, tags) in extra_indexes {
+                key.push(tags[c]);
+            }
+            let cell = match cell_ids.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(e) => {
+                    let id = cell_state.len() as u32;
+                    cell_state.push((0, 0));
+                    *e.insert(id)
+                }
+            };
+            let (next_index, last_watermark) = &mut cell_state[cell as usize];
+            if meta.first_index < *next_index {
+                return Err(format_err(format!(
+                    "chunk {c} regresses its cell's sequence numbers"
+                )));
+            }
+            if meta.first_start.as_secs() < *last_watermark {
+                return Err(format_err(format!("chunk {c} breaks time ordering")));
+            }
+            *next_index = meta.first_index + u64::from(meta.record_count);
+            *last_watermark = meta.watermark.as_secs();
+            chunk_cell.push(cell);
+        }
+
+        let mut layouts = Vec::with_capacity(1 + extra_indexes.len());
+        let primary_tags: Vec<u32> = directory
+            .iter()
+            .map(|meta| meta.group.expect("neighborhood-major chunks are grouped"))
+            .collect();
+        layouts.push(Self::build_layout(
+            primary_size,
+            user_count,
+            &chunk_cell,
+            &primary_tags,
+        ));
+        for (size, tags) in extra_indexes {
+            layouts.push(Self::build_layout(*size, user_count, &chunk_cell, tags));
+        }
+        Ok(layouts)
+    }
+
+    /// Builds one carried size's [`NeighborhoodLayout`]: per group, one
+    /// run per cell the group spans (runs in first-seen file order, chunk
+    /// ids within a run ascending — which the per-cell validation made
+    /// sequence-ascending too).
+    fn build_layout(
+        size: u32,
+        user_count: u32,
+        chunk_cell: &[u32],
+        group_of_chunk: &[u32],
+    ) -> NeighborhoodLayout {
+        use std::collections::hash_map::Entry;
+        use std::collections::HashMap;
+
+        let groups = u64::from(user_count).div_ceil(u64::from(size)).max(1) as usize;
+        let mut runs: Vec<Vec<Vec<u32>>> = vec![Vec::new(); groups];
+        // A cell lies inside exactly one group per size, so the run index
+        // can be memoized per cell.
+        let mut run_of_cell: HashMap<u32, (usize, usize)> = HashMap::new();
+        for (c, (&cell, &group)) in chunk_cell.iter().zip(group_of_chunk).enumerate() {
+            match run_of_cell.entry(cell) {
+                Entry::Occupied(e) => {
+                    let (g, r) = *e.get();
+                    runs[g][r].push(c as u32);
+                }
+                Entry::Vacant(e) => {
+                    let g = group as usize;
+                    e.insert((g, runs[g].len()));
+                    runs[g].push(vec![c as u32]);
+                }
+            }
+        }
+        NeighborhoodLayout {
+            neighborhood_size: size,
+            runs,
+        }
     }
 
     /// The nominal records-per-chunk the file was written with.
@@ -919,28 +1372,54 @@ impl ColumnarReader {
         Trace::new(records, self.catalog.clone(), self.user_count, self.days)
     }
 
-    /// Fetches chunk `chunk`'s raw column bytes (one positioned read) and
-    /// counts the decode.
-    fn fetch(&self, chunk: usize) -> Result<(ChunkMeta, Vec<u8>), TraceError> {
+    /// Fetches chunk `chunk`'s raw column bytes — a borrowed slice of the
+    /// mapping or one positioned read into a scratch buffer — verifies
+    /// the CRC, and counts the decode.
+    fn fetch(&self, chunk: usize) -> Result<(ChunkMeta, ChunkData<'_>), TraceError> {
         let meta = self
             .directory
             .get(chunk)
             .copied()
             .ok_or_else(|| format_err(format!("chunk {chunk} out of range")))?;
-        let n = meta.record_count as usize;
-        let mut bytes = vec![0u8; n * self.layout.record_bytes()];
-        self.read_at(&mut bytes, meta.file_offset)?;
-        let computed = crc32(&bytes);
-        if computed != meta.crc {
-            return Err(format_err(format!(
+        let len = meta.record_count as usize * self.layout.record_bytes();
+        let checksum_err = |computed: u32| {
+            format_err(format!(
                 "chunk {chunk} failed checksum verification \
                  (stored {:#010x}, computed {computed:#010x})",
                 meta.crc
-            )));
-        }
+            ))
+        };
+        let bytes = match &self.backing {
+            Backing::Pread => {
+                let mut bytes = vec![0u8; len];
+                self.read_at(&mut bytes, meta.file_offset)?;
+                let computed = crc32(&bytes);
+                if computed != meta.crc {
+                    return Err(checksum_err(computed));
+                }
+                ChunkData::Owned(bytes)
+            }
+            #[cfg(unix)]
+            Backing::Mmap { map, verified } => {
+                // Safe slice: the directory validation bounded every
+                // chunk's extent by directory_offset <= file_len, which
+                // is the mapping's length.
+                let start = meta.file_offset as usize;
+                let bytes = &map.bytes()[start..start + len];
+                let word = &verified[chunk / 64];
+                let bit = 1u64 << (chunk % 64);
+                if word.load(Ordering::Acquire) & bit == 0 {
+                    let computed = crc32(bytes);
+                    if computed != meta.crc {
+                        return Err(checksum_err(computed));
+                    }
+                    word.fetch_or(bit, Ordering::Release);
+                }
+                ChunkData::Borrowed(bytes)
+            }
+        };
         self.chunks_decoded.fetch_add(1, Ordering::Relaxed);
-        self.bytes_decoded
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.bytes_decoded.fetch_add(len as u64, Ordering::Relaxed);
         Ok((meta, bytes))
     }
 
@@ -1079,8 +1558,8 @@ impl TraceSource for ColumnarReader {
         Ok(())
     }
 
-    fn neighborhood_layout(&self) -> Option<&NeighborhoodLayout> {
-        self.neighborhood_layout.as_ref()
+    fn neighborhood_layouts(&self) -> &[NeighborhoodLayout] {
+        &self.layouts
     }
 
     fn decode_stats(&self) -> DecodeStats {
@@ -1262,16 +1741,18 @@ mod tests {
         assert_eq!(nm.read_trace().expect("read"), trace);
 
         // Every chunk holds exactly one group's records, and the layout's
-        // per-group chunk lists cover every chunk with ascending sequence
-        // numbers.
+        // per-group chunk runs cover every chunk with ascending sequence
+        // numbers. A single-index file has one cell per group, so at most
+        // one run each.
         let groups = neighborhood_groups(trace.user_count(), 60).expect("groups");
         let layout = nm.neighborhood_layout().expect("layout").clone();
         assert_eq!(layout.neighborhood_size, 60);
+        assert!(layout.single_run_per_group());
         let mut seen = 0usize;
         let mut buf = Vec::new();
-        for (g, chunks) in layout.chunks.iter().enumerate() {
+        for (g, runs) in layout.runs.iter().enumerate() {
             let mut last_seq = None;
-            for &c in chunks {
+            for &c in runs.iter().flatten() {
                 assert_eq!(nm.directory()[c as usize].group, Some(g as u32));
                 nm.read_chunk_indexed(c as usize, &mut buf).expect("read");
                 for &(gseq, rec) in &buf {
@@ -1286,6 +1767,123 @@ mod tests {
         assert_eq!(seen, trace.len());
         std::fs::remove_file(&src).ok();
         std::fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn multi_index_round_trips_and_carries_a_layout_per_size() {
+        let trace = small();
+        let src = tmp_path("mi_src");
+        let dst = tmp_path("mi_dst");
+        write_trace(&src, &trace, 32).expect("write");
+        let reader = ColumnarReader::open(&src).expect("open src");
+        let sizes = [60u32, 100, 35];
+        crate::rechunk::rechunk_multi_index(&reader, &dst, &sizes, 32).expect("rechunk");
+
+        let nm = ColumnarReader::open(&dst).expect("open rechunked");
+        assert_eq!(
+            nm.layout(),
+            ChunkLayout::NeighborhoodMajor {
+                neighborhood_size: 60
+            }
+        );
+        assert_eq!(nm.read_trace().expect("read"), trace);
+        assert_eq!(nm.neighborhood_layouts().len(), sizes.len());
+
+        // Each carried size gets a layout whose runs (a) only hold chunks
+        // whose records belong to that run's group at that size, (b) keep
+        // ascending sequence numbers within a run, and (c) cover every
+        // record exactly once.
+        let mut buf = Vec::new();
+        for &size in &sizes {
+            let groups = neighborhood_groups(trace.user_count(), size).expect("groups");
+            let layout = nm.neighborhood_layout_for(size).expect("layout");
+            assert_eq!(layout.neighborhood_size, size);
+            let mut seen = 0usize;
+            for (g, runs) in layout.runs.iter().enumerate() {
+                for run in runs {
+                    let mut last_seq = None;
+                    for &c in run {
+                        nm.read_chunk_indexed(c as usize, &mut buf).expect("read");
+                        for &(gseq, rec) in &buf {
+                            assert_eq!(groups[rec.user.index()], g as u32, "wrong group");
+                            assert_eq!(trace.records()[gseq as usize], rec);
+                            assert!(last_seq < Some(gseq), "sequence order within run");
+                            last_seq = Some(gseq);
+                        }
+                        seen += buf.len();
+                    }
+                }
+            }
+            assert_eq!(seen, trace.len(), "size {size} covers the trace");
+        }
+        std::fs::remove_file(&src).ok();
+        std::fs::remove_file(&dst).ok();
+    }
+
+    #[test]
+    fn mmap_and_pread_backings_decode_identically() {
+        let trace = small();
+        let path = tmp_path("backing_parity");
+        write_trace(&path, &trace, 64).expect("write");
+        let mapped = ColumnarReader::open(&path).expect("open");
+        let pread = ColumnarReader::open_pread(&path).expect("open_pread");
+        assert!(!pread.uses_mmap());
+        #[cfg(unix)]
+        assert!(mapped.uses_mmap());
+        assert_eq!(mapped.read_trace().expect("read"), trace);
+        assert_eq!(pread.read_trace().expect("read"), trace);
+        // Both paths count every fetch, including memoized re-fetches.
+        let mut buf = Vec::new();
+        mapped.read_chunk(0, &mut buf).expect("read");
+        mapped.read_chunk(0, &mut buf).expect("read");
+        let expected = mapped.chunk_count() as u64 + 2;
+        assert_eq!(mapped.decode_stats().chunks, expected);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_chunk_fails_identically_on_both_backings() {
+        let trace = small();
+        let path = tmp_path("backing_corrupt");
+        write_trace(&path, &trace, 64).expect("write");
+        // Flip one payload byte inside chunk 0's columns.
+        let mut bytes = std::fs::read(&path).expect("read file");
+        let offset = {
+            let reader = ColumnarReader::open_pread(&path).expect("open");
+            reader.directory()[0].file_offset as usize + 5
+        };
+        bytes[offset] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("rewrite");
+
+        let mapped = ColumnarReader::open(&path).expect("open");
+        let pread = ColumnarReader::open_pread(&path).expect("open_pread");
+        let mut buf = Vec::new();
+        let mmap_err = mapped.read_chunk(0, &mut buf).unwrap_err().to_string();
+        let pread_err = pread.read_chunk(0, &mut buf).unwrap_err().to_string();
+        assert_eq!(mmap_err, pread_err);
+        assert!(mmap_err.contains("checksum"), "{mmap_err}");
+        // The memo bitmap never latches a failed check: the error repeats.
+        let again = mapped.read_chunk(0, &mut buf).unwrap_err().to_string();
+        assert_eq!(again, mmap_err);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_multi_index_rejects_duplicate_sizes() {
+        let trace = small();
+        let path = tmp_path("mi_dup");
+        let table = vec![0u32; trace.user_count() as usize];
+        let err = ColumnarWriter::create_multi_index(
+            &path,
+            trace.catalog(),
+            trace.user_count(),
+            3,
+            16,
+            vec![(60, table.clone()), (60, table)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, TraceError::Format { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

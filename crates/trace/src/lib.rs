@@ -27,7 +27,11 @@
 //! assert!(peak.as_bps() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
+// Denied (not forbidden) so the one audited exception — the zero-copy
+// mmap backing in `columnar`, which must call `mmap`/`munmap` directly
+// because the build vendors stand-ins and cannot grow a `libc` or
+// `memmap` dependency — can opt in with a scoped `allow`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analyze;

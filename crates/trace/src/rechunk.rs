@@ -109,15 +109,40 @@ pub fn rechunk_by_neighborhood<S: TraceSource + ?Sized>(
     neighborhood_size: u32,
     chunk_size: u32,
 ) -> Result<(), TraceError> {
-    let groups = neighborhood_groups(source.user_count(), neighborhood_size)?;
-    let mut writer = ColumnarWriter::create_neighborhood_major(
+    rechunk_multi_index(source, dst, &[neighborhood_size], chunk_size)
+}
+
+/// Like [`rechunk_by_neighborhood`] but the destination carries a chunk
+/// index for **every** size in `sizes` (the first is the primary, i.e.
+/// the header's declared neighborhood size), so a neighborhood-size sweep
+/// over those sizes fast-paths every point from one file. Because all
+/// sizes slice the same §V-B placement permutation, chunks land on the
+/// partition-intersection cells and each index's groups stay unions of
+/// whole chunks; the per-cell output buffers grow with
+/// `Σ ceil(users/size)` — budget `chunk_size` with
+/// [`import_chunk_size`] at the **smallest** carried size.
+///
+/// # Errors
+///
+/// As for [`rechunk_by_neighborhood`], plus [`TraceError::Format`] for an
+/// empty or duplicate-carrying size list.
+pub fn rechunk_multi_index<S: TraceSource + ?Sized>(
+    source: &S,
+    dst: impl AsRef<Path>,
+    sizes: &[u32],
+    chunk_size: u32,
+) -> Result<(), TraceError> {
+    let mut indexes = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        indexes.push((size, neighborhood_groups(source.user_count(), size)?));
+    }
+    let mut writer = ColumnarWriter::create_multi_index(
         dst,
         source.catalog(),
         source.user_count(),
         source.days(),
         chunk_size,
-        neighborhood_size,
-        groups,
+        indexes,
     )?;
     let mut buf = Vec::new();
     for chunk in 0..source.chunk_count() {

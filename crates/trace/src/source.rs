@@ -57,15 +57,36 @@ impl std::ops::Sub for DecodeStats {
 
 /// The per-neighborhood chunk index of a neighborhood-major source: for
 /// each neighborhood group of the declared size (under the deterministic
-/// §V-B user shuffle — see [`crate::rechunk`]), the chunks holding exactly
-/// that group's records, in ascending sequence order.
+/// §V-B user shuffle — see [`crate::rechunk`]), the chunk *runs* holding
+/// exactly that group's records.
+///
+/// Each run is a sequence-ascending chunk list a consumer can stream
+/// front to back; a group's full record stream is the sequence-number
+/// merge of its runs. A single-index file has exactly one run per group;
+/// a multi-index file (chunks partitioned by placement *cell* — the
+/// intervals cut by every carried size's group boundaries) gives a group
+/// one run per cell it spans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborhoodLayout {
     /// The neighborhood size the grouping was evaluated at. The index is
     /// only valid for simulations configured with this exact size.
     pub neighborhood_size: u32,
-    /// `chunks[g]` are the chunk ids holding group `g`'s records.
-    pub chunks: Vec<Vec<u32>>,
+    /// `runs[g]` are group `g`'s chunk runs (see the type docs).
+    pub runs: Vec<Vec<Vec<u32>>>,
+}
+
+impl NeighborhoodLayout {
+    /// Number of neighborhood groups this index partitions the users into.
+    pub fn group_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether every group is served by a single chunk run (always true
+    /// for single-index files; for multi-index files only when every
+    /// group spans one placement cell).
+    pub fn single_run_per_group(&self) -> bool {
+        self.runs.iter().all(|runs| runs.len() <= 1)
+    }
 }
 
 /// Chunked, possibly out-of-core access to a session-record workload.
@@ -129,11 +150,27 @@ pub trait TraceSource: Sync {
         Ok(())
     }
 
-    /// The per-neighborhood chunk index, when this source's chunks are
-    /// grouped by neighborhood (see [`NeighborhoodLayout`]). `None` means
-    /// chunks partition the global time order.
+    /// Every per-neighborhood chunk index this source carries, one per
+    /// candidate neighborhood size (see [`NeighborhoodLayout`]). Empty
+    /// means chunks partition the global time order.
+    fn neighborhood_layouts(&self) -> &[NeighborhoodLayout] {
+        &[]
+    }
+
+    /// The primary per-neighborhood chunk index, when this source's
+    /// chunks are grouped by neighborhood. `None` means chunks partition
+    /// the global time order.
     fn neighborhood_layout(&self) -> Option<&NeighborhoodLayout> {
-        None
+        self.neighborhood_layouts().first()
+    }
+
+    /// The carried chunk index evaluated at exactly `size`, if any —
+    /// the lookup sweep consumers use to fast-path a matching
+    /// neighborhood size.
+    fn neighborhood_layout_for(&self, size: u32) -> Option<&NeighborhoodLayout> {
+        self.neighborhood_layouts()
+            .iter()
+            .find(|layout| layout.neighborhood_size == size)
     }
 
     /// Cumulative decode counters (see [`DecodeStats`]); sources that do

@@ -101,7 +101,7 @@ proptest! {
 /// counting admission tallies without changing the trajectory.
 #[test]
 fn enforcing_outage_blocks_and_interrupts() {
-    let trace = generate(&tiny_config(180, 30, 3, 17));
+    let trace = generate(&tiny_config(180, 30, 3, 2));
     // Neighborhood 0 is dark from day-1 noon to day-2 noon: long enough
     // that retries cannot ride it out, landing mid-stream for sessions
     // started before noon.
@@ -171,7 +171,7 @@ fn enforcing_outage_blocks_and_interrupts() {
 /// double-counted, or left behind in the heap.
 #[test]
 fn retry_exhaustion_counts_blocked_once_and_drains_the_heap() {
-    let trace = generate(&tiny_config(180, 30, 3, 17));
+    let trace = generate(&tiny_config(180, 30, 3, 2));
     // Neighborhood 0 dark for a full day: with the paper ladder
     // (3 retries at +30/+90/+210s cumulative) every session requesting
     // more than 210s before the outage ends exhausts inside the window.
@@ -234,7 +234,7 @@ fn retry_exhaustion_counts_blocked_once_and_drains_the_heap() {
 /// blocked exactly once, never admitted after the horizon.
 #[test]
 fn outage_past_trace_end_still_drains_pending_retries() {
-    let trace = generate(&tiny_config(180, 30, 3, 17));
+    let trace = generate(&tiny_config(180, 30, 3, 2));
     // Dark from day-2 noon to day 5 — far past the 3-day trace.
     let plan = FaultPlan::new(vec![FaultEvent {
         scope: Some(NeighborhoodId::new(0)),

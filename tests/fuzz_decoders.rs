@@ -106,6 +106,41 @@ proptest! {
         }
     }
 
+    /// The mmap and pread chunk backings are observationally identical
+    /// over the same corruption corpus: identical records on success,
+    /// identical error text on failure — a corrupt chunk must not behave
+    /// differently just because the bytes arrive through a mapping.
+    #[test]
+    fn mmap_and_pread_backings_agree_under_corruption(
+        seed in 0u64..500,
+        kind in 0usize..3,
+        at in 0.0..1.0f64,
+        lie in 0u64..u64::MAX,
+    ) {
+        let trace = generate(&synth(seed));
+        let path = TempFile(temp_path("cvtc_mm"));
+        write_trace(&path.0, &trace, 128).expect("write valid trace");
+        let mut bytes = std::fs::read(&path.0).expect("read trace back");
+        apply(&mut bytes, kind, at, lie);
+        std::fs::write(&path.0, &bytes).expect("write mutated trace");
+
+        let via_mmap = ColumnarReader::open(&path.0).and_then(|r| r.read_trace());
+        let via_pread = ColumnarReader::open_pread(&path.0).and_then(|r| r.read_trace());
+        match (via_mmap, via_pread) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.records(), b.records());
+                prop_assert_eq!(a.records(), trace.records());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(
+                false,
+                "backings disagree: mmap ok={} vs pread ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+
     /// Corrupted `.cvsc` sidecars error or decode the original events.
     #[test]
     fn schedule_decoder_survives_corruption(
@@ -180,6 +215,17 @@ fn payload_bit_flip_is_caught_by_checksum() {
     assert!(
         message.contains("chunk 0") && message.contains("checksum"),
         "error should name the chunk and the checksum: {message}"
+    );
+
+    // The portable pread backing must report the identical failure.
+    let reader = ColumnarReader::open_pread(&path.0).expect("directory still parses");
+    let pread_message = reader
+        .read_trace()
+        .expect_err("checksum must catch the flip on the pread path too")
+        .to_string();
+    assert_eq!(
+        message, pread_message,
+        "mmap and pread paths must fail a corrupt chunk identically"
     );
 }
 

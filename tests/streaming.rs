@@ -12,11 +12,11 @@ use proptest::prelude::*;
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::ids::{ProgramId, UserId};
 use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
-use cablevod_sim::{run, run_parallel, SimConfig};
+use cablevod_sim::{run, run_parallel, SimConfig, Simulation};
 use cablevod_tests::tiny_config;
 use cablevod_trace::catalog::{ProgramCatalog, ProgramInfo};
 use cablevod_trace::columnar::{write_trace, ColumnarReader};
-use cablevod_trace::rechunk::rechunk_by_neighborhood;
+use cablevod_trace::rechunk::{rechunk_by_neighborhood, rechunk_multi_index};
 use cablevod_trace::record::{SessionRecord, Trace};
 use cablevod_trace::source::{ChunkedTrace, TraceSource};
 use cablevod_trace::synth::generate;
@@ -290,6 +290,88 @@ fn oracle_streaming_decode_counts_include_the_schedule_pre_pass() {
     );
     std::fs::remove_file(&tm).ok();
     std::fs::remove_file(&nm).ok();
+}
+
+/// Multi-index sweep bit-identity: a neighborhood-size sweep served by
+/// one multi-index file through the decode-once fast path produces
+/// reports byte-identical to the single-index merge/fallback path and to
+/// the resident engine — serial and sharded alike — and the telemetry
+/// flag confirms the fast path actually engaged at every indexed size.
+#[test]
+fn multi_index_sweep_fast_path_is_bit_identical() {
+    let trace: Trace = generate(&tiny_config(300, 40, 4, 19));
+    let mut tm = std::env::temp_dir();
+    tm.push(format!("cvtc_multi_tm_{}.cvtc", std::process::id()));
+    let mut nm = std::env::temp_dir();
+    nm.push(format!("cvtc_multi_nm_{}.cvtc", std::process::id()));
+    let mut multi = std::env::temp_dir();
+    multi.push(format!("cvtc_multi_mi_{}.cvtc", std::process::id()));
+    write_trace(&tm, &trace, 128).expect("write time-major");
+    let tm_reader = ColumnarReader::open(&tm).expect("open time-major");
+    // The merge-path reference: a single-index file at one of the sweep's
+    // sizes (matched at 60, mismatched-merge at 100). The fast path: one
+    // multi-index file carrying both sizes over the same shared columns.
+    rechunk_by_neighborhood(&tm_reader, &nm, 60, 64).expect("single-index rechunk");
+    rechunk_multi_index(&tm_reader, &multi, &[60, 100], 64).expect("multi-index rechunk");
+    let nm_reader = ColumnarReader::open(&nm).expect("open single-index");
+    let multi_reader = ColumnarReader::open(&multi).expect("open multi-index");
+
+    for &(size, threads) in &[(60u32, 3usize), (100, 2)] {
+        for pick in 0..5 {
+            let config = config_for(size, 2, strategy(pick));
+            let resident = run(&trace, &config).expect("resident runs");
+            assert_eq!(
+                run_parallel(&trace, &config, threads).expect("resident sharded runs"),
+                resident,
+                "resident sharded, size {size}, strategy {pick}"
+            );
+            assert_eq!(
+                run(&nm_reader, &config).expect("merge-path serial runs"),
+                resident,
+                "merge serial, size {size}, strategy {pick}"
+            );
+            assert_eq!(
+                run_parallel(&nm_reader, &config, threads).expect("merge-path sharded runs"),
+                resident,
+                "merge sharded, size {size}, strategy {pick}"
+            );
+            assert_eq!(
+                run(&multi_reader, &config).expect("fast-path serial runs"),
+                resident,
+                "fast serial, size {size}, strategy {pick}"
+            );
+            assert_eq!(
+                run_parallel(&multi_reader, &config, threads).expect("fast-path sharded runs"),
+                resident,
+                "fast sharded, size {size}, strategy {pick}"
+            );
+        }
+
+        // Telemetry: the multi-index file serves this size through its
+        // matching index; the single-index file only matches at 60.
+        let config = config_for(size, 2, StrategySpec::default_lfu());
+        let fast = Simulation::over(&multi_reader)
+            .config(config.clone())
+            .run()
+            .expect("fast-path telemetry run");
+        assert!(
+            fast.telemetry.fastpath,
+            "multi-index replay at size {size} must take the fast path"
+        );
+        let merge = Simulation::over(&nm_reader)
+            .config(config)
+            .run()
+            .expect("merge-path telemetry run");
+        assert_eq!(
+            merge.telemetry.fastpath,
+            size == 60,
+            "single-index replay matches only its own size"
+        );
+        assert_eq!(fast.report, merge.report, "telemetry runs agree too");
+    }
+    std::fs::remove_file(&tm).ok();
+    std::fs::remove_file(&nm).ok();
+    std::fs::remove_file(&multi).ok();
 }
 
 fn hour_catalog(programs: u32) -> ProgramCatalog {
