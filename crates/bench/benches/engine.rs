@@ -65,6 +65,32 @@ fn engine_throughput(c: &mut Criterion) {
                 .expect("runs")
         })
     });
+    // The registry-dispatch pair: the same LFU workload selected as a
+    // config spec (`registry_builtin`) and resolved by name through the
+    // plugin-aware registry (`registry_dispatch`, the path every
+    // `cablevod-scenario` cell takes). Resolution is a once-per-run
+    // BTreeMap lookup returning the same factory object, so the two rows
+    // agreeing is the proof that out-of-tree pluggability costs nothing.
+    group.bench_function("registry_builtin", |b| {
+        b.iter(|| {
+            Simulation::over(trace)
+                .config(config.clone())
+                .strategy(StrategySpec::default_lfu())
+                .run()
+                .expect("runs")
+        })
+    });
+    let registry = cablevod_cache::StrategyRegistry::with_plugins();
+    group.bench_function("registry_dispatch", |b| {
+        b.iter(|| {
+            Simulation::over(trace)
+                .config(config.clone())
+                .registry(registry.clone())
+                .strategy_named("lfu")
+                .run()
+                .expect("runs")
+        })
+    });
     group.finish();
 }
 

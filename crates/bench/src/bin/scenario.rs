@@ -4,14 +4,18 @@
 //! cablevod-scenario SPEC_FILE [--out FILE] [--print-spec]
 //!                   [--checkpoint FILE] [--resume] [--keep-going]
 //!                   [--job-retry NxBASE] [--job-timeout SECS]
+//! cablevod-scenario --list-strategies
 //! ```
 //!
 //! Loads a [`Scenario`] spec (format documented in
 //! `cablevod_sim::scenario`), executes it through the crash-safe grid
-//! executor with the built-in strategy registry, and prints **one JSON
-//! object per cell** to stdout followed by a final `{"done":true,...}`
-//! line — machine-parseable, so CI (and any downstream harness) can
-//! assert on the sweep without knowing the experiment:
+//! executor with the plugin-aware strategy registry
+//! ([`StrategyRegistry::with_plugins`], so out-of-tree strategies
+//! installed via `cablevod_cache::register_plugin` are nameable from
+//! spec files), and prints **one JSON object per cell** to stdout
+//! followed by a final `{"done":true,...}` line — machine-parseable, so
+//! CI (and any downstream harness) can assert on the sweep without
+//! knowing the experiment:
 //!
 //! ```text
 //! {"scenario":"smoke","series":"LFU","point":"1GB","strategy":"LFU","threads":1,
@@ -44,7 +48,11 @@
 //!   (default: stop scheduling new cells on the first failure);
 //! * `--job-retry NxBASE` retries a failed cell up to `N` more times
 //!   with doubling backoff from `BASE` (e.g. `2x500ms`, `3x5s`);
-//! * `--job-timeout SECS` fails any single attempt that runs longer.
+//! * `--job-timeout SECS` fails any single attempt that runs longer;
+//! * `--list-strategies` prints every registered strategy name with its
+//!   capability bits (`feed`, `schedule`, `prefetch`, `fetch-model`) and
+//!   exits — the quick way to see what a spec file's `series` lines may
+//!   name, plugins included.
 //!
 //! A run with any failed or skipped cell exits nonzero; the failed cells
 //! are named (with their errors) in a `failed_cells` array on the final
@@ -86,7 +94,8 @@ fn completed_json(
         "{{\"scenario\":\"{}\",\"series\":\"{}\",\"point\":\"{}\",\"strategy\":\"{}\",\
          \"threads\":{},\"sessions\":{},\"segment_requests\":{},\"peak_gbps\":{:.6},\
          \"q05_gbps\":{:.6},\"q95_gbps\":{:.6},\"hit_rate\":{:.6},\
-         \"blocked_sessions\":{},\"interrupted_sessions\":{},\"retries\":{}",
+         \"blocked_sessions\":{},\"interrupted_sessions\":{},\"retries\":{},\
+         \"delayed_hits\":{},\"inflight_misses\":{}",
         json_escape(scenario),
         json_escape(&cell.series),
         json_escape(&cell.point),
@@ -101,6 +110,8 @@ fn completed_json(
         deg.map_or(0, |d| d.blocked_sessions),
         deg.map_or(0, |d| d.interrupted_sessions),
         deg.map_or(0, |d| d.retries),
+        report.cache.delayed_hits,
+        report.cache.inflight_misses,
     );
     if deterministic {
         format!("{head}}}")
@@ -166,7 +177,36 @@ fn fail(message: impl std::fmt::Display) -> ! {
 
 const USAGE: &str = "usage: cablevod-scenario SPEC_FILE [--out FILE] [--print-spec] \
                      [--checkpoint FILE] [--resume] [--keep-going] \
-                     [--job-retry NxBASE] [--job-timeout SECS]";
+                     [--job-retry NxBASE] [--job-timeout SECS] | --list-strategies";
+
+/// `--list-strategies`: one line per registered name with its capability
+/// bits, plugins included. Sorted (registry order), stable for scripts.
+fn list_strategies(registry: &StrategyRegistry) {
+    for name in registry.names() {
+        let factory = registry
+            .get(name)
+            .expect("names() yields only registered entries");
+        let mut caps = Vec::new();
+        if factory.needs_feed() {
+            caps.push("feed");
+        }
+        if factory.needs_schedule() {
+            caps.push("schedule");
+        }
+        if factory.needs_prefetch() {
+            caps.push("prefetch");
+        }
+        if factory.fetch_model().is_some() {
+            caps.push("fetch-model");
+        }
+        let caps = if caps.is_empty() {
+            "-".to_string()
+        } else {
+            caps.join(",")
+        };
+        println!("{name:<16} {:<16} {caps}", factory.name());
+    }
+}
 
 fn main() {
     let mut spec_path = None;
@@ -178,6 +218,10 @@ fn main() {
         match arg.as_str() {
             "--out" => out_path = Some(args.next().unwrap_or_else(|| fail("--out needs a value"))),
             "--print-spec" => print_spec = true,
+            "--list-strategies" => {
+                list_strategies(&StrategyRegistry::with_plugins());
+                return;
+            }
             "--checkpoint" => {
                 options.checkpoint = Some(
                     args.next()
@@ -227,7 +271,7 @@ fn main() {
     }
 
     let deterministic = options.checkpoint.is_some();
-    let registry = StrategyRegistry::builtin();
+    let registry = StrategyRegistry::with_plugins();
     let finished = AtomicUsize::new(0);
     let total = scenario.job_count();
     let progress = |cell: &CellOutcome| {

@@ -1,0 +1,100 @@
+//! The fetch-latency model seam: delayed hits as a first-class cost.
+//!
+//! The paper charges every cache miss the same central-server cost, but
+//! delayed-hits-aware caching (see `SNIPPETS.md` #3 in the workspace
+//! root) observes that a miss on a program whose fetch is *already in
+//! flight* is not a second full-latency miss — the request merely waits
+//! for the outstanding fetch to land. [`FetchModel`] gives the index
+//! server a modeled fetch latency; with a nonzero latency it tracks
+//! misses in flight and splits the miss count into *in-flight misses*
+//! (the fetch-starting first miss) and *delayed hits* (misses that
+//! coalesce onto an outstanding fetch).
+//!
+//! The model is purely observational: request resolution and cache
+//! trajectories never change, so a zero-latency ([`FetchModel::instant`])
+//! model leaves every report byte-identical to a run without one — the
+//! property the bit-identity test matrix pins.
+
+use cablevod_hfc::units::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A modeled central-server fetch latency (milliseconds).
+///
+/// Simulation time advances in whole seconds, so a sub-second latency
+/// covers exactly the same-second burst after a miss; multi-second
+/// latencies cover `latency_ms / 1000` following seconds as well.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FetchModel {
+    latency_ms: u64,
+}
+
+impl FetchModel {
+    /// The zero-latency model: fetches complete instantly, no in-flight
+    /// tracking, reports identical to runs without a model.
+    pub fn instant() -> Self {
+        FetchModel { latency_ms: 0 }
+    }
+
+    /// A model whose fetches take `latency_ms` milliseconds.
+    pub fn with_latency_ms(latency_ms: u64) -> Self {
+        FetchModel { latency_ms }
+    }
+
+    /// The modeled latency in milliseconds.
+    pub fn latency_ms(&self) -> u64 {
+        self.latency_ms
+    }
+
+    /// Whether fetches complete instantly (no in-flight tracking).
+    pub fn is_instant(&self) -> bool {
+        self.latency_ms == 0
+    }
+
+    /// Whether a fetch started at `start` is still in flight at `now`.
+    pub fn covers(&self, start: SimTime, now: SimTime) -> bool {
+        now.as_secs().saturating_sub(start.as_secs()) * 1_000 < self.latency_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn instant_model_covers_nothing() {
+        let m = FetchModel::instant();
+        assert!(m.is_instant());
+        assert!(!m.covers(t(10), t(10)), "even the same second");
+    }
+
+    #[test]
+    fn subsecond_latency_covers_the_same_second_only() {
+        let m = FetchModel::with_latency_ms(200);
+        assert!(!m.is_instant());
+        assert!(m.covers(t(10), t(10)));
+        assert!(!m.covers(t(10), t(11)));
+    }
+
+    #[test]
+    fn multisecond_latency_covers_following_seconds() {
+        let m = FetchModel::with_latency_ms(2_500);
+        assert!(m.covers(t(10), t(10)));
+        assert!(m.covers(t(10), t(12)), "2s elapsed < 2.5s latency");
+        assert!(!m.covers(t(10), t(13)));
+        assert!(!m.covers(t(10), t(100)));
+    }
+
+    #[test]
+    fn covers_is_monotone_in_start() {
+        let m = FetchModel::with_latency_ms(1_500);
+        assert!(!m.covers(t(0), t(5)));
+        assert!(m.covers(t(4), t(5)));
+        // A "future" start (cannot happen in the engine) saturates to 0
+        // elapsed rather than wrapping.
+        assert!(m.covers(t(9), t(5)));
+    }
+}

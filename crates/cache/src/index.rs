@@ -19,8 +19,11 @@ use cablevod_hfc::stb::StbStore;
 use cablevod_hfc::units::{DataSize, SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 
+use std::collections::HashMap;
+
 use crate::error::CacheError;
 use crate::feed::FeedEvents;
+use crate::fetch::FetchModel;
 use crate::placement::SlotLedger;
 use crate::strategy::{CacheOp, CacheStrategy, FillPolicy};
 
@@ -71,6 +74,14 @@ pub struct IndexStats {
     pub evictions: u64,
     /// Segments captured off miss broadcasts.
     pub capture_fills: u64,
+    /// Misses that coalesced onto a fetch already in flight (zero unless
+    /// a nonzero-latency [`FetchModel`] is
+    /// configured). Subsets of the `miss_*` counters — resolution is
+    /// unchanged, only the modeled cost differs.
+    pub delayed_hits: u64,
+    /// Misses that started a modeled central-server fetch (zero unless a
+    /// nonzero-latency fetch model is configured).
+    pub inflight_misses: u64,
 }
 
 impl std::ops::AddAssign for IndexStats {
@@ -82,6 +93,8 @@ impl std::ops::AddAssign for IndexStats {
         self.admissions += rhs.admissions;
         self.evictions += rhs.evictions;
         self.capture_fills += rhs.capture_fills;
+        self.delayed_hits += rhs.delayed_hits;
+        self.inflight_misses += rhs.inflight_misses;
     }
 }
 
@@ -144,6 +157,13 @@ pub struct IndexServer {
     cached_count: usize,
     stats: IndexStats,
     ops: Vec<CacheOp>,
+    /// Modeled central-server fetch latency; instant unless the strategy
+    /// factory supplied one.
+    fetch: FetchModel,
+    /// Start time of the newest modeled fetch per program. Only
+    /// populated under a nonzero-latency model; stale entries are
+    /// overwritten when a later miss starts a new fetch.
+    inflight: HashMap<ProgramId, SimTime>,
 }
 
 impl IndexServer {
@@ -200,7 +220,22 @@ impl IndexServer {
             cached_count: 0,
             stats: IndexStats::default(),
             ops: Vec::new(),
+            fetch: FetchModel::instant(),
+            inflight: HashMap::new(),
         }
+    }
+
+    /// Sets the modeled fetch latency (builder style). With the default
+    /// [`FetchModel::instant`] no in-flight tracking happens and reports
+    /// are identical to servers without a model.
+    pub fn with_fetch_model(mut self, fetch: FetchModel) -> Self {
+        self.fetch = fetch;
+        self
+    }
+
+    /// The modeled fetch latency in effect.
+    pub fn fetch_model(&self) -> FetchModel {
+        self.fetch
     }
 
     /// This server's neighborhood.
@@ -273,7 +308,13 @@ impl IndexServer {
     /// Returns the strategy's post-sync consumption cursor (see
     /// [`CacheStrategy::sync_global`]) so bounded feed carriers can
     /// reclaim fully consumed slots.
+    ///
+    /// The prefetch hook ([`CacheStrategy::on_feed_window`]) fires first,
+    /// so prior-storing strategies see the window before the
+    /// visibility-gated ingestion runs — the lifecycle ordering contract
+    /// documented in [`crate::strategy`].
     pub fn sync_feed(&mut self, feed: &dyn FeedEvents, now: SimTime, limit: usize) -> u64 {
+        self.strategy.on_feed_window(feed, now, limit);
         self.strategy.sync_global(feed, now, limit)
     }
 
@@ -351,6 +392,7 @@ impl IndexServer {
             .get_mut(program.index())
             .and_then(Option::as_mut)
         else {
+            self.note_modeled_fetch(program, now);
             self.stats.miss_uncached += 1;
             return Ok(Resolution::Miss(MissReason::Uncached));
         };
@@ -358,6 +400,7 @@ impl IndexServer {
         // session cannot serve it — the push *is* the server stream this
         // session is watching (see the method docs).
         if self.fill == FillPolicy::Prefetch && entry.admitted_at >= session_start {
+            self.note_modeled_fetch(program, now);
             self.stats.miss_not_materialized += 1;
             return Ok(Resolution::Miss(MissReason::NotMaterialized));
         }
@@ -370,6 +413,7 @@ impl IndexServer {
                     self.stats.capture_fills += 1;
                 }
             }
+            self.note_modeled_fetch(program, now);
             self.stats.miss_not_materialized += 1;
             return Ok(Resolution::Miss(MissReason::NotMaterialized));
         }
@@ -390,6 +434,24 @@ impl IndexServer {
         }
         self.stats.miss_peer_busy += 1;
         Ok(Resolution::Miss(MissReason::PeerBusy))
+    }
+
+    /// Delayed-hit accounting for a central-server fetch (Fig 4 step 2),
+    /// a no-op under an instant model: a miss covered by an outstanding
+    /// fetch coalesces onto it (a *delayed hit*), any other miss starts a
+    /// new fetch. Peer-busy misses never reach the central server, so
+    /// they are not accounted here.
+    fn note_modeled_fetch(&mut self, program: ProgramId, now: SimTime) {
+        if self.fetch.is_instant() {
+            return;
+        }
+        match self.inflight.get(&program) {
+            Some(&start) if self.fetch.covers(start, now) => self.stats.delayed_hits += 1,
+            _ => {
+                self.inflight.insert(program, now);
+                self.stats.inflight_misses += 1;
+            }
+        }
     }
 
     fn execute_admit<S: StbStore + ?Sized>(
@@ -783,6 +845,79 @@ mod tests {
             })
             .sum();
         assert_eq!(stored, index.cached_programs() * 4);
+    }
+
+    #[test]
+    fn modeled_fetch_coalesces_same_window_misses() {
+        let (index, mut topo) = build(StrategySpec::NoCache);
+        let mut index = index.with_fetch_model(crate::fetch::FetchModel::with_latency_ms(200));
+        // Two misses in the same second: the second coalesces onto the
+        // first's in-flight fetch.
+        index
+            .resolve_segment(seg(0, 0), t(10), t(10), t(310), &mut topo)
+            .expect("miss");
+        index
+            .resolve_segment(seg(0, 0), t(10), t(10), t(310), &mut topo)
+            .expect("miss");
+        assert_eq!(index.stats().inflight_misses, 1);
+        assert_eq!(index.stats().delayed_hits, 1);
+        assert_eq!(index.stats().miss_uncached, 2, "resolution unchanged");
+        // A second later the 200 ms fetch has landed: a fresh fetch.
+        index
+            .resolve_segment(seg(0, 0), t(11), t(11), t(311), &mut topo)
+            .expect("miss");
+        assert_eq!(index.stats().inflight_misses, 2);
+        assert_eq!(index.stats().delayed_hits, 1);
+        // A different program never coalesces.
+        index
+            .resolve_segment(seg(1, 0), t(11), t(11), t(311), &mut topo)
+            .expect("miss");
+        assert_eq!(index.stats().inflight_misses, 3);
+    }
+
+    #[test]
+    fn instant_fetch_model_counts_nothing() {
+        let (mut index, mut topo) = build(StrategySpec::NoCache);
+        assert!(index.fetch_model().is_instant());
+        for _ in 0..3 {
+            index
+                .resolve_segment(seg(0, 0), t(10), t(10), t(310), &mut topo)
+                .expect("miss");
+        }
+        assert_eq!(index.stats().inflight_misses, 0);
+        assert_eq!(index.stats().delayed_hits, 0);
+        assert_eq!(index.stats().miss_uncached, 3);
+    }
+
+    #[test]
+    fn busy_peer_misses_skip_fetch_accounting() {
+        let (index, mut topo) = build(StrategySpec::Lru);
+        let mut index = index.with_fetch_model(crate::fetch::FetchModel::with_latency_ms(500));
+        index
+            .on_program_access(ProgramId::new(0), ten_minutes(), t(0), &mut topo)
+            .expect("admit");
+        index
+            .resolve_segment(seg(0, 0), t(0), t(0), t(300), &mut topo)
+            .expect("capture");
+        assert_eq!(index.stats().inflight_misses, 1, "cold miss fetched");
+        // Saturate the hosting peer's two slots, then miss busy.
+        let end = t(1_000);
+        for _ in 0..2 {
+            assert!(index
+                .resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo)
+                .expect("hit")
+                .is_hit());
+        }
+        let r = index
+            .resolve_segment(seg(0, 0), t(500), t(500), end, &mut topo)
+            .expect("resolve");
+        assert_eq!(r, Resolution::Miss(MissReason::PeerBusy));
+        assert_eq!(
+            index.stats().inflight_misses,
+            1,
+            "busy-peer miss never reaches the central server"
+        );
+        assert_eq!(index.stats().delayed_hits, 0);
     }
 
     #[test]

@@ -5,15 +5,25 @@
 //! cooperative cache by an **index server** at the headend.
 //!
 //! * [`index`] — the index server: request resolution (hit/miss flows of
-//!   Figs 4–5), placement bookkeeping, capture-on-broadcast fill;
+//!   Figs 4–5), placement bookkeeping, capture-on-broadcast fill, and
+//!   delayed-hit accounting under a [`fetch::FetchModel`];
 //! * [`placement`] — load-balanced (or random / first-fit) slot placement;
 //! * [`strategy`] — the [`strategy::CacheStrategy`] abstraction, the open
-//!   [`strategy::StrategyFactory`] construction seam, and the declarative
-//!   [`strategy::StrategySpec`] selection of the built-ins;
+//!   [`strategy::StrategyFactory`] construction seam, the declarative
+//!   [`strategy::StrategySpec`] selection of the built-ins, and the
+//!   **strategy lifecycle** contract (hook ordering
+//!   `on_feed_window` → `prepare` → `on_access`, documented there);
 //! * [`registry`] — the by-name [`registry::StrategyRegistry`] through
-//!   which out-of-tree strategies join the simulator;
+//!   which out-of-tree strategies join the simulator, and the
+//!   process-wide [`registry::register_plugin`] hook that makes them
+//!   nameable from scenario spec files;
+//! * [`fetch`] — the fetch-latency model behind delayed-hit accounting;
 //! * [`lru`], [`lfu`], [`oracle`], [`feed`] — the paper's LRU, windowed
-//!   LFU, Oracle, and global-popularity LFU variants.
+//!   LFU, Oracle, and global-popularity LFU variants;
+//! * [`arc`], [`tlru`], [`prior`], [`delayed`] — the literature
+//!   strategies: ARC, time-aware LRU, the prior-storing server
+//!   (prefetch-hook consumer), and the delayed-hits-aware LFU
+//!   (fetch-model consumer).
 //!
 //! # Examples
 //!
@@ -34,31 +44,42 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arc;
+pub mod delayed;
 pub mod error;
 pub mod feed;
+pub mod fetch;
 pub mod index;
 pub mod lfu;
 pub mod lru;
 pub mod oracle;
 pub mod placement;
+pub mod prior;
 pub mod registry;
 pub mod schedule;
 pub mod strategy;
+pub mod tlru;
 pub mod watermark;
 
+pub use self::arc::ArcCache;
+pub use delayed::DelayedLfu;
 pub use error::CacheError;
 pub use feed::{
     FeedEvent, FeedEvents, FeedProvider, GlobalFeed, GlobalLfu, PrecomputedFeed, SharedFeed,
 };
+pub use fetch::FetchModel;
 pub use index::{IndexServer, IndexStats, MissReason, Resolution};
 pub use lfu::WindowedLfu;
 pub use lru::Lru;
 pub use oracle::{AccessSchedule, Oracle};
 pub use placement::{PlacementPolicy, SlotLedger};
-pub use registry::StrategyRegistry;
+pub use prior::PriorStoring;
+pub use registry::{register_plugin, StrategyRegistry};
 pub use schedule::{ResidentSchedules, ScheduleReader, ScheduleSource, ScheduleWindow};
 pub use strategy::{
-    CacheOp, CacheStrategy, FillPolicy, GlobalLfuFactory, LfuFactory, LruFactory, NoCacheFactory,
-    OracleFactory, StrategyContext, StrategyFactory, StrategySpec,
+    ArcFactory, CacheOp, CacheStrategy, DelayedLfuFactory, FillPolicy, GlobalLfuFactory,
+    LfuFactory, LruFactory, NoCacheFactory, OracleFactory, PriorStoringFactory, StrategyContext,
+    StrategyFactory, StrategySpec, TlruFactory,
 };
+pub use tlru::Tlru;
 pub use watermark::{FeedProducer, FeedView, WatermarkFeed};

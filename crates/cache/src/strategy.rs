@@ -21,17 +21,56 @@
 //! schedule) to a factory and gets a boxed [`CacheStrategy`] back. The
 //! paper's strategies ship as built-in factories ([`NoCacheFactory`],
 //! [`LruFactory`], [`LfuFactory`], [`GlobalLfuFactory`],
-//! [`OracleFactory`]); [`StrategySpec`] is the declarative, serializable
-//! selection of those built-ins, and [`StrategySpec::factory`] maps each
-//! variant onto its factory. Out-of-tree strategies (prior-storing
-//! servers, admission control — the paper's follow-up directions)
-//! implement [`StrategyFactory`] and register by name in a
+//! [`OracleFactory`]), the literature strategies as [`ArcFactory`],
+//! [`TlruFactory`], [`PriorStoringFactory`], and [`DelayedLfuFactory`];
+//! [`StrategySpec`] is the declarative, serializable selection of those
+//! built-ins, and [`StrategySpec::factory`] maps each variant onto its
+//! factory. Out-of-tree strategies implement [`StrategyFactory`] and
+//! register by name in a
 //! [`StrategyRegistry`](crate::registry::StrategyRegistry): the replay
-//! engine never needs to know the strategy's type, only the two
-//! capability bits ([`needs_feed`](StrategyFactory::needs_feed) /
-//! [`needs_schedule`](StrategyFactory::needs_schedule)) that decide
-//! whether the global popularity feed and the Oracle schedule pipeline
-//! are wired up for the run.
+//! engine never needs to know the strategy's type, only the capability
+//! bits ([`needs_feed`](StrategyFactory::needs_feed) /
+//! [`needs_schedule`](StrategyFactory::needs_schedule) /
+//! [`needs_prefetch`](StrategyFactory::needs_prefetch)) and the optional
+//! [`fetch_model`](StrategyFactory::fetch_model) that decide whether the
+//! global popularity feed, the Oracle schedule pipeline, the feed-driven
+//! prefetch hook, and delayed-hit accounting are wired up for the run.
+//!
+//! # Strategy lifecycle
+//!
+//! The index server drives every strategy through the same hook
+//! sequence, on every driver combination (serial/sharded ×
+//! resident/streaming):
+//!
+//! 1. **`on_feed_window`** — when the global feed publishes events that
+//!    became visible before an access (and the factory declared
+//!    [`needs_feed`](StrategyFactory::needs_feed) or
+//!    [`needs_prefetch`](StrategyFactory::needs_prefetch)), the strategy
+//!    sees them first. Prefetch-hook consumers build their prediction
+//!    state here; feed windows are delivered at-least-once with
+//!    non-decreasing `limit` bounds, so implementations keep an internal
+//!    cursor and must be idempotent.
+//! 2. **`prepare`** — the one fallible access-path hook; out-of-core
+//!    staging (the windowed Oracle's schedule I/O) happens here.
+//! 3. **`on_access`** — the access itself; all admissions and evictions
+//!    materialize through the returned [`CacheOp`]s, including those a
+//!    prefetch hook decided on earlier (the ops channel is the only way
+//!    content moves).
+//!
+//! For any access, feed windows published before it are delivered via
+//! `on_feed_window` before `prepare` and `on_access` run — this ordering
+//! contract is what makes the four drivers bit-identical.
+//!
+//! # Delayed-hit accounting
+//!
+//! When a factory supplies a [`FetchModel`](crate::fetch::FetchModel)
+//! with nonzero latency, the index server tracks misses in flight: a
+//! miss on a program whose fetch (started by an earlier miss) is still
+//! within the model's latency window is counted as a *delayed hit*
+//! rather than a second full-cost miss, and first misses are counted as
+//! *in-flight misses*. The accounting is observational — request
+//! resolution and cache trajectories are unchanged, so a zero-latency
+//! model is byte-identical to no model at all.
 
 use std::fmt;
 use std::sync::Arc;
@@ -139,6 +178,21 @@ pub trait CacheStrategy: fmt::Debug + Send {
     fn sync_global(&mut self, _feed: &dyn FeedEvents, _now: SimTime, limit: usize) -> u64 {
         limit as u64
     }
+
+    /// Observes the feed window `0..limit` *before* the visibility-gated
+    /// ingestion of [`sync_global`](CacheStrategy::sync_global) runs —
+    /// the feed-driven prefetch hook (see the module-level lifecycle
+    /// docs). Prior-storing strategies build their prediction state here
+    /// from upcoming-schedule events; admissions still materialize
+    /// through the [`on_access`](CacheStrategy::on_access) ops channel.
+    ///
+    /// Called only when the factory declares
+    /// [`needs_feed`](StrategyFactory::needs_feed) or
+    /// [`needs_prefetch`](StrategyFactory::needs_prefetch). Windows are
+    /// delivered at-least-once with non-decreasing `limit`s;
+    /// implementations keep a cursor and must be idempotent. The default
+    /// is a no-op.
+    fn on_feed_window(&mut self, _feed: &dyn FeedEvents, _now: SimTime, _limit: usize) {}
 }
 
 /// A strategy that never caches anything — the paper's no-cache baseline
@@ -204,6 +258,37 @@ pub enum StrategySpec {
         /// Future window.
         lookahead: SimDuration,
     },
+    /// Adaptive Replacement Cache (Megiddo & Modha): twin
+    /// recency/frequency lists with ghost-extension feedback steering the
+    /// split adaptively.
+    Arc {
+        /// Ghost-list bound as an entry count; `0` derives the bound from
+        /// the slot capacity (the classic "ghosts mirror the cache"
+        /// configuration).
+        ghost: u32,
+    },
+    /// Time-aware LRU: plain LRU whose entries additionally expire after
+    /// a time-to-use, refreshed on every hit.
+    Tlru {
+        /// Time-to-use after which an unrefreshed entry expires.
+        ttl: SimDuration,
+    },
+    /// Prior-storing server (Tsang): predicts upcoming popularity from
+    /// the global feed *before* first local access and pushes predicted
+    /// content proactively (prefetch fill).
+    PriorStoring {
+        /// Popularity-prediction history window.
+        horizon: SimDuration,
+    },
+    /// Delayed-hits-aware windowed LFU: a miss on a program whose fetch
+    /// is still in flight counts as one access of double weight, not a
+    /// fresh independent miss, so popularity tracks *fetch* pressure.
+    DelayedLfu {
+        /// History window N.
+        history: SimDuration,
+        /// Modeled central-server fetch latency in milliseconds.
+        latency_ms: u64,
+    },
 }
 
 impl StrategySpec {
@@ -221,6 +306,34 @@ impl StrategySpec {
     pub fn default_oracle() -> Self {
         StrategySpec::Oracle {
             lookahead: SimDuration::from_days(3),
+        }
+    }
+
+    /// The default ARC: ghost bound derived from capacity.
+    pub fn default_arc() -> Self {
+        StrategySpec::Arc { ghost: 0 }
+    }
+
+    /// The default TLRU: one-day time-to-use.
+    pub fn default_tlru() -> Self {
+        StrategySpec::Tlru {
+            ttl: SimDuration::from_days(1),
+        }
+    }
+
+    /// The default prior-storing server: one-day prediction horizon.
+    pub fn default_prior_storing() -> Self {
+        StrategySpec::PriorStoring {
+            horizon: SimDuration::from_days(1),
+        }
+    }
+
+    /// The default delayed-hits LFU: the LFU default history with a
+    /// 200 ms modeled fetch latency.
+    pub fn default_delayed_lfu() -> Self {
+        StrategySpec::DelayedLfu {
+            history: SimDuration::from_days(7),
+            latency_ms: 200,
         }
     }
 
@@ -260,6 +373,16 @@ impl StrategySpec {
             StrategySpec::Lfu { history } => Arc::new(LfuFactory { history }),
             StrategySpec::GlobalLfu { history, lag } => Arc::new(GlobalLfuFactory { history, lag }),
             StrategySpec::Oracle { lookahead } => Arc::new(OracleFactory { lookahead }),
+            StrategySpec::Arc { ghost } => Arc::new(ArcFactory { ghost }),
+            StrategySpec::Tlru { ttl } => Arc::new(TlruFactory { ttl }),
+            StrategySpec::PriorStoring { horizon } => Arc::new(PriorStoringFactory { horizon }),
+            StrategySpec::DelayedLfu {
+                history,
+                latency_ms,
+            } => Arc::new(DelayedLfuFactory {
+                history,
+                latency_ms,
+            }),
         }
     }
 
@@ -273,6 +396,12 @@ impl StrategySpec {
         matches!(self, StrategySpec::Oracle { .. })
     }
 
+    /// Whether this strategy consumes the feed-driven prefetch hook
+    /// ([`CacheStrategy::on_feed_window`]).
+    pub fn needs_prefetch(&self) -> bool {
+        matches!(self, StrategySpec::PriorStoring { .. })
+    }
+
     /// Display label used in reports and figure legends.
     pub fn label(&self) -> &'static str {
         match self {
@@ -281,13 +410,19 @@ impl StrategySpec {
             StrategySpec::Lfu { .. } => "LFU",
             StrategySpec::GlobalLfu { .. } => "Global LFU",
             StrategySpec::Oracle { .. } => "Oracle",
+            StrategySpec::Arc { .. } => "ARC",
+            StrategySpec::Tlru { .. } => "TLRU",
+            StrategySpec::PriorStoring { .. } => "Prior storing",
+            StrategySpec::DelayedLfu { .. } => "Delayed LFU",
         }
     }
 
     /// The compact textual form used by scenario spec files:
-    /// `no-cache`, `lru`, `lfu:7d`, `global-lfu:7d:30m`, `oracle:3d`
-    /// (durations print the largest exact unit of d/h/m/s).
-    /// [`StrategySpec::parse`] is the inverse.
+    /// `no-cache`, `lru`, `lfu:7d`, `global-lfu:7d:30m`, `oracle:3d`,
+    /// `arc:512`, `tlru:30m`, `prior-storing:1d`, `delayed-lfu:3d:200ms`
+    /// (durations print the largest exact unit of d/h/m/s; latencies the
+    /// largest exact unit of s/ms). [`StrategySpec::parse`] is the
+    /// inverse.
     pub fn compact(&self) -> String {
         match *self {
             StrategySpec::NoCache => "no-cache".into(),
@@ -297,13 +432,28 @@ impl StrategySpec {
                 format!("global-lfu:{}:{}", fmt_duration(history), fmt_duration(lag))
             }
             StrategySpec::Oracle { lookahead } => format!("oracle:{}", fmt_duration(lookahead)),
+            StrategySpec::Arc { ghost } => format!("arc:{ghost}"),
+            StrategySpec::Tlru { ttl } => format!("tlru:{}", fmt_duration(ttl)),
+            StrategySpec::PriorStoring { horizon } => {
+                format!("prior-storing:{}", fmt_duration(horizon))
+            }
+            StrategySpec::DelayedLfu {
+                history,
+                latency_ms,
+            } => format!(
+                "delayed-lfu:{}:{}",
+                fmt_duration(history),
+                fmt_latency(latency_ms)
+            ),
         }
     }
 
     /// Parses the compact form produced by [`StrategySpec::compact`].
     /// Parameters may be omitted: `lfu` is [`StrategySpec::default_lfu`],
-    /// `oracle` is [`StrategySpec::default_oracle`], and `global-lfu`
-    /// defaults to a 7-day history with a 30-minute lag.
+    /// `oracle` is [`StrategySpec::default_oracle`], `global-lfu`
+    /// defaults to a 7-day history with a 30-minute lag, and `arc`,
+    /// `tlru`, `prior-storing`, and `delayed-lfu` take their
+    /// `default_*` parameters.
     ///
     /// # Errors
     ///
@@ -329,6 +479,25 @@ impl StrategySpec {
             },
             "oracle" => StrategySpec::Oracle {
                 lookahead: duration(SimDuration::from_days(3))?,
+            },
+            "arc" => StrategySpec::Arc {
+                ghost: match parts.next() {
+                    None => 0,
+                    Some(p) => p.parse().map_err(|_| unknown())?,
+                },
+            },
+            "tlru" => StrategySpec::Tlru {
+                ttl: duration(SimDuration::from_days(1))?,
+            },
+            "prior-storing" => StrategySpec::PriorStoring {
+                horizon: duration(SimDuration::from_days(1))?,
+            },
+            "delayed-lfu" => StrategySpec::DelayedLfu {
+                history: duration(SimDuration::from_days(7))?,
+                latency_ms: match parts.next() {
+                    None => 200,
+                    Some(p) => parse_latency(p).ok_or_else(unknown)?,
+                },
             },
             _ => return Err(unknown()),
         };
@@ -372,6 +541,27 @@ fn parse_duration(text: &str) -> Option<SimDuration> {
     })
 }
 
+/// Formats a millisecond latency as its largest exact unit (`2s`,
+/// `200ms`; zero is `0ms`).
+fn fmt_latency(ms: u64) -> String {
+    if ms > 0 && ms.is_multiple_of(1_000) {
+        format!("{}s", ms / 1_000)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+/// Parses `<n>ms` / `<n>s` (a bare number is milliseconds).
+fn parse_latency(text: &str) -> Option<u64> {
+    if let Some(digits) = text.strip_suffix("ms") {
+        digits.parse().ok()
+    } else if let Some(digits) = text.strip_suffix('s') {
+        digits.parse::<u64>().ok().map(|n| n * 1_000)
+    } else {
+        text.parse().ok()
+    }
+}
+
 /// Everything the engine provides when instantiating a strategy for one
 /// neighborhood.
 #[derive(Debug)]
@@ -411,6 +601,21 @@ pub trait StrategyFactory: fmt::Debug + Send + Sync {
     /// [`StrategyContext::schedule`].
     fn needs_schedule(&self) -> bool {
         false
+    }
+
+    /// Whether built strategies consume the feed-driven prefetch hook
+    /// ([`CacheStrategy::on_feed_window`]). When `true` the engine wires
+    /// up the global feed carrier even if
+    /// [`needs_feed`](StrategyFactory::needs_feed) is `false`.
+    fn needs_prefetch(&self) -> bool {
+        false
+    }
+
+    /// The fetch-latency model built strategies' index servers should
+    /// account delayed hits under; `None` (the default) means instant
+    /// fetches and no in-flight tracking.
+    fn fetch_model(&self) -> Option<crate::fetch::FetchModel> {
+        None
     }
 
     /// Builds the strategy instance for one neighborhood.
@@ -515,6 +720,92 @@ impl StrategyFactory for OracleFactory {
     }
 }
 
+/// Built-in factory for [`StrategySpec::Arc`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArcFactory {
+    /// Ghost-list bound (entry count); `0` derives it from capacity.
+    pub ghost: u32,
+}
+
+impl StrategyFactory for ArcFactory {
+    fn name(&self) -> &str {
+        "ARC"
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(crate::arc::ArcCache::new(
+            ctx.capacity_slots,
+            self.ghost,
+        )))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::Tlru`].
+#[derive(Debug, Clone, Copy)]
+pub struct TlruFactory {
+    /// Time-to-use after which an unrefreshed entry expires.
+    pub ttl: SimDuration,
+}
+
+impl StrategyFactory for TlruFactory {
+    fn name(&self) -> &str {
+        "TLRU"
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(crate::tlru::Tlru::new(
+            ctx.capacity_slots,
+            self.ttl,
+        )))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::PriorStoring`].
+#[derive(Debug, Clone, Copy)]
+pub struct PriorStoringFactory {
+    /// Popularity-prediction history window.
+    pub horizon: SimDuration,
+}
+
+impl StrategyFactory for PriorStoringFactory {
+    fn name(&self) -> &str {
+        "Prior storing"
+    }
+    fn needs_prefetch(&self) -> bool {
+        true
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(crate::prior::PriorStoring::new(
+            ctx.capacity_slots,
+            self.horizon,
+            ctx.home,
+        )))
+    }
+}
+
+/// Built-in factory for [`StrategySpec::DelayedLfu`].
+#[derive(Debug, Clone, Copy)]
+pub struct DelayedLfuFactory {
+    /// History window N.
+    pub history: SimDuration,
+    /// Modeled central-server fetch latency in milliseconds.
+    pub latency_ms: u64,
+}
+
+impl StrategyFactory for DelayedLfuFactory {
+    fn name(&self) -> &str {
+        "Delayed LFU"
+    }
+    fn fetch_model(&self) -> Option<crate::fetch::FetchModel> {
+        Some(crate::fetch::FetchModel::with_latency_ms(self.latency_ms))
+    }
+    fn build(&self, ctx: StrategyContext) -> Result<Box<dyn CacheStrategy>, CacheError> {
+        Ok(Box::new(crate::delayed::DelayedLfu::new(
+            ctx.capacity_slots,
+            self.history,
+            self.latency_ms,
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -544,6 +835,10 @@ mod tests {
                 },
                 "Global LFU",
             ),
+            (StrategySpec::default_arc(), "ARC"),
+            (StrategySpec::default_tlru(), "TLRU"),
+            (StrategySpec::default_prior_storing(), "Prior storing"),
+            (StrategySpec::default_delayed_lfu(), "Delayed LFU"),
         ] {
             let s = spec
                 .build(10, home, None)
@@ -564,11 +859,20 @@ mod tests {
                 lag: SimDuration::from_minutes(30),
             },
             StrategySpec::default_oracle(),
+            StrategySpec::default_arc(),
+            StrategySpec::default_tlru(),
+            StrategySpec::default_prior_storing(),
+            StrategySpec::default_delayed_lfu(),
         ] {
             let factory = spec.factory();
             assert_eq!(factory.name(), spec.label());
             assert_eq!(factory.needs_feed(), spec.needs_feed());
             assert_eq!(factory.needs_schedule(), spec.needs_schedule());
+            assert_eq!(factory.needs_prefetch(), spec.needs_prefetch());
+            assert_eq!(
+                factory.fetch_model().is_some(),
+                matches!(spec, StrategySpec::DelayedLfu { .. })
+            );
         }
     }
 
@@ -587,6 +891,21 @@ mod tests {
             StrategySpec::Oracle {
                 lookahead: SimDuration::ZERO,
             },
+            StrategySpec::Arc { ghost: 512 },
+            StrategySpec::Tlru {
+                ttl: SimDuration::from_minutes(30),
+            },
+            StrategySpec::PriorStoring {
+                horizon: SimDuration::from_hours(12),
+            },
+            StrategySpec::DelayedLfu {
+                history: SimDuration::from_days(3),
+                latency_ms: 200,
+            },
+            StrategySpec::DelayedLfu {
+                history: SimDuration::from_days(7),
+                latency_ms: 2_000,
+            },
         ] {
             let text = spec.compact();
             assert_eq!(StrategySpec::parse(&text).expect("parses"), spec, "{text}");
@@ -599,9 +918,28 @@ mod tests {
             StrategySpec::parse("oracle").expect("bare oracle"),
             StrategySpec::default_oracle()
         );
-        assert!(StrategySpec::parse("arc").is_err());
+        assert_eq!(
+            StrategySpec::parse("arc").expect("bare arc"),
+            StrategySpec::default_arc()
+        );
+        assert_eq!(
+            StrategySpec::parse("tlru").expect("bare tlru"),
+            StrategySpec::default_tlru()
+        );
+        assert_eq!(
+            StrategySpec::parse("prior-storing").expect("bare prior-storing"),
+            StrategySpec::default_prior_storing()
+        );
+        assert_eq!(
+            StrategySpec::parse("delayed-lfu").expect("bare delayed-lfu"),
+            StrategySpec::default_delayed_lfu()
+        );
+        assert!(StrategySpec::parse("warp-drive").is_err());
         assert!(StrategySpec::parse("lfu:sevendays").is_err());
         assert!(StrategySpec::parse("lru:1d:2d").is_err());
+        assert!(StrategySpec::parse("arc:lots").is_err());
+        assert!(StrategySpec::parse("delayed-lfu:3d:fast").is_err());
+        assert!(StrategySpec::parse("tlru:30m:extra").is_err());
     }
 
     #[test]

@@ -1,0 +1,227 @@
+//! Time-aware least-recently-used (TLRU).
+//!
+//! Plain LRU extended with a *time-to-use* (TTU): every cached entry
+//! carries an expiry timestamp, refreshed on each hit. Expired entries
+//! are reaped lazily at the start of the next access — segment content
+//! whose TTU elapsed is treated as stale regardless of recency, modeling
+//! catalogs where rights windows or freshness bound how long a cached
+//! program stays servable.
+//!
+//! Determinism: expiry and recency orders both break ties on
+//! `ProgramId`, so identical access sequences produce identical op
+//! streams on every driver combination.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cablevod_hfc::ids::ProgramId;
+use cablevod_hfc::units::{SimDuration, SimTime};
+
+use crate::strategy::{CacheOp, CacheStrategy};
+
+/// The TLRU strategy (see the module docs).
+#[derive(Debug)]
+pub struct Tlru {
+    capacity: u64,
+    used: u64,
+    ttl: SimDuration,
+    seq: u64,
+    /// program -> (recency sequence, expiry, cost in slots)
+    entries: HashMap<ProgramId, (u64, SimTime, u32)>,
+    /// (recency sequence, program), oldest first
+    queue: BTreeSet<(u64, ProgramId)>,
+    /// (expiry, program), soonest first
+    expiries: BTreeSet<(SimTime, ProgramId)>,
+}
+
+impl Tlru {
+    /// Creates a TLRU with `capacity_slots` capacity and time-to-use
+    /// `ttl`.
+    pub fn new(capacity_slots: u64, ttl: SimDuration) -> Self {
+        Tlru {
+            capacity: capacity_slots,
+            used: 0,
+            ttl,
+            seq: 0,
+            entries: HashMap::new(),
+            queue: BTreeSet::new(),
+            expiries: BTreeSet::new(),
+        }
+    }
+
+    /// The configured time-to-use.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    fn remove(&mut self, program: ProgramId) -> Option<(u64, SimTime, u32)> {
+        let (seq, expiry, cost) = self.entries.remove(&program)?;
+        self.queue.remove(&(seq, program));
+        self.expiries.remove(&(expiry, program));
+        self.used -= u64::from(cost);
+        Some((seq, expiry, cost))
+    }
+
+    /// Reaps every entry whose TTU elapsed at or before `now`.
+    fn expire(&mut self, now: SimTime, ops: &mut Vec<CacheOp>) {
+        while let Some(&(expiry, program)) = self.expiries.iter().next() {
+            if expiry > now {
+                break;
+            }
+            self.remove(program);
+            ops.push(CacheOp::Evict(program));
+        }
+    }
+}
+
+impl CacheStrategy for Tlru {
+    fn name(&self) -> &'static str {
+        "TLRU"
+    }
+
+    fn on_access(&mut self, program: ProgramId, cost: u32, now: SimTime, ops: &mut Vec<CacheOp>) {
+        self.expire(now, ops);
+        if let Some((_, _, cost)) = self.remove(program) {
+            // Hit: refresh both recency and TTU, no ops.
+            self.seq += 1;
+            let seq = self.seq;
+            self.entries.insert(program, (seq, now + self.ttl, cost));
+            self.queue.insert((seq, program));
+            self.expiries.insert((now + self.ttl, program));
+            self.used += u64::from(cost);
+            return;
+        }
+        if u64::from(cost) > self.capacity {
+            return; // can never fit
+        }
+        while self.used + u64::from(cost) > self.capacity {
+            let &(seq, victim) = self
+                .queue
+                .iter()
+                .next()
+                .expect("evict from non-empty queue");
+            debug_assert!(seq <= self.seq);
+            self.remove(victim);
+            ops.push(CacheOp::Evict(victim));
+        }
+        self.seq += 1;
+        let seq = self.seq;
+        self.entries.insert(program, (seq, now + self.ttl, cost));
+        self.queue.insert((seq, program));
+        self.expiries.insert((now + self.ttl, program));
+        self.used += u64::from(cost);
+        ops.push(CacheOp::Admit(program));
+    }
+
+    fn contains(&self, program: ProgramId) -> bool {
+        self.entries.contains_key(&program)
+    }
+
+    fn cost_of(&self, program: ProgramId) -> Option<u32> {
+        self.entries.get(&program).map(|&(_, _, cost)| cost)
+    }
+
+    fn used_slots(&self) -> u64 {
+        self.used
+    }
+
+    fn capacity_slots(&self) -> u64 {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> ProgramId {
+        ProgramId::new(i)
+    }
+
+    fn access(tlru: &mut Tlru, program: u32, cost: u32, secs: u64) -> Vec<CacheOp> {
+        let mut ops = Vec::new();
+        tlru.on_access(p(program), cost, SimTime::from_secs(secs), &mut ops);
+        ops
+    }
+
+    #[test]
+    fn behaves_like_lru_inside_the_ttu() {
+        let mut tlru = Tlru::new(10, SimDuration::from_hours(1));
+        access(&mut tlru, 0, 4, 0);
+        access(&mut tlru, 1, 4, 1);
+        access(&mut tlru, 0, 4, 2); // touch 0 so 1 is the victim
+        let ops = access(&mut tlru, 2, 4, 3);
+        assert_eq!(ops, vec![CacheOp::Evict(p(1)), CacheOp::Admit(p(2))]);
+        assert!(tlru.contains(p(0)));
+    }
+
+    #[test]
+    fn entries_expire_after_the_ttu() {
+        let mut tlru = Tlru::new(10, SimDuration::from_secs(100));
+        access(&mut tlru, 0, 4, 0);
+        // At t=100 the TTU has elapsed: the next access reaps it first.
+        let ops = access(&mut tlru, 1, 4, 100);
+        assert_eq!(ops, vec![CacheOp::Evict(p(0)), CacheOp::Admit(p(1))]);
+        assert!(!tlru.contains(p(0)));
+        assert_eq!(tlru.used_slots(), 4);
+    }
+
+    #[test]
+    fn hits_refresh_the_ttu() {
+        let mut tlru = Tlru::new(10, SimDuration::from_secs(100));
+        access(&mut tlru, 0, 4, 0);
+        assert!(access(&mut tlru, 0, 4, 60).is_empty(), "hit, no ops");
+        // t=120 is past the original expiry (100) but inside the
+        // refreshed one (160).
+        let ops = access(&mut tlru, 1, 4, 120);
+        assert_eq!(ops, vec![CacheOp::Admit(p(1))]);
+        assert!(tlru.contains(p(0)));
+        // t=160 reaps the refreshed entry.
+        access(&mut tlru, 2, 4, 160);
+        assert!(!tlru.contains(p(0)));
+    }
+
+    #[test]
+    fn oversized_program_is_skipped_without_eviction() {
+        let mut tlru = Tlru::new(5, SimDuration::from_hours(1));
+        access(&mut tlru, 0, 3, 0);
+        let ops = access(&mut tlru, 1, 9, 1);
+        assert!(ops.is_empty());
+        assert!(tlru.contains(p(0)));
+    }
+
+    #[test]
+    fn used_never_exceeds_capacity_under_churn() {
+        let mut tlru = Tlru::new(20, SimDuration::from_secs(500));
+        for i in 0..2_000u64 {
+            let program = (i * 7919 % 53) as u32;
+            let cost = 1 + (program % 6);
+            access(&mut tlru, program, cost, i * 17);
+            assert!(tlru.used_slots() <= tlru.capacity_slots(), "step {i}");
+        }
+    }
+
+    #[test]
+    fn ops_mirror_contains_state() {
+        let mut tlru = Tlru::new(12, SimDuration::from_secs(1_000));
+        let mut shadow = std::collections::HashSet::new();
+        for i in 0..3_000u64 {
+            let program = (i * 31 % 41) as u32;
+            let mut ops = Vec::new();
+            tlru.on_access(
+                p(program),
+                1 + program % 5,
+                SimTime::from_secs(i * 211),
+                &mut ops,
+            );
+            for op in ops {
+                match op {
+                    CacheOp::Admit(q) => assert!(shadow.insert(q), "double admit {q}"),
+                    CacheOp::Evict(q) => assert!(shadow.remove(&q), "evict of uncached {q}"),
+                }
+            }
+        }
+        for q in &shadow {
+            assert!(tlru.contains(*q));
+        }
+    }
+}

@@ -25,6 +25,15 @@ use cablevod_trace::record::SessionRecord;
 use super::lifecycle::{feed_event, SessionCtx};
 use crate::config::SimConfig;
 
+/// Whether the strategy consumes the global feed through either hook —
+/// visibility-gated ingestion ([`needs_feed`](StrategyFactory::needs_feed))
+/// or the feed-driven prefetch window
+/// ([`needs_prefetch`](StrategyFactory::needs_prefetch)). Both ride the
+/// same carrier, so one gate decides whether a run wires the feed up.
+pub(super) fn wants_feed(strategy: &dyn StrategyFactory) -> bool {
+    strategy.needs_feed() || strategy.needs_prefetch()
+}
+
 /// Builds the full global feed from a resident record slice (a pure
 /// function of the trace — see the module docs of [`super`]), or `None`
 /// when the strategy ignores it.
@@ -35,7 +44,7 @@ pub(super) fn build_feed(
     segmenter: &Segmenter,
     strategy: &dyn StrategyFactory,
 ) -> Option<GlobalFeed> {
-    strategy.needs_feed().then(|| {
+    wants_feed(strategy).then(|| {
         let mut feed = GlobalFeed::new();
         for (rec, ctx) in records.iter().zip(ctxs) {
             feed.publish(feed_event(rec, ctx, config, segmenter));

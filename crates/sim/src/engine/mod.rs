@@ -424,6 +424,7 @@ fn build_index(
         other => other,
     };
     let ledger = SlotLedger::new(members, placement);
+    let fetch = strategy.fetch_model();
     let strategy = strategy.build(StrategyContext {
         capacity_slots: ledger.total_slots(),
         home: id,
@@ -431,6 +432,9 @@ fn build_index(
     })?;
     let mut index =
         IndexServer::with_replication(id, strategy, *segmenter, ledger, config.replication());
+    if let Some(fetch) = fetch {
+        index = index.with_fetch_model(fetch);
+    }
     if let Some(fill) = config.fill_override() {
         index.set_fill_policy(fill);
     }
@@ -538,8 +542,7 @@ fn run_streaming_observed<S: TraceSource + ?Sized>(
     let users = UserMap::from_topology(&topo);
 
     let runs = serial_runs(source);
-    let wfeed = strategy
-        .needs_feed()
+    let wfeed = feed::wants_feed(strategy)
         .then(|| WatermarkFeed::new(source.record_count(), 1, nbhd_count));
     let provider = wfeed.as_ref().map(|f| SharedFeed::new(f, 0, 0..nbhd_count));
     let supply = StreamSupply::new(

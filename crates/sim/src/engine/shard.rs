@@ -256,8 +256,7 @@ pub(super) fn run_parallel_streaming<S: TraceSource + ?Sized>(
 
     let plan = shard_plans(source, &topo, config, &segmenter, strategy)?;
     let users = UserMap::from_topology(&topo);
-    let feed = strategy
-        .needs_feed()
+    let feed = super::feed::wants_feed(strategy)
         .then(|| WatermarkFeed::new(total, nbhd_count, nbhd_count));
     let positions = topo.local_positions();
     let aborted = AtomicBool::new(false);

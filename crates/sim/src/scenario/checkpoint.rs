@@ -735,13 +735,15 @@ fn index_stats_json(stats: &IndexStats) -> Json {
         Json::Num(stats.admissions),
         Json::Num(stats.evictions),
         Json::Num(stats.capture_fills),
+        Json::Num(stats.delayed_hits),
+        Json::Num(stats.inflight_misses),
     ])
 }
 
 fn index_stats_from_json(value: &Json) -> ParseResult<IndexStats> {
     let items = as_arr(value)?;
-    if items.len() != 7 {
-        return Err("index stats must have 7 counters".into());
+    if items.len() != 9 {
+        return Err("index stats must have 9 counters".into());
     }
     Ok(IndexStats {
         hits: as_num(&items[0])?,
@@ -751,6 +753,8 @@ fn index_stats_from_json(value: &Json) -> ParseResult<IndexStats> {
         admissions: as_num(&items[4])?,
         evictions: as_num(&items[5])?,
         capture_fills: as_num(&items[6])?,
+        delayed_hits: as_num(&items[7])?,
+        inflight_misses: as_num(&items[8])?,
     })
 }
 
@@ -870,6 +874,8 @@ mod tests {
                 admissions: salt + 4,
                 evictions: salt + 5,
                 capture_fills: salt + 6,
+                delayed_hits: salt + 7,
+                inflight_misses: salt + 8,
             },
             sessions: salt * 100 + 7,
             segment_requests: salt * 1000 + 11,

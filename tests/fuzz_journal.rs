@@ -63,6 +63,8 @@ fn sample_report(salt: u64) -> SimReport {
             admissions: salt + 4,
             evictions: salt + 5,
             capture_fills: salt + 6,
+            delayed_hits: salt + 7,
+            inflight_misses: salt + 8,
         },
         sessions: salt * 100 + 7,
         segment_requests: salt * 1000 + 11,

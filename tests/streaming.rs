@@ -21,9 +21,11 @@ use cablevod_trace::record::{SessionRecord, Trace};
 use cablevod_trace::source::{ChunkedTrace, TraceSource};
 use cablevod_trace::synth::generate;
 
-/// The strategy matrix the equivalence properties sweep: the paper's four
-/// plus Global LFU, whose feed consumption is the interesting part of the
-/// sharded streaming path (the watermark protocol).
+/// The strategy matrix the equivalence properties sweep: the paper's five
+/// (Global LFU's feed consumption exercises the sharded streaming
+/// watermark protocol) plus the literature four — ARC, TLRU, the
+/// prior-storing server (prefetch hook, feed-carried) and the
+/// delayed-hits-aware LFU (fetch-model accounting, merged counters).
 fn strategy(pick: usize) -> StrategySpec {
     [
         StrategySpec::NoCache,
@@ -33,6 +35,17 @@ fn strategy(pick: usize) -> StrategySpec {
         StrategySpec::GlobalLfu {
             history: SimDuration::from_days(3),
             lag: SimDuration::from_minutes(30),
+        },
+        StrategySpec::Arc { ghost: 0 },
+        StrategySpec::Tlru {
+            ttl: SimDuration::from_minutes(30),
+        },
+        StrategySpec::PriorStoring {
+            horizon: SimDuration::from_days(1),
+        },
+        StrategySpec::DelayedLfu {
+            history: SimDuration::from_days(3),
+            latency_ms: 10_000,
         },
     ][pick]
 }
@@ -62,7 +75,7 @@ proptest! {
         users in 60u32..220,
         nbhd in 25u32..120,
         gb in 1u64..5,
-        strategy_pick in 0usize..5,
+        strategy_pick in 0usize..9,
         seed in 0u64..500,
     ) {
         let trace = generate(&tiny_config(users, 30, 3, seed));
@@ -112,7 +125,7 @@ proptest! {
         users in 60u32..220,
         nbhd in 25u32..120,
         gb in 1u64..5,
-        strategy_pick in 0usize..5,
+        strategy_pick in 0usize..9,
         seed in 0u64..500,
     ) {
         let trace = generate(&tiny_config(users, 30, 3, seed));
@@ -141,7 +154,7 @@ fn columnar_file_replay_is_bit_identical() {
     let reader = ColumnarReader::open(&path).expect("open columnar");
     assert!(reader.resident_records().is_none(), "reader must stream");
 
-    for pick in 0..5 {
+    for pick in 0..9 {
         let config = config_for(60, 2, strategy(pick));
         let resident = run(&trace, &config).expect("resident runs");
         let from_disk = run(&reader, &config).expect("disk replay runs");
@@ -173,7 +186,7 @@ fn neighborhood_major_replay_is_bit_identical() {
         60
     );
 
-    for pick in 0..5 {
+    for pick in 0..9 {
         // Matched neighborhood size: shards read their own chunks only.
         let config = config_for(60, 2, strategy(pick));
         let resident = run(&trace, &config).expect("resident runs");
