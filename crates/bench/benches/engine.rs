@@ -17,6 +17,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use cablevod_bench::bench_trace;
 use cablevod_cache::StrategySpec;
 use cablevod_hfc::units::DataSize;
+use cablevod_serve::clock::AcceleratedClock;
+use cablevod_serve::replay::{replay_trace, DecisionTier};
 use cablevod_sim::{run, SimConfig, Simulation};
 use cablevod_trace::columnar::{ColumnarReader, DEFAULT_CHUNK_SIZE};
 use cablevod_trace::rechunk::{import_chunk_size, rechunk_by_neighborhood, rechunk_multi_index};
@@ -347,6 +349,55 @@ fn workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
+/// The online tier under an accelerated clock: sustained requests/sec
+/// through the full serve path (ingress stamping, feed publication,
+/// cooperative stepping), plus the per-session decision-latency p99 from
+/// one instrumented replay — the two rows ROADMAP item 2 trends next to
+/// offline sessions/sec.
+fn serve_online(c: &mut Criterion) {
+    let trace = bench_trace();
+    let config = SimConfig::paper_default()
+        .with_neighborhood_size(500)
+        .with_per_peer_storage(DataSize::from_gigabytes(2))
+        .with_warmup_days(3)
+        .with_strategy(StrategySpec::Lru);
+    let strategy = config.strategy().factory();
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_function("throughput", |b| {
+        b.iter(|| {
+            let mut clock = AcceleratedClock::default();
+            replay_trace(
+                trace,
+                &config,
+                strategy.as_ref(),
+                DecisionTier::Serial,
+                &mut clock,
+            )
+            .expect("serve run")
+        })
+    });
+    group.finish();
+
+    let mut clock = AcceleratedClock::default();
+    let outcome = replay_trace(
+        trace,
+        &config,
+        strategy.as_ref(),
+        DecisionTier::Serial,
+        &mut clock,
+    )
+    .expect("serve run");
+    c.record_measurement(
+        "serve",
+        "decision_p99",
+        u128::from(outcome.latency.p99_ns()),
+        u128::from(outcome.latency.mean_ns()),
+        None,
+    );
+}
+
 criterion_group!(
     benches,
     engine_throughput,
@@ -354,6 +405,7 @@ criterion_group!(
     engine_streaming_throughput,
     chunk_decode_throughput,
     engine_sweep_throughput,
-    workload_generation
+    workload_generation,
+    serve_online
 );
 criterion_main!(benches);

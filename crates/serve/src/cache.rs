@@ -1,0 +1,153 @@
+//! The front tier's repeat-lookup response cache.
+//!
+//! The decision tier is authoritative but stepping it is the expensive
+//! path; repeat lookups between placement changes are the common case a
+//! head-end front tier must absorb. Entries are stamped with the
+//! placement **epoch** they were computed at; the cache never returns an
+//! entry stamped older than the current epoch — stale entries are
+//! evicted on contact and the caller falls through to the decision tier
+//! (and re-inserts at the current epoch). Correctness therefore does not
+//! depend on eagerly purging at bump time, which keeps `bump_epoch` O(1)
+//! no matter how many entries are cached.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An epoch-invalidated response cache (see module docs).
+#[derive(Debug)]
+pub struct ResponseCache<K, V> {
+    entries: HashMap<K, (u64, V)>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+}
+
+impl<K: Eq + Hash, V: Clone> Default for ResponseCache<K, V> {
+    fn default() -> Self {
+        ResponseCache::new()
+    }
+}
+
+impl<K: Eq + Hash, V: Clone> ResponseCache<K, V> {
+    /// An empty cache at epoch 0.
+    #[must_use]
+    pub fn new() -> Self {
+        ResponseCache {
+            entries: HashMap::new(),
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+            stale: 0,
+        }
+    }
+
+    /// The epoch entries are currently validated against.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares that placement state (may have) changed: all currently
+    /// cached answers become stale. `epoch` must not regress; equal
+    /// epochs are a no-op.
+    pub fn advance_epoch(&mut self, epoch: u64) {
+        debug_assert!(epoch >= self.epoch, "epochs never regress");
+        if epoch > self.epoch {
+            self.epoch = epoch;
+        }
+    }
+
+    /// The cached answer for `key`, only if it was inserted at the
+    /// current epoch. A stale entry is removed and counted; the caller
+    /// falls through to the decision tier.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        match self.entries.get(key) {
+            Some((epoch, value)) if *epoch == self.epoch => {
+                self.hits += 1;
+                Some(value.clone())
+            }
+            Some(_) => {
+                self.entries.remove(key);
+                self.stale += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `value` for `key`, stamped with the current epoch.
+    pub fn insert(&mut self, key: K, value: V) {
+        match self.entries.entry(key) {
+            Entry::Occupied(mut slot) => {
+                *slot.get_mut() = (self.epoch, value);
+            }
+            Entry::Vacant(slot) => {
+                slot.insert((self.epoch, value));
+            }
+        }
+    }
+
+    /// Entries currently stored (fresh and not-yet-touched stale alike).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fresh-answer count.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Fall-through count (absent or stale).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// How many lookups found an entry from an older epoch (a subset of
+    /// [`misses`](Self::misses)).
+    #[must_use]
+    pub fn stale(&self) -> u64 {
+        self.stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_fresh_and_evicts_stale() {
+        let mut cache: ResponseCache<u32, &str> = ResponseCache::new();
+        cache.insert(7, "a");
+        assert_eq!(cache.get(&7), Some("a"));
+        cache.advance_epoch(1);
+        assert_eq!(cache.get(&7), None, "stale entries never surface");
+        assert_eq!(cache.stale(), 1);
+        cache.insert(7, "b");
+        assert_eq!(cache.get(&7), Some("b"));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn equal_epoch_advance_keeps_entries() {
+        let mut cache: ResponseCache<u32, u32> = ResponseCache::new();
+        cache.insert(1, 10);
+        cache.advance_epoch(0);
+        assert_eq!(cache.get(&1), Some(10));
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-request latency histograms for the front tier.
+//!
+//! Log2-bucketed nanosecond counts: constant memory, no allocation on
+//! the record path, quantile error bounded by one power of two — plenty
+//! for trending p50/p99/p999 next to sessions/sec.
+
+/// A log2-bucketed latency histogram over nanosecond samples.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples with `floor(log2(ns)) == i` (bucket 0
+    /// also holds 0ns samples; the last bucket is open-ended).
+    buckets: [u64; 64],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, ns: u64) {
+        let bucket = 63 - u64::leading_zeros(ns.max(1)) as usize;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest sample seen, in nanoseconds.
+    #[must_use]
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, as the upper edge of the
+    /// bucket containing it (clamped to the observed maximum). Zero when
+    /// empty.
+    #[must_use]
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+        #[allow(clippy::cast_sign_loss)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median sample (bucket upper edge).
+    #[must_use]
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th percentile sample (bucket upper edge).
+    #[must_use]
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// 99.9th percentile sample (bucket upper edge).
+    #[must_use]
+    pub fn p999_ns(&self) -> u64 {
+        self.quantile_ns(0.999)
+    }
+
+    /// Mean sample in nanoseconds, approximated from bucket midpoints.
+    #[must_use]
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let mut total: u128 = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let mid = if i >= 63 {
+                u128::from(self.max_ns)
+            } else {
+                (u128::from(1u64 << i) + u128::from((1u64 << (i + 1)) - 1)) / 2
+            };
+            total += mid * u128::from(n);
+        }
+        u64::try_from(total / u128::from(self.count)).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_buckets() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 64..127 bucket.
+        assert!(h.p50_ns() >= 100 && h.p50_ns() < 256, "{}", h.p50_ns());
+        // p99 is still in the low bucket (99 of 100 samples).
+        assert!(h.p99_ns() < 256);
+        // p999 reaches the outlier's bucket, clamped to the observed max.
+        assert_eq!(h.p999_ns(), 1_000_000);
+        assert_eq!(h.max_ns(), 1_000_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50_ns(), 0);
+        assert_eq!(h.p999_ns(), 0);
+        assert_eq!(h.mean_ns(), 0);
+    }
+
+    #[test]
+    fn zero_samples_count_in_lowest_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.p50_ns(), 0); // clamped to observed max
+    }
+}

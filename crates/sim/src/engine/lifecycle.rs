@@ -393,6 +393,12 @@ pub(super) enum Step {
     /// whether any events were processed before blocking (workers yield
     /// the CPU only when a full round over their tasks made no progress).
     Blocked { progressed: bool },
+    /// Every event at or before the caller's horizon has been processed;
+    /// the driver is parked at the edge of simulated "now" (online
+    /// stepping — see [`super::online`]). Unlike [`Step::Done`] the feed
+    /// is **not** finished: more records may still be submitted.
+    /// `progressed` reports whether any events were processed.
+    Horizon { progressed: bool },
 }
 
 /// The single discrete-event loop (see the module docs). One instance
@@ -473,6 +479,18 @@ where
     /// Processes events until the driver completes or must wait for the
     /// feed frontier.
     pub(super) fn step(&mut self) -> Result<Step, SimError> {
+        self.step_until(None)
+    }
+
+    /// [`step`](SessionDriver::step) bounded by a horizon: processes every
+    /// event whose time is at or before `horizon`, then parks with
+    /// [`Step::Horizon`] instead of finishing. With `horizon = None` the
+    /// bound is vacuous and the behavior is exactly [`step`] — every
+    /// offline driver goes through this code path unchanged. A bounded
+    /// driver whose supply and heap are both empty also parks (its live
+    /// supply may be handed more sessions later), so only an unbounded
+    /// call can ever finish the feed.
+    pub(super) fn step_until(&mut self, horizon: Option<SimTime>) -> Result<Step, SimError> {
         let mut progressed = false;
         loop {
             if let Some(abort) = self.abort {
@@ -485,14 +503,32 @@ where
             let staged = self.supply.peek(&mut self.feed)?;
             let take_record = match (staged, self.heap.peek()) {
                 (None, None) => {
+                    if horizon.is_some() {
+                        return Ok(Step::Horizon { progressed });
+                    }
                     if let Some(feed) = self.feed.as_mut() {
                         feed.finish();
                     }
                     return Ok(Step::Done);
                 }
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (Some((start, _)), Some(&Reverse((t, _, _, _)))) => start <= t,
+                (Some((start, _)), None) => {
+                    if horizon.is_some_and(|h| start > h) {
+                        return Ok(Step::Horizon { progressed });
+                    }
+                    true
+                }
+                (None, Some(&Reverse((t, _, _, _)))) => {
+                    if horizon.is_some_and(|h| t > h) {
+                        return Ok(Step::Horizon { progressed });
+                    }
+                    false
+                }
+                (Some((start, _)), Some(&Reverse((t, _, _, _)))) => {
+                    if horizon.is_some_and(|h| start.min(t) > h) {
+                        return Ok(Step::Horizon { progressed });
+                    }
+                    start <= t
+                }
             };
 
             if take_record {
@@ -557,8 +593,16 @@ where
                     debug_assert!(false, "a non-sharded feed provider never blocks");
                     std::thread::yield_now();
                 }
+                Step::Horizon { .. } => unreachable!("unbounded steps never park on a horizon"),
             }
         }
+    }
+
+    /// The index servers this driver routes events to, in neighborhood
+    /// order from `index_base` (online lookups read placement through
+    /// these between steps).
+    pub(super) fn indexes(&self) -> &[IndexServer] {
+        &self.indexes
     }
 
     /// Handles one session start: admission, viewer slot accounting, feed

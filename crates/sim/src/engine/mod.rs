@@ -137,6 +137,7 @@
 mod fault;
 mod feed;
 mod lifecycle;
+pub mod online;
 mod report;
 mod schedule;
 mod shard;
@@ -315,8 +316,15 @@ fn build_topology<S: TraceSource + ?Sized>(
     source: &S,
     config: &SimConfig,
 ) -> Result<Topology, SimError> {
+    build_topology_for(source.user_count(), config)
+}
+
+/// Builds the plant for a subscriber count with no trace in hand (the
+/// online tier knows its population from an [`online::OnlineSpec`], not
+/// a source).
+fn build_topology_for(users: u32, config: &SimConfig) -> Result<Topology, SimError> {
     Ok(Topology::build(
-        TopologyConfig::new(source.user_count(), config.neighborhood_size())
+        TopologyConfig::new(users, config.neighborhood_size())
             .with_per_peer_storage(config.per_peer_storage())
             .with_stream_slots(config.stream_slots())
             .with_coax_spec(*config.coax_spec()),

@@ -163,7 +163,9 @@ pub(super) struct ShardOutcome {
 }
 
 impl ShardOutcome {
-    fn from_driver<F, R>(driver: SessionDriver<'_, FaultingPlant<ShardPlant<'_>>, F, R>) -> Self
+    pub(super) fn from_driver<F, R>(
+        driver: SessionDriver<'_, FaultingPlant<ShardPlant<'_>>, F, R>,
+    ) -> Self
     where
         F: cablevod_cache::FeedProvider,
         R: super::lifecycle::RecordSupply<F>,
@@ -435,6 +437,9 @@ fn drive_worker<'a, S: TraceSource + ?Sized>(
                 Ok(Step::Blocked { progressed }) => {
                     any_progress |= progressed;
                     i += 1;
+                }
+                Ok(Step::Horizon { .. }) => {
+                    unreachable!("offline shard steps never park on a horizon")
                 }
                 Err(e) => {
                     // As at build failure: leave the watermark where honest

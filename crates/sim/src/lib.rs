@@ -109,14 +109,15 @@ pub mod simulation;
 
 pub use cablevod_hfc::fault::{FaultEvent, FaultKind, FaultPlan, FaultTimeline};
 pub use config::{AdmissionMode, RetryPolicy, SimConfig};
+pub use engine::online::{serve_serial, serve_sharded, OnlineEngine, OnlinePlacement, OnlineSpec};
 pub use engine::{run, run_parallel};
 pub use error::SimError;
 pub use multicast::MulticastStats;
 pub use report::{DegradationReport, NeighborhoodDegradation, SimReport};
 pub use runner::run_sweep;
 pub use scenario::{
-    AxisPoint, CellKey, CellOutcome, CellRecord, CellResult, CheckpointJournal, ConfigPatch,
-    GridOutcome, JobRetry, JournalHeader, OwnedSource, ResilienceOptions, Scenario,
-    ScenarioOutcome, SourceSpec, StrategyRef,
+    report_from_json_str, report_to_json_string, AxisPoint, CellKey, CellOutcome, CellRecord,
+    CellResult, CheckpointJournal, ConfigPatch, GridOutcome, JobRetry, JournalHeader, OwnedSource,
+    ResilienceOptions, Scenario, ScenarioOutcome, SourceSpec, StrategyRef,
 };
 pub use simulation::{peak_rss_kb, RunOutcome, RunTelemetry, Simulation, ThreadPolicy};

@@ -843,6 +843,25 @@ fn report_from_json(value: &Json) -> ParseResult<SimReport> {
     })
 }
 
+/// Serializes a report to one canonical JSON line — the same encoding the
+/// checkpoint journal writes, so online (serve) and offline (journal)
+/// accounting can be compared byte-for-byte.
+#[must_use]
+pub fn report_to_json_string(report: &SimReport) -> String {
+    write_json(&report_json(report))
+}
+
+/// Parses a report back from [`report_to_json_string`]'s encoding.
+///
+/// # Errors
+///
+/// Returns [`SimError::Config`] when the text is not valid JSON or does
+/// not have the report's shape.
+pub fn report_from_json_str(text: &str) -> Result<SimReport, SimError> {
+    let value = parse_json(text.as_bytes()).map_err(|reason| SimError::Config { reason })?;
+    report_from_json(&value).map_err(|reason| SimError::Config { reason })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

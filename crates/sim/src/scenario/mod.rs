@@ -145,7 +145,10 @@ use crate::error::SimError;
 use crate::runner::{default_threads, run_indexed};
 use crate::simulation::{RunOutcome, Simulation, ThreadPolicy};
 
-pub use checkpoint::{CellKey, CellRecord, CheckpointJournal, JournalHeader};
+pub use checkpoint::{
+    report_from_json_str, report_to_json_string, CellKey, CellRecord, CheckpointJournal,
+    JournalHeader,
+};
 pub use resilient::{CellOutcome, CellResult, GridOutcome, JobRetry, ResilienceOptions};
 
 /// A serializable description of a whole experiment (see module docs).

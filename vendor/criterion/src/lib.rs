@@ -245,6 +245,21 @@ impl Criterion {
         self
     }
 
+    /// Records an externally measured result as one JSON row (an extra
+    /// over upstream): benches that track quantiles of an inner
+    /// instrumented run — a latency histogram's p99, say — emit them
+    /// next to the wall-clock rows without abusing `iter()`.
+    pub fn record_measurement(
+        &mut self,
+        group: &str,
+        bench: &str,
+        median_ns: u128,
+        mean_ns: u128,
+        per_sec: Option<f64>,
+    ) {
+        self.record_json(group, bench, median_ns, mean_ns, per_sec);
+    }
+
     fn record_json(
         &mut self,
         group: &str,
